@@ -1,0 +1,49 @@
+//===- bench/bench_fig8_energy_shares.cpp - Figure 8 reproduction -----------===//
+//
+// Figure 8 of the paper: mean normalized ED2 when the reference
+// homogeneous machine attributes different shares of total energy to
+// the interconnection network and the cache: {ICN/cache} in
+// {.1/.25, .1/.33, .15/.3, .2/.25, .2/.3}. Each variant is normalized
+// against *its own* optimum homogeneous design. The paper reports only
+// slight variation across these assumptions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace hcvliw;
+
+int main() {
+  std::printf("Figure 8: ED2 varying the energy shares of the ICN and the "
+              "cache (each vs its own optimum homogeneous).\n"
+              "Paper shape: results vary only slightly.\n\n");
+
+  struct ShareCase {
+    double Icn, Cache;
+  } Cases[] = {{0.10, 0.25}, {0.10, 1.0 / 3.0}, {0.15, 0.30},
+               {0.20, 0.25}, {0.20, 0.30}};
+
+  TablePrinter T("Figure 8: normalized ED2 by ICN/cache energy share");
+  bool Header = false;
+  for (unsigned Buses : {1u, 2u}) {
+    for (const auto &C : Cases) {
+      PipelineOptions Opts;
+      Opts.Buses = Buses;
+      Opts.Breakdown.IcnShare = C.Icn;
+      Opts.Breakdown.CacheShare = C.Cache;
+      SuiteResult R = runSuite(Opts);
+      if (!Header) {
+        T.addRow(headerRow(R, "config"));
+        Header = true;
+      }
+      printSeries(T,
+                  formatString("%u bus%s, .%02d/.%02d", Buses,
+                               Buses > 1 ? "es" : "",
+                               static_cast<int>(C.Icn * 100),
+                               static_cast<int>(C.Cache * 100)),
+                  R);
+    }
+  }
+  T.print();
+  return 0;
+}

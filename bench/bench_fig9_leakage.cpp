@@ -1,0 +1,53 @@
+//===- bench/bench_fig9_leakage.cpp - Figure 9 reproduction -----------------===//
+//
+// Figure 9 of the paper: mean normalized ED2 when the fraction of each
+// component's energy due to leakage varies: (cluster / ICN / cache) in
+// {.25/.05/.6, .33/.1/.66, .4/.15/.7, .2/.1/.75}. The paper reports
+// little impact ("our scheme is somewhat independent of the assumptions
+// made for the baseline microarchitecture").
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace hcvliw;
+
+int main() {
+  std::printf("Figure 9: ED2 varying the leakage fractions "
+              "(cluster/ICN/cache), each vs its own optimum "
+              "homogeneous.\nPaper shape: changing these percentages has "
+              "little impact.\n\n");
+
+  struct LeakCase {
+    double Cluster, Icn, Cache;
+  } Cases[] = {{0.25, 0.05, 0.60},
+               {1.0 / 3.0, 0.10, 2.0 / 3.0},
+               {0.40, 0.15, 0.70},
+               {0.20, 0.10, 0.75}};
+
+  TablePrinter T("Figure 9: normalized ED2 by leakage fractions");
+  bool Header = false;
+  for (unsigned Buses : {1u, 2u}) {
+    for (const auto &C : Cases) {
+      PipelineOptions Opts;
+      Opts.Buses = Buses;
+      Opts.Breakdown.ClusterLeakageFrac = C.Cluster;
+      Opts.Breakdown.IcnLeakageFrac = C.Icn;
+      Opts.Breakdown.CacheLeakageFrac = C.Cache;
+      SuiteResult R = runSuite(Opts);
+      if (!Header) {
+        T.addRow(headerRow(R, "config"));
+        Header = true;
+      }
+      printSeries(T,
+                  formatString("%u bus%s, .%02d/.%02d/.%02d", Buses,
+                               Buses > 1 ? "es" : "",
+                               static_cast<int>(C.Cluster * 100 + 0.5),
+                               static_cast<int>(C.Icn * 100 + 0.5),
+                               static_cast<int>(C.Cache * 100 + 0.5)),
+                  R);
+    }
+  }
+  T.print();
+  return 0;
+}

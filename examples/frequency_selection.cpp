@@ -1,0 +1,69 @@
+//===- examples/frequency_selection.cpp - Section 3 end to end --------------===//
+//
+// Demonstrates the paper's configuration-selection flow on one program:
+// profile the reference homogeneous machine, build the Section 3.1
+// energy model, explore the design space of Section 3.3 (fast-cluster
+// cycle times x slow ratios x per-component supply voltages), and
+// report the chosen heterogeneous configuration next to the optimum
+// homogeneous baseline -- then measure both and compare reality against
+// the estimates.
+//
+// Build & run:  ./build/examples/frequency_selection [program]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HeterogeneousPipeline.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace hcvliw;
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "187.facerec";
+  BenchmarkProgram Prog = buildSpecFPProgram(Name);
+
+  PipelineOptions Opts;
+  HeterogeneousPipeline Pipe(Opts);
+  auto R = Pipe.runProgram(Prog);
+  if (!R) {
+    std::fprintf(stderr, "pipeline failed on %s\n", Name.c_str());
+    return 1;
+  }
+
+  std::printf("program %s: %zu loops, reference Texec %.0f ns\n",
+              Name.c_str(), R->Profile.Loops.size(), R->Profile.TexecRefNs);
+  auto Shares = R->Profile.shareByConstraint();
+  std::printf("constraint mix: %.1f%% resource, %.1f%% borderline, "
+              "%.1f%% recurrence\n\n",
+              100 * Shares[0], 100 * Shares[1], 100 * Shares[2]);
+
+  std::printf("selected heterogeneous configuration:\n  %s\n",
+              R->HetDesign.Config.str().c_str());
+  std::printf("optimum homogeneous baseline:\n  %s\n\n",
+              R->HomDesign.Config.str().c_str());
+
+  TablePrinter T("estimates vs measurements");
+  T.addRow({"quantity", "estimated", "measured"});
+  T.addRow({"het Texec (ns)",
+            formatString("%.0f", R->HetDesign.EstTexecNs),
+            formatString("%.0f", R->HetMeasured.TexecNs)});
+  T.addRow({"het energy (ref units)",
+            formatString("%.3f", R->HetDesign.EstEnergy),
+            formatString("%.3f", R->HetMeasured.Energy)});
+  T.addRow({"hom Texec (ns)",
+            formatString("%.0f", R->HomDesign.EstTexecNs),
+            formatString("%.0f", R->HomMeasured.TexecNs)});
+  T.addRow({"hom energy (ref units)",
+            formatString("%.3f", R->HomDesign.EstEnergy),
+            formatString("%.3f", R->HomMeasured.Energy)});
+  T.addRow({"ED2 ratio (het/hom)",
+            formatString("%.3f", R->HetDesign.EstED2 / R->HomDesign.EstED2),
+            formatString("%.3f", R->ED2Ratio)});
+  T.print();
+
+  std::printf("\nED2 benefit of heterogeneity: %.1f%%\n",
+              100.0 * (1.0 - R->ED2Ratio));
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- examples/quickstart.cpp - First steps with the library ---------------===//
+//
+// Quickstart: write a small loop in the textual DSL, schedule it on a
+// heterogeneous 4-cluster VLIW (one fast cluster at 0.9 ns, three slow
+// clusters at 1.35 ns), print the modulo schedule, and prove the
+// software-pipelined execution computes exactly what sequential
+// execution computes.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopDSL.h"
+#include "partition/LoopScheduler.h"
+#include "vliwsim/PipelinedSimulator.h"
+
+#include <cstdio>
+
+using namespace hcvliw;
+
+int main() {
+  // A dot-product-style loop: two streams, a multiply, a loop-carried
+  // accumulation (the recurrence that will pin itself to the fast
+  // cluster), and a store.
+  Loop L = parseSingleLoop(R"(
+loop dot trip=64
+  arrays A B S
+  x = load A
+  y = load B
+  m = fmul x y
+  s = fadd s@1 m init=0
+  store S s
+endloop
+)");
+
+  // The paper's evaluation machine: 4 clusters x {1 INT FU, 1 FP FU,
+  // 1 memory port, 16 registers}, one 1-cycle inter-cluster bus.
+  MachineDescription M = MachineDescription::paperDefault();
+
+  // A heterogeneous configuration: cluster 0 fast, the rest slow.
+  HeteroConfig C = HeteroConfig::reference(M);
+  C.Clusters[0].PeriodNs = Rational(9, 10); // 0.9 ns
+  for (unsigned I = 1; I < 4; ++I)
+    C.Clusters[I].PeriodNs = Rational(27, 20); // 1.35 ns
+  C.Icn.PeriodNs = Rational(9, 10);
+  C.Cache.PeriodNs = Rational(9, 10);
+
+  // Figure 5 flow: MIT -> select (II, freq) per domain -> partition ->
+  // modulo schedule, growing the IT on failure.
+  LoopScheduler Scheduler(M, C);
+  LoopScheduleResult R = Scheduler.schedule(L);
+  if (!R.Success) {
+    std::fprintf(stderr, "scheduling failed: %s\n", R.Failure.c_str());
+    return 1;
+  }
+
+  std::printf("scheduled '%s' (recMII=%lld, resMII=%lld)\n",
+              L.Name.c_str(), static_cast<long long>(R.RecMII),
+              static_cast<long long>(R.ResMII));
+  std::printf("MIT = %s ns, achieved IT = %s ns (%u IT increases)\n\n",
+              R.MITNs.str().c_str(), R.Sched.Plan.ITNs.str().c_str(),
+              R.ITSteps);
+  std::printf("%s\n", R.Sched.str(R.PG).c_str());
+
+  std::printf("cluster assignment:");
+  for (unsigned Op = 0; Op < L.size(); ++Op)
+    std::printf(" %s->C%u", opcodeName(L.Ops[Op].Op),
+                R.Assignment.cluster(Op));
+  std::printf("\ncommunications per iteration: %u\n", R.PG.numCopies());
+
+  // Execute the pipelined schedule and compare against sequential
+  // semantics, bit for bit.
+  std::string Err = checkFunctionalEquivalence(L, R.PG, R.Sched, M, 64);
+  std::printf("functional equivalence vs sequential execution: %s\n",
+              Err.empty() ? "EXACT" : Err.c_str());
+
+  PipelinedResult Sim = runPipelined(L, R.PG, R.Sched, M, 64);
+  std::printf("64 iterations execute in %s ns (%.2f ns/iter)\n",
+              Sim.TexecNs.str().c_str(), Sim.TexecNs.toDouble() / 64);
+  return Err.empty() ? 0 : 1;
+}

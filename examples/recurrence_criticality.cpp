@@ -1,0 +1,102 @@
+//===- examples/recurrence_criticality.cpp - Why heterogeneity wins ---------===//
+//
+// The paper's central observation, reproduced on one loop: in a
+// recurrence-constrained loop only the few instructions on the critical
+// recurrence determine the initiation time; everything else can run on
+// slow, low-voltage clusters without losing performance.
+//
+// This example schedules the same loop on (a) the reference homogeneous
+// machine, (b) a heterogeneous machine with one fast / three slow
+// clusters, and shows: the critical recurrence migrates to the fast
+// cluster, the IT *drops* below the homogeneous II * Tcyc, and the bulk
+// of the instructions land in the slow clusters.
+//
+// Build & run:  ./build/examples/recurrence_criticality
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/RecurrenceAnalysis.h"
+#include "partition/LoopScheduler.h"
+#include "workloads/SyntheticLoops.h"
+
+#include <cstdio>
+
+using namespace hcvliw;
+
+static void report(const char *Label, const MachineDescription &M,
+                   const Loop &L, const LoopScheduleResult &R) {
+  std::printf("%s\n", Label);
+  std::printf("  IT = %s ns, it_length = %s ns\n",
+              R.Sched.Plan.ITNs.str().c_str(),
+              R.Sched.itLengthNs(R.PG).str().c_str());
+  std::printf("  per-domain II:");
+  for (unsigned C = 0; C < M.numClusters(); ++C)
+    std::printf(" C%u=%lld@%sns", C,
+                static_cast<long long>(R.Sched.Plan.Clusters[C].II),
+                R.Sched.Plan.Clusters[C].PeriodNs.str().c_str());
+  std::printf("\n");
+
+  std::vector<unsigned> PerCluster(M.numClusters(), 0);
+  for (unsigned Op = 0; Op < L.size(); ++Op)
+    ++PerCluster[R.Assignment.cluster(Op)];
+  std::printf("  ops per cluster:");
+  for (unsigned C = 0; C < M.numClusters(); ++C)
+    std::printf(" %u", PerCluster[C]);
+  std::printf("  (comms/iter: %u)\n", R.PG.numCopies());
+}
+
+int main() {
+  // 3 critical ops (fmul+fadd+fadd at distance 1: recMII 12) plus four
+  // independent side lanes: 17 of 20 ops are non-critical.
+  Loop L = makeChainRecurrenceLoop("hot", 1, 2, 1, 4, 96, 1.0);
+  MachineDescription M = MachineDescription::paperDefault();
+
+  DDG G = DDG::build(L);
+  RecurrenceInfo Recs = analyzeRecurrences(G, M.Isa.nodeLatencies(L));
+  std::printf("loop '%s': %u ops, recMII=%lld, resMII=%lld, critical "
+              "recurrence has %zu ops\n\n",
+              L.Name.c_str(), L.size(),
+              static_cast<long long>(Recs.RecMII),
+              static_cast<long long>(M.computeResMII(L)),
+              Recs.Recurrences.front().Nodes.size());
+
+  HeteroConfig Hom = HeteroConfig::reference(M);
+  LoopScheduler SchedHom(M, Hom);
+  LoopScheduleResult RHom = SchedHom.schedule(L);
+  if (!RHom.Success) {
+    std::fprintf(stderr, "homogeneous scheduling failed\n");
+    return 1;
+  }
+  report("reference homogeneous (4 x 1.0 ns):", M, L, RHom);
+
+  HeteroConfig Het = Hom;
+  Het.Clusters[0].PeriodNs = Rational(9, 10);
+  for (unsigned I = 1; I < 4; ++I)
+    Het.Clusters[I].PeriodNs = Rational(27, 20);
+  Het.Icn.PeriodNs = Rational(9, 10);
+  Het.Cache.PeriodNs = Rational(9, 10);
+  LoopScheduler SchedHet(M, Het);
+  LoopScheduleResult RHet = SchedHet.schedule(L);
+  if (!RHet.Success) {
+    std::fprintf(stderr, "heterogeneous scheduling failed\n");
+    return 1;
+  }
+  std::printf("\n");
+  report("heterogeneous (0.9 ns + 3 x 1.35 ns):", M, L, RHet);
+
+  std::printf("\ncritical recurrence placement (heterogeneous):");
+  for (unsigned N : Recs.Recurrences.front().Nodes)
+    std::printf(" op%u->C%u", N, RHet.Assignment.cluster(N));
+  std::printf("\n");
+
+  double THom = RHom.Sched.execTimeNs(RHom.PG, L.TripCount).toDouble();
+  double THet = RHet.Sched.execTimeNs(RHet.PG, L.TripCount).toDouble();
+  std::printf("\nexecution time, %llu iterations: homogeneous %.1f ns, "
+              "heterogeneous %.1f ns (%.1f%% %s)\n",
+              static_cast<unsigned long long>(L.TripCount), THom, THet,
+              100.0 * std::abs(1.0 - THet / THom),
+              THet <= THom ? "faster" : "slower");
+  std::printf("...while 3 of 4 clusters can run at 0.74x frequency and "
+              "a much lower supply voltage.\n");
+  return 0;
+}

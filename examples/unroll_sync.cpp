@@ -1,0 +1,69 @@
+//===- examples/unroll_sync.cpp - Unrolling vs frequency menus --------------===//
+//
+// Section 5.3 of the paper: when each domain supports only a few
+// frequencies, the scheduler sometimes must round the IT up to a
+// synchronizable value; unrolling multiplies the loop's MIT so the
+// *relative* rounding penalty shrinks, and the unroll factor can be
+// chosen so the resulting IT synchronizes exactly.
+//
+// This example schedules an accumulator loop on a heterogeneous machine
+// with a 4-entry frequency menu, at unroll factors 1..4, and prints the
+// effective time per original iteration.
+//
+// Build & run:  ./build/examples/unroll_sync
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Unroll.h"
+#include "partition/LoopScheduler.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+#include "vliwsim/PipelinedSimulator.h"
+#include "workloads/SyntheticLoops.h"
+
+#include <cstdio>
+
+using namespace hcvliw;
+
+int main() {
+  // An accumulator chain (recMII 9) with two side lanes.
+  Loop Base = makeChainRecurrenceLoop("acc", 0, 3, 1, 2, 96, 1.0);
+  MachineDescription M = MachineDescription::paperDefault();
+
+  HeteroConfig C = HeteroConfig::reference(M);
+  C.Clusters[0].PeriodNs = Rational(9, 10);
+  for (unsigned I = 1; I < 4; ++I)
+    C.Clusters[I].PeriodNs = Rational(6, 5); // 1.2 ns
+  C.Icn.PeriodNs = Rational(9, 10);
+  C.Cache.PeriodNs = Rational(9, 10);
+
+  LoopScheduleOptions Opts;
+  Opts.Menu = FrequencyMenu::relativeLadder(4);
+  LoopScheduler Sched(M, C, Opts);
+
+  TablePrinter T("unroll factor vs achieved initiation time");
+  T.addRow({"unroll", "IT (ns)", "IT / orig iter (ns)", "IT steps",
+            "verified"});
+  for (unsigned U = 1; U <= 4; ++U) {
+    Loop L = unrollLoop(Base, U);
+    LoopScheduleResult R = Sched.schedule(L);
+    if (!R.Success) {
+      T.addRow({formatString("%u", U), "-", "-", "-", R.Failure});
+      continue;
+    }
+    double PerIter = R.Sched.Plan.ITNs.toDouble() / U;
+    std::string Err =
+        checkFunctionalEquivalence(L, R.PG, R.Sched, M, L.TripCount);
+    T.addRow({formatString("%u", U), R.Sched.Plan.ITNs.str(),
+              formatString("%.3f", PerIter),
+              formatString("%u", R.ITSteps),
+              Err.empty() ? "exact" : Err});
+  }
+  T.print();
+
+  std::printf("\nWith only 4 frequencies per domain, the unrolled loops "
+              "amortize the IT rounding: the per-original-iteration\n"
+              "initiation time approaches the recurrence bound "
+              "(9 cycles * 0.9 ns = 8.1 ns) as the factor grows.\n");
+  return 0;
+}

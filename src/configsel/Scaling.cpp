@@ -1,0 +1,27 @@
+//===- configsel/Scaling.cpp - Per-domain delta/sigma factors ---------------===//
+
+#include "configsel/Scaling.h"
+
+using namespace hcvliw;
+
+DomainScaling hcvliw::domainScaling(const DomainOperatingPoint &P,
+                                    const MachineDescription &M,
+                                    const TechnologyModel &Tech) {
+  DomainScaling S;
+  S.Delta = dynamicEnergyScale(P.Vdd, M.RefVdd);
+  S.Sigma = staticEnergyScale(P.Vdd, P.Vth, M.RefVdd, M.RefVth,
+                              Tech.SubthresholdSlopeV);
+  return S;
+}
+
+HeteroScaling hcvliw::scalingForConfig(const HeteroConfig &C,
+                                       const MachineDescription &M,
+                                       const TechnologyModel &Tech) {
+  HeteroScaling S;
+  S.Clusters.reserve(C.Clusters.size());
+  for (const auto &P : C.Clusters)
+    S.Clusters.push_back(domainScaling(P, M, Tech));
+  S.Icn = domainScaling(C.Icn, M, Tech);
+  S.Cache = domainScaling(C.Cache, M, Tech);
+  return S;
+}

@@ -1,0 +1,31 @@
+//===- configsel/Scaling.h - Per-domain delta/sigma factors ------*- C++ -*-===//
+///
+/// \file
+/// Derives the Section 3.1 energy-scaling factors (delta for dynamic,
+/// sigma for static energy) of every clock domain of a heterogeneous
+/// configuration, relative to the machine's reference operating point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_CONFIGSEL_SCALING_H
+#define HCVLIW_CONFIGSEL_SCALING_H
+
+#include "mcd/HeteroConfig.h"
+#include "power/AlphaPowerModel.h"
+#include "power/EnergyModel.h"
+
+namespace hcvliw {
+
+/// delta/sigma of one operating point against the reference.
+DomainScaling domainScaling(const DomainOperatingPoint &P,
+                            const MachineDescription &M,
+                            const TechnologyModel &Tech);
+
+/// Scaling of every domain of \p C.
+HeteroScaling scalingForConfig(const HeteroConfig &C,
+                               const MachineDescription &M,
+                               const TechnologyModel &Tech);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_CONFIGSEL_SCALING_H

@@ -1,0 +1,41 @@
+//===- configsel/TimingEstimator.h - Section 3.2 timing model ----*- C++ -*-===//
+///
+/// \file
+/// Estimates, at configuration-selection time, the initiation time and
+/// execution time a loop would achieve on a candidate heterogeneous
+/// configuration (Section 3.2): the IT is the smallest value at or above
+/// the configuration's MIT that also provides enough bus slots for the
+/// reference schedule's communications and enough register-lifetime
+/// slots for the reference schedule's lifetimes; the iteration length is
+/// the reference cycle count times the arithmetic mean of the cluster
+/// cycle times (the paper's half-fast / half-slow assumption).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_CONFIGSEL_TIMINGESTIMATOR_H
+#define HCVLIW_CONFIGSEL_TIMINGESTIMATOR_H
+
+#include "mcd/DomainPlanner.h"
+#include "profiling/ProfileData.h"
+
+namespace hcvliw {
+
+struct LoopTimingEstimate {
+  bool Feasible = false;
+  Rational ITNs;
+  double ItLengthNs = 0;
+  /// One invocation: (N - 1) * IT + it_length.
+  double TexecNs = 0;
+  /// Capacity share of each cluster at the estimated IT (the paper's
+  /// p_Ci surrogate used by the energy estimate).
+  std::vector<double> ClusterShare;
+};
+
+LoopTimingEstimate estimateLoopTiming(const LoopProfile &LP,
+                                      const MachineDescription &M,
+                                      const HeteroConfig &C,
+                                      const FrequencyMenu &Menu);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_CONFIGSEL_TIMINGESTIMATOR_H

@@ -1,0 +1,126 @@
+//===- core/HeterogeneousPipeline.cpp - Whole-paper pipeline ----------------===//
+
+#include "core/HeterogeneousPipeline.h"
+#include "partition/LoopScheduler.h"
+#include "vliwsim/PipelinedSimulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hcvliw;
+
+HeterogeneousPipeline::HeterogeneousPipeline(const PipelineOptions &O)
+    : Opts(O),
+      Machine(MachineDescription::paperDefault(O.Buses, O.NumClusters)) {}
+
+FrequencyMenu HeterogeneousPipeline::menu() const {
+  if (!Opts.MenuSize)
+    return FrequencyMenu::continuous();
+  // Every domain's clock network derives MenuSize sub-frequencies of
+  // that domain's own maximum (Figure 2's multipliers/dividers).
+  return FrequencyMenu::relativeLadder(*Opts.MenuSize);
+}
+
+ConfigRunResult HeterogeneousPipeline::measureConfig(
+    const ProgramProfile &Profile, const std::vector<Loop> &Loops,
+    const HeteroConfig &Config, const HeteroScaling &Scaling,
+    const EnergyModel &Energy, bool ED2Objective) const {
+  ConfigRunResult R;
+  assert(Profile.Loops.size() == Loops.size() &&
+         "profile does not match the loop list");
+
+  LoopScheduleOptions LSO;
+  // Homogeneous baselines run at one fixed frequency; only the
+  // heterogeneous machine negotiates per-loop (II, freq) pairs from the
+  // restricted menu.
+  LSO.Menu = ED2Objective ? menu() : FrequencyMenu::continuous();
+  LSO.Part = Opts.Part;
+  // The ablation knob in Opts.Part can force the balance-only objective
+  // even on the heterogeneous machine.
+  LSO.Part.ED2Objective = ED2Objective && Opts.Part.ED2Objective;
+  LoopScheduler Sched(Machine, Config, LSO);
+
+  double TexecNs = 0;
+  std::vector<double> WIns(Machine.numClusters(), 0.0);
+  double Comms = 0, Mem = 0;
+
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    const Loop &L = Loops[I];
+    const LoopProfile &LP = Profile.Loops[I];
+
+    LoopScheduleResult LR =
+        Sched.schedule(L, ED2Objective ? &Energy : nullptr,
+                       ED2Objective ? &Scaling : nullptr);
+    if (!LR.Success) {
+      ++R.Failures;
+      continue;
+    }
+
+    if (Opts.SimCheckIterations > 0) {
+      uint64_t N = std::min<uint64_t>(L.TripCount, Opts.SimCheckIterations);
+      [[maybe_unused]] std::string Err =
+          checkFunctionalEquivalence(L, LR.PG, LR.Sched, Machine, N);
+      assert(Err.empty() && "measured schedule is not functionally correct");
+    }
+
+    double LoopT = LP.Invocations *
+                   LR.Sched.execTimeNs(LR.PG, L.TripCount).toDouble();
+    TexecNs += LoopT;
+
+    double Iters =
+        LP.Invocations * static_cast<double>(L.TripCount);
+    for (unsigned Op = 0; Op < L.size(); ++Op)
+      WIns[LR.Assignment.cluster(Op)] +=
+          Machine.Isa.energy(L.Ops[Op].Op) * Iters;
+    Comms += static_cast<double>(LR.PG.numCopies()) * Iters;
+    Mem += LP.PerIter.MemAccesses * Iters;
+
+    LoopRunStat Stat;
+    Stat.Name = L.Name;
+    Stat.ITNs = LR.Sched.Plan.ITNs.toDouble();
+    Stat.TexecNs = LoopT;
+    Stat.Comms = LR.PG.numCopies();
+    R.Loops.push_back(std::move(Stat));
+  }
+
+  if (R.Failures == Loops.size())
+    return R;
+  R.TexecNs = TexecNs;
+  R.Energy = Energy.heteroEnergy(WIns, Comms, Mem, TexecNs, Scaling);
+  R.ED2 = computeED2(R.Energy, TexecNs);
+  R.Ok = true;
+  return R;
+}
+
+std::optional<ProgramRunResult>
+HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program) const {
+  ProgramRunResult R;
+  R.Name = Program.Name;
+
+  Profiler Prof(Machine, Opts.ProgramBudgetNs);
+  auto Profile = Prof.profileProgram(Program.Name, Program.Loops);
+  if (!Profile)
+    return std::nullopt;
+  R.Profile = std::move(*Profile);
+
+  EnergyModel Energy(Opts.Breakdown, R.Profile.Totals, R.Profile.TexecRefNs,
+                     Machine.numClusters());
+  ConfigurationSelector Sel(R.Profile, Machine, Energy, Opts.Tech, menu(),
+                            Opts.Space);
+  R.HetDesign = Sel.selectHeterogeneous();
+  R.HomDesign = Sel.selectOptimumHomogeneous();
+  if (!R.HetDesign.Valid || !R.HomDesign.Valid)
+    return std::nullopt;
+
+  R.HetMeasured =
+      measureConfig(R.Profile, Program.Loops, R.HetDesign.Config,
+                    R.HetDesign.Scaling, Energy, /*ED2Objective=*/true);
+  R.HomMeasured =
+      measureConfig(R.Profile, Program.Loops, R.HomDesign.Config,
+                    R.HomDesign.Scaling, Energy, /*ED2Objective=*/false);
+  if (!R.HetMeasured.Ok || !R.HomMeasured.Ok)
+    return std::nullopt;
+
+  R.ED2Ratio = R.HetMeasured.ED2 / R.HomMeasured.ED2;
+  return R;
+}

@@ -1,0 +1,114 @@
+//===- core/HeterogeneousPipeline.h - Whole-paper pipeline -------*- C++ -*-===//
+///
+/// \file
+/// The end-to-end flow the paper evaluates, for one program:
+///
+///   1. profile the program on the reference homogeneous machine,
+///   2. build the Section 3.1 energy model from the profile,
+///   3. select the heterogeneous configuration minimizing estimated ED2
+///      (Section 3.3) and the optimum homogeneous baseline (Section 5.1),
+///   4. *measure* both: schedule every loop with the Figure 5 driver
+///      (ED2-objective partitioning on the heterogeneous machine, the
+///      [2][3] baseline objective on the homogeneous one), optionally
+///      re-execute schedules on the MCD simulator as a functional check,
+///      and evaluate time/energy/ED2 from the measured schedules,
+///   5. report heterogeneous ED2 normalized to the homogeneous optimum
+///      (the quantity plotted in Figure 6).
+///
+/// All baseline assumptions (bus count, energy shares, leakage shares,
+/// frequency-menu size, ablation knobs) are PipelineOptions fields; the
+/// Figure 7/8/9 benches are parameter sweeps over them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_CORE_HETEROGENEOUSPIPELINE_H
+#define HCVLIW_CORE_HETEROGENEOUSPIPELINE_H
+
+#include "configsel/ConfigurationSelector.h"
+#include "partition/Partitioner.h"
+#include "profiling/Profiler.h"
+#include "workloads/SpecFPSuite.h"
+
+#include <optional>
+
+namespace hcvliw {
+
+struct PipelineOptions {
+  unsigned Buses = 1;
+  unsigned NumClusters = 4;
+  /// Frequencies each domain supports: nullopt = any frequency
+  /// (Figure 7 sweeps {16, 8, 4}).
+  std::optional<unsigned> MenuSize;
+  EnergyBreakdown Breakdown;
+  TechnologyModel Tech = TechnologyModel::paperDefault();
+  DesignSpaceOptions Space = DesignSpaceOptions::paperDefault();
+  /// Partitioner knobs (ablations disable recurrence pre-placement or
+  /// the ED2 refinement objective).
+  PartitionerOptions Part;
+  double ProgramBudgetNs = 1e6;
+  /// When nonzero, every measured schedule is re-executed on the MCD
+  /// simulator for min(trip, this) iterations and compared bit-for-bit
+  /// against sequential execution.
+  uint64_t SimCheckIterations = 0;
+};
+
+struct LoopRunStat {
+  std::string Name;
+  double ITNs = 0;
+  double TexecNs = 0; ///< all invocations
+  unsigned Comms = 0; ///< per iteration
+};
+
+/// Measured behaviour of one configuration on one program.
+struct ConfigRunResult {
+  bool Ok = false;
+  double TexecNs = 0;
+  double Energy = 0;
+  double ED2 = 0;
+  unsigned Failures = 0; ///< loops that could not be scheduled
+  std::vector<LoopRunStat> Loops;
+};
+
+struct ProgramRunResult {
+  std::string Name;
+  ProgramProfile Profile;
+  SelectedDesign HetDesign; ///< estimates behind the selection
+  SelectedDesign HomDesign;
+  ConfigRunResult HetMeasured;
+  ConfigRunResult HomMeasured;
+  /// Measured heterogeneous ED2 / measured optimum-homogeneous ED2
+  /// (Figure 6's y-axis).
+  double ED2Ratio = 1.0;
+};
+
+class HeterogeneousPipeline {
+  PipelineOptions Opts;
+  MachineDescription Machine;
+
+public:
+  explicit HeterogeneousPipeline(const PipelineOptions &O);
+
+  const MachineDescription &machine() const { return Machine; }
+  const PipelineOptions &options() const { return Opts; }
+
+  /// The frequency menu heterogeneous scheduling/selection uses.
+  FrequencyMenu menu() const;
+
+  /// Full pipeline for one program; std::nullopt when profiling or
+  /// selection fails (a workload bug).
+  std::optional<ProgramRunResult>
+  runProgram(const BenchmarkProgram &Program) const;
+
+  /// Schedules and evaluates one already-chosen configuration
+  /// (exposed for the oracle ablation and the tests).
+  ConfigRunResult measureConfig(const ProgramProfile &Profile,
+                                const std::vector<Loop> &Loops,
+                                const HeteroConfig &Config,
+                                const HeteroScaling &Scaling,
+                                const EnergyModel &Energy,
+                                bool ED2Objective) const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_CORE_HETEROGENEOUSPIPELINE_H

@@ -1,0 +1,86 @@
+//===- ir/DDG.h - Data dependence graph -------------------------*- C++ -*-===//
+///
+/// \file
+/// The data dependence graph of a loop body. Nodes are the loop's
+/// operations; edges carry a dependence *distance* (iterations) and a
+/// kind. Register flow edges come straight from operands; memory edges
+/// are inferred from the affine addresses of loads/stores (exact when
+/// two accesses share an index scale, conservative otherwise).
+///
+/// Latencies are *not* stored on edges: they depend on the machine's ISA
+/// table, so analyses take a per-node latency vector (see edgeLatency).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_IR_DDG_H
+#define HCVLIW_IR_DDG_H
+
+#include "ir/Loop.h"
+
+#include <vector>
+
+namespace hcvliw {
+
+enum class DepKind : uint8_t {
+  Flow,      ///< register true dependence (producer -> consumer)
+  MemFlow,   ///< store -> load on the same address
+  MemAnti,   ///< load -> store on the same address
+  MemOutput, ///< store -> store on the same address
+};
+
+/// Flow kinds propagate a value (and may require an inter-cluster copy);
+/// memory-ordering kinds only constrain time.
+inline bool isValueCarrying(DepKind K) { return K == DepKind::Flow; }
+
+class DDG {
+public:
+  struct Edge {
+    unsigned Src;
+    unsigned Dst;
+    unsigned Distance;
+    DepKind Kind;
+  };
+
+private:
+  unsigned NumNodes = 0;
+  std::vector<Edge> Edges;
+  std::vector<std::vector<unsigned>> OutEdgeIx;
+  std::vector<std::vector<unsigned>> InEdgeIx;
+
+public:
+  DDG() = default;
+  explicit DDG(unsigned N)
+      : NumNodes(N), OutEdgeIx(N), InEdgeIx(N) {}
+
+  /// Builds the DDG of \p L: register flow edges from operands plus
+  /// memory-ordering edges between may-alias accesses. \p L must be
+  /// valid (Loop::validate).
+  static DDG build(const Loop &L);
+
+  unsigned size() const { return NumNodes; }
+  unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
+  const std::vector<Edge> &edges() const { return Edges; }
+  const Edge &edge(unsigned Ix) const { return Edges[Ix]; }
+  const std::vector<unsigned> &outEdges(unsigned Node) const {
+    return OutEdgeIx[Node];
+  }
+  const std::vector<unsigned> &inEdges(unsigned Node) const {
+    return InEdgeIx[Node];
+  }
+
+  void addEdge(unsigned Src, unsigned Dst, unsigned Distance, DepKind Kind);
+
+  /// Plain adjacency lists (successor node ids), for the generic graph
+  /// algorithms.
+  std::vector<std::vector<unsigned>> adjacency() const;
+};
+
+/// Latency in (producer-domain) cycles an edge imposes between the start
+/// of Src and the start of Dst. Flow-like edges wait for the producer's
+/// full latency; pure ordering edges (anti/output) require one cycle.
+unsigned edgeLatency(const DDG::Edge &E,
+                     const std::vector<unsigned> &NodeLatency);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_IR_DDG_H

@@ -1,0 +1,132 @@
+//===- ir/Loop.cpp - Loop bodies with functional semantics ----------------===//
+
+#include "ir/Loop.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+int Loop::findOp(std::string_view ValueName) const {
+  for (unsigned I = 0; I < Ops.size(); ++I)
+    if (Ops[I].definesValue() && Ops[I].Name == ValueName)
+      return static_cast<int>(I);
+  return -1;
+}
+
+int Loop::findLiveIn(std::string_view LiveInName) const {
+  for (unsigned I = 0; I < LiveIns.size(); ++I)
+    if (LiveIns[I].Name == LiveInName)
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string Loop::validate() const {
+  if (TripCount == 0)
+    return "loop '" + Name + "': zero trip count";
+  for (unsigned I = 0; I < Ops.size(); ++I) {
+    const Operation &O = Ops[I];
+    if (O.Op == Opcode::Copy)
+      return formatString("op %u: explicit copy in source loop", I);
+    if (isMemoryOpcode(O.Op)) {
+      if (O.Array < 0 || static_cast<size_t>(O.Array) >= Arrays.size())
+        return formatString("op %u: memory op with bad array id", I);
+      if (O.IndexScale <= 0)
+        return formatString("op %u: non-positive index scale", I);
+    } else if (O.Array >= 0) {
+      return formatString("op %u: non-memory op with array id", I);
+    }
+    if (isStoreOpcode(O.Op) && !O.Name.empty())
+      return formatString("op %u: store must not define a value", I);
+    if (!isStoreOpcode(O.Op) && O.Name.empty())
+      return formatString("op %u: missing destination name", I);
+    if (O.Operands.size() != numOperandsOf(O.Op))
+      return formatString("op %u: expected %u operands, got %zu", I,
+                          numOperandsOf(O.Op), O.Operands.size());
+    for (const Operand &U : O.Operands) {
+      switch (U.Kind) {
+      case OperandKind::Def:
+        if (U.Index >= Ops.size())
+          return formatString("op %u: operand def index out of range", I);
+        if (!Ops[U.Index].definesValue())
+          return formatString("op %u: operand refers to a store", I);
+        if (U.Distance == 0 && U.Index >= I)
+          return formatString(
+              "op %u: same-iteration use of a later def (op %u)", I, U.Index);
+        break;
+      case OperandKind::LiveIn:
+        if (U.Index >= LiveIns.size())
+          return formatString("op %u: live-in index out of range", I);
+        break;
+      case OperandKind::Immediate:
+        break;
+      }
+    }
+  }
+  return "";
+}
+
+std::vector<unsigned> Loop::opCountsByFU() const {
+  std::vector<unsigned> Counts(NumFUKinds, 0);
+  for (const Operation &O : Ops)
+    ++Counts[static_cast<unsigned>(fuKindOf(O.Op))];
+  return Counts;
+}
+
+std::string Loop::str() const {
+  std::string Out =
+      formatString("loop %s trip=%llu weight=%g\n", Name.c_str(),
+                   static_cast<unsigned long long>(TripCount), Weight);
+  if (!Arrays.empty()) {
+    Out += "  arrays";
+    for (const auto &A : Arrays)
+      Out += " " + A;
+    Out += "\n";
+  }
+  for (const auto &L : LiveIns)
+    Out += formatString("  livein %s = %g\n", L.Name.c_str(), L.Value);
+
+  auto operandStr = [&](const Operand &U) -> std::string {
+    switch (U.Kind) {
+    case OperandKind::Def: {
+      const std::string &Def = Ops[U.Index].Name;
+      if (U.Distance == 0)
+        return Def;
+      return formatString("%s@%u", Def.c_str(), U.Distance);
+    }
+    case OperandKind::LiveIn:
+      return LiveIns[U.Index].Name;
+    case OperandKind::Immediate:
+      return formatString("#%g", U.Imm);
+    }
+    return "?";
+  };
+
+  for (const Operation &O : Ops) {
+    Out += "  ";
+    if (O.definesValue())
+      Out += O.Name + " = ";
+    Out += opcodeName(O.Op);
+    if (isMemoryOpcode(O.Op))
+      Out += " " + Arrays[static_cast<size_t>(O.Array)];
+    for (const Operand &U : O.Operands)
+      Out += " " + operandStr(U);
+    if (isMemoryOpcode(O.Op)) {
+      if (O.Offset != 0)
+        Out += formatString(" off=%lld", static_cast<long long>(O.Offset));
+      if (O.IndexScale != 1)
+        Out += formatString(" scale=%lld",
+                            static_cast<long long>(O.IndexScale));
+    }
+    bool HasCarriedInit = false;
+    for (const Operand &U : O.Operands)
+      (void)U;
+    if (O.InitValue != 0 || O.InitStep != 1)
+      HasCarriedInit = true;
+    if (HasCarriedInit)
+      Out += formatString(" init=%g step=%g", O.InitValue, O.InitStep);
+    Out += "\n";
+  }
+  Out += "endloop\n";
+  return Out;
+}

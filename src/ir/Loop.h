@@ -1,0 +1,124 @@
+//===- ir/Loop.h - Loop bodies with functional semantics --------*- C++ -*-===//
+///
+/// \file
+/// The loop IR. A Loop is a single innermost-loop body: a list of SSA
+/// operations, live-in scalars, and the arrays its loads/stores touch.
+/// Every operation carries enough semantics (array, affine index, initial
+/// values for loop-carried uses) that the loop can be *executed*, which
+/// lets the test suite prove a modulo schedule functionally equivalent to
+/// sequential execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_IR_LOOP_H
+#define HCVLIW_IR_LOOP_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+
+/// How an operand obtains its value.
+enum class OperandKind : uint8_t {
+  /// The value produced by operation #Index, Distance iterations ago.
+  Def,
+  /// Loop-invariant value LiveIns[Index].
+  LiveIn,
+  /// A literal constant.
+  Immediate,
+};
+
+struct Operand {
+  OperandKind Kind = OperandKind::Immediate;
+  unsigned Index = 0;
+  unsigned Distance = 0;
+  double Imm = 0;
+
+  static Operand def(unsigned OpIndex, unsigned Dist = 0) {
+    Operand O;
+    O.Kind = OperandKind::Def;
+    O.Index = OpIndex;
+    O.Distance = Dist;
+    return O;
+  }
+  static Operand liveIn(unsigned LiveInIndex) {
+    Operand O;
+    O.Kind = OperandKind::LiveIn;
+    O.Index = LiveInIndex;
+    return O;
+  }
+  static Operand imm(double V) {
+    Operand O;
+    O.Kind = OperandKind::Immediate;
+    O.Imm = V;
+    return O;
+  }
+};
+
+/// One operation of the loop body.
+///
+/// Memory operations address Arrays[Array] at element
+/// `IndexScale * i + Offset` for iteration i (affine single-induction
+/// addressing, which covers the streaming/stencil/recurrence patterns the
+/// paper's SPECfp loops exhibit).
+///
+/// Loop-carried uses reaching before iteration 0 read the *initial value
+/// function* `InitValue + InitStep * i` (i < 0); the affine form is
+/// closed under unrolling.
+struct Operation {
+  Opcode Op = Opcode::IntAdd;
+  std::string Name;
+  std::vector<Operand> Operands;
+  int Array = -1;
+  int64_t IndexScale = 1;
+  int64_t Offset = 0;
+  double InitValue = 0;
+  double InitStep = 1;
+
+  bool definesValue() const { return Op != Opcode::Store; }
+};
+
+struct LiveIn {
+  std::string Name;
+  double Value = 0;
+};
+
+/// A single innermost loop plus the metadata the experiments need: a trip
+/// count and a weight (relative share of whole-program execution time the
+/// profiling substrate attributes to the loop).
+class Loop {
+public:
+  std::string Name;
+  uint64_t TripCount = 1;
+  double Weight = 1.0;
+  std::vector<Operation> Ops;
+  std::vector<LiveIn> LiveIns;
+  std::vector<std::string> Arrays;
+
+  unsigned size() const { return static_cast<unsigned>(Ops.size()); }
+
+  /// Index of the operation defining \p Name; -1 when absent.
+  int findOp(std::string_view ValueName) const;
+
+  /// Index of the live-in named \p Name; -1 when absent.
+  int findLiveIn(std::string_view LiveInName) const;
+
+  /// Structural well-formedness: operand indices in range, same-iteration
+  /// uses refer to earlier program-order defs (SSA), memory ops carry an
+  /// array, stores are unnamed. Returns an empty string when valid.
+  std::string validate() const;
+
+  /// Number of operations executed per iteration on each FU kind.
+  /// (Copies never appear in source loops.)
+  std::vector<unsigned> opCountsByFU() const;
+
+  /// Renders the loop in the DSL syntax (parseable back).
+  std::string str() const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_IR_LOOP_H

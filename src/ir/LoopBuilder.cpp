@@ -1,0 +1,86 @@
+//===- ir/LoopBuilder.cpp - Programmatic loop construction ------------------===//
+
+#include "ir/LoopBuilder.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+LoopBuilder::LoopBuilder(std::string Name, uint64_t Trip, double Weight) {
+  L.Name = std::move(Name);
+  L.TripCount = Trip;
+  L.Weight = Weight;
+}
+
+unsigned LoopBuilder::array(std::string Name) {
+  L.Arrays.push_back(std::move(Name));
+  return static_cast<unsigned>(L.Arrays.size() - 1);
+}
+
+Operand LoopBuilder::liveIn(std::string Name, double Value) {
+  L.LiveIns.push_back({std::move(Name), Value});
+  return Operand::liveIn(static_cast<unsigned>(L.LiveIns.size() - 1));
+}
+
+unsigned LoopBuilder::load(std::string Name, unsigned Array, int64_t Off,
+                           int64_t Scale) {
+  Operation O;
+  O.Op = Opcode::Load;
+  O.Name = std::move(Name);
+  O.Array = static_cast<int>(Array);
+  O.Offset = Off;
+  O.IndexScale = Scale;
+  L.Ops.push_back(std::move(O));
+  return L.size() - 1;
+}
+
+unsigned LoopBuilder::store(unsigned Array, Operand Val, int64_t Off,
+                            int64_t Scale) {
+  Operation O;
+  O.Op = Opcode::Store;
+  O.Array = static_cast<int>(Array);
+  O.Offset = Off;
+  O.IndexScale = Scale;
+  O.Operands.push_back(Val);
+  L.Ops.push_back(std::move(O));
+  return L.size() - 1;
+}
+
+unsigned LoopBuilder::op(Opcode Op, std::string Name, Operand A, Operand B) {
+  assert(numOperandsOf(Op) == 2 && "op() is for binary opcodes");
+  Operation O;
+  O.Op = Op;
+  O.Name = std::move(Name);
+  O.Operands = {A, B};
+  L.Ops.push_back(std::move(O));
+  return L.size() - 1;
+}
+
+unsigned LoopBuilder::unop(Opcode Op, std::string Name, Operand A) {
+  assert(numOperandsOf(Op) == 1 && "unop() is for unary opcodes");
+  Operation O;
+  O.Op = Op;
+  O.Name = std::move(Name);
+  O.Operands = {A};
+  L.Ops.push_back(std::move(O));
+  return L.size() - 1;
+}
+
+void LoopBuilder::setInit(unsigned OpIx, double Init, double Step) {
+  assert(OpIx < L.size() && "op index out of range");
+  L.Ops[OpIx].InitValue = Init;
+  L.Ops[OpIx].InitStep = Step;
+}
+
+void LoopBuilder::rewireOperand(unsigned OpIx, unsigned Which,
+                                Operand NewUse) {
+  assert(OpIx < L.size() && Which < L.Ops[OpIx].Operands.size() &&
+         "operand slot out of range");
+  L.Ops[OpIx].Operands[Which] = NewUse;
+}
+
+Loop LoopBuilder::take() {
+  [[maybe_unused]] std::string Err = L.validate();
+  assert(Err.empty() && "LoopBuilder produced an invalid loop");
+  return std::move(L);
+}

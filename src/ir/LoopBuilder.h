@@ -1,0 +1,59 @@
+//===- ir/LoopBuilder.h - Programmatic loop construction ---------*- C++ -*-===//
+///
+/// \file
+/// Fluent construction of Loop bodies from C++ (the synthetic workload
+/// generators and many tests use this instead of the textual DSL).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_IR_LOOPBUILDER_H
+#define HCVLIW_IR_LOOPBUILDER_H
+
+#include "ir/Loop.h"
+
+#include <string>
+
+namespace hcvliw {
+
+class LoopBuilder {
+  Loop L;
+
+public:
+  LoopBuilder(std::string Name, uint64_t Trip, double Weight = 1.0);
+
+  /// Declares an array; returns its id.
+  unsigned array(std::string Name);
+
+  /// Declares a live-in scalar; returns an operand referring to it.
+  Operand liveIn(std::string Name, double Value);
+
+  /// load NAME = Array[Scale * i + Off]; returns the op index.
+  unsigned load(std::string Name, unsigned Array, int64_t Off = 0,
+                int64_t Scale = 1);
+
+  /// store Array[Scale * i + Off] = Val; returns the op index.
+  unsigned store(unsigned Array, Operand Val, int64_t Off = 0,
+                 int64_t Scale = 1);
+
+  /// Binary operation; returns the op index.
+  unsigned op(Opcode Op, std::string Name, Operand A, Operand B);
+
+  /// Unary operation (fsqrt); returns the op index.
+  unsigned unop(Opcode Op, std::string Name, Operand A);
+
+  /// Sets the initial-value function of a loop-carried def.
+  void setInit(unsigned OpIx, double Init, double Step = 1.0);
+
+  /// Rewires operand \p Which of op \p OpIx (used to close recurrences
+  /// after their body has been emitted).
+  void rewireOperand(unsigned OpIx, unsigned Which, Operand NewUse);
+
+  unsigned numOps() const { return L.size(); }
+
+  /// Validates and returns the loop (asserts on construction errors).
+  Loop take();
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_IR_LOOPBUILDER_H

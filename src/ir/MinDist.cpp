@@ -1,0 +1,55 @@
+//===- ir/MinDist.cpp - Modulo-scheduling distance matrix ------------------===//
+
+#include "ir/MinDist.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hcvliw;
+
+MinDistMatrix MinDistMatrix::compute(const DDG &G,
+                                     const std::vector<unsigned> &NodeLatency,
+                                     int64_t II) {
+  MinDistMatrix M;
+  M.N = G.size();
+  M.Data.assign(static_cast<size_t>(M.N) * M.N, NegInf);
+
+  for (const auto &E : G.edges()) {
+    int64_t W = static_cast<int64_t>(edgeLatency(E, NodeLatency)) -
+                II * static_cast<int64_t>(E.Distance);
+    int64_t &Cell = M.Data[E.Src * M.N + E.Dst];
+    Cell = std::max(Cell, W);
+  }
+
+  for (unsigned K = 0; K < M.N; ++K)
+    for (unsigned I = 0; I < M.N; ++I) {
+      int64_t IK = M.Data[I * M.N + K];
+      if (IK == NegInf)
+        continue;
+      for (unsigned J = 0; J < M.N; ++J) {
+        int64_t KJ = M.Data[K * M.N + J];
+        if (KJ == NegInf)
+          continue;
+        int64_t &Cell = M.Data[I * M.N + J];
+        Cell = std::max(Cell, IK + KJ);
+      }
+    }
+
+  for (unsigned I = 0; I < M.N; ++I)
+    assert(M.at(I, I) <= 0 && "II below recMII: positive self-distance");
+  return M;
+}
+
+int64_t MinDistMatrix::height(unsigned I) const {
+  int64_t H = 0;
+  for (unsigned J = 0; J < N; ++J)
+    if (at(I, J) != NegInf)
+      H = std::max(H, at(I, J));
+  return H;
+}
+
+int64_t MinDistMatrix::slack(unsigned I, unsigned J, int64_t II) const {
+  int64_t Forward = at(I, J) == NegInf ? 0 : at(I, J);
+  int64_t Backward = at(J, I) == NegInf ? 0 : at(J, I);
+  return II - Forward - Backward;
+}

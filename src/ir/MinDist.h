@@ -1,0 +1,51 @@
+//===- ir/MinDist.h - Modulo-scheduling distance matrix ---------*- C++ -*-===//
+///
+/// \file
+/// The classic MinDist matrix of modulo scheduling: for a candidate II,
+/// MinDist(i, j) is the longest-path weight from i to j under edge
+/// weights latency(e) - II * distance(e). If i and j are both scheduled,
+/// start(j) - start(i) >= MinDist(i, j) must hold. The scheduler uses it
+/// for priority heights and slack; the partitioner for coarsening order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_IR_MINDIST_H
+#define HCVLIW_IR_MINDIST_H
+
+#include "ir/DDG.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hcvliw {
+
+class MinDistMatrix {
+  unsigned N = 0;
+  std::vector<int64_t> Data; // row-major, NegInf when unreachable
+
+public:
+  static constexpr int64_t NegInf = INT64_MIN / 4;
+
+  /// Floyd-Warshall longest paths; \p II must be >= recMII so that no
+  /// positive self-distance exists (asserted).
+  static MinDistMatrix compute(const DDG &G,
+                               const std::vector<unsigned> &NodeLatency,
+                               int64_t II);
+
+  unsigned size() const { return N; }
+  int64_t at(unsigned I, unsigned J) const { return Data[I * N + J]; }
+  bool reaches(unsigned I, unsigned J) const {
+    return at(I, J) != NegInf;
+  }
+
+  /// Longest-path height of node I over all reachable J (>= 0).
+  int64_t height(unsigned I) const;
+
+  /// Slack between I and J given their schedule-time difference bound:
+  /// II - MinDist(i,j) - MinDist(j,i) style freedom; NegInf-aware.
+  int64_t slack(unsigned I, unsigned J, int64_t II) const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_IR_MINDIST_H

@@ -1,0 +1,135 @@
+//===- ir/Opcode.cpp - Operation opcodes and classes ----------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+OpCategory hcvliw::categoryOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Load:
+  case Opcode::Store:
+    return OpCategory::Memory;
+  case Opcode::IntAdd:
+  case Opcode::IntSub:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+    return OpCategory::Arith;
+  case Opcode::IntMul:
+  case Opcode::FMul:
+    return OpCategory::Mul;
+  case Opcode::IntDiv:
+  case Opcode::FDiv:
+  case Opcode::FSqrt:
+    return OpCategory::Div;
+  case Opcode::Copy:
+    return OpCategory::Copy;
+  }
+  assert(false && "unknown opcode");
+  return OpCategory::Arith;
+}
+
+bool hcvliw::isFloatOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FSqrt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool hcvliw::isMemoryOpcode(Opcode Op) {
+  return Op == Opcode::Load || Op == Opcode::Store;
+}
+
+bool hcvliw::isStoreOpcode(Opcode Op) { return Op == Opcode::Store; }
+
+FUKind hcvliw::fuKindOf(Opcode Op) {
+  if (isMemoryOpcode(Op))
+    return FUKind::MemPort;
+  if (Op == Opcode::Copy)
+    return FUKind::Bus;
+  return isFloatOpcode(Op) ? FUKind::FpFU : FUKind::IntFU;
+}
+
+const char *hcvliw::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::IntAdd:
+    return "add";
+  case Opcode::IntSub:
+    return "sub";
+  case Opcode::IntMul:
+    return "mul";
+  case Opcode::IntDiv:
+    return "div";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FSqrt:
+    return "fsqrt";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Copy:
+    return "copy";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+const char *hcvliw::fuKindName(FUKind K) {
+  switch (K) {
+  case FUKind::IntFU:
+    return "INT";
+  case FUKind::FpFU:
+    return "FP";
+  case FUKind::MemPort:
+    return "MEM";
+  case FUKind::Bus:
+    return "BUS";
+  }
+  assert(false && "unknown FU kind");
+  return "?";
+}
+
+std::optional<Opcode> hcvliw::parseOpcode(std::string_view Name) {
+  static const struct {
+    const char *Spelling;
+    Opcode Op;
+  } Table[] = {
+      {"add", Opcode::IntAdd},   {"sub", Opcode::IntSub},
+      {"mul", Opcode::IntMul},   {"div", Opcode::IntDiv},
+      {"fadd", Opcode::FAdd},    {"fsub", Opcode::FSub},
+      {"fmul", Opcode::FMul},    {"fdiv", Opcode::FDiv},
+      {"fsqrt", Opcode::FSqrt},  {"load", Opcode::Load},
+      {"store", Opcode::Store},
+  };
+  for (const auto &Row : Table)
+    if (Name == Row.Spelling)
+      return Row.Op;
+  return std::nullopt;
+}
+
+unsigned hcvliw::numOperandsOf(Opcode Op) {
+  switch (Op) {
+  case Opcode::Load:
+    return 0;
+  case Opcode::Store:
+  case Opcode::FSqrt:
+  case Opcode::Copy:
+    return 1;
+  default:
+    return 2;
+  }
+}

@@ -1,0 +1,67 @@
+//===- ir/Opcode.h - Operation opcodes and classes --------------*- C++ -*-===//
+///
+/// \file
+/// The operation set of the modeled VLIW ISA. The paper's Table 1 groups
+/// operations into Memory / Arithmetic / Multiply / Division-sqrt rows,
+/// split into integer and floating-point columns; \c OpCategory mirrors
+/// those rows and \c isFloatOpcode the columns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_IR_OPCODE_H
+#define HCVLIW_IR_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hcvliw {
+
+/// Concrete operations the synthetic loops are written in.
+enum class Opcode : uint8_t {
+  IntAdd,
+  IntSub,
+  IntMul,
+  IntDiv,
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FSqrt,
+  Load,
+  Store,
+  /// Inter-cluster register copy; only the scheduler materializes these.
+  Copy,
+};
+
+/// Table 1 row of an opcode.
+enum class OpCategory : uint8_t { Memory, Arith, Mul, Div, Copy };
+
+/// Functional-unit kinds a cluster provides (plus the bus for copies).
+enum class FUKind : uint8_t { IntFU, FpFU, MemPort, Bus };
+
+OpCategory categoryOf(Opcode Op);
+bool isFloatOpcode(Opcode Op);
+bool isMemoryOpcode(Opcode Op);
+bool isStoreOpcode(Opcode Op);
+
+/// Functional unit that executes \p Op inside a cluster; Copy maps to Bus.
+FUKind fuKindOf(Opcode Op);
+
+const char *opcodeName(Opcode Op);
+const char *fuKindName(FUKind K);
+
+/// Parses the DSL spelling ("fadd", "load", ...). std::nullopt when
+/// unknown; "copy" is rejected because copies cannot be written by hand.
+std::optional<Opcode> parseOpcode(std::string_view Name);
+
+/// Number of FUKind enumerators (for fixed-size per-kind arrays).
+inline constexpr unsigned NumFUKinds = 4;
+
+/// Number of value operands an opcode consumes (Load: 0, Store: 1,
+/// FSqrt: 1, binary arithmetic: 2).
+unsigned numOperandsOf(Opcode Op);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_IR_OPCODE_H

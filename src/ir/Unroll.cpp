@@ -1,0 +1,70 @@
+//===- ir/Unroll.cpp - Loop unrolling ---------------------------------------===//
+
+#include "ir/Unroll.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+Loop hcvliw::unrollLoop(const Loop &L, unsigned Factor) {
+  assert(Factor >= 1 && "unroll factor must be positive");
+  assert(L.validate().empty() && "unrolling an invalid loop");
+  if (Factor == 1)
+    return L;
+
+  Loop U;
+  U.Name = L.Name + formatString(".x%u", Factor);
+  U.TripCount = L.TripCount / Factor;
+  if (U.TripCount == 0)
+    U.TripCount = 1;
+  U.Weight = L.Weight;
+  U.LiveIns = L.LiveIns;
+  U.Arrays = L.Arrays;
+
+  unsigned N = L.size();
+  U.Ops.reserve(static_cast<size_t>(N) * Factor);
+
+  // Copy c of original op i gets index c*N + i, preserving program order
+  // within each copy and across copies (copy 0 first).
+  for (unsigned C = 0; C < Factor; ++C) {
+    for (unsigned I = 0; I < N; ++I) {
+      Operation O = L.Ops[I];
+      if (!O.Name.empty())
+        O.Name = formatString("%s.%u", O.Name.c_str(), C);
+      // Original iteration t = Factor*n + C executes as unrolled
+      // iteration n; affine address Scale*t + Off becomes
+      // (Scale*Factor)*n + (Scale*C + Off).
+      if (isMemoryOpcode(O.Op)) {
+        O.Offset = O.IndexScale * static_cast<int64_t>(C) + O.Offset;
+        O.IndexScale *= Factor;
+      }
+      // Initial-value function Init + Step*t becomes, at unrolled
+      // iteration n < 0 standing for original iteration Factor*n + C:
+      // (Init + Step*C) + (Step*Factor)*n.
+      O.InitValue = O.InitValue + O.InitStep * static_cast<double>(C);
+      O.InitStep = O.InitStep * static_cast<double>(Factor);
+
+      // Remap operands: a use at distance d in copy C refers to original
+      // iteration t - d = Factor*n + C - d, i.e. copy C' at unrolled
+      // distance D with C - d = C' - Factor*D.
+      for (Operand &Use : O.Operands) {
+        if (Use.Kind != OperandKind::Def)
+          continue;
+        int64_t Shift = static_cast<int64_t>(C) -
+                        static_cast<int64_t>(Use.Distance);
+        int64_t CPrime = Shift % static_cast<int64_t>(Factor);
+        if (CPrime < 0)
+          CPrime += Factor;
+        int64_t D = (CPrime - Shift) / static_cast<int64_t>(Factor);
+        assert(D >= 0 && "unroll produced negative distance");
+        Use.Index = static_cast<unsigned>(CPrime) * N + Use.Index;
+        Use.Distance = static_cast<unsigned>(D);
+      }
+      U.Ops.push_back(std::move(O));
+    }
+  }
+
+  assert(U.validate().empty() && "unroll produced an invalid loop");
+  return U;
+}

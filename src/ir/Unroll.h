@@ -1,0 +1,36 @@
+//===- ir/Unroll.h - Loop unrolling ------------------------------*- C++ -*-===//
+///
+/// \file
+/// DDG-level loop unrolling. Section 5.3 of the paper proposes unrolling
+/// to soften the IT increases caused by restricted frequency menus: the
+/// MIT of an unrolled loop is multiplied by the unroll factor, so the
+/// *relative* penalty of rounding the IT up to a synchronizable value
+/// shrinks, and the factor can even be chosen so the resulting IT
+/// synchronizes exactly.
+///
+/// Unrolling by U replicates the body U times; a use at distance d in
+/// copy c becomes a use of copy (c - d) mod U at distance
+/// ceil-adjusted (d - c + c') / U. Affine memory addresses and the affine
+/// initial-value functions are closed under the transformation, so the
+/// unrolled loop remains executable and the pipelined-vs-sequential
+/// equivalence tests keep working.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_IR_UNROLL_H
+#define HCVLIW_IR_UNROLL_H
+
+#include "ir/Loop.h"
+
+namespace hcvliw {
+
+/// Unrolls \p L by \p Factor (>= 1). The unrolled trip count is
+/// TripCount / Factor; callers that need exact functional equivalence
+/// should compare against Factor * (TripCount / Factor) sequential
+/// iterations (the remainder iterations are dropped, as a real compiler
+/// would peel them into an epilogue).
+Loop unrollLoop(const Loop &L, unsigned Factor);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_IR_UNROLL_H

@@ -1,0 +1,51 @@
+//===- machine/IsaTable.cpp - Table 1: latency and energy -------------------===//
+
+#include "machine/IsaTable.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+IsaTable::IsaTable() {
+  set(OpCategory::Memory, /*IsFloat=*/false, {2, 1.0});
+  set(OpCategory::Memory, /*IsFloat=*/true, {2, 1.0});
+  set(OpCategory::Arith, /*IsFloat=*/false, {1, 1.0});
+  set(OpCategory::Arith, /*IsFloat=*/true, {3, 1.2});
+  set(OpCategory::Mul, /*IsFloat=*/false, {2, 1.1});
+  set(OpCategory::Mul, /*IsFloat=*/true, {6, 1.5});
+  set(OpCategory::Div, /*IsFloat=*/false, {6, 1.4});
+  set(OpCategory::Div, /*IsFloat=*/true, {18, 2.0});
+}
+
+LatencyEnergy IsaTable::get(Opcode Op) const {
+  OpCategory Cat = categoryOf(Op);
+  if (Cat == OpCategory::Copy) {
+    // Copies execute on the bus; their energy is charged through the
+    // communication term of the energy model, not per-instruction.
+    return {1, 0.0};
+  }
+  return Table[static_cast<unsigned>(Cat)][isFloatOpcode(Op) ? 1 : 0];
+}
+
+void IsaTable::set(OpCategory Cat, bool IsFloat, LatencyEnergy LE) {
+  assert(Cat != OpCategory::Copy && "copy latency is fixed");
+  assert(LE.Latency >= 1 && "zero-latency operations unsupported");
+  Table[static_cast<unsigned>(Cat)][IsFloat ? 1 : 0] = LE;
+}
+
+std::vector<unsigned> IsaTable::nodeLatencies(const Loop &L) const {
+  std::vector<unsigned> Lat;
+  Lat.reserve(L.size());
+  for (const Operation &O : L.Ops)
+    Lat.push_back(latency(O.Op));
+  return Lat;
+}
+
+double IsaTable::meanInstructionEnergy(const Loop &L) const {
+  if (L.Ops.empty())
+    return 1.0;
+  double Sum = 0;
+  for (const Operation &O : L.Ops)
+    Sum += energy(O.Op);
+  return Sum / static_cast<double>(L.Ops.size());
+}

@@ -1,0 +1,63 @@
+//===- machine/MachineDescription.cpp - Clustered VLIW model ----------------===//
+
+#include "machine/MachineDescription.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+unsigned ClusterConfig::fuCount(FUKind K) const {
+  switch (K) {
+  case FUKind::IntFU:
+    return IntFUs;
+  case FUKind::FpFU:
+    return FpFUs;
+  case FUKind::MemPort:
+    return MemPorts;
+  case FUKind::Bus:
+    return 0;
+  }
+  assert(false && "unknown FU kind");
+  return 0;
+}
+
+MachineDescription MachineDescription::paperDefault(unsigned NumBuses,
+                                                    unsigned NumClusters) {
+  assert(NumClusters >= 1 && "machine needs at least one cluster");
+  MachineDescription M;
+  ClusterConfig C;
+  C.IntFUs = 1;
+  C.FpFUs = 1;
+  C.MemPorts = 1;
+  C.Registers = 64 / NumClusters;
+  M.Clusters.assign(NumClusters, C);
+  M.Buses = NumBuses;
+  M.BusLatency = 1;
+  return M;
+}
+
+unsigned MachineDescription::totalFUs(FUKind K) const {
+  if (K == FUKind::Bus)
+    return Buses;
+  unsigned Total = 0;
+  for (const auto &C : Clusters)
+    Total += C.fuCount(K);
+  return Total;
+}
+
+int64_t MachineDescription::computeResMII(const Loop &L) const {
+  std::vector<unsigned> Counts = L.opCountsByFU();
+  int64_t ResMII = 1;
+  for (unsigned K = 0; K < NumFUKinds; ++K) {
+    if (static_cast<FUKind>(K) == FUKind::Bus)
+      continue;
+    unsigned Units = totalFUs(static_cast<FUKind>(K));
+    if (Counts[K] == 0)
+      continue;
+    assert(Units > 0 && "ops of a kind with no functional unit");
+    int64_t Need = (Counts[K] + Units - 1) / Units;
+    if (Need > ResMII)
+      ResMII = Need;
+  }
+  return ResMII;
+}

@@ -1,0 +1,69 @@
+//===- machine/MachineDescription.h - Clustered VLIW model ------*- C++ -*-===//
+///
+/// \file
+/// Structural description of the clustered VLIW: per-cluster functional
+/// units and registers, the inter-cluster register buses, the shared
+/// always-hit memory hierarchy, and the reference operating point
+/// (Section 5: 4 clusters x {1 INT FU, 1 FP FU, 1 memory port, 16 regs},
+/// 1-cycle register buses, 1 GHz / 1 V / 0.25 V reference).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_MACHINE_MACHINEDESCRIPTION_H
+#define HCVLIW_MACHINE_MACHINEDESCRIPTION_H
+
+#include "ir/DDG.h"
+#include "machine/IsaTable.h"
+#include "support/Rational.h"
+
+#include <vector>
+
+namespace hcvliw {
+
+struct ClusterConfig {
+  unsigned IntFUs = 1;
+  unsigned FpFUs = 1;
+  unsigned MemPorts = 1;
+  unsigned Registers = 16;
+
+  unsigned fuCount(FUKind K) const;
+};
+
+class MachineDescription {
+public:
+  std::vector<ClusterConfig> Clusters;
+  unsigned Buses = 1;
+  unsigned BusLatency = 1; ///< bus cycles per transfer
+
+  IsaTable Isa;
+
+  /// Reference homogeneous operating point (Section 5).
+  Rational RefPeriodNs = Rational(1); ///< 1 GHz
+  double RefVdd = 1.0;
+  double RefVth = 0.25;
+
+  /// The evaluation machine: \p NumClusters identical clusters with one
+  /// FU of each kind and 64/NumClusters registers each, \p NumBuses
+  /// 1-cycle register buses.
+  static MachineDescription paperDefault(unsigned NumBuses = 1,
+                                         unsigned NumClusters = 4);
+
+  unsigned numClusters() const {
+    return static_cast<unsigned>(Clusters.size());
+  }
+
+  /// Machine-wide FU count of a kind (Bus returns the bus count).
+  unsigned totalFUs(FUKind K) const;
+
+  /// Classic resource-constrained MII over the whole machine:
+  /// max over FU kinds of ceil(ops(kind) / totalFUs(kind)). Buses are
+  /// excluded (communications are not known before partitioning).
+  int64_t computeResMII(const Loop &L) const;
+
+  /// Reference frequency in GHz (1 / RefPeriodNs).
+  Rational refFrequency() const { return RefPeriodNs.reciprocal(); }
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_MACHINE_MACHINEDESCRIPTION_H

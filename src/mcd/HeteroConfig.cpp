@@ -1,0 +1,55 @@
+//===- mcd/HeteroConfig.cpp - Heterogeneous operating points ----------------===//
+
+#include "mcd/HeteroConfig.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+HeteroConfig HeteroConfig::reference(const MachineDescription &M) {
+  HeteroConfig C;
+  DomainOperatingPoint P;
+  P.PeriodNs = M.RefPeriodNs;
+  P.Vdd = M.RefVdd;
+  P.Vth = M.RefVth;
+  C.Clusters.assign(M.numClusters(), P);
+  C.Icn = P;
+  C.Cache = P;
+  return C;
+}
+
+Rational HeteroConfig::fastestClusterPeriod() const {
+  assert(!Clusters.empty() && "configuration with no clusters");
+  Rational Best = Clusters.front().PeriodNs;
+  for (const auto &C : Clusters)
+    Best = Rational::min(Best, C.PeriodNs);
+  return Best;
+}
+
+unsigned HeteroConfig::fastestCluster() const {
+  assert(!Clusters.empty() && "configuration with no clusters");
+  unsigned Best = 0;
+  for (unsigned I = 1; I < Clusters.size(); ++I)
+    if (Clusters[I].PeriodNs < Clusters[Best].PeriodNs)
+      Best = I;
+  return Best;
+}
+
+bool HeteroConfig::hasUniformClusterFrequency() const {
+  for (const auto &C : Clusters)
+    if (C.PeriodNs != Clusters.front().PeriodNs)
+      return false;
+  return true;
+}
+
+std::string HeteroConfig::str() const {
+  std::string Out = "clusters:";
+  for (const auto &C : Clusters)
+    Out += formatString(" {T=%sns Vdd=%.2f Vth=%.3f}", C.PeriodNs.str().c_str(),
+                        C.Vdd, C.Vth);
+  Out += formatString(" icn:{T=%sns Vdd=%.2f} cache:{T=%sns Vdd=%.2f}",
+                      Icn.PeriodNs.str().c_str(), Icn.Vdd,
+                      Cache.PeriodNs.str().c_str(), Cache.Vdd);
+  return Out;
+}

@@ -1,0 +1,59 @@
+//===- mcd/HeteroConfig.h - Heterogeneous operating points ------*- C++ -*-===//
+///
+/// \file
+/// The per-domain operating points of a heterogeneous configuration:
+/// every cluster, the inter-cluster network (ICN) and the memory
+/// hierarchy carry their own cycle time (the *maximum* frequency their
+/// voltage supports) and supply/threshold voltages. The modulo scheduler
+/// may clock a domain below its maximum for a given loop (frequency
+/// scaling); voltages are fixed at program level (Section 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_MCD_HETEROCONFIG_H
+#define HCVLIW_MCD_HETEROCONFIG_H
+
+#include "machine/MachineDescription.h"
+#include "support/Rational.h"
+
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+
+/// Operating point of one clock domain.
+struct DomainOperatingPoint {
+  Rational PeriodNs = Rational(1); ///< minimum cycle time at this voltage
+  double Vdd = 1.0;
+  double Vth = 0.25;
+
+  Rational fmaxGHz() const { return PeriodNs.reciprocal(); }
+};
+
+/// A full heterogeneous configuration of the machine.
+struct HeteroConfig {
+  std::vector<DomainOperatingPoint> Clusters;
+  DomainOperatingPoint Icn;
+  DomainOperatingPoint Cache;
+
+  /// Every domain at the machine's reference point (the paper's
+  /// reference homogeneous microarchitecture).
+  static HeteroConfig reference(const MachineDescription &M);
+
+  unsigned numClusters() const {
+    return static_cast<unsigned>(Clusters.size());
+  }
+
+  Rational fastestClusterPeriod() const;
+  unsigned fastestCluster() const;
+
+  /// True when all clusters share one cycle time (the configuration is
+  /// homogeneous in frequency; voltages may still differ).
+  bool hasUniformClusterFrequency() const;
+
+  std::string str() const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_MCD_HETEROCONFIG_H

@@ -1,0 +1,41 @@
+//===- mcd/SyncModel.h - Cross-domain synchronization queues ----*- C++ -*-===//
+///
+/// \file
+/// Timing of values crossing clock-domain boundaries. Domains are
+/// synchronized through queues (Figure 2); when producer and consumer
+/// run at different frequencies a transfer must wait for the consumer's
+/// next clock edge and pay one consumer cycle of queue delay ("these
+/// queues often introduce delays of one cycle"). Domains running at the
+/// same frequency are edge-aligned (all clocks derive from gen_clock and
+/// are enabled simultaneously), so no penalty applies -- which keeps the
+/// homogeneous machine's communication cost at exactly the 1-cycle bus
+/// latency of the baseline scheduler [2][3].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_MCD_SYNCMODEL_H
+#define HCVLIW_MCD_SYNCMODEL_H
+
+#include "support/Rational.h"
+
+namespace hcvliw {
+
+/// First multiple of \p PeriodNs at or after \p TNs.
+inline Rational alignUpToTick(const Rational &TNs, const Rational &PeriodNs) {
+  return Rational((TNs / PeriodNs).ceil()) * PeriodNs;
+}
+
+/// Absolute time at which a value ready at \p ReadyNs in a domain with
+/// period \p ProducerPeriod becomes usable in a domain with period
+/// \p ConsumerPeriod.
+inline Rational crossDomainArrival(const Rational &ReadyNs,
+                                   const Rational &ProducerPeriod,
+                                   const Rational &ConsumerPeriod) {
+  if (ProducerPeriod == ConsumerPeriod)
+    return ReadyNs;
+  return alignUpToTick(ReadyNs, ConsumerPeriod) + ConsumerPeriod;
+}
+
+} // namespace hcvliw
+
+#endif // HCVLIW_MCD_SYNCMODEL_H

@@ -1,0 +1,114 @@
+//===- partition/LoopScheduler.cpp - Figure 5 driver ------------------------===//
+
+#include "partition/LoopScheduler.h"
+#include "mcd/DomainPlanner.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+LoopScheduler::LoopScheduler(const MachineDescription &M,
+                             const HeteroConfig &C,
+                             const LoopScheduleOptions &O)
+    : Machine(M), Config(C), Opts(O) {
+  assert(C.numClusters() == M.numClusters() &&
+         "configuration does not match machine");
+}
+
+LoopScheduleResult
+LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
+                        const HeteroScaling *Scaling) const {
+  LoopScheduleResult R;
+  assert(L.validate().empty() && "scheduling an invalid loop");
+  assert(((Energy == nullptr) == (Scaling == nullptr)) &&
+         "energy model and scaling come together");
+
+  DDG G = DDG::build(L);
+  std::vector<unsigned> Lat = Machine.Isa.nodeLatencies(L);
+  RecurrenceInfo Recs = analyzeRecurrences(G, Lat);
+  R.RecMII = Recs.RecMII;
+  R.ResMII = Machine.computeResMII(L);
+
+  DomainPlanner Planner(Machine, Config, Opts.Menu);
+  R.MITNs = Planner.computeMIT(Recs.RecMII, L.opCountsByFU());
+
+  PartitionerOptions PartOpts = Opts.Part;
+  if (!Energy)
+    PartOpts.ED2Objective = false;
+
+  Rational IT = R.MITNs;
+  for (unsigned Step = 0; Step <= Opts.MaxITSteps; ++Step) {
+    R.ITSteps = Step;
+    auto Plan = Planner.planForIT(IT);
+    if (!Plan) {
+      R.Failure = "synchronization: no (II, freq) pair for some domain";
+      IT = Planner.nextIT(IT);
+      continue;
+    }
+
+    PartitionContext Ctx;
+    Ctx.L = &L;
+    Ctx.G = &G;
+    Ctx.M = &Machine;
+    Ctx.Plan = &*Plan;
+    Ctx.Recs = &Recs;
+    Ctx.Energy = Energy;
+    Ctx.Scaling = Scaling;
+    Ctx.TripCount = L.TripCount;
+
+    // The ED2-guided partition is tried first; if its schedule cannot be
+    // completed at this IT, fall back to the balance-first partition of
+    // [3] before paying an IT increase (growing the IT on a restricted
+    // frequency menu can overshoot to a much slower sync point).
+    std::vector<PartitionerOptions> Attempts = {PartOpts};
+    if (PartOpts.ED2Objective) {
+      PartitionerOptions Balance = PartOpts;
+      Balance.ED2Objective = false;
+      Attempts.push_back(Balance);
+    }
+
+    bool Done = false;
+    for (const PartitionerOptions &PO : Attempts) {
+      auto Assignment = partitionLoop(Ctx, PO);
+      if (!Assignment) {
+        R.Failure = "no feasible partition";
+        continue;
+      }
+
+      PartitionedGraph PG = PartitionedGraph::build(
+          L, G, Machine.Isa, *Assignment, Machine.numClusters(),
+          Machine.BusLatency);
+
+      HeteroModuloScheduler Scheduler(Machine, PG, *Plan, Opts.Sched);
+      SchedulerResult SR = Scheduler.run();
+      if (!SR.Success) {
+        R.Failure = SR.FailureReason;
+        continue;
+      }
+
+      RegisterPressureResult Pressure =
+          computeRegisterPressure(PG, SR.Sched);
+      if (!Pressure.fits(Machine)) {
+        R.Failure = "register pressure exceeds the register files";
+        continue;
+      }
+
+      std::string Err = validateSchedule(Machine, PG, SR.Sched);
+      assert(Err.empty() && "scheduler produced an invalid schedule");
+      (void)Err;
+
+      R.Success = true;
+      R.Failure.clear();
+      R.Sched = std::move(SR.Sched);
+      R.PG = std::move(PG);
+      R.Assignment = std::move(*Assignment);
+      R.Pressure = std::move(Pressure);
+      Done = true;
+      break;
+    }
+    if (Done)
+      return R;
+    IT = Planner.nextIT(IT);
+  }
+  return R;
+}

@@ -1,0 +1,70 @@
+//===- partition/LoopScheduler.h - Figure 5 driver ---------------*- C++ -*-===//
+///
+/// \file
+/// The top-level per-loop code-generation flow of the paper's Figure 5:
+///
+///   compute MIT -> IT := MIT -> select IIs & frequencies -> partition
+///   the DDG -> schedule; on any failure (synchronization, partitioning,
+///   scheduling, register pressure) increase the IT and retry.
+///
+/// The same driver serves homogeneous machines (every domain at one
+/// frequency, baseline [2][3] objective) and heterogeneous ones (ED2
+/// objective, Section 4 extensions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_PARTITION_LOOPSCHEDULER_H
+#define HCVLIW_PARTITION_LOOPSCHEDULER_H
+
+#include "partition/Partitioner.h"
+#include "sched/HeteroModuloScheduler.h"
+#include "sched/RegisterPressure.h"
+#include "sched/ScheduleValidator.h"
+
+namespace hcvliw {
+
+struct LoopScheduleOptions {
+  FrequencyMenu Menu = FrequencyMenu::continuous();
+  SchedulerOptions Sched;
+  PartitionerOptions Part;
+  /// IT growth attempts before giving up.
+  unsigned MaxITSteps = 64;
+};
+
+struct LoopScheduleResult {
+  bool Success = false;
+  std::string Failure;
+
+  Schedule Sched;
+  PartitionedGraph PG;
+  Partition Assignment;
+  RegisterPressureResult Pressure;
+
+  Rational MITNs;
+  unsigned ITSteps = 0; ///< times the IT was increased past the MIT
+
+  /// Reference-machine classification stats (Table 2): recurrence- and
+  /// resource-constrained MII of the loop.
+  int64_t RecMII = 0;
+  int64_t ResMII = 0;
+};
+
+class LoopScheduler {
+  const MachineDescription &Machine;
+  HeteroConfig Config;
+  LoopScheduleOptions Opts;
+
+public:
+  LoopScheduler(const MachineDescription &M, const HeteroConfig &C,
+                const LoopScheduleOptions &O = LoopScheduleOptions());
+
+  /// Schedules \p L; \p Energy / \p Scaling enable the ED2 partitioning
+  /// objective (both or neither).
+  LoopScheduleResult schedule(const Loop &L,
+                              const EnergyModel *Energy = nullptr,
+                              const HeteroScaling *Scaling = nullptr) const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_PARTITION_LOOPSCHEDULER_H

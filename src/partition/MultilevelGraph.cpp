@@ -1,0 +1,163 @@
+//===- partition/MultilevelGraph.cpp - Macro-node coarsening ----------------===//
+
+#include "partition/MultilevelGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace hcvliw;
+
+CoarseLevel
+MultilevelGraph::makeLevelFromGroups(const std::vector<int> &GroupOf,
+                                     unsigned NumGroups,
+                                     const std::vector<int> &Pins) const {
+  CoarseLevel Lvl;
+  Lvl.Macros.resize(NumGroups);
+  Lvl.MacroOf.resize(G->size());
+  for (unsigned I = 0; I < NumGroups; ++I) {
+    Lvl.Macros[I].FUCounts.assign(NumFUKinds, 0);
+    Lvl.Macros[I].Pin = Pins[I];
+  }
+  for (unsigned N = 0; N < G->size(); ++N) {
+    assert(GroupOf[N] >= 0 && "node without a group");
+    unsigned Gp = static_cast<unsigned>(GroupOf[N]);
+    Lvl.MacroOf[N] = Gp;
+    MacroNode &Mac = Lvl.Macros[Gp];
+    Mac.Members.push_back(N);
+    ++Mac.FUCounts[static_cast<unsigned>(fuKindOf(L->Ops[N].Op))];
+    Mac.Weight += M->Isa.energy(L->Ops[N].Op);
+  }
+  return Lvl;
+}
+
+void MultilevelGraph::build(
+    const Loop &TheLoop, const DDG &TheDDG,
+    const MachineDescription &TheMachine,
+    const std::vector<std::vector<unsigned>> &InitialGroups,
+    const std::vector<int> &GroupPins, const MinDistMatrix &Slack,
+    unsigned TargetMacros) {
+  L = &TheLoop;
+  G = &TheDDG;
+  M = &TheMachine;
+  Levels.clear();
+  assert(InitialGroups.size() == GroupPins.size() &&
+         "one pin slot per initial group");
+
+  // Finest level: initial groups plus singletons.
+  std::vector<int> GroupOf(G->size(), -1);
+  std::vector<int> Pins;
+  unsigned NumGroups = 0;
+  for (unsigned Gp = 0; Gp < InitialGroups.size(); ++Gp) {
+    for (unsigned N : InitialGroups[Gp]) {
+      assert(GroupOf[N] < 0 && "node in two initial groups");
+      GroupOf[N] = static_cast<int>(NumGroups);
+    }
+    Pins.push_back(GroupPins[Gp]);
+    ++NumGroups;
+  }
+  for (unsigned N = 0; N < G->size(); ++N)
+    if (GroupOf[N] < 0) {
+      GroupOf[N] = static_cast<int>(NumGroups++);
+      Pins.push_back(-1);
+    }
+  Levels.push_back(makeLevelFromGroups(GroupOf, NumGroups, Pins));
+
+  // A macro may not exceed the largest per-cluster capacity of any FU
+  // kind: a bigger macro could never be scheduled in one cluster.
+  std::vector<unsigned> MaxKindCap(NumFUKinds, 0);
+  for (unsigned K = 0; K < NumFUKinds; ++K)
+    for (const auto &C : M->Clusters)
+      MaxKindCap[K] =
+          std::max(MaxKindCap[K], C.fuCount(static_cast<FUKind>(K)));
+
+  // Coarsening rounds: contract a matching along lowest-slack edges.
+  while (Levels.back().Macros.size() > TargetMacros) {
+    const CoarseLevel &Cur = Levels.back();
+    unsigned NumMac = static_cast<unsigned>(Cur.Macros.size());
+
+    // Candidate macro-level edges with the minimum node-level slack.
+    struct Cand {
+      unsigned A, B;
+      int64_t Slack;
+      double Weight;
+    };
+    std::map<std::pair<unsigned, unsigned>, Cand> Cands;
+    for (const auto &E : G->edges()) {
+      unsigned A = Cur.MacroOf[E.Src], B = Cur.MacroOf[E.Dst];
+      if (A == B)
+        continue;
+      if (A > B)
+        std::swap(A, B);
+      int64_t S = Slack.slack(E.Src, E.Dst, /*II=*/0);
+      auto Key = std::make_pair(A, B);
+      auto It = Cands.find(Key);
+      if (It == Cands.end())
+        Cands.emplace(Key, Cand{A, B, S, 1.0});
+      else {
+        It->second.Slack = std::min(It->second.Slack, S);
+        It->second.Weight += 1.0;
+      }
+    }
+    std::vector<Cand> Ordered;
+    Ordered.reserve(Cands.size());
+    for (auto &KV : Cands)
+      Ordered.push_back(KV.second);
+    std::sort(Ordered.begin(), Ordered.end(), [](const Cand &X, const Cand &Y) {
+      if (X.Slack != Y.Slack)
+        return X.Slack < Y.Slack; // most critical first
+      if (X.Weight != Y.Weight)
+        return X.Weight > Y.Weight; // then heaviest
+      return std::make_pair(X.A, X.B) < std::make_pair(Y.A, Y.B);
+    });
+
+    std::vector<bool> Matched(NumMac, false);
+    std::vector<int> NewGroupOfMacro(NumMac, -1);
+    std::vector<int> NewPins;
+    unsigned NewCount = 0;
+    unsigned Remaining = NumMac;
+
+    auto canMerge = [&](unsigned A, unsigned B) {
+      const MacroNode &MA = Cur.Macros[A];
+      const MacroNode &MB = Cur.Macros[B];
+      if (MA.Pin >= 0 && MB.Pin >= 0 && MA.Pin != MB.Pin)
+        return false;
+      for (unsigned K = 0; K < NumFUKinds; ++K)
+        if (MA.FUCounts[K] + MB.FUCounts[K] > MaxKindCap[K] * 64)
+          return false; // generous cap; II-level checks happen later
+      return true;
+    };
+
+    bool AnyMerge = false;
+    for (const Cand &C : Ordered) {
+      if (Remaining <= TargetMacros)
+        break;
+      if (Matched[C.A] || Matched[C.B] || !canMerge(C.A, C.B))
+        continue;
+      Matched[C.A] = Matched[C.B] = true;
+      int Pin = Cur.Macros[C.A].Pin >= 0 ? Cur.Macros[C.A].Pin
+                                         : Cur.Macros[C.B].Pin;
+      NewGroupOfMacro[C.A] = NewGroupOfMacro[C.B] =
+          static_cast<int>(NewCount);
+      NewPins.push_back(Pin);
+      ++NewCount;
+      --Remaining;
+      AnyMerge = true;
+    }
+    if (!AnyMerge)
+      break; // no contractible edge (e.g. disconnected & pinned apart)
+
+    // Unmatched macros survive unchanged; also pair up disconnected
+    // leftovers is unnecessary -- the initial partition handles them.
+    for (unsigned Mac = 0; Mac < NumMac; ++Mac)
+      if (NewGroupOfMacro[Mac] < 0) {
+        NewGroupOfMacro[Mac] = static_cast<int>(NewCount++);
+        NewPins.push_back(Cur.Macros[Mac].Pin);
+      }
+
+    std::vector<int> NewGroupOf(G->size());
+    for (unsigned N = 0; N < G->size(); ++N)
+      NewGroupOf[N] = NewGroupOfMacro[Cur.MacroOf[N]];
+    Levels.push_back(makeLevelFromGroups(NewGroupOf, NewCount, NewPins));
+  }
+}

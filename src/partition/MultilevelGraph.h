@@ -1,0 +1,73 @@
+//===- partition/MultilevelGraph.h - Macro-node coarsening ------*- C++ -*-===//
+///
+/// \file
+/// The coarsening machinery of the multilevel partitioner (Section 4.1,
+/// after [2][3] and Karypis-Kumar multilevel schemes). Nodes of the DDG
+/// are fused into macro nodes; each coarsening round contracts a
+/// matching of macro-node pairs chosen along low-slack (critical) edges.
+/// Recurrences enter coarsening pre-fused (the paper does not split
+/// recurrences before refinement) and may carry a *pin* to a cluster
+/// fixed by the critical-recurrence pre-placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_PARTITION_MULTILEVELGRAPH_H
+#define HCVLIW_PARTITION_MULTILEVELGRAPH_H
+
+#include "ir/DDG.h"
+#include "ir/MinDist.h"
+#include "machine/MachineDescription.h"
+
+#include <vector>
+
+namespace hcvliw {
+
+/// A macro node: a set of DDG nodes moved as a unit.
+struct MacroNode {
+  std::vector<unsigned> Members;
+  /// Per-FUKind operation counts of the members.
+  std::vector<unsigned> FUCounts;
+  /// Energy-weighted instruction mass (Table 1).
+  double Weight = 0;
+  /// Cluster this macro is pinned to, or -1.
+  int Pin = -1;
+};
+
+/// One level of the hierarchy: the macro nodes existing at that level.
+struct CoarseLevel {
+  std::vector<MacroNode> Macros;
+  /// Macro id of each DDG node at this level.
+  std::vector<unsigned> MacroOf;
+};
+
+class MultilevelGraph {
+  const Loop *L = nullptr;
+  const DDG *G = nullptr;
+  const MachineDescription *M = nullptr;
+  std::vector<CoarseLevel> Levels; // [0] = finest
+
+  CoarseLevel makeLevelFromGroups(const std::vector<int> &GroupOf,
+                                  unsigned NumGroups,
+                                  const std::vector<int> &Pins) const;
+
+public:
+  /// Builds the level stack. \p InitialGroups pre-fuses node sets (one
+  /// entry per group; nodes absent from all groups start as singletons)
+  /// with optional pins; \p EdgePriority orders contraction candidates
+  /// (lower = contract first, typically MinDist slack); \p TargetMacros
+  /// stops coarsening (>= number of clusters).
+  void build(const Loop &TheLoop, const DDG &TheDDG,
+             const MachineDescription &TheMachine,
+             const std::vector<std::vector<unsigned>> &InitialGroups,
+             const std::vector<int> &GroupPins,
+             const MinDistMatrix &Slack, unsigned TargetMacros);
+
+  unsigned numLevels() const { return static_cast<unsigned>(Levels.size()); }
+  /// Level 0 is the finest (original grouping), the last the coarsest.
+  const CoarseLevel &level(unsigned I) const { return Levels[I]; }
+  const CoarseLevel &coarsest() const { return Levels.back(); }
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_PARTITION_MULTILEVELGRAPH_H

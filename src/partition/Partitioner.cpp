@@ -1,0 +1,267 @@
+//===- partition/Partitioner.cpp - Multilevel DDG partitioning --------------===//
+
+#include "partition/Partitioner.h"
+#include "partition/MultilevelGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace hcvliw;
+
+double hcvliw::scorePartition(const PartitionContext &Ctx,
+                              const PartitionerOptions &Opts,
+                              const Partition &P) {
+  PseudoSchedule PS =
+      estimatePseudoSchedule(*Ctx.L, *Ctx.G, *Ctx.M, *Ctx.Plan, P);
+  if (!PS.Feasible) {
+    // Graded penalty: any feasible partition beats every infeasible
+    // one, but among infeasible partitions smaller violations win, so
+    // greedy refinement can walk out of an infeasible region.
+    return InfeasiblePartitionScore * (1.0 + PS.Overflow);
+  }
+
+  double N = static_cast<double>(Ctx.TripCount);
+  double TexecNs =
+      (N - 1) * Ctx.Plan->ITNs.toDouble() + PS.ItLengthNs.toDouble();
+
+  if (Opts.ED2Objective) {
+    assert(Ctx.Energy && Ctx.Scaling && "ED2 objective needs energy model");
+    std::vector<double> WIns(PS.WInsPerCluster);
+    for (double &W : WIns)
+      W *= N;
+    double E = Ctx.Energy->heteroEnergy(WIns, PS.Comms * N,
+                                        static_cast<double>([&] {
+                                          unsigned Mem = 0;
+                                          for (const auto &O : Ctx.L->Ops)
+                                            if (isMemoryOpcode(O.Op))
+                                              ++Mem;
+                                          return Mem;
+                                        }()) * N,
+                                        TexecNs, *Ctx.Scaling);
+    return computeED2(E, TexecNs);
+  }
+
+  // Homogeneous baseline objective [2][3]: fewest communications, then
+  // balance, then shorter iterations. Folded lexicographically.
+  double MaxLoad = 0;
+  for (unsigned C = 0; C < Ctx.M->numClusters(); ++C) {
+    double Cap = static_cast<double>(Ctx.Plan->Clusters[C].II);
+    double Load = PS.WInsPerCluster[C] / std::max(1.0, Cap);
+    MaxLoad = std::max(MaxLoad, Load);
+  }
+  return PS.Comms * 1e6 + MaxLoad * 1e3 + PS.ItLengthNs.toDouble();
+}
+
+namespace {
+
+/// Expands a macro-level assignment into a node-level Partition.
+Partition expand(const CoarseLevel &Lvl,
+                 const std::vector<unsigned> &ClusterOfMacro,
+                 unsigned NumNodes) {
+  Partition P;
+  P.ClusterOf.resize(NumNodes);
+  for (unsigned N = 0; N < NumNodes; ++N)
+    P.ClusterOf[N] = ClusterOfMacro[Lvl.MacroOf[N]];
+  return P;
+}
+
+/// Pre-places critical recurrences; returns initial groups + pins for
+/// coarsening, or false when some recurrence fits nowhere.
+bool prePlaceRecurrences(const PartitionContext &Ctx, bool EnablePinning,
+                         std::vector<std::vector<unsigned>> &Groups,
+                         std::vector<int> &Pins) {
+  const MachineDescription &M = *Ctx.M;
+  const MachinePlan &Plan = *Ctx.Plan;
+  unsigned NC = M.numClusters();
+
+  // Remaining per-cluster, per-kind slot capacity.
+  std::vector<std::vector<int64_t>> Free(NC,
+                                         std::vector<int64_t>(NumFUKinds, 0));
+  for (unsigned C = 0; C < NC; ++C)
+    for (unsigned K = 0; K < NumFUKinds; ++K)
+      Free[C][K] = Plan.Clusters[C].II *
+                   static_cast<int64_t>(
+                       M.Clusters[C].fuCount(static_cast<FUKind>(K)));
+
+  int64_t MinII = Plan.Clusters[0].II;
+  for (const auto &D : Plan.Clusters)
+    MinII = std::min(MinII, D.II);
+
+  // Recurrences arrive sorted by descending recMII (most critical first).
+  for (const Recurrence &R : Ctx.Recs->Recurrences) {
+    std::vector<unsigned> Need(NumFUKinds, 0);
+    for (unsigned N : R.Nodes)
+      ++Need[static_cast<unsigned>(fuKindOf(Ctx.L->Ops[N].Op))];
+
+    bool MustPin = EnablePinning && R.RecMII > MinII;
+    if (!MustPin) {
+      Groups.push_back(R.Nodes);
+      Pins.push_back(-1);
+      continue;
+    }
+
+    // Slowest feasible cluster: maximum running period whose II admits
+    // the recurrence and whose capacity can still hold its operations.
+    int Best = -1;
+    for (unsigned C = 0; C < NC; ++C) {
+      if (Plan.Clusters[C].II < R.RecMII)
+        continue;
+      bool Fits = true;
+      for (unsigned K = 0; K < NumFUKinds; ++K)
+        if (static_cast<int64_t>(Need[K]) > Free[C][K])
+          Fits = false;
+      if (!Fits)
+        continue;
+      if (Best < 0 ||
+          Plan.Clusters[C].PeriodNs > Plan.Clusters[Best].PeriodNs)
+        Best = static_cast<int>(C);
+    }
+    if (Best < 0)
+      return false; // grow the IT
+    for (unsigned K = 0; K < NumFUKinds; ++K)
+      Free[Best][K] -= Need[K];
+    Groups.push_back(R.Nodes);
+    Pins.push_back(Best);
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<Partition>
+hcvliw::partitionLoop(const PartitionContext &Ctx,
+                      const PartitionerOptions &Opts) {
+  const MachineDescription &M = *Ctx.M;
+  unsigned NC = M.numClusters();
+  unsigned NumNodes = Ctx.G->size();
+
+  if (NC == 1)
+    return Partition::allInCluster(NumNodes, 0);
+
+  std::vector<std::vector<unsigned>> Groups;
+  std::vector<int> Pins;
+  if (!prePlaceRecurrences(Ctx, Opts.PrePlaceRecurrences, Groups, Pins))
+    return std::nullopt;
+
+  // Slack matrix for the coarsening order, on reference latencies at the
+  // recurrence-safe II.
+  std::vector<unsigned> Lat = M.Isa.nodeLatencies(*Ctx.L);
+  MinDistMatrix Slack =
+      MinDistMatrix::compute(*Ctx.G, Lat, std::max<int64_t>(Ctx.Recs->RecMII,
+                                                            1));
+
+  MultilevelGraph ML;
+  ML.build(*Ctx.L, *Ctx.G, M, Groups, Pins, Slack, NC);
+
+  // Initial assignment of the coarsest macros: pins first, then largest
+  // macros onto the cluster with the most remaining per-kind slot
+  // capacity (capacity-aware best fit keeps the starting point feasible
+  // whenever the coarse macros allow it).
+  const CoarseLevel &Coarsest = ML.coarsest();
+  unsigned NumMac = static_cast<unsigned>(Coarsest.Macros.size());
+  std::vector<unsigned> ClusterOfMacro(NumMac, 0);
+  std::vector<std::vector<int64_t>> Free(NC,
+                                         std::vector<int64_t>(NumFUKinds));
+  for (unsigned C = 0; C < NC; ++C)
+    for (unsigned K = 0; K < NumFUKinds; ++K)
+      Free[C][K] = Ctx.Plan->Clusters[C].II *
+                   static_cast<int64_t>(M.Clusters[C].fuCount(
+                       static_cast<FUKind>(K)));
+  auto place = [&](unsigned Mac, unsigned C) {
+    ClusterOfMacro[Mac] = C;
+    for (unsigned K = 0; K < NumFUKinds; ++K)
+      Free[C][K] -= Coarsest.Macros[Mac].FUCounts[K];
+  };
+
+  std::vector<unsigned> ByWeight(NumMac);
+  for (unsigned I = 0; I < NumMac; ++I)
+    ByWeight[I] = I;
+  std::sort(ByWeight.begin(), ByWeight.end(), [&](unsigned A, unsigned B) {
+    return Coarsest.Macros[A].Weight > Coarsest.Macros[B].Weight;
+  });
+  for (unsigned Mac : ByWeight) {
+    const MacroNode &MN = Coarsest.Macros[Mac];
+    if (MN.Pin >= 0) {
+      place(Mac, static_cast<unsigned>(MN.Pin));
+      continue;
+    }
+    int BestFit = -1;
+    int64_t BestFitSlack = 0;
+    int BestOverflow = -1;
+    int64_t LeastOverflow = 0;
+    for (unsigned C = 0; C < NC; ++C) {
+      bool Fits = true;
+      int64_t Slack = 0, Overflow = 0;
+      for (unsigned K = 0; K < NumFUKinds; ++K) {
+        int64_t Rem = Free[C][K] -
+                      static_cast<int64_t>(MN.FUCounts[K]);
+        if (Rem < 0) {
+          Fits = false;
+          Overflow -= Rem;
+        } else {
+          Slack += Rem;
+        }
+      }
+      if (Fits && (BestFit < 0 || Slack > BestFitSlack)) {
+        BestFit = static_cast<int>(C);
+        BestFitSlack = Slack;
+      }
+      if (!Fits && (BestOverflow < 0 || Overflow < LeastOverflow)) {
+        BestOverflow = static_cast<int>(C);
+        LeastOverflow = Overflow;
+      }
+    }
+    place(Mac, BestFit >= 0 ? static_cast<unsigned>(BestFit)
+                            : static_cast<unsigned>(BestOverflow));
+  }
+
+  // Refinement, coarsest to finest.
+  Partition Current = expand(Coarsest, ClusterOfMacro, NumNodes);
+  double CurrentScore = scorePartition(Ctx, Opts, Current);
+
+  for (int LvlIx = static_cast<int>(ML.numLevels()) - 1; LvlIx >= 0;
+       --LvlIx) {
+    const CoarseLevel &Lvl = ML.level(static_cast<unsigned>(LvlIx));
+    unsigned LN = static_cast<unsigned>(Lvl.Macros.size());
+    if (LN > Opts.MaxRefineMacros)
+      continue;
+    // Project the current node-level partition onto this level's macros
+    // (members of one macro share a cluster by construction).
+    std::vector<unsigned> Assign(LN);
+    for (unsigned Mac = 0; Mac < LN; ++Mac)
+      Assign[Mac] = Current.ClusterOf[Lvl.Macros[Mac].Members.front()];
+
+    for (unsigned Pass = 0; Pass < Opts.MaxRefinePasses; ++Pass) {
+      bool Improved = false;
+      for (unsigned Mac = 0; Mac < LN; ++Mac) {
+        if (Lvl.Macros[Mac].Pin >= 0)
+          continue;
+        unsigned Home = Assign[Mac];
+        for (unsigned C = 0; C < NC; ++C) {
+          if (C == Home)
+            continue;
+          Assign[Mac] = C;
+          Partition Cand = expand(Lvl, Assign, NumNodes);
+          double S = scorePartition(Ctx, Opts, Cand);
+          if (S < CurrentScore) {
+            CurrentScore = S;
+            Current = std::move(Cand);
+            Home = C;
+            Improved = true;
+          } else {
+            Assign[Mac] = Home;
+          }
+        }
+        Assign[Mac] = Home;
+      }
+      if (!Improved)
+        break;
+    }
+  }
+
+  if (CurrentScore >= InfeasiblePartitionScore)
+    return std::nullopt; // nothing feasible found at this IT
+  return Current;
+}

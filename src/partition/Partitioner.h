@@ -1,0 +1,77 @@
+//===- partition/Partitioner.h - Multilevel DDG partitioning ----*- C++ -*-===//
+///
+/// \file
+/// The Section 4.1 graph partitioner. Produces the cluster assignment
+/// the heterogeneous modulo scheduler consumes:
+///
+///  1. *Critical-recurrence pre-placement* (4.1.1): recurrences whose
+///     recMII exceeds the II of some cluster are placed, most critical
+///     first, in the **slowest** cluster that can still schedule them,
+///     keeping energy low while protecting the IT.
+///  2. *Coarsening*: multilevel contraction along low-slack edges;
+///     recurrences are never split during coarsening.
+///  3. *Initial partition* of the coarsest macros, honoring pins.
+///  4. *Refinement* (4.1.2): per level, greedy macro moves scored either
+///     by estimated ED2 (pseudo-schedule timing x Section 3.1 energy)
+///     for heterogeneous machines, or by the [2][3] baseline objective
+///     (feasibility, communications, balance) for homogeneous ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_PARTITION_PARTITIONER_H
+#define HCVLIW_PARTITION_PARTITIONER_H
+
+#include "ir/RecurrenceAnalysis.h"
+#include "mcd/DomainPlanner.h"
+#include "power/EnergyModel.h"
+#include "sched/Partition.h"
+#include "sched/PseudoScheduler.h"
+
+#include <optional>
+
+namespace hcvliw {
+
+struct PartitionerOptions {
+  /// Score moves by estimated ED2 (the heterogeneous objective); when
+  /// false, use the homogeneous baseline objective of [2][3].
+  bool ED2Objective = true;
+  /// Pre-place critical recurrences (ablation knob of DESIGN.md #2).
+  bool PrePlaceRecurrences = true;
+  /// Greedy refinement passes per level.
+  unsigned MaxRefinePasses = 2;
+  /// Skip refinement at levels with more macros than this (every move
+  /// costs a pseudo-schedule; very fine levels of large loops buy
+  /// little and cost quadratically).
+  unsigned MaxRefineMacros = 48;
+};
+
+/// Everything a partitioning run needs to see.
+struct PartitionContext {
+  const Loop *L = nullptr;
+  const DDG *G = nullptr;
+  const MachineDescription *M = nullptr;
+  const MachinePlan *Plan = nullptr;
+  const RecurrenceInfo *Recs = nullptr;
+  /// Optional energy scoring (required when ED2Objective is set).
+  const EnergyModel *Energy = nullptr;
+  const HeteroScaling *Scaling = nullptr;
+  uint64_t TripCount = 1;
+};
+
+/// Runs the partitioner; std::nullopt when no feasible assignment exists
+/// at this IT (the driver must grow the IT).
+std::optional<Partition> partitionLoop(const PartitionContext &Ctx,
+                                       const PartitionerOptions &Opts);
+
+/// Every infeasible partition scores at least this much; feasible
+/// scores are always below it.
+inline constexpr double InfeasiblePartitionScore = 1e24;
+
+/// Scoring helper shared with tests: lower is better; infeasible
+/// partitions score >= InfeasiblePartitionScore, graded by violation.
+double scorePartition(const PartitionContext &Ctx,
+                      const PartitionerOptions &Opts, const Partition &P);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_PARTITION_PARTITIONER_H

@@ -1,0 +1,49 @@
+//===- power/AlphaPowerModel.cpp - fmax <-> (Vdd, Vth) ----------------------===//
+
+#include "power/AlphaPowerModel.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace hcvliw;
+
+AlphaPowerModel::AlphaPowerModel(const TechnologyModel &T, double RefFreqGHz,
+                                 double RefVdd, double RefVth)
+    : Tech(T) {
+  assert(RefVdd > RefVth && RefVth > 0 && "bad reference operating point");
+  K = RefFreqGHz * RefVdd / std::pow(RefVdd - RefVth, Tech.Alpha);
+  assert(isValidOperatingPoint(RefVdd, RefVth) &&
+         "reference operating point violates the validity constraint");
+}
+
+double AlphaPowerModel::fmaxGHz(double Vdd, double Vth) const {
+  if (Vth >= Vdd)
+    return 0;
+  return K * std::pow(Vdd - Vth, Tech.Alpha) / Vdd;
+}
+
+std::optional<double> AlphaPowerModel::vthForFrequency(double FreqGHz,
+                                                       double Vdd) const {
+  assert(FreqGHz > 0 && Vdd > 0 && "bad frequency/voltage request");
+  double Overdrive = std::pow(FreqGHz * Vdd / K, 1.0 / Tech.Alpha);
+  double Vth = Vdd - Overdrive;
+  if (!isValidOperatingPoint(Vdd, Vth))
+    return std::nullopt;
+  return Vth;
+}
+
+bool AlphaPowerModel::isValidOperatingPoint(double Vdd, double Vth) const {
+  if (Vth <= 0 || Vth >= Vdd)
+    return false;
+  return (Vdd - Vth) - Vth > Tech.OverdriveMargin * Vdd;
+}
+
+double hcvliw::dynamicEnergyScale(double Vdd, double VddRef) {
+  double R = Vdd / VddRef;
+  return R * R;
+}
+
+double hcvliw::staticEnergyScale(double Vdd, double Vth, double VddRef,
+                                 double VthRef, double SubthresholdSlopeV) {
+  return std::pow(10.0, (VthRef - Vth) / SubthresholdSlopeV) * Vdd / VddRef;
+}

@@ -1,0 +1,60 @@
+//===- power/AlphaPowerModel.h - fmax <-> (Vdd, Vth) ------------*- C++ -*-===//
+///
+/// \file
+/// The alpha-power MOSFET model of Section 3.3. Given a supply voltage
+/// and a target frequency, the threshold voltage is derived by inverting
+///
+///   fmax = K * (Vdd - Vth)^alpha / Vdd          (K calibrated so the
+///                                                reference point is a
+///                                                fixed point)
+///
+/// and validated against the overdrive-margin constraint. Frequencies
+/// are in GHz, voltages in volts; the calibration makes the model
+/// unit-consistent with the machine's 1 GHz / 1 V / 0.25 V reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_POWER_ALPHAPOWERMODEL_H
+#define HCVLIW_POWER_ALPHAPOWERMODEL_H
+
+#include "power/TechnologyModel.h"
+
+#include <optional>
+
+namespace hcvliw {
+
+class AlphaPowerModel {
+  TechnologyModel Tech;
+  double K; ///< beta / CL, folded into one calibrated constant
+
+public:
+  /// Calibrates K so that fmax(RefVdd, RefVth) == RefFreqGHz.
+  AlphaPowerModel(const TechnologyModel &T, double RefFreqGHz,
+                  double RefVdd, double RefVth);
+
+  /// Maximum frequency at the given operating point; 0 when Vth >= Vdd.
+  double fmaxGHz(double Vdd, double Vth) const;
+
+  /// Threshold voltage making fmax(Vdd, Vth) == FreqGHz exactly;
+  /// std::nullopt when the required Vth violates the validity
+  /// constraint (including Vth <= 0, i.e. the frequency is unreachable
+  /// at this supply voltage).
+  std::optional<double> vthForFrequency(double FreqGHz, double Vdd) const;
+
+  /// The overdrive-margin validity predicate (see TechnologyModel).
+  bool isValidOperatingPoint(double Vdd, double Vth) const;
+
+  const TechnologyModel &technology() const { return Tech; }
+};
+
+/// Dynamic-energy scaling factor delta = (Vdd / VddRef)^2 (Section 3.1.1).
+double dynamicEnergyScale(double Vdd, double VddRef);
+
+/// Static-energy scaling factor
+/// sigma = 10^((VthRef - Vth) / Sv) * Vdd / VddRef (Section 3.1.2).
+double staticEnergyScale(double Vdd, double Vth, double VddRef,
+                         double VthRef, double SubthresholdSlopeV);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_POWER_ALPHAPOWERMODEL_H

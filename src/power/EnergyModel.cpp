@@ -1,0 +1,67 @@
+//===- power/EnergyModel.cpp - Section 3.1 energy model ---------------------===//
+
+#include "power/EnergyModel.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+EnergyModel::EnergyModel(const EnergyBreakdown &B,
+                         const ActivityCounts &RefCounts, double RefTexecNs,
+                         unsigned NumClustersIn)
+    : Breakdown(B), NumClusters(NumClustersIn) {
+  assert(NumClusters >= 1 && "model needs at least one cluster");
+  assert(RefTexecNs > 0 && "reference execution time must be positive");
+  assert(B.clusterShare() > 0 && "cluster share must be positive");
+
+  auto unit = [](double Share, double Count) {
+    return Count > 0 ? Share / Count : 0.0;
+  };
+  double ClusterShare = B.clusterShare();
+  EInsUnit =
+      unit(ClusterShare * (1.0 - B.ClusterLeakageFrac), RefCounts.WeightedIns);
+  ECommUnit = unit(B.IcnShare * (1.0 - B.IcnLeakageFrac), RefCounts.Comms);
+  EAccessUnit =
+      unit(B.CacheShare * (1.0 - B.CacheLeakageFrac), RefCounts.MemAccesses);
+
+  EsClusterUnit = ClusterShare * B.ClusterLeakageFrac /
+                  (RefTexecNs * static_cast<double>(NumClusters));
+  EsIcnUnit = B.IcnShare * B.IcnLeakageFrac / RefTexecNs;
+  EsCacheUnit = B.CacheShare * B.CacheLeakageFrac / RefTexecNs;
+}
+
+double EnergyModel::heteroEnergy(const std::vector<double> &WInsPerCluster,
+                                 double Comms, double MemAccesses,
+                                 double TexecNs,
+                                 const HeteroScaling &S) const {
+  assert(WInsPerCluster.size() == NumClusters &&
+         S.Clusters.size() == NumClusters &&
+         "per-cluster vectors must match the machine");
+  double E = 0;
+  for (unsigned C = 0; C < NumClusters; ++C)
+    E += S.Clusters[C].Delta * WInsPerCluster[C] * EInsUnit;
+  E += S.Icn.Delta * Comms * ECommUnit;
+  E += S.Cache.Delta * MemAccesses * EAccessUnit;
+
+  double LeakPerNs = 0;
+  for (unsigned C = 0; C < NumClusters; ++C)
+    LeakPerNs += S.Clusters[C].Sigma * EsClusterUnit;
+  LeakPerNs += S.Icn.Sigma * EsIcnUnit;
+  LeakPerNs += S.Cache.Sigma * EsCacheUnit;
+  return E + TexecNs * LeakPerNs;
+}
+
+double EnergyModel::homogeneousEnergy(const ActivityCounts &Counts,
+                                      double TexecNs,
+                                      const DomainScaling &Cluster,
+                                      const DomainScaling &Icn,
+                                      const DomainScaling &Cache) const {
+  std::vector<double> WIns(NumClusters,
+                           Counts.WeightedIns /
+                               static_cast<double>(NumClusters));
+  HeteroScaling S;
+  S.Clusters.assign(NumClusters, Cluster);
+  S.Icn = Icn;
+  S.Cache = Cache;
+  return heteroEnergy(WIns, Counts.Comms, Counts.MemAccesses, TexecNs, S);
+}

@@ -1,0 +1,122 @@
+//===- power/EnergyModel.h - Section 3.1 energy model ------------*- C++ -*-===//
+///
+/// \file
+/// The compile-time energy model of Section 3.1. The total energy of the
+/// *reference homogeneous* machine is decomposed into six components:
+/// {clusters, interconnect, cache} x {dynamic, static}, using the
+/// baseline assumptions of Section 5 (cache one third of total energy,
+/// ICN 10%; leakage one third of cluster energy, two thirds of cache
+/// energy, 10% of ICN energy). Per-unit energies (one instruction, one
+/// communication, one access, one second of leakage per component) are
+/// derived by dividing each share by the reference activity counts; the
+/// energy of an arbitrary heterogeneous configuration is then
+///
+///   E_het = sum_C delta_C * WIns_C * E_ins
+///         + delta_ICN * nComms * E_comm
+///         + delta_cache * nMem * E_access
+///         + T_exec * ( sum_C sigma_C * Es_C
+///                    + sigma_ICN * Es_ICN + sigma_cache * Es_cache )
+///
+/// Instruction counts are *energy-weighted* using Table 1 (the paper
+/// notes the class refinement as an enhancement; we implement it).
+/// Reference energy is normalized to 1.0, so heteroEnergy() values read
+/// directly as fractions of the reference machine's energy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_POWER_ENERGYMODEL_H
+#define HCVLIW_POWER_ENERGYMODEL_H
+
+#include <vector>
+
+namespace hcvliw {
+
+/// Dynamic activity of one run (a loop, or a whole program).
+struct ActivityCounts {
+  double WeightedIns = 0;  ///< sum of Table-1 relative energies executed
+  double Comms = 0;        ///< inter-cluster transfers
+  double MemAccesses = 0;  ///< loads + stores
+
+  ActivityCounts &operator+=(const ActivityCounts &O) {
+    WeightedIns += O.WeightedIns;
+    Comms += O.Comms;
+    MemAccesses += O.MemAccesses;
+    return *this;
+  }
+};
+
+/// The Section 5 baseline energy-share assumptions; Figures 8 and 9 vary
+/// these.
+struct EnergyBreakdown {
+  double CacheShare = 1.0 / 3.0;
+  double IcnShare = 0.1;
+  double ClusterLeakageFrac = 1.0 / 3.0;
+  double CacheLeakageFrac = 2.0 / 3.0;
+  double IcnLeakageFrac = 0.1;
+
+  double clusterShare() const { return 1.0 - CacheShare - IcnShare; }
+};
+
+/// Voltage/frequency scaling of one clock domain relative to the
+/// reference (delta: dynamic, sigma: static; Sections 3.1.1-3.1.2).
+struct DomainScaling {
+  double Delta = 1.0;
+  double Sigma = 1.0;
+};
+
+/// Scaling of every domain of a heterogeneous configuration.
+struct HeteroScaling {
+  std::vector<DomainScaling> Clusters;
+  DomainScaling Icn;
+  DomainScaling Cache;
+};
+
+class EnergyModel {
+  EnergyBreakdown Breakdown;
+  unsigned NumClusters;
+  double EInsUnit = 0;      ///< per weighted instruction
+  double ECommUnit = 0;     ///< per communication
+  double EAccessUnit = 0;   ///< per memory access
+  double EsClusterUnit = 0; ///< per cluster, per ns
+  double EsIcnUnit = 0;     ///< per ns
+  double EsCacheUnit = 0;   ///< per ns
+
+public:
+  /// Builds the model from the reference homogeneous run: its activity
+  /// counts and execution time (ns). Total reference energy == 1.
+  EnergyModel(const EnergyBreakdown &B, const ActivityCounts &RefCounts,
+              double RefTexecNs, unsigned NumClusters);
+
+  /// Section 3.1.3 heterogeneous-energy equation. \p WInsPerCluster is
+  /// the energy-weighted instruction count executed in each cluster
+  /// (its normalized form is the paper's p_Ci).
+  double heteroEnergy(const std::vector<double> &WInsPerCluster,
+                      double Comms, double MemAccesses, double TexecNs,
+                      const HeteroScaling &S) const;
+
+  /// The same equation for a *homogeneous* configuration (every cluster
+  /// scaled identically); used when ranking candidate homogeneous
+  /// designs (Section 5.1).
+  double homogeneousEnergy(const ActivityCounts &Counts, double TexecNs,
+                           const DomainScaling &Cluster,
+                           const DomainScaling &Icn,
+                           const DomainScaling &Cache) const;
+
+  const EnergyBreakdown &breakdown() const { return Breakdown; }
+  unsigned numClusters() const { return NumClusters; }
+  double insUnit() const { return EInsUnit; }
+  double commUnit() const { return ECommUnit; }
+  double accessUnit() const { return EAccessUnit; }
+  double clusterLeakPerNs() const { return EsClusterUnit; }
+  double icnLeakPerNs() const { return EsIcnUnit; }
+  double cacheLeakPerNs() const { return EsCacheUnit; }
+};
+
+/// Energy-delay-squared, the paper's figure of merit.
+inline double computeED2(double Energy, double DelayNs) {
+  return Energy * DelayNs * DelayNs;
+}
+
+} // namespace hcvliw
+
+#endif // HCVLIW_POWER_ENERGYMODEL_H

@@ -1,0 +1,83 @@
+//===- profiling/ProfileData.h - Reference-run profiles ----------*- C++ -*-===//
+///
+/// \file
+/// Profile data collected from the reference homogeneous machine
+/// (Section 3: "we will first simulate program execution in a reference
+/// homogeneous microarchitecture"): per-loop scheduling statistics and
+/// dynamic activity that the configuration-selection models consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_PROFILING_PROFILEDATA_H
+#define HCVLIW_PROFILING_PROFILEDATA_H
+
+#include "power/EnergyModel.h"
+#include "support/Rational.h"
+
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+
+/// Table 2's loop taxonomy.
+enum class LoopConstraint {
+  Resource,   ///< recMII <  resMII
+  Borderline, ///< resMII <= recMII < 1.3 * resMII
+  Recurrence, ///< 1.3 * resMII <= recMII
+};
+
+const char *loopConstraintName(LoopConstraint C);
+
+/// One weakly-connected component of a loop's DDG: the indivisible unit
+/// the timing estimator packs into clusters (splitting a component costs
+/// communications, so the estimator treats components as atomic).
+struct ComponentProfile {
+  std::vector<unsigned> FUCounts; ///< per FUKind
+  int64_t RecMII = 0;             ///< max recurrence inside (0 if none)
+};
+
+struct LoopProfile {
+  std::string Name;
+  uint64_t TripCount = 1;
+  double Weight = 1.0;
+  /// Invocations per program run, realizing the loop's weight as a
+  /// share of the program's execution-time budget.
+  double Invocations = 1.0;
+
+  int64_t RecMII = 0;
+  int64_t ResMII = 1;
+  int64_t IIHom = 1;             ///< reference homogeneous II
+  Rational ItLengthRefNs;        ///< reference iteration drain time
+  Rational TexecRefNs;           ///< one invocation, reference machine
+  ActivityCounts PerIter;        ///< per iteration
+  int64_t SumLifetimesRef = 0;   ///< all clusters, reference cycles
+  std::vector<unsigned> OpCounts; ///< per FUKind
+  unsigned NumOps = 0;
+  /// Weakly-connected DDG components, for the estimator's packing check.
+  std::vector<ComponentProfile> Components;
+
+  LoopConstraint classification() const {
+    if (RecMII < ResMII)
+      return LoopConstraint::Resource;
+    if (10 * RecMII < 13 * ResMII)
+      return LoopConstraint::Borderline;
+    return LoopConstraint::Recurrence;
+  }
+
+  /// Reference execution time of all invocations (ns).
+  double totalRefNs() const { return Invocations * TexecRefNs.toDouble(); }
+};
+
+struct ProgramProfile {
+  std::string Name;
+  std::vector<LoopProfile> Loops;
+  double TexecRefNs = 0;  ///< whole program, reference machine
+  ActivityCounts Totals;  ///< whole program
+
+  /// Execution-time share per LoopConstraint class (Table 2 row).
+  std::vector<double> shareByConstraint() const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_PROFILING_PROFILEDATA_H

@@ -1,0 +1,137 @@
+//===- profiling/Profiler.cpp - Reference homogeneous profiling -------------===//
+
+#include "profiling/Profiler.h"
+#include "ir/RecurrenceAnalysis.h"
+#include "partition/LoopScheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+
+using namespace hcvliw;
+
+const char *hcvliw::loopConstraintName(LoopConstraint C) {
+  switch (C) {
+  case LoopConstraint::Resource:
+    return "resource";
+  case LoopConstraint::Borderline:
+    return "borderline";
+  case LoopConstraint::Recurrence:
+    return "recurrence";
+  }
+  assert(false && "unknown constraint class");
+  return "?";
+}
+
+std::vector<double> ProgramProfile::shareByConstraint() const {
+  std::vector<double> Share(3, 0.0);
+  double Total = 0;
+  for (const LoopProfile &L : Loops) {
+    Share[static_cast<unsigned>(L.classification())] += L.totalRefNs();
+    Total += L.totalRefNs();
+  }
+  if (Total > 0)
+    for (double &S : Share)
+      S /= Total;
+  return Share;
+}
+
+Profiler::Profiler(const MachineDescription &M, double BudgetNs)
+    : Machine(M), ProgramBudgetNs(BudgetNs) {
+  assert(BudgetNs > 0 && "profiling budget must be positive");
+}
+
+std::optional<ProgramProfile>
+Profiler::profileProgram(const std::string &Name,
+                         const std::vector<Loop> &Loops) const {
+  ProgramProfile P;
+  P.Name = Name;
+
+  HeteroConfig Ref = HeteroConfig::reference(Machine);
+  LoopScheduleOptions Opts;
+  Opts.Part.ED2Objective = false; // baseline [2][3] objective
+  LoopScheduler Sched(Machine, Ref, Opts);
+
+  double TotalWeight = 0;
+  for (const Loop &L : Loops)
+    TotalWeight += L.Weight;
+  if (TotalWeight <= 0)
+    return std::nullopt;
+
+  for (const Loop &L : Loops) {
+    LoopScheduleResult R = Sched.schedule(L);
+    if (!R.Success)
+      return std::nullopt;
+
+    LoopProfile LP;
+    LP.Name = L.Name;
+    LP.TripCount = L.TripCount;
+    LP.Weight = L.Weight / TotalWeight;
+    LP.RecMII = R.RecMII;
+    LP.ResMII = R.ResMII;
+    LP.IIHom = R.Sched.Plan.Clusters.front().II;
+    LP.ItLengthRefNs = R.Sched.itLengthNs(R.PG);
+    LP.TexecRefNs = R.Sched.execTimeNs(R.PG, L.TripCount);
+    LP.NumOps = L.size();
+    LP.OpCounts = L.opCountsByFU();
+
+    for (const Operation &O : L.Ops) {
+      LP.PerIter.WeightedIns += Machine.Isa.energy(O.Op);
+      if (isMemoryOpcode(O.Op))
+        LP.PerIter.MemAccesses += 1;
+    }
+    LP.PerIter.Comms = R.PG.numCopies();
+    for (int64_t SL : R.Pressure.SumLifetimes)
+      LP.SumLifetimesRef += SL;
+
+    // Weakly-connected DDG components with their internal recMII.
+    {
+      DDG G = DDG::build(L);
+      RecurrenceInfo Recs =
+          analyzeRecurrences(G, Machine.Isa.nodeLatencies(L));
+      std::vector<unsigned> Root(L.size());
+      std::iota(Root.begin(), Root.end(), 0u);
+      std::function<unsigned(unsigned)> Find = [&](unsigned X) {
+        while (Root[X] != X)
+          X = Root[X] = Root[Root[X]];
+        return X;
+      };
+      for (const auto &E : G.edges()) {
+        unsigned A = Find(E.Src), B = Find(E.Dst);
+        if (A != B)
+          Root[A] = B;
+      }
+      std::vector<int> CompIx(L.size(), -1);
+      for (unsigned N = 0; N < L.size(); ++N) {
+        unsigned Rep = Find(N);
+        if (CompIx[Rep] < 0) {
+          CompIx[Rep] = static_cast<int>(LP.Components.size());
+          ComponentProfile CP;
+          CP.FUCounts.assign(NumFUKinds, 0);
+          LP.Components.push_back(std::move(CP));
+        }
+        ComponentProfile &CP =
+            LP.Components[static_cast<size_t>(CompIx[Rep])];
+        ++CP.FUCounts[static_cast<unsigned>(fuKindOf(L.Ops[N].Op))];
+        int RecId = Recs.RecurrenceOf[N];
+        if (RecId >= 0)
+          CP.RecMII = std::max(
+              CP.RecMII,
+              Recs.Recurrences[static_cast<size_t>(RecId)].RecMII);
+      }
+    }
+
+    LP.Invocations =
+        LP.Weight * ProgramBudgetNs / LP.TexecRefNs.toDouble();
+
+    double Iters = LP.Invocations * static_cast<double>(LP.TripCount);
+    P.Totals.WeightedIns += LP.PerIter.WeightedIns * Iters;
+    P.Totals.Comms += LP.PerIter.Comms * Iters;
+    P.Totals.MemAccesses += LP.PerIter.MemAccesses * Iters;
+    P.TexecRefNs += LP.totalRefNs();
+
+    P.Loops.push_back(std::move(LP));
+  }
+  return P;
+}

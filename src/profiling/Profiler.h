@@ -1,0 +1,40 @@
+//===- profiling/Profiler.h - Reference homogeneous profiling ----*- C++ -*-===//
+///
+/// \file
+/// Schedules every loop of a program on the reference homogeneous
+/// machine (the paper's 1 GHz / 1 V / 0.25 V four-cluster design) with
+/// the baseline [2][3] objective and extracts the LoopProfile data.
+/// Loop weights are realized as invocation counts against a fixed
+/// program execution-time budget, so a loop with weight w contributes a
+/// fraction w of the program's reference execution time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_PROFILING_PROFILER_H
+#define HCVLIW_PROFILING_PROFILER_H
+
+#include "ir/Loop.h"
+#include "machine/MachineDescription.h"
+#include "profiling/ProfileData.h"
+
+#include <optional>
+
+namespace hcvliw {
+
+class Profiler {
+  const MachineDescription &Machine;
+  double ProgramBudgetNs;
+
+public:
+  explicit Profiler(const MachineDescription &M,
+                    double ProgramBudgetNs = 1e6);
+
+  /// std::nullopt when some loop cannot be scheduled on the reference
+  /// machine (a workload bug).
+  std::optional<ProgramProfile>
+  profileProgram(const std::string &Name, const std::vector<Loop> &Loops) const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_PROFILING_PROFILER_H

@@ -1,0 +1,233 @@
+//===- sched/HeteroModuloScheduler.cpp - Heterogeneous IMS ------------------===//
+
+#include "sched/HeteroModuloScheduler.h"
+#include "mcd/SyncModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hcvliw;
+
+static Rational periodOf(const PartitionedGraph &PG, const MachinePlan &Plan,
+                         unsigned Node) {
+  unsigned D = PG.node(Node).Domain;
+  return D == PG.busDomain() ? Plan.Bus.PeriodNs : Plan.Clusters[D].PeriodNs;
+}
+
+static int64_t iiOf(const PartitionedGraph &PG, const MachinePlan &Plan,
+                    unsigned Node) {
+  unsigned D = PG.node(Node).Domain;
+  return D == PG.busDomain() ? Plan.Bus.II : Plan.Clusters[D].II;
+}
+
+Rational hcvliw::edgeStartBound(const PartitionedGraph &PG,
+                                const MachinePlan &Plan, const PGEdge &E,
+                                const Rational &SrcStartNs) {
+  Rational PSrc = periodOf(PG, Plan, E.Src);
+  Rational PDst = periodOf(PG, Plan, E.Dst);
+  Rational Ready = SrcStartNs + Rational(E.LatencyCycles) * PSrc;
+  Rational Arrive = crossDomainArrival(Ready, PSrc, PDst);
+  return Arrive - Rational(E.Distance) * Plan.ITNs;
+}
+
+std::optional<std::vector<Rational>>
+hcvliw::computeAsapTimes(const PartitionedGraph &PG, const MachinePlan &Plan) {
+  std::vector<Rational> Start(PG.size(), Rational(0));
+  // Longest-path fixpoint; with V nodes, a change in round V proves an
+  // unsatisfiable (positive) dependence cycle for this IT.
+  for (unsigned Round = 0; Round <= PG.size(); ++Round) {
+    bool Changed = false;
+    for (const PGEdge &E : PG.edges()) {
+      Rational Bound = edgeStartBound(PG, Plan, E, Start[E.Src]);
+      if (Start[E.Dst] < Bound) {
+        // Starts are slot-aligned: round the bound up to the domain tick.
+        Rational P = periodOf(PG, Plan, E.Dst);
+        Rational Aligned = alignUpToTick(Bound, P);
+        if (Start[E.Dst] < Aligned) {
+          Start[E.Dst] = Aligned;
+          Changed = true;
+        }
+      }
+    }
+    if (!Changed)
+      return Start;
+  }
+  return std::nullopt;
+}
+
+HeteroModuloScheduler::HeteroModuloScheduler(const MachineDescription &M,
+                                             const PartitionedGraph &Graph,
+                                             const MachinePlan &ThePlan,
+                                             const SchedulerOptions &O)
+    : Machine(M), PG(Graph), Plan(ThePlan), Opts(O) {}
+
+namespace {
+
+/// Ordering key: tighter slack first, earlier ASAP second.
+struct PriorityEntry {
+  unsigned Node;
+  Rational Slack;
+  Rational Asap;
+};
+
+} // namespace
+
+SchedulerResult HeteroModuloScheduler::run() {
+  SchedulerResult Result;
+  unsigned N = PG.size();
+
+  auto AsapOpt = computeAsapTimes(PG, Plan);
+  if (!AsapOpt) {
+    Result.FailureReason = "recurrence infeasible at this IT";
+    return Result;
+  }
+  const std::vector<Rational> &Asap = *AsapOpt;
+
+  // Approximate ALAP against the ASAP horizon using the no-sync timing
+  // rule backwards (priorities only; correctness never depends on it).
+  Rational Horizon(0);
+  for (unsigned I = 0; I < N; ++I)
+    Horizon = Rational::max(Horizon, Asap[I]);
+  std::vector<Rational> Alap(N, Horizon);
+  for (unsigned Round = 0; Round < N; ++Round) {
+    bool Changed = false;
+    for (const PGEdge &E : PG.edges()) {
+      Rational PSrc = periodOf(PG, Plan, E.Src);
+      Rational Limit = Alap[E.Dst] + Rational(E.Distance) * Plan.ITNs -
+                       Rational(E.LatencyCycles) * PSrc;
+      if (Limit < Alap[E.Src]) {
+        Alap[E.Src] = Limit;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  std::vector<PriorityEntry> Order(N);
+  for (unsigned I = 0; I < N; ++I)
+    Order[I] = {I, Alap[I] - Asap[I], Asap[I]};
+  std::sort(Order.begin(), Order.end(),
+            [](const PriorityEntry &A, const PriorityEntry &B) {
+              if (A.Slack != B.Slack)
+                return A.Slack < B.Slack;
+              if (A.Asap != B.Asap)
+                return A.Asap < B.Asap;
+              return A.Node < B.Node;
+            });
+  std::vector<unsigned> Rank(N);
+  for (unsigned I = 0; I < N; ++I)
+    Rank[Order[I].Node] = I;
+
+  ModuloReservationTable MRT(Machine, Plan);
+  std::vector<bool> Placed(N, false);
+  std::vector<int64_t> Slot(N, 0);
+  std::vector<unsigned> Unit(N, 0);
+  std::vector<int64_t> LastSlot(N, INT64_MIN);
+  std::vector<Rational> Period(N);
+  for (unsigned I = 0; I < N; ++I)
+    Period[I] = periodOf(PG, Plan, I);
+
+  auto startNs = [&](unsigned Node) {
+    return Rational(Slot[Node]) * Period[Node];
+  };
+
+  auto eject = [&](unsigned Node) {
+    assert(Placed[Node] && "ejecting an unplaced node");
+    MRT.release(PG.node(Node).Domain, PG.node(Node).Kind, Slot[Node],
+                Unit[Node], Node);
+    Placed[Node] = false;
+  };
+
+  int64_t Budget =
+      static_cast<int64_t>(Opts.BudgetFactor) * static_cast<int64_t>(N) + 64;
+  unsigned NumPlaced = 0;
+
+  while (NumPlaced < N) {
+    if (--Budget < 0) {
+      Result.FailureReason = "scheduling budget exhausted";
+      return Result;
+    }
+    // Highest-priority unplaced node.
+    unsigned U = ~0u;
+    for (const auto &P : Order)
+      if (!Placed[P.Node]) {
+        U = P.Node;
+        break;
+      }
+    assert(U != ~0u && "no unplaced node despite NumPlaced < N");
+
+    // Earliest slot from ASAP and placed predecessors.
+    Rational EarliestNs = Asap[U];
+    for (unsigned EIx : PG.inEdges(U)) {
+      const PGEdge &E = PG.edge(EIx);
+      if (!Placed[E.Src])
+        continue;
+      Rational Bound = edgeStartBound(PG, Plan, E, startNs(E.Src));
+      EarliestNs = Rational::max(EarliestNs, Bound);
+    }
+    int64_t E0 = (EarliestNs / Period[U]).ceil();
+    if (E0 < 0)
+      E0 = 0;
+    if (LastSlot[U] != INT64_MIN && E0 <= LastSlot[U])
+      E0 = LastSlot[U] + 1; // Rau's progress rule on re-placement
+
+    int64_t II = iiOf(PG, Plan, U);
+    if (E0 > Opts.MaxSlotMultiple * II) {
+      Result.FailureReason = "slot bound exceeded (ejection runaway)";
+      return Result;
+    }
+
+    const PGNode &Node = PG.node(U);
+    int GotUnit = -1;
+    int64_t S = E0;
+    for (; S < E0 + II; ++S) {
+      GotUnit = MRT.tryReserve(Node.Domain, Node.Kind, S, U);
+      if (GotUnit >= 0)
+        break;
+    }
+    if (GotUnit < 0) {
+      // Force placement at E0: evict one occupant of the cell.
+      S = E0;
+      std::vector<unsigned> Occ = MRT.occupants(Node.Domain, Node.Kind, S);
+      assert(!Occ.empty() && "no free unit yet no occupants");
+      // Evict the lowest-priority occupant (largest rank).
+      unsigned Victim = Occ.front();
+      for (unsigned O : Occ)
+        if (Rank[O] > Rank[Victim])
+          Victim = O;
+      eject(Victim);
+      --NumPlaced;
+      GotUnit = MRT.tryReserve(Node.Domain, Node.Kind, S, U);
+      assert(GotUnit >= 0 && "reservation failed after eviction");
+    }
+
+    Placed[U] = true;
+    Slot[U] = S;
+    Unit[U] = static_cast<unsigned>(GotUnit);
+    LastSlot[U] = S;
+    ++NumPlaced;
+
+    // Eject placed successors whose dependence is now violated.
+    for (unsigned EIx : PG.outEdges(U)) {
+      const PGEdge &E = PG.edge(EIx);
+      if (!Placed[E.Dst] || E.Dst == U)
+        continue;
+      Rational Bound = edgeStartBound(PG, Plan, E, startNs(U));
+      if (startNs(E.Dst) < Bound) {
+        eject(E.Dst);
+        --NumPlaced;
+      }
+    }
+  }
+
+  Result.Success = true;
+  Result.Sched.Plan = Plan;
+  Result.Sched.Nodes.assign(N, ScheduledNode());
+  for (unsigned I = 0; I < N; ++I) {
+    Result.Sched.Nodes[I].Placed = true;
+    Result.Sched.Nodes[I].Slot = Slot[I];
+    Result.Sched.Nodes[I].Unit = Unit[I];
+  }
+  return Result;
+}

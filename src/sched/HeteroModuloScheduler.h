@@ -1,0 +1,76 @@
+//===- sched/HeteroModuloScheduler.h - Heterogeneous IMS ---------*- C++ -*-===//
+///
+/// \file
+/// Iterative modulo scheduling for heterogeneous clustered machines
+/// (the "Schedule" box of the paper's Figure 5). Given a partitioned
+/// graph and a machine plan (IT plus per-domain II/frequency), nodes are
+/// placed in absolute time: node n at slot s of domain d issues at
+/// s * period(d), and its modulo resource reservation is slot mod II_d.
+///
+/// The algorithm follows Rau's iterative modulo scheduling adapted to
+/// absolute-time dependences: nodes are ordered by slack (ALAP - ASAP);
+/// each node is placed at the first resource-feasible slot in a window
+/// of II_d slots above its predecessor-induced earliest start; when the
+/// window is full the node is force-placed and conflicting occupants /
+/// violated successors are ejected, bounded by an operation budget.
+///
+/// The scheduler does not check register pressure; the driver validates
+/// it afterwards (sched/RegisterPressure.h) and grows the IT on failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SCHED_HETEROMODULOSCHEDULER_H
+#define HCVLIW_SCHED_HETEROMODULOSCHEDULER_H
+
+#include "sched/ModuloReservationTable.h"
+#include "sched/Schedule.h"
+
+#include <optional>
+#include <string>
+
+namespace hcvliw {
+
+struct SchedulerOptions {
+  /// Placement attempts allowed, as a multiple of the node count.
+  unsigned BudgetFactor = 12;
+  /// Fail when any slot exceeds this multiple of its domain's II
+  /// (runaway ejection chains).
+  int64_t MaxSlotMultiple = 64;
+};
+
+struct SchedulerResult {
+  bool Success = false;
+  Schedule Sched;
+  std::string FailureReason;
+};
+
+/// Earliest start times (ns) of every node ignoring resources, or
+/// std::nullopt when a dependence cycle cannot meet the plan's IT (the
+/// recurrence is infeasible for this partition/IT). Exact longest-path
+/// fixpoint over the cross-domain timing rule.
+std::optional<std::vector<Rational>>
+computeAsapTimes(const PartitionedGraph &PG, const MachinePlan &Plan);
+
+/// Lower bound on start(Dst) induced by edge \p E when Src starts at
+/// \p SrcStartNs (the Section 2.2 + sync-queue timing rule).
+Rational edgeStartBound(const PartitionedGraph &PG, const MachinePlan &Plan,
+                        const PGEdge &E, const Rational &SrcStartNs);
+
+class HeteroModuloScheduler {
+  const MachineDescription &Machine;
+  const PartitionedGraph &PG;
+  MachinePlan Plan;
+  SchedulerOptions Opts;
+
+public:
+  HeteroModuloScheduler(const MachineDescription &M,
+                        const PartitionedGraph &Graph,
+                        const MachinePlan &ThePlan,
+                        const SchedulerOptions &O = SchedulerOptions());
+
+  SchedulerResult run();
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SCHED_HETEROMODULOSCHEDULER_H

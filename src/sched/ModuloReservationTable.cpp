@@ -1,0 +1,81 @@
+//===- sched/ModuloReservationTable.cpp - Per-domain MRTs -------------------===//
+
+#include "sched/ModuloReservationTable.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+ModuloReservationTable::ModuloReservationTable(const MachineDescription &M,
+                                               const MachinePlan &Plan)
+    : NumClusters(M.numClusters()) {
+  Tables.resize(NumClusters + 1);
+  for (unsigned C = 0; C < NumClusters; ++C) {
+    Tables[C].resize(NumFUKinds);
+    for (unsigned K = 0; K < NumFUKinds; ++K) {
+      FUKind Kind = static_cast<FUKind>(K);
+      if (Kind == FUKind::Bus)
+        continue;
+      KindTable &T = Tables[C][K];
+      T.II = Plan.Clusters[C].II;
+      T.Units = M.Clusters[C].fuCount(Kind);
+      T.Cells.assign(T.Units * static_cast<size_t>(T.II), -1);
+    }
+  }
+  Tables[NumClusters].resize(NumFUKinds);
+  KindTable &B = Tables[NumClusters][static_cast<unsigned>(FUKind::Bus)];
+  B.II = Plan.Bus.II;
+  B.Units = M.Buses;
+  B.Cells.assign(B.Units * static_cast<size_t>(B.II), -1);
+}
+
+ModuloReservationTable::KindTable &
+ModuloReservationTable::tableFor(unsigned Domain, FUKind Kind) {
+  assert(Domain < Tables.size() && "domain out of range");
+  assert((Domain == NumClusters) == (Kind == FUKind::Bus) &&
+         "bus reservations only in the bus domain");
+  KindTable &T = Tables[Domain][static_cast<unsigned>(Kind)];
+  assert(T.Units > 0 && "reserving a unit kind this domain lacks");
+  return T;
+}
+
+int ModuloReservationTable::tryReserve(unsigned Domain, FUKind Kind,
+                                       int64_t Slot, unsigned Node) {
+  KindTable &T = tableFor(Domain, Kind);
+  for (unsigned U = 0; U < T.Units; ++U) {
+    int &Cell = T.cell(U, Slot);
+    if (Cell < 0) {
+      Cell = static_cast<int>(Node);
+      return static_cast<int>(U);
+    }
+  }
+  return -1;
+}
+
+void ModuloReservationTable::release(unsigned Domain, FUKind Kind,
+                                     int64_t Slot, unsigned Unit,
+                                     unsigned Node) {
+  KindTable &T = tableFor(Domain, Kind);
+  int &Cell = T.cell(Unit, Slot);
+  assert(Cell == static_cast<int>(Node) && "releasing someone else's cell");
+  (void)Node;
+  Cell = -1;
+}
+
+std::vector<unsigned> ModuloReservationTable::occupants(unsigned Domain,
+                                                        FUKind Kind,
+                                                        int64_t Slot) {
+  KindTable &T = tableFor(Domain, Kind);
+  std::vector<unsigned> Out;
+  for (unsigned U = 0; U < T.Units; ++U) {
+    int Cell = T.cell(U, Slot);
+    if (Cell >= 0)
+      Out.push_back(static_cast<unsigned>(Cell));
+  }
+  return Out;
+}
+
+int ModuloReservationTable::occupant(unsigned Domain, FUKind Kind,
+                                     int64_t Slot, unsigned Unit) {
+  return tableFor(Domain, Kind).cell(Unit, Slot);
+}

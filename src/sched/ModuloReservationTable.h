@@ -1,0 +1,65 @@
+//===- sched/ModuloReservationTable.h - Per-domain MRTs ----------*- C++ -*-===//
+///
+/// \file
+/// Modulo reservation tables for the heterogeneous machine: each clock
+/// domain owns a table with II_domain columns (slot modulo II) and one
+/// row per functional-unit instance of each kind. Cluster domains carry
+/// INT / FP / memory-port rows; the bus domain carries one row per bus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SCHED_MODULORESERVATIONTABLE_H
+#define HCVLIW_SCHED_MODULORESERVATIONTABLE_H
+
+#include "machine/MachineDescription.h"
+#include "mcd/DomainPlanner.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hcvliw {
+
+class ModuloReservationTable {
+  struct KindTable {
+    int64_t II = 1;
+    unsigned Units = 0;
+    /// Units x II, occupant node id or -1.
+    std::vector<int> Cells;
+
+    int &cell(unsigned Unit, int64_t Slot) {
+      int64_t M = Slot % II;
+      if (M < 0)
+        M += II;
+      return Cells[Unit * static_cast<size_t>(II) + static_cast<size_t>(M)];
+    }
+  };
+
+  unsigned NumClusters = 0;
+  /// [domain][kind]; the bus domain has a single Bus kind table.
+  std::vector<std::vector<KindTable>> Tables;
+
+  KindTable &tableFor(unsigned Domain, FUKind Kind);
+
+public:
+  ModuloReservationTable(const MachineDescription &M, const MachinePlan &Plan);
+
+  /// Tries to reserve a unit of \p Kind in \p Domain at \p Slot for node
+  /// \p Node. Returns the unit index, or -1 when all units are busy.
+  int tryReserve(unsigned Domain, FUKind Kind, int64_t Slot, unsigned Node);
+
+  /// Releases the reservation \p Node holds at \p Slot.
+  void release(unsigned Domain, FUKind Kind, int64_t Slot, unsigned Unit,
+               unsigned Node);
+
+  /// Node ids occupying all units of \p Kind at \p Slot (used by the
+  /// scheduler's forced-placement eviction).
+  std::vector<unsigned> occupants(unsigned Domain, FUKind Kind,
+                                  int64_t Slot);
+
+  /// Occupant of a specific cell, or -1.
+  int occupant(unsigned Domain, FUKind Kind, int64_t Slot, unsigned Unit);
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SCHED_MODULORESERVATIONTABLE_H

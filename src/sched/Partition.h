@@ -1,0 +1,39 @@
+//===- sched/Partition.h - Cluster assignment -------------------*- C++ -*-===//
+///
+/// \file
+/// A cluster assignment of a loop's operations: the output of the graph
+/// partitioner and the input of the modulo scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SCHED_PARTITION_H
+#define HCVLIW_SCHED_PARTITION_H
+
+#include <cassert>
+#include <vector>
+
+namespace hcvliw {
+
+struct Partition {
+  /// Cluster id per DDG node.
+  std::vector<unsigned> ClusterOf;
+
+  unsigned size() const { return static_cast<unsigned>(ClusterOf.size()); }
+
+  unsigned cluster(unsigned Node) const {
+    assert(Node < ClusterOf.size() && "node out of range");
+    return ClusterOf[Node];
+  }
+
+  /// All nodes in one cluster (trivial partition) -- the DDG of a
+  /// single-cluster machine.
+  static Partition allInCluster(unsigned NumNodes, unsigned Cluster) {
+    Partition P;
+    P.ClusterOf.assign(NumNodes, Cluster);
+    return P;
+  }
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SCHED_PARTITION_H

@@ -1,0 +1,91 @@
+//===- sched/PartitionedGraph.cpp - DDG + cluster assignment + copies ------===//
+
+#include "sched/PartitionedGraph.h"
+
+#include <cassert>
+#include <map>
+
+using namespace hcvliw;
+
+void PartitionedGraph::addNode(const PGNode &N) {
+  Nodes.push_back(N);
+  OutEdgeIx.emplace_back();
+  InEdgeIx.emplace_back();
+}
+
+void PartitionedGraph::addEdge(const PGEdge &E) {
+  assert(E.Src < Nodes.size() && E.Dst < Nodes.size() &&
+         "edge endpoint out of range");
+  unsigned Ix = static_cast<unsigned>(Edges.size());
+  Edges.push_back(E);
+  OutEdgeIx[E.Src].push_back(Ix);
+  InEdgeIx[E.Dst].push_back(Ix);
+}
+
+unsigned PartitionedGraph::numCopies() const {
+  unsigned N = 0;
+  for (const auto &Node : Nodes)
+    if (Node.OrigOp < 0)
+      ++N;
+  return N;
+}
+
+PartitionedGraph PartitionedGraph::build(const Loop &L, const DDG &G,
+                                         const IsaTable &Isa,
+                                         const Partition &P,
+                                         unsigned NumClusters,
+                                         unsigned BusLatency) {
+  assert(P.size() == G.size() && "partition does not cover the DDG");
+  PartitionedGraph PG;
+  PG.NumClustersVal = NumClusters;
+
+  for (unsigned I = 0; I < G.size(); ++I) {
+    assert(P.cluster(I) < NumClusters && "cluster id out of range");
+    PGNode N;
+    N.Domain = P.cluster(I);
+    N.Op = L.Ops[I].Op;
+    N.LatencyCycles = Isa.latency(N.Op);
+    N.Kind = fuKindOf(N.Op);
+    N.OrigOp = static_cast<int>(I);
+    PG.addNode(N);
+  }
+
+  std::vector<unsigned> NodeLat = Isa.nodeLatencies(L);
+
+  // One copy per (produced value, destination cluster); consumers at
+  // different distances share it (the copy follows the producer at
+  // distance 0; each consumer keeps its original distance).
+  std::map<std::pair<unsigned, unsigned>, unsigned> CopyIx;
+  auto copyFor = [&](unsigned Value, unsigned DstCluster) -> unsigned {
+    auto Key = std::make_pair(Value, DstCluster);
+    auto It = CopyIx.find(Key);
+    if (It != CopyIx.end())
+      return It->second;
+    PGNode C;
+    C.Domain = PG.busDomain();
+    C.Op = Opcode::Copy;
+    C.LatencyCycles = BusLatency;
+    C.Kind = FUKind::Bus;
+    C.OrigOp = -1;
+    C.CopiedValue = static_cast<int>(Value);
+    unsigned Ix = PG.size();
+    PG.addNode(C);
+    PG.addEdge({Value, Ix, /*Distance=*/0, /*LatencyCycles=*/NodeLat[Value],
+                /*CarriesValue=*/true});
+    CopyIx.emplace(Key, Ix);
+    return Ix;
+  };
+
+  for (const auto &E : G.edges()) {
+    bool Carries = isValueCarrying(E.Kind);
+    unsigned Lat = edgeLatency(E, NodeLat);
+    if (!Carries || P.cluster(E.Src) == P.cluster(E.Dst)) {
+      PG.addEdge({E.Src, E.Dst, E.Distance, Lat, Carries});
+      continue;
+    }
+    unsigned C = copyFor(E.Src, P.cluster(E.Dst));
+    PG.addEdge({C, E.Dst, E.Distance, /*LatencyCycles=*/BusLatency,
+                /*CarriesValue=*/true});
+  }
+  return PG;
+}

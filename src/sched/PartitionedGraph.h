@@ -1,0 +1,92 @@
+//===- sched/PartitionedGraph.h - DDG + cluster assignment + copies -*-C++-*-===//
+///
+/// \file
+/// The scheduling-level graph: the loop's DDG specialized by a cluster
+/// assignment, with one explicit *copy node* per (produced value,
+/// consuming cluster) pair whose flow edges cross clusters. Copy nodes
+/// execute on the bus domain; every node therefore has a clock domain
+/// (its cluster, or the bus) and the scheduler treats all nodes
+/// uniformly. Memory-ordering edges never materialize copies (no value
+/// moves; they only constrain time).
+///
+/// Edge timing rule (absolute nanoseconds, Section 2.2 + sync queues):
+///
+///   ready(u)  = start(u) + latency(u) * period(domain(u))
+///   arrive(v) = crossDomainArrival(ready(u), period(u), period(v))
+///   start(v) >= arrive(v) - distance * IT
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SCHED_PARTITIONEDGRAPH_H
+#define HCVLIW_SCHED_PARTITIONEDGRAPH_H
+
+#include "ir/DDG.h"
+#include "machine/IsaTable.h"
+#include "sched/Partition.h"
+
+#include <vector>
+
+namespace hcvliw {
+
+/// One schedulable node: an original operation or a materialized copy.
+struct PGNode {
+  /// Cluster id, or numClusters() for the bus domain.
+  unsigned Domain = 0;
+  Opcode Op = Opcode::IntAdd;
+  /// Execution latency in cycles of this node's own domain.
+  unsigned LatencyCycles = 1;
+  FUKind Kind = FUKind::IntFU;
+  /// Original DDG node id; -1 for copies.
+  int OrigOp = -1;
+  /// For copies: the DDG node whose value is transported.
+  int CopiedValue = -1;
+};
+
+struct PGEdge {
+  unsigned Src = 0;
+  unsigned Dst = 0;
+  unsigned Distance = 0;
+  /// Cycles (of Src's domain) between start(Src) and the time this
+  /// dependence is satisfied: the producer latency for value/mem-flow
+  /// edges, 1 for anti/output ordering edges.
+  unsigned LatencyCycles = 1;
+  /// Whether the edge carries a register value (defines lifetimes).
+  bool CarriesValue = true;
+};
+
+class PartitionedGraph {
+  unsigned NumClustersVal = 0;
+  std::vector<PGNode> Nodes;
+  std::vector<PGEdge> Edges;
+  std::vector<std::vector<unsigned>> OutEdgeIx;
+  std::vector<std::vector<unsigned>> InEdgeIx;
+
+public:
+  /// Builds the graph for \p L under assignment \p P. \p BusLatency is
+  /// the transfer latency of one copy in bus cycles.
+  static PartitionedGraph build(const Loop &L, const DDG &G,
+                                const IsaTable &Isa, const Partition &P,
+                                unsigned NumClusters, unsigned BusLatency);
+
+  unsigned numClusters() const { return NumClustersVal; }
+  unsigned busDomain() const { return NumClustersVal; }
+  unsigned size() const { return static_cast<unsigned>(Nodes.size()); }
+  unsigned numCopies() const;
+
+  const PGNode &node(unsigned N) const { return Nodes[N]; }
+  const std::vector<PGEdge> &edges() const { return Edges; }
+  const PGEdge &edge(unsigned E) const { return Edges[E]; }
+  const std::vector<unsigned> &outEdges(unsigned N) const {
+    return OutEdgeIx[N];
+  }
+  const std::vector<unsigned> &inEdges(unsigned N) const {
+    return InEdgeIx[N];
+  }
+
+  void addNode(const PGNode &N);
+  void addEdge(const PGEdge &E);
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SCHED_PARTITIONEDGRAPH_H

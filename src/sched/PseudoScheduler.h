@@ -1,0 +1,55 @@
+//===- sched/PseudoScheduler.h - Fast schedule estimates ---------*- C++ -*-===//
+///
+/// \file
+/// Pseudo-schedules (Section 4.1.2, after [3]): a cheap approximation of
+/// the schedule a partition would obtain, used to compare candidate
+/// partitions during refinement without running the full scheduler.
+/// The estimate checks
+///   - per-cluster functional-unit capacity at the plan's IIs,
+///   - bus capacity against the partition's communication count,
+///   - recurrence feasibility through the exact ASAP fixpoint,
+///   - a sum-of-lifetimes register proxy (Section 3.2's third bullet),
+/// and reports the activity distribution the energy model needs (the
+/// paper's p_Ci) plus an it_length approximation from the ASAP times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SCHED_PSEUDOSCHEDULER_H
+#define HCVLIW_SCHED_PSEUDOSCHEDULER_H
+
+#include "sched/PartitionedGraph.h"
+#include "sched/Schedule.h"
+
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+
+struct PseudoSchedule {
+  bool Feasible = false;
+  std::string Reason;
+  /// Graded infeasibility: total normalized violation over all checks
+  /// (0 when feasible). Refinement uses this as a gradient so greedy
+  /// moves can walk *out* of an infeasible region instead of stalling
+  /// on a flat "infinite" score.
+  double Overflow = 0;
+
+  /// Inter-cluster transfers per iteration (copy nodes materialized).
+  unsigned Comms = 0;
+  /// Energy-weighted instructions per cluster (normalizes to p_Ci).
+  std::vector<double> WInsPerCluster;
+  /// Approximate time for one iteration to complete.
+  Rational ItLengthNs;
+  /// Sum-of-lifetimes register proxy per cluster, in cluster cycles.
+  std::vector<int64_t> LifetimeProxy;
+};
+
+/// Estimates the schedule quality of \p P for \p L under \p Plan.
+PseudoSchedule estimatePseudoSchedule(const Loop &L, const DDG &G,
+                                      const MachineDescription &M,
+                                      const MachinePlan &Plan,
+                                      const Partition &P);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SCHED_PSEUDOSCHEDULER_H

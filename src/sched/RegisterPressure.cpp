@@ -1,0 +1,100 @@
+//===- sched/RegisterPressure.cpp - MaxLive computation ---------------------===//
+
+#include "sched/RegisterPressure.h"
+#include "mcd/SyncModel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hcvliw;
+
+bool RegisterPressureResult::fits(const MachineDescription &M) const {
+  for (unsigned C = 0; C < MaxLive.size(); ++C)
+    if (MaxLive[C] > static_cast<int64_t>(M.Clusters[C].Registers))
+      return false;
+  return true;
+}
+
+RegisterPressureResult
+hcvliw::computeRegisterPressure(const PartitionedGraph &PG,
+                                const Schedule &S) {
+  unsigned NC = PG.numClusters();
+  RegisterPressureResult R;
+  R.MaxLive.assign(NC, 0);
+  R.SumLifetimes.assign(NC, 0);
+
+  // Per-cluster modulo pressure accumulators.
+  std::vector<std::vector<int64_t>> Pressure(NC);
+  for (unsigned C = 0; C < NC; ++C)
+    Pressure[C].assign(static_cast<size_t>(S.Plan.Clusters[C].II), 0);
+
+  // A node's value occupies a register in cluster HomeCluster from
+  // WriteNs until the latest read among its value-carrying out-edges.
+  for (unsigned N = 0; N < PG.size(); ++N) {
+    const PGNode &Node = PG.node(N);
+    bool DefinesRegister =
+        Node.Op != Opcode::Store &&
+        (Node.OrigOp >= 0 || Node.CopiedValue >= 0);
+    if (!DefinesRegister)
+      continue;
+
+    // Where does the value live, and when is it written?
+    unsigned Home;
+    Rational WriteNs;
+    if (Node.Domain != PG.busDomain()) {
+      Home = Node.Domain;
+      WriteNs = S.readyNs(PG, N);
+    } else {
+      // A copy's payload lands in the (unique) cluster of its consumers.
+      int HomeInt = -1;
+      for (unsigned EIx : PG.outEdges(N)) {
+        unsigned DstDom = PG.node(PG.edge(EIx).Dst).Domain;
+        assert(DstDom != PG.busDomain() && "copy feeding a copy");
+        assert((HomeInt < 0 || HomeInt == static_cast<int>(DstDom)) &&
+               "copy with consumers in several clusters");
+        HomeInt = static_cast<int>(DstDom);
+      }
+      if (HomeInt < 0)
+        continue; // dead copy: nothing to hold
+      Home = static_cast<unsigned>(HomeInt);
+      WriteNs = crossDomainArrival(S.readyNs(PG, N), S.Plan.Bus.PeriodNs,
+                                   S.Plan.Clusters[Home].PeriodNs);
+    }
+
+    bool HasUse = false;
+    Rational LastReadNs(0);
+    for (unsigned EIx : PG.outEdges(N)) {
+      const PGEdge &E = PG.edge(EIx);
+      if (!E.CarriesValue)
+        continue;
+      Rational ReadNs = S.startNs(PG, E.Dst) +
+                        Rational(E.Distance) * S.Plan.ITNs;
+      if (!HasUse || LastReadNs < ReadNs)
+        LastReadNs = ReadNs;
+      HasUse = true;
+    }
+    if (!HasUse)
+      continue;
+
+    const Rational &P = S.Plan.Clusters[Home].PeriodNs;
+    int64_t II = S.Plan.Clusters[Home].II;
+    int64_t DefSlot = (WriteNs / P).floor();
+    int64_t EndSlot = (LastReadNs / P).ceil();
+    int64_t Len = std::max<int64_t>(1, EndSlot - DefSlot);
+    R.SumLifetimes[Home] += Len;
+
+    int64_t Full = Len / II;
+    int64_t Rem = Len % II;
+    for (int64_t M = 0; M < II; ++M) {
+      int64_t Shift = (M - DefSlot) % II;
+      if (Shift < 0)
+        Shift += II;
+      Pressure[Home][static_cast<size_t>(M)] += Full + (Shift < Rem ? 1 : 0);
+    }
+  }
+
+  for (unsigned C = 0; C < NC; ++C)
+    for (int64_t V : Pressure[C])
+      R.MaxLive[C] = std::max(R.MaxLive[C], V);
+  return R;
+}

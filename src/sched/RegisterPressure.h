@@ -1,0 +1,39 @@
+//===- sched/RegisterPressure.h - MaxLive computation ------------*- C++ -*-===//
+///
+/// \file
+/// Register pressure of a modulo schedule. Every value (a cluster-local
+/// def, or a copy arriving into a cluster) lives from its write time to
+/// its last read (reads of consumers d iterations later happen d*IT
+/// later). In a modulo schedule a lifetime of L cluster cycles adds
+/// floor(L / II) registers at every modulo slot plus one more over
+/// L mod II slots; MaxLive is the peak over the II slots and must fit in
+/// the cluster's register file. The Section 3.2 estimator uses the
+/// coarser "sum of lifetimes <= registers * II" form, also provided.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SCHED_REGISTERPRESSURE_H
+#define HCVLIW_SCHED_REGISTERPRESSURE_H
+
+#include "sched/Schedule.h"
+
+#include <vector>
+
+namespace hcvliw {
+
+struct RegisterPressureResult {
+  /// Peak live values per cluster.
+  std::vector<int64_t> MaxLive;
+  /// Sum of lifetimes (cluster cycles) per cluster.
+  std::vector<int64_t> SumLifetimes;
+
+  /// True when every cluster's MaxLive fits its register file.
+  bool fits(const MachineDescription &M) const;
+};
+
+RegisterPressureResult computeRegisterPressure(const PartitionedGraph &PG,
+                                               const Schedule &S);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SCHED_REGISTERPRESSURE_H

@@ -1,0 +1,81 @@
+//===- sched/Schedule.cpp - Modulo schedule artifact ------------------------===//
+
+#include "sched/Schedule.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hcvliw;
+
+Rational Schedule::periodOf(const PartitionedGraph &PG, unsigned Node) const {
+  unsigned D = PG.node(Node).Domain;
+  if (D == PG.busDomain())
+    return Plan.Bus.PeriodNs;
+  return Plan.Clusters[D].PeriodNs;
+}
+
+int64_t Schedule::iiOf(const PartitionedGraph &PG, unsigned Node) const {
+  unsigned D = PG.node(Node).Domain;
+  if (D == PG.busDomain())
+    return Plan.Bus.II;
+  return Plan.Clusters[D].II;
+}
+
+Rational Schedule::startNs(const PartitionedGraph &PG, unsigned Node) const {
+  assert(Nodes[Node].Placed && "querying an unplaced node");
+  return Rational(Nodes[Node].Slot) * periodOf(PG, Node);
+}
+
+Rational Schedule::readyNs(const PartitionedGraph &PG, unsigned Node) const {
+  return startNs(PG, Node) +
+         Rational(PG.node(Node).LatencyCycles) * periodOf(PG, Node);
+}
+
+Rational Schedule::itLengthNs(const PartitionedGraph &PG) const {
+  Rational End(0);
+  for (unsigned N = 0; N < PG.size(); ++N)
+    if (Nodes[N].Placed)
+      End = Rational::max(End, readyNs(PG, N));
+  return End;
+}
+
+int64_t Schedule::stageCount(const PartitionedGraph &PG,
+                             unsigned Domain) const {
+  int64_t II = Domain == PG.busDomain() ? Plan.Bus.II
+                                        : Plan.Clusters[Domain].II;
+  int64_t MaxSlot = -1;
+  for (unsigned N = 0; N < PG.size(); ++N)
+    if (Nodes[N].Placed && PG.node(N).Domain == Domain)
+      MaxSlot = std::max(MaxSlot, Nodes[N].Slot);
+  if (MaxSlot < 0)
+    return 0;
+  return MaxSlot / II + 1;
+}
+
+Rational Schedule::execTimeNs(const PartitionedGraph &PG,
+                              uint64_t TripCount) const {
+  assert(TripCount >= 1 && "empty loop execution");
+  return Rational(static_cast<int64_t>(TripCount) - 1) * Plan.ITNs +
+         itLengthNs(PG);
+}
+
+std::string Schedule::str(const PartitionedGraph &PG) const {
+  std::string Out = formatString("IT = %s ns\n", Plan.ITNs.str().c_str());
+  for (unsigned C = 0; C < PG.numClusters(); ++C)
+    Out += formatString("  cluster %u: II=%lld period=%s ns\n", C,
+                        static_cast<long long>(Plan.Clusters[C].II),
+                        Plan.Clusters[C].PeriodNs.str().c_str());
+  Out += formatString("  bus: II=%lld period=%s ns\n",
+                      static_cast<long long>(Plan.Bus.II),
+                      Plan.Bus.PeriodNs.str().c_str());
+  for (unsigned N = 0; N < PG.size(); ++N) {
+    const PGNode &Node = PG.node(N);
+    Out += formatString(
+        "  n%-3u %-6s dom=%u slot=%lld unit=%u start=%s ns\n", N,
+        opcodeName(Node.Op), Node.Domain,
+        static_cast<long long>(Nodes[N].Slot), Nodes[N].Unit,
+        Nodes[N].Placed ? startNs(PG, N).str().c_str() : "-");
+  }
+  return Out;
+}

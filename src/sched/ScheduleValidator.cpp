@@ -1,0 +1,72 @@
+//===- sched/ScheduleValidator.cpp - Schedule invariant checks --------------===//
+
+#include "sched/ScheduleValidator.h"
+#include "sched/HeteroModuloScheduler.h"
+#include "support/StrUtil.h"
+
+#include <map>
+
+using namespace hcvliw;
+
+std::string hcvliw::validateSchedule(const MachineDescription &M,
+                                     const PartitionedGraph &PG,
+                                     const Schedule &S,
+                                     const ValidatorOptions &Opts) {
+  if (S.Nodes.size() != PG.size())
+    return "schedule does not cover the graph";
+
+  // Per-domain II * running period must equal the IT exactly.
+  for (unsigned C = 0; C < PG.numClusters(); ++C)
+    if (Rational(S.Plan.Clusters[C].II) * S.Plan.Clusters[C].PeriodNs !=
+        S.Plan.ITNs)
+      return formatString("cluster %u: II * period != IT", C);
+  if (Rational(S.Plan.Bus.II) * S.Plan.Bus.PeriodNs != S.Plan.ITNs)
+    return "bus: II * period != IT";
+
+  for (unsigned N = 0; N < PG.size(); ++N) {
+    if (!S.Nodes[N].Placed)
+      return formatString("node %u unplaced", N);
+    if (S.Nodes[N].Slot < 0)
+      return formatString("node %u at negative slot", N);
+  }
+
+  // Dependences under the exact timing rule.
+  for (unsigned EIx = 0; EIx < PG.edges().size(); ++EIx) {
+    const PGEdge &E = PG.edge(EIx);
+    Rational Bound = edgeStartBound(PG, S.Plan, E, S.startNs(PG, E.Src));
+    if (S.startNs(PG, E.Dst) < Bound)
+      return formatString("edge %u->%u (dist %u) violated", E.Src, E.Dst,
+                          E.Distance);
+  }
+
+  // Modulo resource conflicts: (domain, kind, unit, slot mod II) unique.
+  std::map<std::tuple<unsigned, unsigned, unsigned, int64_t>, unsigned> Cells;
+  for (unsigned N = 0; N < PG.size(); ++N) {
+    const PGNode &Node = PG.node(N);
+    int64_t II = S.iiOf(PG, N);
+    int64_t Mod = S.Nodes[N].Slot % II;
+    auto Key = std::make_tuple(Node.Domain,
+                               static_cast<unsigned>(Node.Kind),
+                               S.Nodes[N].Unit, Mod);
+    auto [It, Inserted] = Cells.emplace(Key, N);
+    if (!Inserted)
+      return formatString("nodes %u and %u share a reservation cell",
+                          It->second, N);
+    // The unit index must exist.
+    unsigned Units = Node.Domain == PG.busDomain()
+                         ? M.Buses
+                         : M.Clusters[Node.Domain].fuCount(Node.Kind);
+    if (S.Nodes[N].Unit >= Units)
+      return formatString("node %u on nonexistent unit", N);
+  }
+
+  if (Opts.CheckRegisterPressure) {
+    RegisterPressureResult R = computeRegisterPressure(PG, S);
+    for (unsigned C = 0; C < PG.numClusters(); ++C)
+      if (R.MaxLive[C] > static_cast<int64_t>(M.Clusters[C].Registers))
+        return formatString("cluster %u: MaxLive %lld exceeds %u registers",
+                            C, static_cast<long long>(R.MaxLive[C]),
+                            M.Clusters[C].Registers);
+  }
+  return "";
+}

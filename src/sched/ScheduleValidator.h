@@ -1,0 +1,34 @@
+//===- sched/ScheduleValidator.h - Schedule invariant checks -----*- C++ -*-===//
+///
+/// \file
+/// Independent re-verification of a finished modulo schedule: every
+/// dependence satisfied under the exact cross-domain timing rule, no
+/// modulo resource conflicts, per-domain II * period == IT, and
+/// (optionally) register pressure within each cluster's file. Used by
+/// the tests, the driver, and the simulator's self-checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SCHED_SCHEDULEVALIDATOR_H
+#define HCVLIW_SCHED_SCHEDULEVALIDATOR_H
+
+#include "sched/RegisterPressure.h"
+#include "sched/Schedule.h"
+
+#include <string>
+
+namespace hcvliw {
+
+struct ValidatorOptions {
+  bool CheckRegisterPressure = true;
+};
+
+/// Returns an empty string when the schedule is valid, else a
+/// description of the first violated invariant.
+std::string validateSchedule(const MachineDescription &M,
+                             const PartitionedGraph &PG, const Schedule &S,
+                             const ValidatorOptions &Opts = ValidatorOptions());
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SCHED_SCHEDULEVALIDATOR_H

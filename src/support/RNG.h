@@ -1,0 +1,81 @@
+//===- support/RNG.h - Deterministic random numbers ------------*- C++ -*-===//
+///
+/// \file
+/// A small, deterministic xoshiro256** generator. Every randomized piece
+/// of the library (synthetic workload generation, property tests) is
+/// seeded explicitly so all experiments are exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SUPPORT_RNG_H
+#define HCVLIW_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hcvliw {
+
+/// xoshiro256** seeded via splitmix64.
+class RNG {
+  uint64_t S[4];
+
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 expansion of the seed into the full state.
+    uint64_t Z = Seed;
+    for (auto &W : S) {
+      Z += 0x9e3779b97f4a7c15ull;
+      uint64_t T = Z;
+      T = (T ^ (T >> 30)) * 0xbf58476d1ce4e5b9ull;
+      T = (T ^ (T >> 27)) * 0x94d049bb133111ebull;
+      W = T ^ (T >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [Lo, Hi], inclusive.
+  int64_t nextInt(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw.
+  bool nextBool(double PTrue) { return nextDouble() < PTrue; }
+
+  /// Uniformly selects an element of a non-empty vector.
+  template <typename T> const T &pick(const std::vector<T> &V) {
+    assert(!V.empty() && "pick from empty vector");
+    return V[static_cast<size_t>(nextInt(0, static_cast<int64_t>(V.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &V) {
+    for (size_t I = V.size(); I > 1; --I)
+      std::swap(V[I - 1], V[static_cast<size_t>(nextInt(0, I - 1))]);
+  }
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SUPPORT_RNG_H

@@ -1,0 +1,60 @@
+//===- support/Stats.cpp - Small statistics helpers -----------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace hcvliw;
+
+double hcvliw::mean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double S = 0;
+  for (double X : Xs)
+    S += X;
+  return S / static_cast<double>(Xs.size());
+}
+
+double hcvliw::geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0;
+  double S = 0;
+  for (double X : Xs) {
+    assert(X > 0 && "geomean requires positive samples");
+    S += std::log(X);
+  }
+  return std::exp(S / static_cast<double>(Xs.size()));
+}
+
+double hcvliw::stddev(const std::vector<double> &Xs) {
+  if (Xs.size() < 2)
+    return 0;
+  double M = mean(Xs);
+  double S = 0;
+  for (double X : Xs)
+    S += (X - M) * (X - M);
+  return std::sqrt(S / static_cast<double>(Xs.size()));
+}
+
+double hcvliw::median(std::vector<double> Xs) {
+  if (Xs.empty())
+    return 0;
+  std::sort(Xs.begin(), Xs.end());
+  size_t N = Xs.size();
+  if (N % 2 == 1)
+    return Xs[N / 2];
+  return 0.5 * (Xs[N / 2 - 1] + Xs[N / 2]);
+}
+
+void Accumulator::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  Sum += X;
+  ++N;
+}

@@ -1,0 +1,47 @@
+//===- support/Stats.h - Small statistics helpers --------------*- C++ -*-===//
+///
+/// \file
+/// Mean / geometric-mean / variance helpers used by the benchmark
+/// harnesses when aggregating per-program ED2 ratios.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SUPPORT_STATS_H
+#define HCVLIW_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hcvliw {
+
+/// Arithmetic mean; 0 for an empty sample.
+double mean(const std::vector<double> &Xs);
+
+/// Geometric mean; requires strictly positive samples; 0 if empty.
+double geomean(const std::vector<double> &Xs);
+
+/// Population standard deviation; 0 for fewer than two samples.
+double stddev(const std::vector<double> &Xs);
+
+/// Median (averaging the middle pair for even sizes); 0 if empty.
+double median(std::vector<double> Xs);
+
+/// Streaming accumulator for min/max/mean.
+class Accumulator {
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+  size_t N = 0;
+
+public:
+  void add(double X);
+  size_t count() const { return N; }
+  double sum() const { return Sum; }
+  double mean() const { return N == 0 ? 0 : Sum / static_cast<double>(N); }
+  double min() const { return Min; }
+  double max() const { return Max; }
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SUPPORT_STATS_H

@@ -1,0 +1,37 @@
+//===- support/StrUtil.h - String helpers ----------------------*- C++ -*-===//
+///
+/// \file
+/// printf-style formatting into std::string plus tokenizing helpers used
+/// by the loop DSL parser and the report printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SUPPORT_STRUTIL_H
+#define HCVLIW_SUPPORT_STRUTIL_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcvliw {
+
+/// Formats like printf and returns the result as a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits \p S on any run of characters in \p Seps; empty tokens dropped.
+std::vector<std::string> splitString(std::string_view S,
+                                     std::string_view Seps = " \t");
+
+/// Removes leading and trailing whitespace.
+std::string_view trimString(std::string_view S);
+
+/// Parses a signed integer; returns false on malformed input.
+bool parseInt64(std::string_view S, int64_t &Out);
+
+/// Parses a double; returns false on malformed input.
+bool parseDouble(std::string_view S, double &Out);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SUPPORT_STRUTIL_H

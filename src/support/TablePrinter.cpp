@@ -1,0 +1,49 @@
+//===- support/TablePrinter.cpp - Aligned console tables -------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace hcvliw;
+
+std::string TablePrinter::render() const {
+  std::string Out;
+  if (!Title.empty()) {
+    Out += "== " + Title + " ==\n";
+  }
+  if (Rows.empty())
+    return Out;
+
+  size_t NumCols = 0;
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto emitRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C < NumCols; ++C) {
+      const std::string Cell = C < Row.size() ? Row[C] : "";
+      Out += Cell;
+      if (C + 1 != NumCols)
+        Out += std::string(Widths[C] - Cell.size() + 2, ' ');
+    }
+    Out += '\n';
+  };
+
+  emitRow(Rows.front());
+  size_t Total = 0;
+  for (size_t C = 0; C < NumCols; ++C)
+    Total += Widths[C] + (C + 1 != NumCols ? 2 : 0);
+  Out += std::string(Total, '-');
+  Out += '\n';
+  for (size_t R = 1; R < Rows.size(); ++R)
+    emitRow(Rows[R]);
+  return Out;
+}
+
+void TablePrinter::print(std::FILE *Stream) const {
+  std::string S = render();
+  std::fwrite(S.data(), 1, S.size(), Stream);
+}

@@ -1,0 +1,42 @@
+//===- support/TablePrinter.h - Aligned console tables ----------*- C++ -*-===//
+///
+/// \file
+/// Renders the paper's tables/figures as aligned plain-text tables on
+/// stdout. Used by every bench binary so the reproduced rows read like
+/// the rows in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SUPPORT_TABLEPRINTER_H
+#define HCVLIW_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+
+/// Collects rows of string cells and renders them with per-column
+/// alignment. The first added row is treated as the header.
+class TablePrinter {
+  std::string Title;
+  std::vector<std::vector<std::string>> Rows;
+
+public:
+  explicit TablePrinter(std::string TableTitle = "")
+      : Title(std::move(TableTitle)) {}
+
+  void addRow(std::vector<std::string> Cells) {
+    Rows.push_back(std::move(Cells));
+  }
+
+  /// Renders the whole table, including a separator under the header.
+  std::string render() const;
+
+  /// Renders to a FILE stream (stdout by default).
+  void print(std::FILE *Out = stdout) const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SUPPORT_TABLEPRINTER_H

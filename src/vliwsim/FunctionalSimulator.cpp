@@ -1,0 +1,72 @@
+//===- vliwsim/FunctionalSimulator.cpp - Sequential reference ---------------===//
+
+#include "vliwsim/FunctionalSimulator.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+FunctionalResult hcvliw::runFunctional(const Loop &L, uint64_t Iterations) {
+  assert(L.validate().empty() && "executing an invalid loop");
+  FunctionalResult R;
+  R.Memory = MemoryImage::initial(L, Iterations);
+  unsigned N = L.size();
+  R.LastValues.assign(N, 0.0);
+
+  // Ring of recent per-op values, deep enough for the longest carry.
+  unsigned MaxDist = 1;
+  for (const Operation &O : L.Ops)
+    for (const Operand &U : O.Operands)
+      if (U.Kind == OperandKind::Def)
+        MaxDist = std::max(MaxDist, U.Distance + 1);
+  std::vector<std::vector<double>> Ring(MaxDist,
+                                        std::vector<double>(N, 0.0));
+
+  auto valueAt = [&](unsigned Op, int64_t Iter,
+                     [[maybe_unused]] int64_t Now) -> double {
+    if (Iter < 0)
+      return initialValue(L.Ops[Op], Iter);
+    assert(Now - Iter < static_cast<int64_t>(MaxDist) && "ring too shallow");
+    return Ring[static_cast<size_t>(Iter % MaxDist)][Op];
+  };
+
+  for (int64_t I = 0; I < static_cast<int64_t>(Iterations); ++I) {
+    auto &Cur = Ring[static_cast<size_t>(I % MaxDist)];
+    for (unsigned OpIx = 0; OpIx < N; ++OpIx) {
+      const Operation &O = L.Ops[OpIx];
+      double Vals[2] = {0, 0};
+      for (unsigned U = 0; U < O.Operands.size(); ++U) {
+        const Operand &Use = O.Operands[U];
+        switch (Use.Kind) {
+        case OperandKind::Def:
+          Vals[U] = valueAt(Use.Index,
+                            I - static_cast<int64_t>(Use.Distance), I);
+          break;
+        case OperandKind::LiveIn:
+          Vals[U] = L.LiveIns[Use.Index].Value;
+          break;
+        case OperandKind::Immediate:
+          Vals[U] = Use.Imm;
+          break;
+        }
+      }
+      double Out = 0;
+      int64_t Addr = O.IndexScale * I + O.Offset;
+      switch (O.Op) {
+      case Opcode::Load:
+        Out = R.Memory.load(static_cast<unsigned>(O.Array), Addr);
+        break;
+      case Opcode::Store:
+        R.Memory.store(static_cast<unsigned>(O.Array), Addr, Vals[0]);
+        Out = Vals[0];
+        break;
+      default:
+        Out = evalOpcode(O.Op, Vals[0], Vals[1]);
+        break;
+      }
+      Cur[OpIx] = Out;
+      R.LastValues[OpIx] = Out;
+    }
+  }
+  return R;
+}

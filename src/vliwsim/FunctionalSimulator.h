@@ -1,0 +1,30 @@
+//===- vliwsim/FunctionalSimulator.h - Sequential reference ------*- C++ -*-===//
+///
+/// \file
+/// Executes a loop strictly sequentially (iteration by iteration, ops in
+/// program order): the semantic ground truth that a modulo-scheduled,
+/// software-pipelined execution must reproduce exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_VLIWSIM_FUNCTIONALSIMULATOR_H
+#define HCVLIW_VLIWSIM_FUNCTIONALSIMULATOR_H
+
+#include "vliwsim/MemoryImage.h"
+
+namespace hcvliw {
+
+struct FunctionalResult {
+  MemoryImage Memory;
+  /// Value of every op at the final iteration (stores hold the stored
+  /// value), a cheap extra equivalence signal.
+  std::vector<double> LastValues;
+};
+
+/// Runs \p Iterations iterations of \p L from the standard initial
+/// image.
+FunctionalResult runFunctional(const Loop &L, uint64_t Iterations);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_VLIWSIM_FUNCTIONALSIMULATOR_H

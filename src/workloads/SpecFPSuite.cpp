@@ -1,0 +1,107 @@
+//===- workloads/SpecFPSuite.cpp - Synthetic SPECfp2000 programs ------------===//
+
+#include "workloads/SpecFPSuite.h"
+#include "workloads/SyntheticLoops.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+const std::vector<std::string> &hcvliw::specFPProgramNames() {
+  static const std::vector<std::string> Names = {
+      "168.wupwise", "171.swim",   "172.mgrid", "173.applu",
+      "178.galgel",  "187.facerec", "189.lucas", "191.fma3d",
+      "200.sixtrack", "301.apsi"};
+  return Names;
+}
+
+// Shares follow the paper's Table 2 (percent of execution time spent in
+// resource- / borderline- / recurrence-constrained loops).
+BenchmarkProgram hcvliw::buildSpecFPProgram(const std::string &Name) {
+  BenchmarkProgram P;
+  P.Name = Name;
+  auto &L = P.Loops;
+
+  if (Name == "168.wupwise") {
+    // 14.04% resource, 68.76% borderline, 17.2% recurrence.
+    L.push_back(makeStreamLoop("wup_stream", 6, 64, 0.1404));
+    L.push_back(makeBorderlineLoop("wup_border1", 6, 2, 96, 0.40));
+    L.push_back(makeBorderlineLoop("wup_border2", 7, 2, 96, 0.2876));
+    L.push_back(makeChainRecurrenceLoop("wup_rec", 0, 3, 1, 3, 96, 0.172));
+  } else if (Name == "171.swim") {
+    // 100% resource-constrained streams.
+    L.push_back(makeStreamLoop("swim_stream1", 6, 64, 0.40));
+    L.push_back(makeStreamLoop("swim_stream2", 8, 64, 0.35));
+    L.push_back(makeStencilLoop("swim_stencil", 8, 64, 0.25));
+  } else if (Name == "172.mgrid") {
+    // 95.54% resource, 4.46% recurrence.
+    L.push_back(makeStencilLoop("mgrid_stencil1", 8, 64, 0.55));
+    L.push_back(makeStreamLoop("mgrid_stream", 7, 64, 0.4054));
+    L.push_back(makeChainRecurrenceLoop("mgrid_rec", 0, 2, 1, 1, 96,
+                                        0.0446));
+  } else if (Name == "173.applu") {
+    // 31.94% resource, 6.17% borderline, 61.89% recurrence, executed a
+    // small number of times (it_length matters as much as the IT).
+    L.push_back(makeStreamLoop("applu_stream", 6, 48, 0.3194));
+    L.push_back(makeBorderlineLoop("applu_border", 6, 2, 48, 0.0617));
+    L.push_back(makeChainRecurrenceLoop("applu_rec1", 1, 2, 1, 3, 24,
+                                        0.35));
+    L.push_back(makeChainRecurrenceLoop("applu_rec2", 0, 4, 1, 3, 24,
+                                        0.2689));
+  } else if (Name == "178.galgel") {
+    // 33.27% resource, 9.18% borderline, 57.55% recurrence.
+    L.push_back(makeStreamLoop("galgel_stream", 7, 64, 0.3327));
+    L.push_back(makeBorderlineLoop("galgel_border", 6, 2, 96, 0.0918));
+    L.push_back(makeChainRecurrenceLoop("galgel_rec1", 1, 1, 1, 3, 96,
+                                        0.30));
+    L.push_back(makeChainRecurrenceLoop("galgel_rec2", 0, 3, 1, 4, 96,
+                                        0.2755));
+  } else if (Name == "187.facerec") {
+    // 16.59% resource, 83.41% recurrence (thin recurrences: big wins).
+    L.push_back(makeStreamLoop("face_stream", 6, 64, 0.1659));
+    L.push_back(makeChainRecurrenceLoop("face_rec1", 0, 3, 1, 3, 96,
+                                        0.45));
+    L.push_back(makeChainRecurrenceLoop("face_rec2", 1, 1, 1, 4, 96,
+                                        0.3841));
+  } else if (Name == "189.lucas") {
+    // 32.13% resource, 0.02% borderline, 67.85% recurrence.
+    L.push_back(makeStreamLoop("lucas_stream", 7, 64, 0.3213));
+    L.push_back(makeBorderlineLoop("lucas_border", 6, 2, 96, 0.0002));
+    L.push_back(makeChainRecurrenceLoop("lucas_rec1", 0, 4, 1, 3, 96,
+                                        0.38));
+    L.push_back(makeChainRecurrenceLoop("lucas_rec2", 1, 2, 1, 3, 96,
+                                        0.2985));
+  } else if (Name == "191.fma3d") {
+    // 15.22% resource, 2.96% borderline, 81.82% recurrence -- but the
+    // recurrences are *wide* (many instructions are critical).
+    L.push_back(makeStreamLoop("fma3d_stream", 6, 64, 0.1522));
+    L.push_back(makeBorderlineLoop("fma3d_border", 6, 2, 96, 0.0296));
+    L.push_back(makeWideRecurrenceLoop("fma3d_rec1", 8, 2, 2, 96, 0.45));
+    L.push_back(makeWideRecurrenceLoop("fma3d_rec2", 10, 2, 2, 96,
+                                       0.3682));
+  } else if (Name == "200.sixtrack") {
+    // 0.08% resource, 99.92% recurrence with thin critical chains: the
+    // paper's best case (~35% ED2 reduction).
+    L.push_back(makeStreamLoop("six_stream", 5, 64, 0.0008));
+    L.push_back(makeChainRecurrenceLoop("six_rec1", 1, 2, 1, 4, 96,
+                                        0.55));
+    L.push_back(makeChainRecurrenceLoop("six_rec2", 1, 3, 1, 4, 96,
+                                        0.4492));
+  } else if (Name == "301.apsi") {
+    // 15.50% resource, 3.37% borderline, 81.13% recurrence (wide).
+    L.push_back(makeStreamLoop("apsi_stream", 6, 64, 0.1550));
+    L.push_back(makeBorderlineLoop("apsi_border", 6, 2, 96, 0.0337));
+    L.push_back(makeWideRecurrenceLoop("apsi_rec1", 8, 2, 3, 96, 0.42));
+    L.push_back(makeWideRecurrenceLoop("apsi_rec2", 6, 2, 3, 96, 0.3913));
+  } else {
+    assert(false && "unknown SPECfp program name");
+  }
+  return P;
+}
+
+std::vector<BenchmarkProgram> hcvliw::buildSpecFPSuite() {
+  std::vector<BenchmarkProgram> Suite;
+  for (const std::string &Name : specFPProgramNames())
+    Suite.push_back(buildSpecFPProgram(Name));
+  return Suite;
+}

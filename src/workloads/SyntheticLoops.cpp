@@ -1,0 +1,217 @@
+//===- workloads/SyntheticLoops.cpp - Parametric loop generators ------------===//
+
+#include "workloads/SyntheticLoops.h"
+#include "ir/LoopBuilder.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+Loop hcvliw::makeStreamLoop(const std::string &Name, unsigned Lanes,
+                            uint64_t Trip, double Weight) {
+  assert(Lanes >= 1 && "stream loop needs at least one lane");
+  LoopBuilder B(Name, Trip, Weight);
+  unsigned A = B.array("A");
+  unsigned C = B.array("B");
+  unsigned S = B.array("S");
+  Operand K = B.liveIn("k", 1.25);
+  int64_t Scale = Lanes;
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
+    std::string Suffix = formatString(".%u", Lane);
+    unsigned X = B.load("x" + Suffix, A, Lane, Scale);
+    unsigned Y = B.load("y" + Suffix, C, Lane, Scale);
+    unsigned M =
+        B.op(Opcode::FMul, "m" + Suffix, Operand::def(X), Operand::def(Y));
+    unsigned U = B.op(Opcode::FAdd, "u" + Suffix, Operand::def(M), K);
+    B.store(S, Operand::def(U), Lane, Scale);
+  }
+  return B.take();
+}
+
+Loop hcvliw::makeStencilLoop(const std::string &Name, unsigned Taps,
+                             uint64_t Trip, double Weight) {
+  assert(Taps >= 2 && "stencil needs at least two taps");
+  LoopBuilder B(Name, Trip, Weight);
+  unsigned A = B.array("A");
+  unsigned Out = B.array("OUT");
+  Operand W = B.liveIn("w", 0.5);
+
+  std::vector<unsigned> Loads;
+  for (unsigned T = 0; T < Taps; ++T)
+    Loads.push_back(B.load(formatString("x.%u", T), A,
+                           static_cast<int64_t>(T) -
+                               static_cast<int64_t>(Taps / 2)));
+  // Reduction tree.
+  std::vector<unsigned> Level = Loads;
+  unsigned Tmp = 0;
+  while (Level.size() > 1) {
+    std::vector<unsigned> Next;
+    for (size_t I = 0; I + 1 < Level.size(); I += 2)
+      Next.push_back(B.op(Opcode::FAdd, formatString("t.%u", Tmp++),
+                          Operand::def(Level[I]),
+                          Operand::def(Level[I + 1])));
+    if (Level.size() % 2 == 1)
+      Next.push_back(Level.back());
+    Level = std::move(Next);
+  }
+  unsigned Scaled =
+      B.op(Opcode::FMul, "scaled", Operand::def(Level.front()), W);
+  B.store(Out, Operand::def(Scaled));
+  return B.take();
+}
+
+Loop hcvliw::makeChainRecurrenceLoop(const std::string &Name,
+                                     unsigned ChainMuls, unsigned ChainAdds,
+                                     unsigned Dist, unsigned SideLanes,
+                                     uint64_t Trip, double Weight) {
+  assert(ChainMuls + ChainAdds >= 1 && Dist >= 1 && "bad recurrence shape");
+  LoopBuilder B(Name, Trip, Weight);
+  unsigned A = B.array("A");
+  unsigned S = B.array("S");
+  unsigned R = B.array("R");
+  Operand K = B.liveIn("k", 0.999);
+
+  // The cycle: op 0 reads the last chain op at the carry distance; the
+  // back reference is rewired once the chain exists.
+  std::vector<unsigned> Chain;
+  for (unsigned I = 0; I < ChainMuls + ChainAdds; ++I) {
+    Opcode Op = I < ChainMuls ? Opcode::FMul : Opcode::FAdd;
+    Operand Prev = I == 0 ? K : Operand::def(Chain.back());
+    unsigned Ix = B.op(Op, formatString("r.%u", I), Prev, K);
+    Chain.push_back(Ix);
+  }
+  B.rewireOperand(Chain.front(), 0, Operand::def(Chain.back(), Dist));
+  B.setInit(Chain.back(), 1.0, 0.25);
+  B.store(R, Operand::def(Chain.back()));
+
+  int64_t Scale = std::max(1u, SideLanes);
+  for (unsigned Lane = 0; Lane < SideLanes; ++Lane) {
+    std::string Suffix = formatString(".s%u", Lane);
+    unsigned X = B.load("x" + Suffix, A, Lane, Scale);
+    unsigned M = B.op(Opcode::FMul, "m" + Suffix, Operand::def(X), K);
+    unsigned U = B.op(Opcode::FAdd, "u" + Suffix, Operand::def(M), K);
+    B.store(S, Operand::def(U), Lane, Scale);
+  }
+  return B.take();
+}
+
+Loop hcvliw::makeWideRecurrenceLoop(const std::string &Name,
+                                    unsigned RecAdds, unsigned Dist,
+                                    unsigned SideLanes, uint64_t Trip,
+                                    double Weight) {
+  return makeChainRecurrenceLoop(Name, /*ChainMuls=*/0, RecAdds, Dist,
+                                 SideLanes, Trip, Weight);
+}
+
+Loop hcvliw::makeBorderlineLoop(const std::string &Name, unsigned Lanes,
+                                unsigned RecAdds, uint64_t Trip,
+                                double Weight) {
+  LoopBuilder B(Name, Trip, Weight);
+  unsigned A = B.array("A");
+  unsigned C = B.array("B");
+  unsigned S = B.array("S");
+  unsigned R = B.array("R");
+  Operand K = B.liveIn("k", 1.0625);
+
+  std::vector<unsigned> Chain;
+  for (unsigned I = 0; I < RecAdds; ++I) {
+    Operand Prev = I == 0 ? K : Operand::def(Chain.back());
+    Chain.push_back(B.op(Opcode::FAdd, formatString("r.%u", I), Prev, K));
+  }
+  if (!Chain.empty()) {
+    B.rewireOperand(Chain.front(), 0, Operand::def(Chain.back(), 1));
+    B.setInit(Chain.back(), 0.5, 0.5);
+    B.store(R, Operand::def(Chain.back()));
+  }
+
+  int64_t Scale = std::max(1u, Lanes);
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
+    std::string Suffix = formatString(".%u", Lane);
+    unsigned X = B.load("x" + Suffix, A, Lane, Scale);
+    unsigned Y = B.load("y" + Suffix, C, Lane, Scale);
+    unsigned M =
+        B.op(Opcode::FMul, "m" + Suffix, Operand::def(X), Operand::def(Y));
+    unsigned U = B.op(Opcode::FAdd, "u" + Suffix, Operand::def(M), K);
+    B.store(S, Operand::def(U), Lane, Scale);
+  }
+  return B.take();
+}
+
+Loop hcvliw::makeRandomLoop(RNG &Rng, const RandomLoopParams &P,
+                            const std::string &Name) {
+  unsigned NumOps = static_cast<unsigned>(
+      Rng.nextInt(P.MinOps, std::max(P.MinOps, P.MaxOps)));
+  LoopBuilder B(Name, P.Trip, 1.0);
+  unsigned In = B.array("IN");
+  unsigned Out = B.array("OUT");
+  Operand K = B.liveIn("k", 1.125);
+
+  std::vector<unsigned> Defs; // ops producing values
+  unsigned Emitted = 0;
+  unsigned LoadCount = 0, StoreCount = 0;
+
+  auto randomUse = [&](bool AllowCarried) -> Operand {
+    if (Defs.empty() || Rng.nextBool(0.15))
+      return K;
+    unsigned Ix = Defs[static_cast<size_t>(
+        Rng.nextInt(0, static_cast<int64_t>(Defs.size()) - 1))];
+    unsigned Dist = 0;
+    if (AllowCarried && Rng.nextBool(0.2))
+      Dist = static_cast<unsigned>(Rng.nextInt(1, P.MaxDist));
+    return Operand::def(Ix, Dist);
+  };
+
+  while (Emitted < NumOps) {
+    double Draw = Rng.nextDouble();
+    if (Draw < P.MemFraction / 2) {
+      // Load with a lane-disjoint address.
+      Defs.push_back(B.load(formatString("ld.%u", LoadCount), In,
+                            LoadCount, /*Scale=*/8));
+      ++LoadCount;
+      ++Emitted;
+      continue;
+    }
+    if (Draw < P.MemFraction && !Defs.empty() && StoreCount < 7) {
+      B.store(Out, randomUse(/*AllowCarried=*/true), StoreCount,
+              /*Scale=*/8);
+      ++StoreCount;
+      ++Emitted;
+      continue;
+    }
+    if (Rng.nextBool(P.RecurrenceProb / 4) && Emitted + 3 <= NumOps) {
+      // Emit a short chain and close it into a recurrence.
+      unsigned Len = static_cast<unsigned>(Rng.nextInt(2, P.MaxRecDepth));
+      unsigned Dist = static_cast<unsigned>(Rng.nextInt(1, P.MaxDist));
+      std::vector<unsigned> Chain;
+      for (unsigned I = 0; I < Len && Emitted < NumOps; ++I, ++Emitted) {
+        Opcode Op = Rng.nextBool(0.3) ? Opcode::FMul : Opcode::FAdd;
+        Operand Prev = I == 0 ? K : Operand::def(Chain.back());
+        Chain.push_back(
+            B.op(Op, formatString("rc.%u", B.numOps()), Prev, K));
+      }
+      if (Chain.size() >= 2) {
+        B.rewireOperand(Chain.front(), 0,
+                        Operand::def(Chain.back(), Dist));
+        B.setInit(Chain.back(), 1.0, 0.5);
+      }
+      for (unsigned C : Chain)
+        Defs.push_back(C);
+      continue;
+    }
+    // Plain arithmetic op.
+    static const Opcode Pool[] = {Opcode::FAdd, Opcode::FMul, Opcode::FSub,
+                                  Opcode::IntAdd, Opcode::IntMul,
+                                  Opcode::FDiv,  Opcode::IntSub};
+    Opcode Op = Pool[static_cast<size_t>(Rng.nextInt(0, 6))];
+    Defs.push_back(B.op(Op, formatString("v.%u", B.numOps()),
+                        randomUse(true), randomUse(false)));
+    ++Emitted;
+  }
+
+  // Guarantee a sink so the loop has observable effects.
+  if (StoreCount == 0)
+    B.store(Out, Defs.empty() ? K : Operand::def(Defs.back()), 7,
+            /*Scale=*/8);
+  return B.take();
+}

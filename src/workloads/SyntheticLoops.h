@@ -1,0 +1,78 @@
+//===- workloads/SyntheticLoops.h - Parametric loop generators ---*- C++ -*-===//
+///
+/// \file
+/// Parametric generators for the loop shapes that dominate SPECfp2000's
+/// software-pipelined regions (the substrate replacing ORC + SPECfp, see
+/// DESIGN.md):
+///
+///  - *stream* loops: independent load/compute/store lanes; purely
+///    resource-constrained (swim/mgrid style).
+///  - *stencil* loops: multi-tap reads, reduction tree, store; resource
+///    constrained with heavy memory pressure.
+///  - *chain recurrence* loops: one long-latency arithmetic cycle plus
+///    independent side lanes; recurrence-constrained with few critical
+///    instructions (sixtrack/facerec style).
+///  - *wide recurrence* loops: recurrences containing many instructions
+///    (fma3d/apsi style: speedups possible, smaller energy savings).
+///  - *borderline* loops: recMII slightly above resMII (wupwise style).
+///  - *random* loops: seed-reproducible property-test inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_WORKLOADS_SYNTHETICLOOPS_H
+#define HCVLIW_WORKLOADS_SYNTHETICLOOPS_H
+
+#include "ir/Loop.h"
+#include "support/RNG.h"
+
+#include <string>
+
+namespace hcvliw {
+
+/// Independent lanes of load+load+fmul+fadd+store. resMII grows with
+/// \p Lanes (memory-port bound); recMII stays 1.
+Loop makeStreamLoop(const std::string &Name, unsigned Lanes, uint64_t Trip,
+                    double Weight);
+
+/// \p Taps loads of A around i, an fadd reduction tree scaled by a
+/// live-in, one store to B.
+Loop makeStencilLoop(const std::string &Name, unsigned Taps, uint64_t Trip,
+                     double Weight);
+
+/// A single recurrence cycle of \p ChainMuls fmul and \p ChainAdds fadd
+/// at carry distance \p Dist, with \p SideLanes independent
+/// load/fmul/fadd/store lanes feeding nothing back into the cycle.
+/// recMII = ceil((6*ChainMuls + 3*ChainAdds) / Dist).
+Loop makeChainRecurrenceLoop(const std::string &Name, unsigned ChainMuls,
+                             unsigned ChainAdds, unsigned Dist,
+                             unsigned SideLanes, uint64_t Trip,
+                             double Weight);
+
+/// A recurrence of \p RecAdds fadd ops at distance \p Dist (many
+/// instructions inside the cycle) plus \p SideLanes side lanes.
+Loop makeWideRecurrenceLoop(const std::string &Name, unsigned RecAdds,
+                            unsigned Dist, unsigned SideLanes,
+                            uint64_t Trip, double Weight);
+
+/// \p Lanes stream lanes plus a recurrence of \p RecAdds fadds tuned so
+/// recMII lands in [resMII, 1.3 * resMII).
+Loop makeBorderlineLoop(const std::string &Name, unsigned Lanes,
+                        unsigned RecAdds, uint64_t Trip, double Weight);
+
+struct RandomLoopParams {
+  unsigned MinOps = 8;
+  unsigned MaxOps = 40;
+  double MemFraction = 0.3;
+  double RecurrenceProb = 0.5;
+  unsigned MaxRecDepth = 4;
+  unsigned MaxDist = 3;
+  uint64_t Trip = 32;
+};
+
+/// Seed-reproducible random loop; always valid (Loop::validate passes).
+Loop makeRandomLoop(RNG &Rng, const RandomLoopParams &P,
+                    const std::string &Name);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_WORKLOADS_SYNTHETICLOOPS_H

@@ -1,0 +1,61 @@
+//===- tests/PipelineProbe.cpp - Manual pipeline inspection -----------------===//
+//
+// A diagnostic main (not a gtest): runs the full pipeline on the suite
+// and prints the measured shapes, used while calibrating the workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HeterogeneousPipeline.h"
+#include "support/StrUtil.h"
+
+#include <cstdio>
+
+using namespace hcvliw;
+
+int main(int argc, char **argv) {
+  PipelineOptions Opts;
+  if (argc > 1)
+    Opts.Buses = static_cast<unsigned>(std::atoi(argv[1]));
+  if (argc > 2 && std::atoi(argv[2]) > 0)
+    Opts.MenuSize = static_cast<unsigned>(std::atoi(argv[2]));
+  bool Verbose = argc > 3;
+  HeterogeneousPipeline Pipe(Opts);
+
+  for (const auto &Prog : buildSpecFPSuite()) {
+    auto R = Pipe.runProgram(Prog);
+    if (!R) {
+      std::printf("%-14s FAILED\n", Prog.Name.c_str());
+      continue;
+    }
+    auto Shares = R->Profile.shareByConstraint();
+    const auto &HC = R->HetDesign.Config;
+    std::printf("%-14s ED2 %.3f (est %.3f/%.3f) T %.2f/%.2f E %.3f/%.3f "
+                "res/bord/rec %.2f/%.2f/%.2f fast=%s slow=%s Vf=%.2f "
+                "Vs=%.2f homT=%s Vh=%.2f fail=%u/%u\n",
+                R->Name.c_str(), R->ED2Ratio,
+                R->HetDesign.EstED2 / 1e12, R->HomDesign.EstED2 / 1e12,
+                R->HetMeasured.TexecNs / 1e6, R->HomMeasured.TexecNs / 1e6,
+                R->HetMeasured.Energy, R->HomMeasured.Energy, Shares[0],
+                Shares[1], Shares[2],
+                HC.Clusters.front().PeriodNs.str().c_str(),
+                HC.Clusters.back().PeriodNs.str().c_str(),
+                HC.Clusters.front().Vdd, HC.Clusters.back().Vdd,
+                R->HomDesign.Config.Clusters.front().PeriodNs.str().c_str(),
+                R->HomDesign.Config.Clusters.front().Vdd,
+                R->HetMeasured.Failures, R->HomMeasured.Failures);
+    if (Verbose) {
+      for (size_t I = 0; I < R->HetMeasured.Loops.size(); ++I) {
+        const auto &H = R->HetMeasured.Loops[I];
+        const auto &G = R->HomMeasured.Loops[I];
+        const auto &P = R->Profile.Loops[I];
+        std::printf("    %-16s IThet=%.3f IThom=%.3f recMII=%lld "
+                    "resMII=%lld comms %u/%u Thet=%.0f Thom=%.0f\n",
+                    H.Name.c_str(), H.ITNs, G.ITNs,
+                    static_cast<long long>(P.RecMII),
+                    static_cast<long long>(P.ResMII), H.Comms, G.Comms,
+                    H.TexecNs, G.TexecNs);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+//===- tests/configsel/ConfigSelTest.cpp - Section 3 selection --------------===//
+
+#include "configsel/ConfigurationSelector.h"
+#include "profiling/Profiler.h"
+#include "workloads/SyntheticLoops.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+struct Fixture {
+  MachineDescription M = MachineDescription::paperDefault();
+  ProgramProfile Profile;
+  TechnologyModel Tech = TechnologyModel::paperDefault();
+
+  explicit Fixture(std::vector<Loop> Loops) {
+    Profiler Prof(M, 1e6);
+    auto P = Prof.profileProgram("fixture", Loops);
+    EXPECT_TRUE(P.has_value());
+    Profile = std::move(*P);
+  }
+
+  EnergyModel energy(EnergyBreakdown B = EnergyBreakdown()) const {
+    return EnergyModel(B, Profile.Totals, Profile.TexecRefNs,
+                       M.numClusters());
+  }
+};
+
+TEST(Scaling, ReferenceConfigIsUnity) {
+  MachineDescription M = MachineDescription::paperDefault();
+  HeteroConfig C = HeteroConfig::reference(M);
+  HeteroScaling S =
+      scalingForConfig(C, M, TechnologyModel::paperDefault());
+  for (const auto &D : S.Clusters) {
+    EXPECT_NEAR(D.Delta, 1.0, 1e-12);
+    EXPECT_NEAR(D.Sigma, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(S.Cache.Delta, 1.0, 1e-12);
+}
+
+TEST(TimingEstimator, ReferenceConfigMatchesHomogeneousII) {
+  Fixture F({makeStreamLoop("s", 5, 64, 1.0)});
+  HeteroConfig C = HeteroConfig::reference(F.M);
+  LoopTimingEstimate E = estimateLoopTiming(
+      F.Profile.Loops[0], F.M, C, FrequencyMenu::continuous());
+  ASSERT_TRUE(E.Feasible);
+  // On the reference machine the estimate must not beat the measured
+  // homogeneous II; it may exceed it by one slot because the estimator
+  // packs connected components atomically while the real scheduler may
+  // split a lane across clusters (paying communications).
+  EXPECT_GE(E.ITNs, Rational(F.Profile.Loops[0].ResMII));
+  EXPECT_LE(E.ITNs, Rational(F.Profile.Loops[0].IIHom + 1));
+  // Equal cluster shares on a uniform machine.
+  for (double S : E.ClusterShare)
+    EXPECT_NEAR(S, 0.25, 1e-12);
+}
+
+TEST(TimingEstimator, SlowerClustersRaiseIT) {
+  Fixture F({makeStreamLoop("s", 6, 64, 1.0)});
+  HeteroConfig Ref = HeteroConfig::reference(F.M);
+  HeteroConfig Het = Ref;
+  for (unsigned I = 1; I < 4; ++I)
+    Het.Clusters[I].PeriodNs = Rational(3, 2);
+  LoopTimingEstimate ERef = estimateLoopTiming(
+      F.Profile.Loops[0], F.M, Ref, FrequencyMenu::continuous());
+  LoopTimingEstimate EHet = estimateLoopTiming(
+      F.Profile.Loops[0], F.M, Het, FrequencyMenu::continuous());
+  ASSERT_TRUE(ERef.Feasible && EHet.Feasible);
+  // The split allowance can absorb the capacity loss at equal IT, but
+  // never below the reference; the iteration tail strictly stretches.
+  EXPECT_GE(EHet.ITNs, ERef.ITNs);
+  EXPECT_GT(EHet.ItLengthNs, ERef.ItLengthNs);
+}
+
+TEST(TimingEstimator, RecurrenceBoundUsesFastCluster) {
+  Fixture F({makeChainRecurrenceLoop("r", 1, 2, 1, 3, 64, 1.0)});
+  HeteroConfig Het = HeteroConfig::reference(F.M);
+  Het.Clusters[0].PeriodNs = Rational(9, 10);
+  for (unsigned I = 1; I < 4; ++I)
+    Het.Clusters[I].PeriodNs = Rational(27, 20);
+  Het.Icn.PeriodNs = Rational(9, 10);
+  Het.Cache.PeriodNs = Rational(9, 10);
+  LoopTimingEstimate E = estimateLoopTiming(
+      F.Profile.Loops[0], F.M, Het, FrequencyMenu::continuous());
+  ASSERT_TRUE(E.Feasible);
+  // recMIT = recMII(12) * 0.9 = 10.8: the recurrence rides the fast
+  // cluster, beating the homogeneous 12 ns.
+  EXPECT_LT(E.ITNs, Rational(12));
+  EXPECT_GE(E.ITNs, Rational(54, 5));
+}
+
+TEST(Selector, PaperDefaultSpace) {
+  DesignSpaceOptions S = DesignSpaceOptions::paperDefault();
+  EXPECT_EQ(S.FastFactors.size(), 5u);
+  EXPECT_EQ(S.SlowRatios.size(), 4u);
+  EXPECT_EQ(S.NumFastClusters, 1u);
+  EXPECT_DOUBLE_EQ(S.ClusterVddGrid.front(), 0.70);
+  EXPECT_DOUBLE_EQ(S.ClusterVddGrid.back(), 1.20);
+  EXPECT_DOUBLE_EQ(S.IcnVddGrid.back(), 1.10);
+  EXPECT_DOUBLE_EQ(S.CacheVddGrid.back(), 1.40);
+}
+
+TEST(Selector, SelectsValidDesignsAndHetBeatsHomEstimate) {
+  Fixture F({makeChainRecurrenceLoop("r1", 1, 2, 1, 4, 64, 0.7),
+             makeStreamLoop("s1", 5, 64, 0.3)});
+  EnergyModel E = F.energy();
+  ConfigurationSelector Sel(F.Profile, F.M, E, F.Tech,
+                            FrequencyMenu::continuous(),
+                            DesignSpaceOptions::paperDefault());
+  SelectedDesign Het = Sel.selectHeterogeneous();
+  SelectedDesign Hom = Sel.selectOptimumHomogeneous();
+  ASSERT_TRUE(Het.Valid);
+  ASSERT_TRUE(Hom.Valid);
+  EXPECT_LE(Het.EstED2, Hom.EstED2);
+  // Voltages respect the per-component ranges.
+  for (const auto &Cl : Het.Config.Clusters) {
+    EXPECT_GE(Cl.Vdd, 0.70 - 1e-9);
+    EXPECT_LE(Cl.Vdd, 1.20 + 1e-9);
+    EXPECT_GT(Cl.Vth, 0.0);
+  }
+  EXPECT_GE(Het.Config.Cache.Vdd, 1.00 - 1e-9);
+  EXPECT_LE(Het.Config.Cache.Vdd, 1.40 + 1e-9);
+  // Cache and ICN clock with the fastest cluster (Section 5).
+  EXPECT_EQ(Het.Config.Cache.PeriodNs, Het.Config.fastestClusterPeriod());
+  EXPECT_EQ(Het.Config.Icn.PeriodNs, Het.Config.fastestClusterPeriod());
+}
+
+TEST(Selector, RankedCandidatesSorted) {
+  Fixture F({makeChainRecurrenceLoop("r1", 1, 2, 1, 4, 64, 1.0)});
+  EnergyModel E = F.energy();
+  ConfigurationSelector Sel(F.Profile, F.M, E, F.Tech,
+                            FrequencyMenu::continuous(),
+                            DesignSpaceOptions::paperDefault());
+  auto Ranked = Sel.rankHeterogeneous();
+  ASSERT_FALSE(Ranked.empty());
+  for (size_t I = 1; I < Ranked.size(); ++I)
+    EXPECT_LE(Ranked[I - 1].EstED2, Ranked[I].EstED2);
+}
+
+TEST(Selector, HomogeneousOptimumNoWorseThanReferencePoint) {
+  Fixture F({makeStreamLoop("s", 5, 64, 1.0)});
+  EnergyModel E = F.energy();
+  ConfigurationSelector Sel(F.Profile, F.M, E, F.Tech,
+                            FrequencyMenu::continuous(),
+                            DesignSpaceOptions::paperDefault());
+  SelectedDesign Hom = Sel.selectOptimumHomogeneous();
+  ASSERT_TRUE(Hom.Valid);
+  // Estimated ED2 of the reference point itself (factor 1, Vdd 1.0).
+  double RefED2 = computeED2(1.0, F.Profile.TexecRefNs);
+  EXPECT_LE(Hom.EstED2, RefED2 * 1.0001);
+}
+
+} // namespace

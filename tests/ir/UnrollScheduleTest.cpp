@@ -1,0 +1,75 @@
+//===- tests/ir/UnrollScheduleTest.cpp - Unroll x scheduler integration -----===//
+//
+// Section 5.3 end to end: unrolled loops must schedule on heterogeneous
+// machines with restricted frequency menus, stay functionally exact,
+// and amortize the synchronization-driven IT rounding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Unroll.h"
+#include "partition/LoopScheduler.h"
+#include "vliwsim/PipelinedSimulator.h"
+#include "workloads/SyntheticLoops.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+HeteroConfig menuConfig(const MachineDescription &M) {
+  HeteroConfig C = HeteroConfig::reference(M);
+  C.Clusters[0].PeriodNs = Rational(9, 10);
+  for (unsigned I = 1; I < 4; ++I)
+    C.Clusters[I].PeriodNs = Rational(6, 5);
+  C.Icn.PeriodNs = Rational(9, 10);
+  C.Cache.PeriodNs = Rational(9, 10);
+  return C;
+}
+
+class UnrollScheduleTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(UnrollScheduleTest, SchedulesAndStaysExact) {
+  auto [Factor, MenuK] = GetParam();
+  Loop Base = makeChainRecurrenceLoop("acc", 0, 3, 1, 2, 96, 1.0);
+  Loop L = unrollLoop(Base, Factor);
+
+  MachineDescription M = MachineDescription::paperDefault();
+  LoopScheduleOptions Opts;
+  Opts.Menu = MenuK == 0 ? FrequencyMenu::continuous()
+                         : FrequencyMenu::relativeLadder(MenuK);
+  LoopScheduler Sched(M, menuConfig(M), Opts);
+  LoopScheduleResult R = Sched.schedule(L);
+  ASSERT_TRUE(R.Success) << "factor " << Factor << " menu " << MenuK
+                         << ": " << R.Failure;
+  EXPECT_EQ(validateSchedule(M, R.PG, R.Sched), "");
+  EXPECT_EQ(checkFunctionalEquivalence(L, R.PG, R.Sched, M, L.TripCount),
+            "");
+  // The recurrence bound per original iteration is 9 cycles * 0.9 ns;
+  // unrolling must never fall below it.
+  double PerIter = R.Sched.Plan.ITNs.toDouble() / Factor;
+  EXPECT_GE(PerIter, 8.1 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnrollScheduleTest,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u,
+                                                              4u),
+                                            ::testing::Values(0u, 4u, 8u)));
+
+TEST(UnrollSchedule, UnrollingAmortizesMenuRounding) {
+  Loop Base = makeChainRecurrenceLoop("acc", 0, 3, 1, 2, 96, 1.0);
+  MachineDescription M = MachineDescription::paperDefault();
+  LoopScheduleOptions Opts;
+  Opts.Menu = FrequencyMenu::relativeLadder(4);
+  LoopScheduler Sched(M, menuConfig(M), Opts);
+
+  LoopScheduleResult R1 = Sched.schedule(Base);
+  LoopScheduleResult R4 = Sched.schedule(unrollLoop(Base, 4));
+  ASSERT_TRUE(R1.Success && R4.Success);
+  double PerIter1 = R1.Sched.Plan.ITNs.toDouble();
+  double PerIter4 = R4.Sched.Plan.ITNs.toDouble() / 4;
+  EXPECT_LE(PerIter4, PerIter1 + 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+//===- tests/ir/UnrollTest.cpp - Loop unrolling -----------------------------===//
+
+#include "ir/LoopDSL.h"
+#include "ir/RecurrenceAnalysis.h"
+#include "ir/Unroll.h"
+#include "machine/IsaTable.h"
+#include "vliwsim/FunctionalSimulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+const char *AccumulatorSrc = R"(
+loop acc trip=24
+  arrays A S
+  x = load A
+  m = fmul x #1.01
+  s = fadd s@1 m init=2 step=0.5
+  store S s
+endloop
+)";
+
+const char *StencilSrc = R"(
+loop sten trip=24
+  arrays A B
+  x = load A off=-1
+  y = load A off=1
+  z = fadd x y
+  store B z
+endloop
+)";
+
+const char *CarriedMemorySrc = R"(
+loop mem trip=24
+  arrays A
+  x = load A
+  y = fadd x #0.25
+  store A y off=3
+endloop
+)";
+
+TEST(Unroll, FactorOneIsIdentity) {
+  Loop L = parseSingleLoop(AccumulatorSrc);
+  Loop U = unrollLoop(L, 1);
+  EXPECT_EQ(U.size(), L.size());
+  EXPECT_EQ(U.TripCount, L.TripCount);
+}
+
+TEST(Unroll, StructuralShape) {
+  Loop L = parseSingleLoop(AccumulatorSrc);
+  Loop U = unrollLoop(L, 3);
+  EXPECT_EQ(U.size(), 3 * L.size());
+  EXPECT_EQ(U.TripCount, L.TripCount / 3);
+  EXPECT_EQ(U.validate(), "");
+}
+
+TEST(Unroll, CarriedDistanceRemapping) {
+  Loop L = parseSingleLoop(AccumulatorSrc);
+  Loop U = unrollLoop(L, 2);
+  // s.0 (op 2) reads s.1 of the previous unrolled iteration; s.1 (op
+  // 2 + 4) reads s.0 of the same unrolled iteration.
+  const Operation &S0 = U.Ops[2];
+  const Operation &S1 = U.Ops[2 + L.size()];
+  EXPECT_EQ(S0.Operands[0].Index, 2 + L.size());
+  EXPECT_EQ(S0.Operands[0].Distance, 1u);
+  EXPECT_EQ(S1.Operands[0].Index, 2u);
+  EXPECT_EQ(S1.Operands[0].Distance, 0u);
+}
+
+TEST(Unroll, RecMIIScalesWithFactor) {
+  Loop L = parseSingleLoop(AccumulatorSrc);
+  IsaTable Isa;
+  for (unsigned U = 1; U <= 4; ++U) {
+    Loop UL = unrollLoop(L, U);
+    DDG G = DDG::build(UL);
+    RecurrenceInfo R = analyzeRecurrences(G, Isa.nodeLatencies(UL));
+    // One accumulator of latency 3 per copy, chained: recMII = 3 * U.
+    EXPECT_EQ(R.RecMII, 3 * static_cast<int64_t>(U))
+        << "unroll factor " << U;
+  }
+}
+
+class UnrollEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<const char *, unsigned>> {};
+
+TEST_P(UnrollEquivalenceTest, FunctionallyEquivalent) {
+  auto [Src, Factor] = GetParam();
+  Loop L = parseSingleLoop(Src);
+  Loop U = unrollLoop(L, Factor);
+  uint64_t N = U.TripCount * Factor; // original iterations covered
+
+  FunctionalResult Orig = runFunctional(L, N);
+  FunctionalResult Unrolled = runFunctional(U, U.TripCount);
+
+  // Memory images may differ in size (margins); compare shared prefix.
+  ASSERT_EQ(Orig.Memory.Arrays.size(), Unrolled.Memory.Arrays.size());
+  for (size_t A = 0; A < Orig.Memory.Arrays.size(); ++A) {
+    size_t Common = std::min(Orig.Memory.Arrays[A].size(),
+                             Unrolled.Memory.Arrays[A].size());
+    for (size_t K = 0; K < Common; ++K)
+      ASSERT_EQ(Orig.Memory.Arrays[A][K], Unrolled.Memory.Arrays[A][K])
+          << "array " << A << " element " << K;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UnrollEquivalenceTest,
+    ::testing::Combine(::testing::Values(AccumulatorSrc, StencilSrc,
+                                         CarriedMemorySrc),
+                       ::testing::Values(2u, 3u, 4u)));
+
+} // namespace

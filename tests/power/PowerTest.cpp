@@ -1,0 +1,150 @@
+//===- tests/power/PowerTest.cpp - Energy and alpha-power models ------------===//
+
+#include "power/AlphaPowerModel.h"
+#include "power/EnergyModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+AlphaPowerModel referenceModel() {
+  return AlphaPowerModel(TechnologyModel::paperDefault(), /*RefFreqGHz=*/1.0,
+                         /*RefVdd=*/1.0, /*RefVth=*/0.25);
+}
+
+TEST(AlphaPower, ReferenceIsFixedPoint) {
+  AlphaPowerModel M = referenceModel();
+  EXPECT_NEAR(M.fmaxGHz(1.0, 0.25), 1.0, 1e-12);
+}
+
+TEST(AlphaPower, VthInversionRoundTrips) {
+  AlphaPowerModel M = referenceModel();
+  for (double F : {0.6, 0.8, 1.0, 1.1})
+    for (double Vdd : {0.8, 1.0, 1.2}) {
+      auto Vth = M.vthForFrequency(F, Vdd);
+      if (!Vth)
+        continue;
+      EXPECT_NEAR(M.fmaxGHz(Vdd, *Vth), F, 1e-9)
+          << "f=" << F << " Vdd=" << Vdd;
+    }
+}
+
+TEST(AlphaPower, HigherVddAllowsHigherVth) {
+  AlphaPowerModel M = referenceModel();
+  auto VthLo = M.vthForFrequency(1.0, 1.0);
+  auto VthHi = M.vthForFrequency(1.0, 1.2);
+  ASSERT_TRUE(VthLo && VthHi);
+  EXPECT_GT(*VthHi, *VthLo);
+}
+
+TEST(AlphaPower, UnreachableFrequencyRejected) {
+  AlphaPowerModel M = referenceModel();
+  // 3 GHz at 0.7 V is far beyond the technology.
+  EXPECT_FALSE(M.vthForFrequency(3.0, 0.7).has_value());
+}
+
+TEST(AlphaPower, ValidityMargin) {
+  AlphaPowerModel M = referenceModel();
+  // Vdd - 2*Vth > 0.1 * Vdd.
+  EXPECT_TRUE(M.isValidOperatingPoint(1.0, 0.25));
+  EXPECT_TRUE(M.isValidOperatingPoint(1.0, 0.44));
+  EXPECT_FALSE(M.isValidOperatingPoint(1.0, 0.46));
+  EXPECT_FALSE(M.isValidOperatingPoint(1.0, 0.0));
+  EXPECT_FALSE(M.isValidOperatingPoint(1.0, 1.1));
+}
+
+TEST(AlphaPower, FmaxMonotoneInVddAtFixedVth) {
+  AlphaPowerModel M = referenceModel();
+  // With fixed Vth = 0.25, a larger overdrive dominates the 1/Vdd term.
+  EXPECT_GT(M.fmaxGHz(1.2, 0.25), M.fmaxGHz(1.0, 0.25));
+  EXPECT_GT(M.fmaxGHz(1.0, 0.25), M.fmaxGHz(0.8, 0.25));
+}
+
+TEST(Scaling, DynamicQuadratic) {
+  EXPECT_DOUBLE_EQ(dynamicEnergyScale(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(dynamicEnergyScale(0.5, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(dynamicEnergyScale(1.2, 1.0), 1.44);
+}
+
+TEST(Scaling, StaticExponentialInVth) {
+  // One subthreshold slope (0.1 V) below the reference Vth multiplies
+  // leakage by 10.
+  EXPECT_NEAR(staticEnergyScale(1.0, 0.15, 1.0, 0.25, 0.1), 10.0, 1e-9);
+  EXPECT_NEAR(staticEnergyScale(1.0, 0.35, 1.0, 0.25, 0.1), 0.1, 1e-9);
+  EXPECT_NEAR(staticEnergyScale(0.8, 0.25, 1.0, 0.25, 0.1), 0.8, 1e-12);
+}
+
+EnergyModel referenceEnergyModel(EnergyBreakdown B = EnergyBreakdown()) {
+  ActivityCounts Ref;
+  Ref.WeightedIns = 1000;
+  Ref.Comms = 50;
+  Ref.MemAccesses = 200;
+  return EnergyModel(B, Ref, /*RefTexecNs=*/1e4, /*NumClusters=*/4);
+}
+
+TEST(EnergyModel, ReferenceNormalizesToOne) {
+  EnergyModel M = referenceEnergyModel();
+  ActivityCounts Ref;
+  Ref.WeightedIns = 1000;
+  Ref.Comms = 50;
+  Ref.MemAccesses = 200;
+  DomainScaling Unit;
+  double E = M.homogeneousEnergy(Ref, 1e4, Unit, Unit, Unit);
+  EXPECT_NEAR(E, 1.0, 1e-12);
+}
+
+TEST(EnergyModel, SharesMatchBreakdown) {
+  EnergyBreakdown B;
+  EnergyModel M = referenceEnergyModel(B);
+  // Cluster dynamic share: (1 - cache - icn) * (1 - clusterLeak).
+  double ClusterDyn = M.insUnit() * 1000;
+  EXPECT_NEAR(ClusterDyn, B.clusterShare() * (1 - B.ClusterLeakageFrac),
+              1e-12);
+  double IcnDyn = M.commUnit() * 50;
+  EXPECT_NEAR(IcnDyn, B.IcnShare * (1 - B.IcnLeakageFrac), 1e-12);
+  double CacheDyn = M.accessUnit() * 200;
+  EXPECT_NEAR(CacheDyn, B.CacheShare * (1 - B.CacheLeakageFrac), 1e-12);
+  double Leak = (M.clusterLeakPerNs() * 4 + M.icnLeakPerNs() +
+                 M.cacheLeakPerNs()) *
+                1e4;
+  EXPECT_NEAR(Leak + ClusterDyn + IcnDyn + CacheDyn, 1.0, 1e-12);
+}
+
+TEST(EnergyModel, LeakageScalesWithTime) {
+  EnergyModel M = referenceEnergyModel();
+  HeteroScaling S;
+  S.Clusters.assign(4, DomainScaling());
+  std::vector<double> WIns(4, 0.0);
+  double E1 = M.heteroEnergy(WIns, 0, 0, 1e4, S);
+  double E2 = M.heteroEnergy(WIns, 0, 0, 2e4, S);
+  EXPECT_NEAR(E2, 2 * E1, 1e-12);
+}
+
+TEST(EnergyModel, PerClusterDeltaWeighting) {
+  EnergyModel M = referenceEnergyModel();
+  HeteroScaling S;
+  S.Clusters.assign(4, DomainScaling());
+  S.Clusters[0].Delta = 2.0; // one expensive cluster
+  std::vector<double> AllInFast = {1000, 0, 0, 0};
+  std::vector<double> AllInSlow = {0, 1000, 0, 0};
+  double EFast = M.heteroEnergy(AllInFast, 0, 0, 0, S);
+  double ESlow = M.heteroEnergy(AllInSlow, 0, 0, 0, S);
+  EXPECT_NEAR(EFast, 2 * ESlow, 1e-12);
+}
+
+TEST(EnergyModel, ZeroCountsYieldZeroUnits) {
+  ActivityCounts Ref;
+  Ref.WeightedIns = 100;
+  EnergyModel M(EnergyBreakdown(), Ref, 1e3, 4);
+  EXPECT_DOUBLE_EQ(M.commUnit(), 0.0);
+  EXPECT_DOUBLE_EQ(M.accessUnit(), 0.0);
+}
+
+TEST(ED2, Definition) {
+  EXPECT_DOUBLE_EQ(computeED2(2.0, 3.0), 18.0);
+  EXPECT_DOUBLE_EQ(computeED2(0.5, 10.0), 50.0);
+}
+
+} // namespace

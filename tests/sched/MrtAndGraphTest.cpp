@@ -1,0 +1,183 @@
+//===- tests/sched/MrtAndGraphTest.cpp - MRT and partitioned graph ----------===//
+
+#include "ir/LoopDSL.h"
+#include "mcd/DomainPlanner.h"
+#include "sched/ModuloReservationTable.h"
+#include "sched/PartitionedGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+MachinePlan homogeneousPlan(const MachineDescription &M, int64_t II) {
+  HeteroConfig C = HeteroConfig::reference(M);
+  DomainPlanner P(M, C, FrequencyMenu::continuous());
+  auto Plan = P.planForIT(Rational(II));
+  EXPECT_TRUE(Plan.has_value());
+  return *Plan;
+}
+
+TEST(MRT, ReserveWrapsModulo) {
+  MachineDescription M = MachineDescription::paperDefault();
+  ModuloReservationTable T(M, homogeneousPlan(M, 3));
+  EXPECT_EQ(T.tryReserve(0, FUKind::IntFU, 0, 10), 0);
+  // Slot 3 maps to the same cell (mod 3): cluster 0 has one INT FU.
+  EXPECT_EQ(T.tryReserve(0, FUKind::IntFU, 3, 11), -1);
+  // Other slots and clusters are free.
+  EXPECT_EQ(T.tryReserve(0, FUKind::IntFU, 1, 12), 0);
+  EXPECT_EQ(T.tryReserve(1, FUKind::IntFU, 0, 13), 0);
+  // Release frees the cell again.
+  T.release(0, FUKind::IntFU, 3, 0, 10);
+  EXPECT_EQ(T.tryReserve(0, FUKind::IntFU, 6, 14), 0);
+}
+
+TEST(MRT, MultipleUnits) {
+  MachineDescription M = MachineDescription::paperDefault(2);
+  ModuloReservationTable T(M, homogeneousPlan(M, 4));
+  unsigned Bus = M.numClusters();
+  EXPECT_EQ(T.tryReserve(Bus, FUKind::Bus, 2, 20), 0);
+  EXPECT_EQ(T.tryReserve(Bus, FUKind::Bus, 2, 21), 1);
+  EXPECT_EQ(T.tryReserve(Bus, FUKind::Bus, 6, 22), -1);
+  auto Occ = T.occupants(Bus, FUKind::Bus, 6);
+  ASSERT_EQ(Occ.size(), 2u);
+  EXPECT_EQ(T.occupant(Bus, FUKind::Bus, 2, 0), 20);
+}
+
+TEST(MRT, NegativeSlotsWrapCorrectly) {
+  MachineDescription M = MachineDescription::paperDefault();
+  ModuloReservationTable T(M, homogeneousPlan(M, 5));
+  EXPECT_EQ(T.tryReserve(2, FUKind::MemPort, -3, 30), 0);
+  // -3 mod 5 == 2.
+  EXPECT_EQ(T.tryReserve(2, FUKind::MemPort, 2, 31), -1);
+}
+
+Loop crossLoop() {
+  return parseSingleLoop(R"(
+loop cross trip=8
+  arrays A O
+  x = load A
+  y = fadd x #1
+  z = fmul x #2
+  s = fadd y z
+  store O s
+endloop
+)");
+}
+
+TEST(PartitionedGraph, NoCopiesWhenSingleCluster) {
+  Loop L = crossLoop();
+  DDG G = DDG::build(L);
+  IsaTable Isa;
+  Partition P = Partition::allInCluster(G.size(), 0);
+  PartitionedGraph PG = PartitionedGraph::build(L, G, Isa, P, 4, 1);
+  EXPECT_EQ(PG.numCopies(), 0u);
+  EXPECT_EQ(PG.size(), G.size());
+}
+
+TEST(PartitionedGraph, OneCopyPerValueClusterPair) {
+  Loop L = crossLoop();
+  DDG G = DDG::build(L);
+  IsaTable Isa;
+  // x in cluster 0; its consumers y and z both in cluster 1: ONE copy.
+  Partition P;
+  P.ClusterOf = {0, 1, 1, 1, 1};
+  PartitionedGraph PG = PartitionedGraph::build(L, G, Isa, P, 4, 1);
+  EXPECT_EQ(PG.numCopies(), 1u);
+  const PGNode &Copy = PG.node(G.size());
+  EXPECT_EQ(Copy.Domain, PG.busDomain());
+  EXPECT_EQ(Copy.Op, Opcode::Copy);
+  EXPECT_EQ(Copy.CopiedValue, 0);
+  // Producer -> copy edge carries the producer's latency.
+  bool FoundIn = false;
+  for (unsigned EIx : PG.inEdges(G.size())) {
+    const PGEdge &E = PG.edge(EIx);
+    EXPECT_EQ(E.Src, 0u);
+    EXPECT_EQ(E.LatencyCycles, Isa.latency(Opcode::Load));
+    FoundIn = true;
+  }
+  EXPECT_TRUE(FoundIn);
+  // Copy -> consumers with bus latency.
+  EXPECT_EQ(PG.outEdges(G.size()).size(), 2u);
+}
+
+TEST(PartitionedGraph, TwoDestinationsTwoCopies) {
+  Loop L = crossLoop();
+  DDG G = DDG::build(L);
+  IsaTable Isa;
+  // x in 0, y in 1, z in 2: two copies of x, plus z's value crossing
+  // from cluster 2 into s's cluster 1.
+  Partition P;
+  P.ClusterOf = {0, 1, 2, 1, 1};
+  PartitionedGraph PG = PartitionedGraph::build(L, G, Isa, P, 4, 1);
+  EXPECT_EQ(PG.numCopies(), 3u);
+  unsigned CopiesOfX = 0;
+  for (unsigned N = G.size(); N < PG.size(); ++N)
+    if (PG.node(N).CopiedValue == 0)
+      ++CopiesOfX;
+  EXPECT_EQ(CopiesOfX, 2u);
+}
+
+TEST(PartitionedGraph, CarriedDistanceStaysOnConsumerEdge) {
+  Loop L = parseSingleLoop(R"(
+loop carried trip=8
+  arrays O
+  a = fadd b@2 #1 init=0
+  b = fadd a #1
+  store O b
+endloop
+)");
+  DDG G = DDG::build(L);
+  IsaTable Isa;
+  Partition P;
+  P.ClusterOf = {0, 1, 1};
+  PartitionedGraph PG = PartitionedGraph::build(L, G, Isa, P, 4, 1);
+  // Two crossings: a's value 0 -> 1 and b's value 1 -> 0. The copy of
+  // b must read b at distance 0 and feed a at the carried distance 2.
+  ASSERT_EQ(PG.numCopies(), 2u);
+  int CopyOfB = -1;
+  for (unsigned N = G.size(); N < PG.size(); ++N)
+    if (PG.node(N).CopiedValue == 1)
+      CopyOfB = static_cast<int>(N);
+  ASSERT_GE(CopyOfB, 0);
+  unsigned CopyIx = static_cast<unsigned>(CopyOfB);
+  for (unsigned EIx : PG.inEdges(CopyIx))
+    EXPECT_EQ(PG.edge(EIx).Distance, 0u);
+  bool Found = false;
+  for (unsigned EIx : PG.outEdges(CopyIx)) {
+    const PGEdge &E = PG.edge(EIx);
+    if (E.Dst == 0) {
+      EXPECT_EQ(E.Distance, 2u);
+      Found = true;
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(PartitionedGraph, MemoryOrderingEdgesNeverCopy) {
+  Loop L = parseSingleLoop(R"(
+loop mem trip=8
+  arrays A
+  x = load A
+  y = fadd x #1
+  store A y off=1
+endloop
+)");
+  DDG G = DDG::build(L);
+  IsaTable Isa;
+  Partition P;
+  P.ClusterOf = {0, 0, 3}; // store far away from the load
+  PartitionedGraph PG = PartitionedGraph::build(L, G, Isa, P, 4, 1);
+  // Only the register value x->y... y->store crosses: y's value needs a
+  // copy; the store->load MemFlow edge does not.
+  EXPECT_EQ(PG.numCopies(), 1u);
+  for (unsigned EIx = 0; EIx < PG.edges().size(); ++EIx) {
+    const PGEdge &E = PG.edge(EIx);
+    if (E.Src == 2 && E.Dst == 0) {
+      EXPECT_FALSE(E.CarriesValue);
+    }
+  }
+}
+
+} // namespace

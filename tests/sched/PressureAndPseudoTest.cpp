@@ -1,0 +1,150 @@
+//===- tests/sched/PressureAndPseudoTest.cpp - MaxLive + pseudo-schedules ---===//
+
+#include "ir/LoopDSL.h"
+#include "mcd/DomainPlanner.h"
+#include "sched/PseudoScheduler.h"
+#include "sched/RegisterPressure.h"
+#include "partition/LoopScheduler.h"
+#include "workloads/SyntheticLoops.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+MachinePlan planAt(const MachineDescription &M, const HeteroConfig &C,
+                   const Rational &IT) {
+  DomainPlanner P(M, C, FrequencyMenu::continuous());
+  auto Plan = P.planForIT(IT);
+  EXPECT_TRUE(Plan.has_value());
+  return *Plan;
+}
+
+TEST(RegisterPressure, LongLifetimeCountsMultipleRegisters) {
+  // A value produced every II cycles but alive for ~2*II must occupy
+  // two registers at some modulo slot.
+  Loop L = parseSingleLoop(R"(
+loop lt trip=16
+  arrays A O
+  x = load A
+  y = fdiv x #3
+  z = fadd y x
+  store O z
+endloop
+)");
+  MachineDescription M = MachineDescription::paperDefault(1, 1);
+  HeteroConfig C = HeteroConfig::reference(M);
+  LoopScheduler Sched(M, C);
+  LoopScheduleResult R = Sched.schedule(L);
+  ASSERT_TRUE(R.Success) << R.Failure;
+  RegisterPressureResult P = computeRegisterPressure(R.PG, R.Sched);
+  // x lives from its load until z reads it, across the fdiv's 18
+  // cycles, while II is ~2-3: several overlapping copies of x.
+  int64_t II = R.Sched.Plan.Clusters[0].II;
+  EXPECT_GE(P.MaxLive[0], 18 / II);
+  EXPECT_GT(P.SumLifetimes[0], 18);
+}
+
+TEST(RegisterPressure, FitsChecksPerCluster) {
+  RegisterPressureResult R;
+  R.MaxLive = {16, 3, 2, 1};
+  R.SumLifetimes = {0, 0, 0, 0};
+  MachineDescription M = MachineDescription::paperDefault();
+  EXPECT_TRUE(R.fits(M));
+  R.MaxLive[0] = 17;
+  EXPECT_FALSE(R.fits(M));
+}
+
+TEST(PseudoScheduler, DetectsClusterOverCapacity) {
+  Loop L = makeStreamLoop("s", 6, 16, 1.0); // 18 mem ops
+  MachineDescription M = MachineDescription::paperDefault();
+  DDG G = DDG::build(L);
+  HeteroConfig C = HeteroConfig::reference(M);
+  MachinePlan Plan = planAt(M, C, Rational(5));
+  // Everything in one cluster: 18 memory ops >> 5 slots.
+  Partition P = Partition::allInCluster(G.size(), 0);
+  PseudoSchedule PS = estimatePseudoSchedule(L, G, M, Plan, P);
+  EXPECT_FALSE(PS.Feasible);
+  EXPECT_EQ(PS.Reason, "cluster capacity exceeded");
+}
+
+TEST(PseudoScheduler, DetectsBusOverCapacity) {
+  Loop L = makeStreamLoop("s", 4, 16, 1.0);
+  MachineDescription M = MachineDescription::paperDefault();
+  DDG G = DDG::build(L);
+  HeteroConfig C = HeteroConfig::reference(M);
+  MachinePlan Plan = planAt(M, C, Rational(3));
+  // Round-robin by op: every lane is cut several times -> many copies.
+  Partition P;
+  P.ClusterOf.resize(G.size());
+  for (unsigned I = 0; I < G.size(); ++I)
+    P.ClusterOf[I] = I % 4;
+  PseudoSchedule PS = estimatePseudoSchedule(L, G, M, Plan, P);
+  EXPECT_FALSE(PS.Feasible);
+  EXPECT_EQ(PS.Reason, "bus capacity exceeded");
+}
+
+TEST(PseudoScheduler, DetectsInfeasibleRecurrence) {
+  Loop L = makeWideRecurrenceLoop("r", 2, 1, 1, 16, 1.0); // recMII 6
+  MachineDescription M = MachineDescription::paperDefault();
+  DDG G = DDG::build(L);
+  HeteroConfig C = HeteroConfig::reference(M);
+  MachinePlan Plan = planAt(M, C, Rational(4));
+  Partition P = Partition::allInCluster(G.size(), 0);
+  PseudoSchedule PS = estimatePseudoSchedule(L, G, M, Plan, P);
+  EXPECT_FALSE(PS.Feasible);
+  EXPECT_EQ(PS.Reason, "recurrence infeasible");
+}
+
+TEST(PseudoScheduler, FeasibleReportsActivity) {
+  Loop L = makeStreamLoop("s", 4, 16, 1.0);
+  MachineDescription M = MachineDescription::paperDefault();
+  DDG G = DDG::build(L);
+  HeteroConfig C = HeteroConfig::reference(M);
+  MachinePlan Plan = planAt(M, C, Rational(4));
+  // One lane per cluster: no communications at all.
+  Partition P;
+  P.ClusterOf.resize(G.size());
+  for (unsigned I = 0; I < G.size(); ++I)
+    P.ClusterOf[I] = I / 5; // 5 ops per lane
+  PseudoSchedule PS = estimatePseudoSchedule(L, G, M, Plan, P);
+  ASSERT_TRUE(PS.Feasible) << PS.Reason;
+  EXPECT_EQ(PS.Comms, 0u);
+  double TotalW = 0;
+  for (double W : PS.WInsPerCluster)
+    TotalW += W;
+  double Expected = 0;
+  for (const auto &O : L.Ops)
+    Expected += M.Isa.energy(O.Op);
+  EXPECT_NEAR(TotalW, Expected, 1e-9);
+  EXPECT_GT(PS.ItLengthNs, Rational(0));
+}
+
+TEST(PseudoScheduler, ItLengthGrowsWithSlowerClusters) {
+  Loop L = makeStreamLoop("s", 4, 16, 1.0);
+  MachineDescription M = MachineDescription::paperDefault();
+  DDG G = DDG::build(L);
+
+  Partition P;
+  P.ClusterOf.resize(G.size());
+  for (unsigned I = 0; I < G.size(); ++I)
+    P.ClusterOf[I] = I / 5;
+
+  HeteroConfig Ref = HeteroConfig::reference(M);
+  MachinePlan PlanRef = planAt(M, Ref, Rational(4));
+  PseudoSchedule Fast = estimatePseudoSchedule(L, G, M, PlanRef, P);
+
+  HeteroConfig Slow = Ref;
+  for (auto &Cl : Slow.Clusters)
+    Cl.PeriodNs = Rational(3, 2);
+  Slow.Icn.PeriodNs = Rational(3, 2);
+  Slow.Cache.PeriodNs = Rational(3, 2);
+  MachinePlan PlanSlow = planAt(M, Slow, Rational(6));
+  PseudoSchedule Slower = estimatePseudoSchedule(L, G, M, PlanSlow, P);
+
+  ASSERT_TRUE(Fast.Feasible && Slower.Feasible);
+  EXPECT_GT(Slower.ItLengthNs, Fast.ItLengthNs);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- tests/support/RationalTest.cpp - Exact rational arithmetic ----------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational R;
+  EXPECT_TRUE(R.isZero());
+  EXPECT_TRUE(R.isInteger());
+  EXPECT_EQ(R.num(), 0);
+  EXPECT_EQ(R.den(), 1);
+}
+
+TEST(Rational, NormalizesSigns) {
+  Rational R(3, -6);
+  EXPECT_EQ(R.num(), -1);
+  EXPECT_EQ(R.den(), 2);
+  EXPECT_TRUE(R.isNegative());
+  EXPECT_EQ(Rational(-3, -6), Rational(1, 2));
+}
+
+TEST(Rational, NormalizesGcd) {
+  Rational R(12, 30);
+  EXPECT_EQ(R.num(), 2);
+  EXPECT_EQ(R.den(), 5);
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+}
+
+TEST(Rational, Arithmetic) {
+  Rational A(1, 3), B(1, 6);
+  EXPECT_EQ(A + B, Rational(1, 2));
+  EXPECT_EQ(A - B, Rational(1, 6));
+  EXPECT_EQ(A * B, Rational(1, 18));
+  EXPECT_EQ(A / B, Rational(2));
+  EXPECT_EQ(-A, Rational(-1, 3));
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational R(1, 4);
+  R += Rational(1, 4);
+  EXPECT_EQ(R, Rational(1, 2));
+  R *= Rational(4);
+  EXPECT_EQ(R, Rational(2));
+  R -= Rational(1, 2);
+  EXPECT_EQ(R, Rational(3, 2));
+  R /= Rational(3);
+  EXPECT_EQ(R, Rational(1, 2));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(2, 3), Rational(1, 2));
+  EXPECT_LE(Rational(1, 2), Rational(2, 4));
+  EXPECT_GE(Rational(-1, 2), Rational(-2, 3));
+  EXPECT_LT(Rational(-1), Rational(0));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(6).floor(), 6);
+  EXPECT_EQ(Rational(6).ceil(), 6);
+  EXPECT_EQ(Rational(0).floor(), 0);
+}
+
+TEST(Rational, Reciprocal) {
+  EXPECT_EQ(Rational(3, 4).reciprocal(), Rational(4, 3));
+  EXPECT_EQ(Rational(-2, 5).reciprocal(), Rational(-5, 2));
+}
+
+TEST(Rational, Abs) {
+  EXPECT_EQ(Rational(-3, 4).abs(), Rational(3, 4));
+  EXPECT_EQ(Rational(3, 4).abs(), Rational(3, 4));
+}
+
+TEST(Rational, MinMax) {
+  EXPECT_EQ(Rational::min(Rational(1, 3), Rational(1, 4)), Rational(1, 4));
+  EXPECT_EQ(Rational::max(Rational(1, 3), Rational(1, 4)), Rational(1, 3));
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(5).str(), "5");
+  EXPECT_EQ(Rational(5, 4).str(), "5/4");
+  EXPECT_EQ(Rational(-5, 4).str(), "-5/4");
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).toDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-3, 4).toDouble(), -0.75);
+}
+
+TEST(Rational, LargeIntermediatesReduce) {
+  // Denominator products transiently exceed 64 bits but reduce back.
+  Rational A(1, 3000000000LL);
+  Rational B(1, 4500000000LL);
+  Rational Sum = A + B;
+  EXPECT_EQ(Sum, Rational(5, 9000000000LL));
+}
+
+TEST(Rational, GcdLcm) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_EQ(gcd64(0, 5), 5);
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 6), 0);
+}
+
+// Property sweep: a/b + c/d recomputed with exact integers.
+class RationalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalPropertyTest, FieldAxioms) {
+  int S = GetParam();
+  Rational A(S * 3 + 1, S + 2);
+  Rational B(S - 7, 2 * S + 3);
+  Rational C(5, S + 11);
+  EXPECT_EQ(A + B, B + A);
+  EXPECT_EQ(A * B, B * A);
+  EXPECT_EQ((A + B) + C, A + (B + C));
+  EXPECT_EQ(A * (B + C), A * B + A * C);
+  EXPECT_EQ(A - A, Rational(0));
+  if (!B.isZero()) {
+    EXPECT_EQ(A / B * B, A);
+  }
+}
+
+TEST_P(RationalPropertyTest, FloorCeilBracket) {
+  int S = GetParam();
+  Rational R(S * 13 - 7, 11);
+  EXPECT_LE(Rational(R.floor()), R);
+  EXPECT_GE(Rational(R.ceil()), R);
+  EXPECT_LE(R.ceil() - R.floor(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RationalPropertyTest,
+                         ::testing::Range(1, 40));
+
+} // namespace

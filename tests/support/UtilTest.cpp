@@ -1,0 +1,136 @@
+//===- tests/support/UtilTest.cpp - Stats / strings / RNG / tables ----------===//
+
+#include "support/RNG.h"
+#include "support/Stats.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+TEST(Stats, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0);
+}
+
+TEST(Stats, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4, 1}), 2.0);
+  EXPECT_NEAR(geomean({2, 2, 2}), 2.0, 1e-12);
+}
+
+TEST(Stats, Stddev) {
+  EXPECT_DOUBLE_EQ(stddev({5, 5, 5}), 0);
+  EXPECT_NEAR(stddev({1, 3}), 1.0, 1e-12);
+}
+
+TEST(Stats, Median) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2);
+  EXPECT_DOUBLE_EQ(median({4, 1, 2, 3}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0);
+}
+
+TEST(Stats, Accumulator) {
+  Accumulator A;
+  A.add(2);
+  A.add(6);
+  A.add(4);
+  EXPECT_EQ(A.count(), 3u);
+  EXPECT_DOUBLE_EQ(A.mean(), 4);
+  EXPECT_DOUBLE_EQ(A.min(), 2);
+  EXPECT_DOUBLE_EQ(A.max(), 6);
+  EXPECT_DOUBLE_EQ(A.sum(), 12);
+}
+
+TEST(StrUtil, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(formatString("%.2f", 1.234), "1.23");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(StrUtil, Split) {
+  auto T = splitString("  a b\tc  ");
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0], "a");
+  EXPECT_EQ(T[2], "c");
+  EXPECT_TRUE(splitString("   ").empty());
+}
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trimString("  x y  "), "x y");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString(" \t\n "), "");
+}
+
+TEST(StrUtil, ParseInt64) {
+  int64_t V = 0;
+  EXPECT_TRUE(parseInt64("-42", V));
+  EXPECT_EQ(V, -42);
+  EXPECT_FALSE(parseInt64("12x", V));
+  EXPECT_FALSE(parseInt64("", V));
+}
+
+TEST(StrUtil, ParseDouble) {
+  double V = 0;
+  EXPECT_TRUE(parseDouble("2.5", V));
+  EXPECT_DOUBLE_EQ(V, 2.5);
+  EXPECT_FALSE(parseDouble("abc", V));
+}
+
+TEST(RNG, Deterministic) {
+  RNG A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RNG, RangesRespected) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = R.nextInt(-3, 5);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 5);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNG, ShuffleIsPermutation) {
+  RNG R(11);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6};
+  auto Sorted = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Sorted);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T("t");
+  T.addRow({"a", "bbbb"});
+  T.addRow({"cccc", "d"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("== t =="), std::string::npos);
+  EXPECT_NE(Out.find("a     bbbb"), std::string::npos);
+  EXPECT_NE(Out.find("cccc  d"), std::string::npos);
+}
+
+TEST(TablePrinter, EmptyAndRagged) {
+  TablePrinter T;
+  EXPECT_EQ(T.render(), "");
+  T.addRow({"h1", "h2", "h3"});
+  T.addRow({"x"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("h3"), std::string::npos);
+}
+
+} // namespace

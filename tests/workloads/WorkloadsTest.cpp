@@ -1,0 +1,158 @@
+//===- tests/workloads/WorkloadsTest.cpp - Synthetic workload suite ---------===//
+
+#include "ir/RecurrenceAnalysis.h"
+#include "machine/MachineDescription.h"
+#include "workloads/SpecFPSuite.h"
+#include "workloads/SyntheticLoops.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+struct LoopStats {
+  int64_t RecMII;
+  int64_t ResMII;
+};
+
+LoopStats statsOf(const Loop &L) {
+  MachineDescription M = MachineDescription::paperDefault();
+  DDG G = DDG::build(L);
+  RecurrenceInfo R = analyzeRecurrences(G, M.Isa.nodeLatencies(L));
+  return {R.RecMII, M.computeResMII(L)};
+}
+
+TEST(Generators, StreamLoopIsResourceConstrained) {
+  for (unsigned Lanes : {2u, 4u, 6u, 8u}) {
+    Loop L = makeStreamLoop("s", Lanes, 32, 1.0);
+    EXPECT_EQ(L.validate(), "");
+    LoopStats S = statsOf(L);
+    EXPECT_EQ(S.RecMII, 0) << Lanes;
+    EXPECT_EQ(S.ResMII, (3 * Lanes + 3) / 4) << Lanes; // mem-bound
+  }
+}
+
+TEST(Generators, StencilLoopShape) {
+  Loop L = makeStencilLoop("st", 8, 32, 1.0);
+  EXPECT_EQ(L.validate(), "");
+  LoopStats S = statsOf(L);
+  EXPECT_EQ(S.RecMII, 0);
+  EXPECT_EQ(S.ResMII, 3); // 9 memory ops over 4 ports
+}
+
+TEST(Generators, ChainRecurrenceRecMII) {
+  // recMII = ceil((6*M + 3*A) / dist).
+  struct Case {
+    unsigned Muls, Adds, Dist;
+    int64_t Want;
+  } Cases[] = {{1, 2, 1, 12}, {0, 3, 1, 9}, {0, 4, 2, 6}, {2, 0, 1, 12},
+               {1, 1, 2, 5},  {0, 1, 1, 3}};
+  for (const auto &C : Cases) {
+    Loop L = makeChainRecurrenceLoop("r", C.Muls, C.Adds, C.Dist, 2, 32,
+                                     1.0);
+    EXPECT_EQ(L.validate(), "");
+    EXPECT_EQ(statsOf(L).RecMII, C.Want)
+        << C.Muls << "/" << C.Adds << "/" << C.Dist;
+  }
+}
+
+TEST(Generators, WideRecurrenceManyCriticalOps) {
+  Loop L = makeWideRecurrenceLoop("w", 8, 2, 2, 32, 1.0);
+  EXPECT_EQ(L.validate(), "");
+  DDG G = DDG::build(L);
+  MachineDescription M = MachineDescription::paperDefault();
+  RecurrenceInfo R = analyzeRecurrences(G, M.Isa.nodeLatencies(L));
+  ASSERT_EQ(R.Recurrences.size(), 1u);
+  EXPECT_EQ(R.Recurrences[0].Nodes.size(), 8u);
+  EXPECT_EQ(R.RecMII, 12);
+}
+
+TEST(Generators, BorderlineLandsBetween) {
+  Loop L = makeBorderlineLoop("b", 6, 2, 32, 1.0);
+  EXPECT_EQ(L.validate(), "");
+  LoopStats S = statsOf(L);
+  EXPECT_GE(S.RecMII, S.ResMII);
+  EXPECT_LT(10 * S.RecMII, 13 * S.ResMII);
+}
+
+TEST(Generators, RandomLoopsAlwaysValid) {
+  RandomLoopParams P;
+  for (uint64_t Seed = 0; Seed < 60; ++Seed) {
+    RNG Rng(Seed * 31337 + 7);
+    Loop L = makeRandomLoop(Rng, P, "rand");
+    EXPECT_EQ(L.validate(), "") << "seed " << Seed;
+    EXPECT_GE(L.size(), P.MinOps);
+    bool HasStore = false;
+    for (const auto &O : L.Ops)
+      HasStore |= isStoreOpcode(O.Op);
+    EXPECT_TRUE(HasStore) << "seed " << Seed;
+  }
+}
+
+TEST(Generators, RandomLoopsDeterministicPerSeed) {
+  RandomLoopParams P;
+  RNG A(42), B(42);
+  Loop LA = makeRandomLoop(A, P, "x");
+  Loop LB = makeRandomLoop(B, P, "x");
+  ASSERT_EQ(LA.size(), LB.size());
+  for (unsigned I = 0; I < LA.size(); ++I)
+    EXPECT_EQ(LA.Ops[I].Op, LB.Ops[I].Op);
+}
+
+TEST(Suite, AllProgramsPresent) {
+  auto Suite = buildSpecFPSuite();
+  ASSERT_EQ(Suite.size(), 10u);
+  EXPECT_EQ(Suite[0].Name, "168.wupwise");
+  EXPECT_EQ(Suite[8].Name, "200.sixtrack");
+  for (const auto &Prog : Suite) {
+    EXPECT_FALSE(Prog.Loops.empty());
+    double W = 0;
+    for (const auto &L : Prog.Loops) {
+      EXPECT_EQ(L.validate(), "") << Prog.Name << "/" << L.Name;
+      W += L.Weight;
+    }
+    EXPECT_NEAR(W, 1.0, 1e-6) << Prog.Name;
+  }
+}
+
+TEST(Suite, SwimIsAllResourceConstrained) {
+  BenchmarkProgram P = buildSpecFPProgram("171.swim");
+  for (const auto &L : P.Loops) {
+    LoopStats S = statsOf(L);
+    EXPECT_LT(S.RecMII, S.ResMII) << L.Name;
+  }
+}
+
+TEST(Suite, SixtrackIsRecurrenceDominated) {
+  BenchmarkProgram P = buildSpecFPProgram("200.sixtrack");
+  double RecWeight = 0;
+  for (const auto &L : P.Loops) {
+    LoopStats S = statsOf(L);
+    if (10 * S.RecMII >= 13 * S.ResMII)
+      RecWeight += L.Weight;
+  }
+  EXPECT_GT(RecWeight, 0.99);
+}
+
+TEST(Suite, Fma3dRecurrencesAreWide) {
+  BenchmarkProgram P = buildSpecFPProgram("191.fma3d");
+  MachineDescription M = MachineDescription::paperDefault();
+  bool FoundWide = false;
+  for (const auto &L : P.Loops) {
+    DDG G = DDG::build(L);
+    RecurrenceInfo R = analyzeRecurrences(G, M.Isa.nodeLatencies(L));
+    for (const auto &Rec : R.Recurrences)
+      FoundWide |= Rec.Nodes.size() >= 8;
+  }
+  EXPECT_TRUE(FoundWide);
+}
+
+TEST(Suite, ByNameMatchesSuite) {
+  for (const auto &Name : specFPProgramNames()) {
+    BenchmarkProgram P = buildSpecFPProgram(Name);
+    EXPECT_EQ(P.Name, Name);
+  }
+}
+
+} // namespace
