@@ -1,0 +1,192 @@
+//===- examples/explore_tool.cpp - Design-space exploration CLI -------------===//
+//
+// Drives the parallel exploration engine over one benchmark program (or
+// the whole synthetic SPECfp suite), printing the Pareto frontier and
+// search statistics and optionally serializing the full report.
+//
+// Usage:
+//   explore_tool [--program NAME] [--threads N] [--menu K]
+//                [--fast LIST] [--ratios LIST] [--num-fast N]
+//                [--no-prune] [--no-cache] [--csv PATH] [--json PATH]
+//     --program   SPECfp program name (e.g. 171.swim; default: all)
+//     --threads   worker threads (default 0 = hardware concurrency)
+//     --menu      frequencies per domain (default: any)
+//     --fast      comma-separated fast factors, e.g. 9/10,1,11/10
+//     --ratios    comma-separated slow/fast ratios, e.g. 1,5/4,3/2
+//     --num-fast  number of fast clusters (default 1)
+//     --no-prune  skip the Pareto frontier
+//     --no-cache  disable timing memoization
+//     --csv/--json  write the report (with --program only, the path is
+//                   used as-is; over the suite, the program name is
+//                   inserted before the extension)
+//
+//===----------------------------------------------------------------------===//
+
+#include "configsel/ConfigurationSelector.h"
+#include "explore/ExplorationReport.h"
+#include "profiling/Profiler.h"
+#include "support/StrUtil.h"
+#include "workloads/SpecFPSuite.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace hcvliw;
+
+static bool parseRational(const std::string &S, Rational &Out) {
+  size_t Slash = S.find('/');
+  int64_t N = 0, D = 1;
+  if (Slash == std::string::npos) {
+    if (!parseInt64(S, N))
+      return false;
+  } else {
+    if (!parseInt64(S.substr(0, Slash), N) ||
+        !parseInt64(S.substr(Slash + 1), D) || D <= 0)
+      return false;
+  }
+  Out = Rational(N, D);
+  return Out.isPositive();
+}
+
+static bool parseRationalList(const char *Arg, std::vector<Rational> &Out) {
+  Out.clear();
+  for (const std::string &Tok : splitString(Arg, ",")) {
+    Rational R;
+    if (!parseRational(Tok, R))
+      return false;
+    Out.push_back(R);
+  }
+  return !Out.empty();
+}
+
+/// "out.csv" + "171.swim" -> "out.171.swim.csv". Only a '.' in the
+/// final path component is an extension.
+static std::string perProgramPath(const std::string &Path,
+                                  const std::string &Program) {
+  size_t Slash = Path.rfind('/');
+  size_t Dot = Path.rfind('.');
+  if (Dot == std::string::npos ||
+      (Slash != std::string::npos && Dot < Slash))
+    return Path + "." + Program;
+  return Path.substr(0, Dot) + "." + Program + Path.substr(Dot);
+}
+
+int main(int argc, char **argv) {
+  std::string Program;
+  std::string CsvPath, JsonPath;
+  ExploreOptions Opts;
+  Opts.Threads = 0;
+  DesignSpaceOptions Space = DesignSpaceOptions::paperDefault();
+  unsigned MenuK = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    auto need = [&](const char *Flag) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(1);
+      }
+      return argv[++I];
+    };
+    if (!std::strcmp(argv[I], "--program")) {
+      Program = need("--program");
+    } else if (!std::strcmp(argv[I], "--threads")) {
+      Opts.Threads = static_cast<unsigned>(std::atoi(need("--threads")));
+    } else if (!std::strcmp(argv[I], "--menu")) {
+      MenuK = static_cast<unsigned>(std::atoi(need("--menu")));
+    } else if (!std::strcmp(argv[I], "--fast")) {
+      if (!parseRationalList(need("--fast"), Space.FastFactors)) {
+        std::fprintf(stderr, "error: bad --fast list\n");
+        return 1;
+      }
+    } else if (!std::strcmp(argv[I], "--ratios")) {
+      if (!parseRationalList(need("--ratios"), Space.SlowRatios)) {
+        std::fprintf(stderr, "error: bad --ratios list\n");
+        return 1;
+      }
+    } else if (!std::strcmp(argv[I], "--num-fast")) {
+      Space.NumFastClusters =
+          static_cast<unsigned>(std::atoi(need("--num-fast")));
+    } else if (!std::strcmp(argv[I], "--no-prune")) {
+      Opts.ComputeFrontier = false;
+    } else if (!std::strcmp(argv[I], "--no-cache")) {
+      Opts.UseCache = false;
+    } else if (!std::strcmp(argv[I], "--csv")) {
+      CsvPath = need("--csv");
+    } else if (!std::strcmp(argv[I], "--json")) {
+      JsonPath = need("--json");
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[I]);
+      return 1;
+    }
+  }
+
+  std::vector<BenchmarkProgram> Programs;
+  if (!Program.empty()) {
+    bool Known = false;
+    for (const std::string &N : specFPProgramNames())
+      Known |= N == Program;
+    if (!Known) {
+      std::fprintf(stderr, "error: unknown program '%s'; known:\n",
+                   Program.c_str());
+      for (const std::string &N : specFPProgramNames())
+        std::fprintf(stderr, "  %s\n", N.c_str());
+      return 1;
+    }
+    Programs.push_back(buildSpecFPProgram(Program));
+  } else {
+    Programs = buildSpecFPSuite();
+  }
+  bool Suite = Programs.size() > 1;
+
+  MachineDescription M = MachineDescription::paperDefault();
+  FrequencyMenu Menu = MenuK > 0 ? FrequencyMenu::relativeLadder(MenuK)
+                                 : FrequencyMenu::continuous();
+  TechnologyModel Tech = TechnologyModel::paperDefault();
+  Profiler Prof(M);
+
+  int Rc = 0;
+  for (const BenchmarkProgram &Prog : Programs) {
+    auto P = Prof.profileProgram(Prog.Name, Prog.Loops);
+    if (!P) {
+      std::fprintf(stderr, "error: profiling failed on %s\n",
+                   Prog.Name.c_str());
+      Rc = 1;
+      continue;
+    }
+    EnergyModel E(EnergyBreakdown(), P->Totals, P->TexecRefNs,
+                  M.numClusters());
+    ExplorationEngine Eng(*P, M, E, Tech, Menu, Space);
+    ExplorationResult R = Eng.explore(Opts);
+
+    ExplorationReport Rep(Prog.Name, R);
+    std::printf("%s\n", Rep.summary().c_str());
+    if (!R.Best.Valid) {
+      std::fprintf(stderr, "error: no feasible design for %s\n",
+                   Prog.Name.c_str());
+      Rc = 1;
+    }
+
+    if (!CsvPath.empty()) {
+      std::string Path = Suite ? perProgramPath(CsvPath, Prog.Name) : CsvPath;
+      if (!Rep.writeCsv(Path)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+        Rc = 1;
+      } else {
+        std::printf("wrote %s\n", Path.c_str());
+      }
+    }
+    if (!JsonPath.empty()) {
+      std::string Path =
+          Suite ? perProgramPath(JsonPath, Prog.Name) : JsonPath;
+      if (!Rep.writeJson(Path)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+        Rc = 1;
+      } else {
+        std::printf("wrote %s\n", Path.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return Rc;
+}

@@ -2,168 +2,33 @@
 
 #include "configsel/ConfigurationSelector.h"
 
-#include <algorithm>
 #include <cassert>
-#include <cmath>
 
 using namespace hcvliw;
-
-DesignSpaceOptions DesignSpaceOptions::paperDefault() {
-  DesignSpaceOptions O;
-  O.FastFactors = {Rational(9, 10), Rational(19, 20), Rational(1),
-                   Rational(21, 20), Rational(11, 10)};
-  O.SlowRatios = {Rational(1), Rational(5, 4), Rational(4, 3),
-                  Rational(3, 2)};
-  O.NumFastClusters = 1;
-  for (int V = 70; V <= 120; V += 5)
-    O.ClusterVddGrid.push_back(V / 100.0);
-  for (int V = 80; V <= 110; V += 5)
-    O.IcnVddGrid.push_back(V / 100.0);
-  for (int V = 100; V <= 140; V += 5)
-    O.CacheVddGrid.push_back(V / 100.0);
-  for (int F = 16; F <= 30; ++F)
-    O.HomogFactors.push_back(Rational(F, 20));
-  for (int V = 70; V <= 140; V += 5)
-    O.HomogVddGrid.push_back(V / 100.0);
-  return O;
-}
 
 ConfigurationSelector::ConfigurationSelector(
     const ProgramProfile &P, const MachineDescription &M,
     const EnergyModel &E, const TechnologyModel &T, const FrequencyMenu &Mn,
     const DesignSpaceOptions &S)
     : Profile(P), Machine(M), Energy(E), Tech(T),
-      Alpha(T, M.refFrequency().toDouble(), M.RefVdd, M.RefVth), Menu(Mn),
-      Space(S) {}
-
-namespace {
-
-/// Greedy per-class voltage choice: the Vdd of \p Grid minimizing
-/// Dynamic * delta(Vdd) + LeakPerNs * TexecNs * sigma(Vdd, Vth(f, Vdd)),
-/// with Vth derived from the alpha-power law. std::nullopt when no grid
-/// voltage supports frequency \p FreqGHz.
-std::optional<DomainOperatingPoint>
-pickVdd(const AlphaPowerModel &Alpha, const MachineDescription &M,
-        const TechnologyModel &Tech, const std::vector<double> &Grid,
-        double FreqGHz, const Rational &PeriodNs, double Dynamic,
-        double LeakPerNs, double TexecNs, double *CostOut) {
-  std::optional<DomainOperatingPoint> Best;
-  double BestCost = 0;
-  for (double Vdd : Grid) {
-    auto Vth = Alpha.vthForFrequency(FreqGHz, Vdd);
-    if (!Vth)
-      continue;
-    double Delta = dynamicEnergyScale(Vdd, M.RefVdd);
-    double Sigma = staticEnergyScale(Vdd, *Vth, M.RefVdd, M.RefVth,
-                                     Tech.SubthresholdSlopeV);
-    double Cost = Dynamic * Delta + LeakPerNs * TexecNs * Sigma;
-    if (!Best || Cost < BestCost) {
-      DomainOperatingPoint P;
-      P.PeriodNs = PeriodNs;
-      P.Vdd = Vdd;
-      P.Vth = *Vth;
-      Best = P;
-      BestCost = Cost;
-    }
-  }
-  if (Best && CostOut)
-    *CostOut = BestCost;
-  return Best;
-}
-
-} // namespace
-
-SelectedDesign
-ConfigurationSelector::evaluateCandidate(const Rational &FastPeriod,
-                                         const Rational &SlowPeriod) const {
-  SelectedDesign D;
-  unsigned NC = Machine.numClusters();
-  unsigned NF = std::min(Space.NumFastClusters, NC);
-
-  HeteroConfig C;
-  C.Clusters.resize(NC);
-  for (unsigned I = 0; I < NC; ++I)
-    C.Clusters[I].PeriodNs = I < NF ? FastPeriod : SlowPeriod;
-  // Cache and ICN run with the fastest cluster (Section 5).
-  C.Icn.PeriodNs = FastPeriod;
-  C.Cache.PeriodNs = FastPeriod;
-
-  // Timing + activity accumulation over all loops.
-  double TexecNs = 0;
-  std::vector<double> WIns(NC, 0.0);
-  double Comms = 0, Mem = 0;
-  for (const LoopProfile &LP : Profile.Loops) {
-    LoopTimingEstimate TE = estimateLoopTiming(LP, Machine, C, Menu);
-    if (!TE.Feasible)
-      return D;
-    TexecNs += LP.Invocations * TE.TexecNs;
-    double Iters =
-        LP.Invocations * static_cast<double>(LP.TripCount);
-    for (unsigned Cl = 0; Cl < NC; ++Cl)
-      WIns[Cl] += LP.PerIter.WeightedIns * TE.ClusterShare[Cl] * Iters;
-    Comms += LP.PerIter.Comms * Iters;
-    Mem += LP.PerIter.MemAccesses * Iters;
-  }
-
-  // Voltages, greedily per component class.
-  double FastF = FastPeriod.reciprocal().toDouble();
-  double SlowF = SlowPeriod.reciprocal().toDouble();
-  double WFast = 0, WSlow = 0;
-  for (unsigned Cl = 0; Cl < NC; ++Cl)
-    (Cl < NF ? WFast : WSlow) += WIns[Cl];
-
-  auto Fast = pickVdd(Alpha, Machine, Tech, Space.ClusterVddGrid, FastF,
-                      FastPeriod, WFast * Energy.insUnit(),
-                      Energy.clusterLeakPerNs() * NF, TexecNs, nullptr);
-  auto Slow = pickVdd(Alpha, Machine, Tech, Space.ClusterVddGrid, SlowF,
-                      SlowPeriod, WSlow * Energy.insUnit(),
-                      Energy.clusterLeakPerNs() * (NC - NF), TexecNs,
-                      nullptr);
-  auto Icn = pickVdd(Alpha, Machine, Tech, Space.IcnVddGrid, FastF,
-                     FastPeriod, Comms * Energy.commUnit(),
-                     Energy.icnLeakPerNs(), TexecNs, nullptr);
-  auto Cache = pickVdd(Alpha, Machine, Tech, Space.CacheVddGrid, FastF,
-                       FastPeriod, Mem * Energy.accessUnit(),
-                       Energy.cacheLeakPerNs(), TexecNs, nullptr);
-  if (!Fast || !Slow || !Icn || !Cache)
-    return D;
-
-  for (unsigned I = 0; I < NC; ++I)
-    C.Clusters[I] = I < NF ? *Fast : *Slow;
-  C.Icn = *Icn;
-  C.Cache = *Cache;
-
-  D.Config = C;
-  D.Scaling = scalingForConfig(C, Machine, Tech);
-  D.EstTexecNs = TexecNs;
-  D.EstEnergy = Energy.heteroEnergy(WIns, Comms, Mem, TexecNs, D.Scaling);
-  D.EstED2 = computeED2(D.EstEnergy, TexecNs);
-  D.Valid = true;
-  return D;
-}
+      Alpha(T, M.refFrequency().toDouble(), M.RefVdd, M.RefVth), Space(S),
+      Engine(P, M, E, T, Mn, S) {}
 
 std::vector<SelectedDesign> ConfigurationSelector::rankHeterogeneous() const {
-  std::vector<SelectedDesign> All;
-  for (const Rational &FF : Space.FastFactors) {
-    Rational FastPeriod = Machine.RefPeriodNs * FF;
-    for (const Rational &SR : Space.SlowRatios) {
-      SelectedDesign D = evaluateCandidate(FastPeriod, FastPeriod * SR);
-      if (D.Valid)
-        All.push_back(std::move(D));
-    }
-  }
-  std::sort(All.begin(), All.end(),
-            [](const SelectedDesign &A, const SelectedDesign &B) {
-              return A.EstED2 < B.EstED2;
-            });
-  return All;
+  // The seed's exhaustive serial walk: one worker, frontier bookkeeping
+  // skipped (it never affects evaluation or Best); the timing cache is
+  // an exact memoization, so results are unchanged.
+  ExploreOptions Opts;
+  Opts.Threads = 1;
+  Opts.ComputeFrontier = false;
+  return Engine.explore(Opts).rankedByED2();
 }
 
 SelectedDesign ConfigurationSelector::selectHeterogeneous() const {
-  std::vector<SelectedDesign> All = rankHeterogeneous();
-  if (All.empty())
-    return SelectedDesign();
-  return All.front();
+  ExploreOptions Opts;
+  Opts.Threads = 1;
+  Opts.ComputeFrontier = false;
+  return Engine.explore(Opts).Best;
 }
 
 SelectedDesign ConfigurationSelector::selectOptimumHomogeneous() const {

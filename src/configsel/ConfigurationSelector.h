@@ -18,13 +18,20 @@
 /// the same models (its schedule is the reference schedule, so only the
 /// cycle time scales the execution time).
 ///
+/// The heterogeneous search runs on the ExplorationEngine
+/// (src/explore/): this class is the serial facade — its exhaustive
+/// walk is the engine's `Threads=1, ComputeFrontier=false` special case — while
+/// explore() exposes the parallel, Pareto-pruning search directly.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HCVLIW_CONFIGSEL_CONFIGURATIONSELECTOR_H
 #define HCVLIW_CONFIGSEL_CONFIGURATIONSELECTOR_H
 
+#include "configsel/DesignSpace.h"
 #include "configsel/Scaling.h"
 #include "configsel/TimingEstimator.h"
+#include "explore/ExplorationEngine.h"
 #include "mcd/FrequencyMenu.h"
 #include "profiling/ProfileData.h"
 
@@ -33,49 +40,26 @@
 
 namespace hcvliw {
 
-struct DesignSpaceOptions {
-  std::vector<Rational> FastFactors;
-  std::vector<Rational> SlowRatios;
-  unsigned NumFastClusters = 1;
-  std::vector<double> ClusterVddGrid;
-  std::vector<double> IcnVddGrid;
-  std::vector<double> CacheVddGrid;
-  std::vector<Rational> HomogFactors;
-  std::vector<double> HomogVddGrid;
-
-  /// The paper's evaluation grids (Section 5).
-  static DesignSpaceOptions paperDefault();
-};
-
-struct SelectedDesign {
-  bool Valid = false;
-  HeteroConfig Config;
-  HeteroScaling Scaling;
-  double EstTexecNs = 0;
-  double EstEnergy = 0;
-  double EstED2 = 0;
-};
-
 class ConfigurationSelector {
   const ProgramProfile &Profile;
   const MachineDescription &Machine;
   const EnergyModel &Energy;
   TechnologyModel Tech;
   AlphaPowerModel Alpha;
-  FrequencyMenu Menu;
   DesignSpaceOptions Space;
-
-  /// Estimates one heterogeneous candidate (periods fixed, voltages
-  /// chosen greedily per component class); invalid when timing is
-  /// infeasible or no voltage supports a required frequency.
-  SelectedDesign evaluateCandidate(const Rational &FastPeriod,
-                                   const Rational &SlowPeriod) const;
+  ExplorationEngine Engine; ///< holds the frequency menu
 
 public:
   ConfigurationSelector(const ProgramProfile &P,
                         const MachineDescription &M, const EnergyModel &E,
                         const TechnologyModel &T, const FrequencyMenu &Menu,
                         const DesignSpaceOptions &Space);
+
+  /// The underlying parallel search; callers wanting threads, the
+  /// Pareto frontier, or serialized reports use this directly.
+  ExplorationResult explore(const ExploreOptions &Opts) const {
+    return Engine.explore(Opts);
+  }
 
   /// Best heterogeneous design by estimated ED2.
   SelectedDesign selectHeterogeneous() const;

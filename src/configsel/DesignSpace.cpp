@@ -1,0 +1,25 @@
+//===- configsel/DesignSpace.cpp - Candidate grids and designs --------------===//
+
+#include "configsel/DesignSpace.h"
+
+using namespace hcvliw;
+
+DesignSpaceOptions DesignSpaceOptions::paperDefault() {
+  DesignSpaceOptions O;
+  O.FastFactors = {Rational(9, 10), Rational(19, 20), Rational(1),
+                   Rational(21, 20), Rational(11, 10)};
+  O.SlowRatios = {Rational(1), Rational(5, 4), Rational(4, 3),
+                  Rational(3, 2)};
+  O.NumFastClusters = 1;
+  for (int V = 70; V <= 120; V += 5)
+    O.ClusterVddGrid.push_back(V / 100.0);
+  for (int V = 80; V <= 110; V += 5)
+    O.IcnVddGrid.push_back(V / 100.0);
+  for (int V = 100; V <= 140; V += 5)
+    O.CacheVddGrid.push_back(V / 100.0);
+  for (int F = 16; F <= 30; ++F)
+    O.HomogFactors.push_back(Rational(F, 20));
+  for (int V = 70; V <= 140; V += 5)
+    O.HomogVddGrid.push_back(V / 100.0);
+  return O;
+}

@@ -1,0 +1,52 @@
+//===- explore/CandidateEvaluator.h - One-candidate estimation ---*- C++ -*-===//
+///
+/// \file
+/// Estimates one heterogeneous candidate of the Section 3.3 search:
+/// timing over every profiled loop (optionally memoized through an
+/// EvalCache), greedy per-component-class supply voltages from the
+/// design space's grids, then the Section 3.1 energy and ED2. This is
+/// the evaluation the seed's ConfigurationSelector ran inline; it lives
+/// here so the serial selector facade and the parallel
+/// ExplorationEngine share one bit-identical implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_EXPLORE_CANDIDATEEVALUATOR_H
+#define HCVLIW_EXPLORE_CANDIDATEEVALUATOR_H
+
+#include "configsel/DesignSpace.h"
+#include "configsel/Scaling.h"
+#include "explore/EvalCache.h"
+#include "mcd/FrequencyMenu.h"
+#include "profiling/ProfileData.h"
+
+namespace hcvliw {
+
+class CandidateEvaluator {
+  const ProgramProfile &Profile;
+  const MachineDescription &Machine;
+  const EnergyModel &Energy;
+  TechnologyModel Tech;
+  AlphaPowerModel Alpha;
+  FrequencyMenu Menu;
+  const DesignSpaceOptions &Space;
+  EvalCache *Cache; ///< may be null: evaluate timing directly
+
+public:
+  CandidateEvaluator(const ProgramProfile &P, const MachineDescription &M,
+                     const EnergyModel &E, const TechnologyModel &T,
+                     const FrequencyMenu &Menu,
+                     const DesignSpaceOptions &Space,
+                     EvalCache *Cache = nullptr);
+
+  /// Estimates the candidate with the first NumFastClusters clusters at
+  /// \p FastPeriod, the rest at \p SlowPeriod, ICN/cache clocked with
+  /// the fast cluster (Section 5); Valid=false when timing is
+  /// infeasible or no grid voltage supports a required frequency.
+  SelectedDesign evaluate(const Rational &FastPeriod,
+                          const Rational &SlowPeriod) const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_EXPLORE_CANDIDATEEVALUATOR_H

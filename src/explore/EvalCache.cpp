@@ -1,0 +1,115 @@
+//===- explore/EvalCache.cpp - Memoized loop-timing evaluation --------------===//
+
+#include "explore/EvalCache.h"
+
+#include <cassert>
+
+using namespace hcvliw;
+
+EvalCache::EvalCache(const ProgramProfile &P, const MachineDescription &M,
+                     const FrequencyMenu &Menu)
+    : Profile(P), Machine(M), Menu(Menu),
+      // Continuous and relative menus decide every (II, freq) pair from
+      // IT * fmax products only; absolute menus pin real frequencies.
+      ScaleInvariant(Menu.frequencies().empty()) {}
+
+size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+EvalCache::CachedTiming EvalCache::compute(const Key &K,
+                                           const Rational &FastPeriod,
+                                           const Rational &SlowPeriod) const {
+  // Under scale invariance, evaluate at a normalized fast period of
+  // 1 ns with the slow clusters at the ratio; otherwise at the actual
+  // periods (ITNorm is then the actual IT, rescaled by 1).
+  Rational NormFast = ScaleInvariant ? Rational(1) : FastPeriod;
+  Rational NormSlow =
+      ScaleInvariant ? Rational(K.RatioNum, K.RatioDen) : SlowPeriod;
+
+  const LoopProfile &LP = Profile.Loops[K.LoopIdx];
+  unsigned NC = Machine.numClusters();
+  HeteroConfig C;
+  C.Clusters.resize(NC);
+  for (unsigned I = 0; I < NC; ++I)
+    C.Clusters[I].PeriodNs = I < K.NumFast ? NormFast : NormSlow;
+  C.Icn.PeriodNs = NormFast;
+  C.Cache.PeriodNs = NormFast;
+
+  LoopTimingEstimate E = estimateLoopTiming(LP, Machine, C, Menu);
+  CachedTiming T;
+  T.Feasible = E.Feasible;
+  if (E.Feasible) {
+    T.ITNorm = E.ITNs;
+    T.ClusterShare = std::move(E.ClusterShare);
+  }
+  return T;
+}
+
+LoopTimingEstimate EvalCache::loopTiming(unsigned LoopIdx,
+                                         const Rational &FastPeriod,
+                                         const Rational &SlowPeriod,
+                                         unsigned NumFast) {
+  assert(LoopIdx < Profile.Loops.size() && "loop index out of range");
+  assert(FastPeriod.isPositive() && SlowPeriod.isPositive() &&
+         "periods must be positive");
+
+  Rational Ratio = SlowPeriod / FastPeriod;
+  Key K;
+  K.LoopIdx = LoopIdx;
+  K.NumFast = NumFast;
+  K.RatioNum = Ratio.num();
+  K.RatioDen = Ratio.den();
+  if (!ScaleInvariant) {
+    K.FastNum = FastPeriod.num();
+    K.FastDen = FastPeriod.den();
+  }
+
+  const CachedTiming *Found = nullptr;
+  CachedTiming Computed;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Entries.find(K);
+    if (It != Entries.end()) {
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      Computed = It->second;
+      Found = &Computed;
+    }
+  }
+  if (!Found) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    Computed = compute(K, FastPeriod, SlowPeriod);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    // First writer wins; concurrent computes of the same key produce
+    // identical values, so dropping the duplicate is safe.
+    Entries.emplace(K, Computed);
+  }
+
+  // Materialize the estimate at the caller's actual periods with the
+  // exact expressions estimateLoopTiming uses, so cached and direct
+  // evaluation are bit-identical.
+  const LoopProfile &LP = Profile.Loops[LoopIdx];
+  LoopTimingEstimate E;
+  E.Feasible = Computed.Feasible;
+  if (!E.Feasible)
+    return E;
+
+  Rational Scale = ScaleInvariant ? FastPeriod : Rational(1);
+  E.ITNs = Computed.ITNorm * Scale;
+  // The estimator's slowest *cluster* period: all-slow and all-fast
+  // shapes see only one of the two periods.
+  Rational SlowestPeriod =
+      NumFast == 0 ? SlowPeriod
+                   : (NumFast >= Machine.numClusters()
+                          ? FastPeriod
+                          : Rational::max(FastPeriod, SlowPeriod));
+  double RefCycles =
+      LP.ItLengthRefNs.toDouble() / Machine.RefPeriodNs.toDouble();
+  E.ItLengthNs = RefCycles * SlowestPeriod.toDouble();
+  E.TexecNs =
+      (static_cast<double>(LP.TripCount) - 1) * E.ITNs.toDouble() +
+      E.ItLengthNs;
+  E.ClusterShare = Computed.ClusterShare;
+  return E;
+}

@@ -1,0 +1,108 @@
+//===- explore/EvalCache.h - Memoized loop-timing evaluation -----*- C++ -*-===//
+///
+/// \file
+/// Memoizes the Section 3.2 timing estimate per (loop, frequency shape).
+/// For continuous and relative frequency menus the estimator is exactly
+/// scale-invariant in Rational arithmetic: multiplying every domain
+/// period by a factor s multiplies the IT by s and leaves every per-
+/// domain II (and hence feasibility, packing, and the cluster capacity
+/// shares) unchanged, because all menu decisions depend only on the
+/// products IT * fmax. The cache therefore keys those menus on the
+/// slow/fast *ratio* alone, evaluates once at a normalized fast period
+/// of 1 ns, and rescales exactly — candidates sharing a ratio never
+/// re-run the estimator. Absolute menus pin actual frequencies, so the
+/// key falls back to the exact (fast, slow) period pair.
+///
+/// Rescaling is bit-identical to direct evaluation: the IT is an exact
+/// Rational product, and the derived doubles (iteration length,
+/// execution time) are recomputed from the same expressions
+/// estimateLoopTiming uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_EXPLORE_EVALCACHE_H
+#define HCVLIW_EXPLORE_EVALCACHE_H
+
+#include "configsel/TimingEstimator.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace hcvliw {
+
+class EvalCache {
+  struct Key {
+    uint32_t LoopIdx = 0;
+    uint32_t NumFast = 0;
+    int64_t RatioNum = 1, RatioDen = 1; ///< slow/fast period ratio
+    int64_t FastNum = 1, FastDen = 1;   ///< 1/1 under scale invariance
+
+    bool operator==(const Key &O) const {
+      return LoopIdx == O.LoopIdx && NumFast == O.NumFast &&
+             RatioNum == O.RatioNum && RatioDen == O.RatioDen &&
+             FastNum == O.FastNum && FastDen == O.FastDen;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      uint64_t H = 0xcbf29ce484222325ull;
+      auto mix = [&H](uint64_t V) {
+        H ^= V;
+        H *= 0x100000001b3ull;
+      };
+      mix(K.LoopIdx);
+      mix(K.NumFast);
+      mix(static_cast<uint64_t>(K.RatioNum));
+      mix(static_cast<uint64_t>(K.RatioDen));
+      mix(static_cast<uint64_t>(K.FastNum));
+      mix(static_cast<uint64_t>(K.FastDen));
+      return static_cast<size_t>(H);
+    }
+  };
+
+  /// Scale-free residue of one estimate; the doubles of the full
+  /// LoopTimingEstimate are re-derived at the caller's actual periods.
+  struct CachedTiming {
+    bool Feasible = false;
+    Rational ITNorm; ///< IT at the key's normalized fast period
+    std::vector<double> ClusterShare;
+  };
+
+  const ProgramProfile &Profile;
+  const MachineDescription &Machine;
+  FrequencyMenu Menu;
+  bool ScaleInvariant;
+
+  mutable std::mutex Mutex;
+  std::unordered_map<Key, CachedTiming, KeyHash> Entries;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+
+  CachedTiming compute(const Key &K, const Rational &FastPeriod,
+                       const Rational &SlowPeriod) const;
+
+public:
+  EvalCache(const ProgramProfile &P, const MachineDescription &M,
+            const FrequencyMenu &Menu);
+
+  /// Timing of Profile.Loops[LoopIdx] with the first \p NumFast clusters
+  /// at \p FastPeriod, the rest at \p SlowPeriod, ICN and cache at
+  /// \p FastPeriod (the paper's candidate shape). Memoized; safe to call
+  /// from multiple threads (duplicate concurrent computes are allowed
+  /// and produce identical values, so insertion is first-writer-wins).
+  LoopTimingEstimate loopTiming(unsigned LoopIdx, const Rational &FastPeriod,
+                                const Rational &SlowPeriod, unsigned NumFast);
+
+  /// True when the menu allows ratio-keyed memoization.
+  bool scaleInvariant() const { return ScaleInvariant; }
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  size_t size() const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_EXPLORE_EVALCACHE_H

@@ -1,0 +1,135 @@
+//===- explore/ExplorationEngine.cpp - Parallel design-space search ---------===//
+
+#include "explore/ExplorationEngine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+using namespace hcvliw;
+
+std::vector<SelectedDesign> ExplorationResult::rankedByED2() const {
+  std::vector<SelectedDesign> Ranked;
+  Ranked.reserve(Candidates.size());
+  for (const ExploreCandidate &C : Candidates)
+    if (C.Design.Valid)
+      Ranked.push_back(C.Design);
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [](const SelectedDesign &A, const SelectedDesign &B) {
+                     return A.EstED2 < B.EstED2;
+                   });
+  return Ranked;
+}
+
+ExplorationEngine::ExplorationEngine(const ProgramProfile &P,
+                                     const MachineDescription &M,
+                                     const EnergyModel &E,
+                                     const TechnologyModel &T,
+                                     const FrequencyMenu &Menu,
+                                     const DesignSpaceOptions &Space)
+    : Profile(P), Machine(M), Energy(E), Tech(T), Menu(Menu), Space(Space) {}
+
+std::vector<ExploreCandidate> ExplorationEngine::enumerate() const {
+  std::vector<ExploreCandidate> Grid;
+  Grid.reserve(Space.numHeteroCandidates());
+  for (const Rational &FF : Space.FastFactors) {
+    Rational FastPeriod = Machine.RefPeriodNs * FF;
+    for (const Rational &SR : Space.SlowRatios) {
+      ExploreCandidate C;
+      C.FastFactor = FF;
+      C.SlowRatio = SR;
+      C.FastPeriodNs = FastPeriod;
+      C.SlowPeriodNs = FastPeriod * SR;
+      Grid.push_back(std::move(C));
+    }
+  }
+  return Grid;
+}
+
+ExplorationResult
+ExplorationEngine::explore(const ExploreOptions &Opts) const {
+  auto Start = std::chrono::steady_clock::now();
+
+  ExplorationResult R;
+  R.Candidates = enumerate();
+  R.Stats.Enumerated = R.Candidates.size();
+
+  unsigned Threads = Opts.Threads;
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  Threads = static_cast<unsigned>(
+      std::min<size_t>(Threads, std::max<size_t>(1, R.Candidates.size())));
+  R.Stats.ThreadsUsed = Threads;
+
+  EvalCache Cache(Profile, Machine, Menu);
+  CandidateEvaluator Eval(Profile, Machine, Energy, Tech, Menu, Space,
+                          Opts.UseCache ? &Cache : nullptr);
+
+  // Fan out: workers claim enumeration slots off a shared counter and
+  // write results into their own slot; no result ordering depends on
+  // thread scheduling.
+  auto evaluateAll = [&] {
+    std::atomic<size_t> Next{0};
+    auto Work = [&] {
+      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+           I < R.Candidates.size();
+           I = Next.fetch_add(1, std::memory_order_relaxed)) {
+        ExploreCandidate &C = R.Candidates[I];
+        C.Design = Eval.evaluate(C.FastPeriodNs, C.SlowPeriodNs);
+      }
+    };
+    if (Threads <= 1) {
+      Work();
+      return;
+    }
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.emplace_back(Work);
+    for (std::thread &T : Pool)
+      T.join();
+  };
+  evaluateAll();
+
+  R.Stats.CacheHits = Cache.hits();
+  R.Stats.CacheMisses = Cache.misses();
+
+  // Serial reductions over the enumeration order: the ED2 argmin (first
+  // wins on exact ties, matching the serial search) and the frontier.
+  for (const ExploreCandidate &C : R.Candidates) {
+    if (!C.Design.Valid) {
+      ++R.Stats.Infeasible;
+      continue;
+    }
+    ++R.Stats.Feasible;
+    if (!R.Best.Valid || C.Design.EstED2 < R.Best.EstED2)
+      R.Best = C.Design;
+  }
+
+  if (Opts.ComputeFrontier) {
+    ParetoFrontier Frontier;
+    for (size_t I = 0; I < R.Candidates.size(); ++I) {
+      const SelectedDesign &D = R.Candidates[I].Design;
+      if (!D.Valid)
+        continue;
+      ParetoPoint P;
+      P.TexecNs = D.EstTexecNs;
+      P.Energy = D.EstEnergy;
+      P.ED2 = D.EstED2;
+      P.Index = I;
+      Frontier.insert(P);
+    }
+    for (const ParetoPoint &P : Frontier.sortedByTexec()) {
+      R.Candidates[P.Index].OnFrontier = true;
+      R.Frontier.push_back(P.Index);
+    }
+    R.Stats.FrontierSize = R.Frontier.size();
+  }
+
+  R.Stats.WallMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
+  return R;
+}

@@ -1,0 +1,106 @@
+//===- explore/ExplorationEngine.h - Parallel design-space search -*- C++ -*-===//
+///
+/// \file
+/// The parallel design-space exploration engine: enumerates the
+/// heterogeneous candidates of a DesignSpaceOptions grid (fast-factor
+/// major, slow-ratio minor — the seed's serial order), fans their
+/// evaluation out across a worker pool, memoizes loop timing through an
+/// EvalCache, and reduces the results to the ED2 argmin plus the Pareto
+/// frontier over (Texec, Energy, ED2).
+///
+/// Determinism: each candidate's result is written to its enumeration
+/// slot, every per-candidate computation is a pure function of the
+/// candidate, and all reductions (best design, frontier) run serially
+/// over the slots afterwards — so the selected design and the frontier
+/// are identical for any thread count, and `Threads=1, ComputeFrontier=false` is
+/// exactly the seed's exhaustive serial search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_EXPLORE_EXPLORATIONENGINE_H
+#define HCVLIW_EXPLORE_EXPLORATIONENGINE_H
+
+#include "configsel/DesignSpace.h"
+#include "explore/CandidateEvaluator.h"
+#include "explore/EvalCache.h"
+#include "explore/ParetoFrontier.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hcvliw {
+
+struct ExploreOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  unsigned Threads = 1;
+  /// Compute the Pareto frontier and mark dominated candidates. Every
+  /// candidate is fully evaluated either way — this is reporting
+  /// bookkeeping, not a search-space reduction, so Best never depends
+  /// on it.
+  bool ComputeFrontier = true;
+  /// Memoize loop timing across candidates sharing a frequency shape.
+  bool UseCache = true;
+};
+
+/// One enumerated grid point and (after explore()) its evaluation.
+struct ExploreCandidate {
+  Rational FastFactor;   ///< fast period / reference period
+  Rational SlowRatio;    ///< slow period / fast period
+  Rational FastPeriodNs;
+  Rational SlowPeriodNs;
+  SelectedDesign Design; ///< Valid=false when infeasible
+  bool OnFrontier = false;
+};
+
+struct ExplorationStats {
+  size_t Enumerated = 0; ///< all enumerated candidates are evaluated
+  size_t Feasible = 0;
+  size_t Infeasible = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  size_t FrontierSize = 0;
+  unsigned ThreadsUsed = 1;
+  double WallMs = 0;
+};
+
+struct ExplorationResult {
+  /// All grid points in enumeration order (fast-factor major).
+  std::vector<ExploreCandidate> Candidates;
+  /// Indices into Candidates, ascending estimated execution time.
+  std::vector<size_t> Frontier;
+  /// The ED2 argmin (the paper's selected design); Valid=false when the
+  /// whole grid is infeasible.
+  SelectedDesign Best;
+  ExplorationStats Stats;
+
+  /// Valid candidates ordered by ascending estimated ED2 (stable in
+  /// enumeration order), the seed's rankHeterogeneous() contract.
+  std::vector<SelectedDesign> rankedByED2() const;
+};
+
+class ExplorationEngine {
+  const ProgramProfile &Profile;
+  const MachineDescription &Machine;
+  const EnergyModel &Energy;
+  TechnologyModel Tech;
+  FrequencyMenu Menu;
+  DesignSpaceOptions Space;
+
+public:
+  ExplorationEngine(const ProgramProfile &P, const MachineDescription &M,
+                    const EnergyModel &E, const TechnologyModel &T,
+                    const FrequencyMenu &Menu,
+                    const DesignSpaceOptions &Space);
+
+  const DesignSpaceOptions &space() const { return Space; }
+
+  /// The candidate grid in enumeration order, unevaluated.
+  std::vector<ExploreCandidate> enumerate() const;
+
+  /// Full search under \p Opts.
+  ExplorationResult explore(const ExploreOptions &Opts = ExploreOptions()) const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_EXPLORE_EXPLORATIONENGINE_H

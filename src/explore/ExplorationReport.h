@@ -1,0 +1,49 @@
+//===- explore/ExplorationReport.h - Frontier serialization ------*- C++ -*-===//
+///
+/// \file
+/// Serializes an ExplorationResult — the candidate grid, the Pareto
+/// frontier and the search statistics — to CSV (one row per candidate)
+/// and JSON (stats + frontier + candidates), so exploration runs can be
+/// archived, diffed and consumed by external tooling without re-running
+/// the search. Doubles are printed with %.17g and rationals as exact
+/// "N/D" strings, so a serialized run round-trips losslessly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_EXPLORE_EXPLORATIONREPORT_H
+#define HCVLIW_EXPLORE_EXPLORATIONREPORT_H
+
+#include "explore/ExplorationEngine.h"
+
+#include <string>
+
+namespace hcvliw {
+
+class ExplorationReport {
+  std::string Program;
+  const ExplorationResult &Result;
+
+public:
+  ExplorationReport(std::string ProgramName, const ExplorationResult &R)
+      : Program(std::move(ProgramName)), Result(R) {}
+  /// The report only references the result; a temporary would dangle.
+  ExplorationReport(std::string, ExplorationResult &&) = delete;
+
+  /// One row per enumerated candidate:
+  /// index,fast_factor,slow_ratio,fast_period_ns,slow_period_ns,valid,
+  /// on_frontier,texec_ns,energy,ed2,fast_vdd,slow_vdd,icn_vdd,cache_vdd
+  std::string csv() const;
+
+  /// Stats, the frontier (by candidate index) and every candidate.
+  std::string json() const;
+
+  /// Human-readable frontier + stats summary for console output.
+  std::string summary() const;
+
+  bool writeCsv(const std::string &Path) const;
+  bool writeJson(const std::string &Path) const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_EXPLORE_EXPLORATIONREPORT_H

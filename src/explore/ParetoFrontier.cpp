@@ -1,0 +1,45 @@
+//===- explore/ParetoFrontier.cpp - Non-dominated design set ----------------===//
+
+#include "explore/ParetoFrontier.h"
+
+#include <algorithm>
+
+using namespace hcvliw;
+
+bool hcvliw::dominates(const ParetoPoint &A, const ParetoPoint &B) {
+  if (A.TexecNs > B.TexecNs || A.Energy > B.Energy || A.ED2 > B.ED2)
+    return false;
+  return A.TexecNs < B.TexecNs || A.Energy < B.Energy || A.ED2 < B.ED2;
+}
+
+bool ParetoFrontier::dominated(const ParetoPoint &P) const {
+  for (const ParetoPoint &Q : Points)
+    if (dominates(Q, P))
+      return true;
+  return false;
+}
+
+bool ParetoFrontier::insert(const ParetoPoint &P) {
+  if (dominated(P))
+    return false;
+  Points.erase(std::remove_if(Points.begin(), Points.end(),
+                              [&P](const ParetoPoint &Q) {
+                                return dominates(P, Q);
+                              }),
+               Points.end());
+  Points.push_back(P);
+  return true;
+}
+
+std::vector<ParetoPoint> ParetoFrontier::sortedByTexec() const {
+  std::vector<ParetoPoint> Sorted = Points;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const ParetoPoint &A, const ParetoPoint &B) {
+              if (A.TexecNs != B.TexecNs)
+                return A.TexecNs < B.TexecNs;
+              if (A.Energy != B.Energy)
+                return A.Energy < B.Energy;
+              return A.Index < B.Index;
+            });
+  return Sorted;
+}

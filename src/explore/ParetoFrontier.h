@@ -1,0 +1,57 @@
+//===- explore/ParetoFrontier.h - Non-dominated design set -------*- C++ -*-===//
+///
+/// \file
+/// Maintains the Pareto frontier of evaluated designs over the paper's
+/// three figures of merit (execution time, energy, ED2), minimizing all
+/// three. The ED2 argmin the paper reports is always on the frontier;
+/// keeping the whole frontier lets downstream consumers (SLAP-style
+/// per-workload adaptation, the report serializer) pick any operating
+/// point without re-running the search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_EXPLORE_PARETOFRONTIER_H
+#define HCVLIW_EXPLORE_PARETOFRONTIER_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hcvliw {
+
+/// One candidate's objective vector plus its identity in the caller's
+/// candidate array.
+struct ParetoPoint {
+  double TexecNs = 0;
+  double Energy = 0;
+  double ED2 = 0;
+  size_t Index = 0;
+};
+
+/// True when \p A is no worse than \p B in every objective and strictly
+/// better in at least one.
+bool dominates(const ParetoPoint &A, const ParetoPoint &B);
+
+class ParetoFrontier {
+  std::vector<ParetoPoint> Points; ///< mutually non-dominated
+
+public:
+  /// Inserts \p P unless an existing point dominates it; evicts points
+  /// \p P dominates. Returns true when \p P was kept. Objective-equal
+  /// points coexist (neither dominates).
+  bool insert(const ParetoPoint &P);
+
+  const std::vector<ParetoPoint> &points() const { return Points; }
+  size_t size() const { return Points.size(); }
+  bool empty() const { return Points.empty(); }
+
+  /// True when some frontier point dominates \p P.
+  bool dominated(const ParetoPoint &P) const;
+
+  /// The frontier ordered by ascending execution time (ties by energy,
+  /// then by candidate index, so the order is deterministic).
+  std::vector<ParetoPoint> sortedByTexec() const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_EXPLORE_PARETOFRONTIER_H

@@ -3,7 +3,14 @@
 /// \file
 /// A small, deterministic xoshiro256** generator. Every randomized piece
 /// of the library (synthetic workload generation, property tests) is
-/// seeded explicitly so all experiments are exactly reproducible.
+/// seeded explicitly — the constructor *requires* a seed — so all
+/// experiments are exactly reproducible. The generator uses only fixed-
+/// width integer arithmetic (no std::mt19937, no distribution objects,
+/// whose sequences vary across standard libraries), so a seed produces
+/// the same stream on every platform. fork() derives independent child
+/// streams deterministically, which keeps parallel exploration runs
+/// reproducible regardless of thread scheduling: fork per work item,
+/// never share one generator across threads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,17 +32,27 @@ class RNG {
     return (X << K) | (X >> (64 - K));
   }
 
+  static uint64_t splitmix64(uint64_t &Z) {
+    Z += 0x9e3779b97f4a7c15ull;
+    uint64_t T = Z;
+    T = (T ^ (T >> 30)) * 0xbf58476d1ce4e5b9ull;
+    T = (T ^ (T >> 27)) * 0x94d049bb133111ebull;
+    return T ^ (T >> 31);
+  }
+
 public:
-  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
-    // splitmix64 expansion of the seed into the full state.
+  /// The conventional seed of the library's own tools when the caller
+  /// has no better choice. Spelled out rather than defaulted so every
+  /// construction site documents its stream.
+  static constexpr uint64_t DefaultSeed = 0x9e3779b97f4a7c15ull;
+
+  explicit RNG(uint64_t Seed) {
+    // splitmix64 expansion of the seed into the full state. splitmix64
+    // is a bijection chain, so no seed expands to the all-zero state
+    // xoshiro cannot leave.
     uint64_t Z = Seed;
-    for (auto &W : S) {
-      Z += 0x9e3779b97f4a7c15ull;
-      uint64_t T = Z;
-      T = (T ^ (T >> 30)) * 0xbf58476d1ce4e5b9ull;
-      T = (T ^ (T >> 27)) * 0x94d049bb133111ebull;
-      W = T ^ (T >> 31);
-    }
+    for (auto &W : S)
+      W = splitmix64(Z);
   }
 
   uint64_t next() {
@@ -50,11 +67,25 @@ public:
     return Result;
   }
 
-  /// Uniform integer in [Lo, Hi], inclusive.
+  /// A deterministic child stream for work item \p Stream: parallel
+  /// workers fork one root generator per item instead of drawing from a
+  /// shared one, so results do not depend on scheduling order. The
+  /// child's seed mixes the parent's *current* state, so forking after
+  /// different draw counts yields different streams.
+  RNG fork(uint64_t Stream) const {
+    uint64_t Z = S[0] ^ rotl(S[2], 19) ^ (Stream * 0xd6e8feb86659fd93ull);
+    return RNG(splitmix64(Z));
+  }
+
+  /// Uniform integer in [Lo, Hi], inclusive. Well-defined for the full
+  /// int64_t range (the span is computed in unsigned arithmetic).
   int64_t nextInt(int64_t Lo, int64_t Hi) {
     assert(Lo <= Hi && "empty range");
-    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
-    return Lo + static_cast<int64_t>(next() % Span);
+    uint64_t Span =
+        static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    if (Span == 0) // full 64-bit range
+      return static_cast<int64_t>(next());
+    return static_cast<int64_t>(static_cast<uint64_t>(Lo) + next() % Span);
   }
 
   /// Uniform double in [0, 1).
