@@ -1,0 +1,191 @@
+//===- bench/BenchHarness.h - Shared harness for the bench binaries -*- C++ -*-===//
+///
+/// \file
+/// Presentation and reporting helpers shared by the per-figure bench
+/// binaries, on top of the runtime Session/SuiteRunner API:
+///
+///   - figure-style table rows over a SuiteResult (benchmarks as
+///     columns plus the mean),
+///   - loud, structured failure reporting (the old BenchUtil runSuite
+///     silently dropped failed programs),
+///   - BenchReporter: every bench binary emits a machine-readable
+///     BENCH_<name>.json (wall-clock, mean ED2 ratio, per-series
+///     means, extra metrics) so the performance trajectory of the
+///     repository is diffable run over run. The output directory is
+///     $BENCH_JSON_DIR when set, else the working directory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_BENCH_BENCHHARNESS_H
+#define HCVLIW_BENCH_BENCHHARNESS_H
+
+#include "runtime/SuiteRunner.h"
+#include "support/Stats.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hcvliw {
+
+/// Prints one figure-style series: benchmarks as columns plus the mean.
+inline void printSeries(TablePrinter &T, const std::string &Label,
+                        const SuiteResult &R) {
+  std::vector<std::string> Row = {Label};
+  for (double V : R.ED2Ratios)
+    Row.push_back(formatString("%.3f", V));
+  Row.push_back(formatString("%.3f", R.meanRatio()));
+  T.addRow(std::move(Row));
+}
+
+inline std::vector<std::string> headerRow(const SuiteResult &R,
+                                          const std::string &First) {
+  std::vector<std::string> H = {First};
+  for (const auto &N : R.Names)
+    H.push_back(shortSpecName(N));
+  H.push_back("mean");
+  return H;
+}
+
+/// Prints every structured failure record; returns true when any.
+inline bool reportFailures(const SuiteResult &R) {
+  for (const SuiteFailure &F : R.Failures)
+    std::fprintf(stderr, "error: %s failed at %s: %s\n", F.Program.c_str(),
+                 pipelineStageName(F.Stage), F.Reason.c_str());
+  return !R.Failures.empty();
+}
+
+/// Validated --threads value (support/StrUtil's parseThreadCount);
+/// exits with an error on bad input.
+inline unsigned parseThreadsArg(const char *Value) {
+  unsigned N = 0;
+  if (!parseThreadCount(Value, N)) {
+    std::fprintf(stderr,
+                 "error: --threads expects an integer in [0, 1024], "
+                 "got '%s'\n",
+                 Value);
+    std::exit(1);
+  }
+  return N;
+}
+
+/// Collects one bench binary's results and writes BENCH_<name>.json.
+class BenchReporter {
+  std::string Name;
+  std::chrono::steady_clock::time_point Start;
+  std::vector<std::pair<std::string, double>> Series; ///< label, mean ED2
+  std::vector<std::pair<std::string, double>> Metrics; ///< free-form extras
+
+  static void appendJsonString(std::string &Out, const std::string &S) {
+    Out += '"';
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += '"';
+  }
+
+public:
+  explicit BenchReporter(std::string BenchName)
+      : Name(std::move(BenchName)), Start(std::chrono::steady_clock::now()) {}
+
+  /// Records one suite series' mean ED2 ratio under \p Label.
+  void addSeries(const std::string &Label, const SuiteResult &R) {
+    Series.emplace_back(Label, R.meanRatio());
+  }
+
+  /// Records a free-form scalar (speedups, cache hit rates, ...).
+  void addMetric(const std::string &Label, double Value) {
+    Metrics.emplace_back(Label, Value);
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and warns) on IO errors.
+  bool write() const {
+    double WallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+    std::vector<double> Means;
+    Means.reserve(Series.size());
+    for (const auto &S : Series)
+      Means.push_back(S.second);
+
+    std::string J = "{\n  \"bench\": ";
+    appendJsonString(J, Name);
+    J += formatString(",\n  \"wall_ms\": %.3f", WallMs);
+    if (Means.empty())
+      J += ",\n  \"mean_ed2_ratio\": null";
+    else
+      J += formatString(",\n  \"mean_ed2_ratio\": %.6f", mean(Means));
+    J += ",\n  \"series\": [";
+    for (size_t I = 0; I < Series.size(); ++I) {
+      J += I ? ",\n    " : "\n    ";
+      J += "{\"label\": ";
+      appendJsonString(J, Series[I].first);
+      J += formatString(", \"mean_ed2_ratio\": %.6f}", Series[I].second);
+    }
+    J += Series.empty() ? "]" : "\n  ]";
+    J += ",\n  \"metrics\": {";
+    for (size_t I = 0; I < Metrics.size(); ++I) {
+      J += I ? ", " : "";
+      appendJsonString(J, Metrics[I].first);
+      J += formatString(": %.6f", Metrics[I].second);
+    }
+    J += "}\n}\n";
+
+    const char *Dir = std::getenv("BENCH_JSON_DIR");
+    std::string Path = (Dir && *Dir ? std::string(Dir) + "/" : std::string()) +
+                       "BENCH_" + Name + ".json";
+    std::FILE *Out = std::fopen(Path.c_str(), "wb");
+    if (!Out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fwrite(J.data(), 1, J.size(), Out);
+    std::fclose(Out);
+    std::printf("wrote %s\n", Path.c_str());
+    return true;
+  }
+};
+
+/// The suite-sweep skeleton the figure benches share: one session per
+/// option set, run the SPECfp suite, report failures, print the series
+/// row (header first) and record its mean in the bench's JSON
+/// artifact. Keeping it here means a policy change (failure handling,
+/// reporting) lands in every figure bench at once.
+class SuiteSeriesRunner {
+  TablePrinter &T;
+  BenchReporter &Rep;
+  unsigned Threads;
+  bool Header = false;
+  int ExitCode = 0;
+
+public:
+  SuiteSeriesRunner(TablePrinter &Table, BenchReporter &Rp, unsigned Threads)
+      : T(Table), Rep(Rp), Threads(Threads) {}
+
+  SuiteResult run(const std::string &Label, const PipelineOptions &Opts) {
+    Session S(Opts, Threads);
+    SuiteResult R = SuiteRunner(S).runSpecFP();
+    if (reportFailures(R))
+      ExitCode = 1;
+    if (!Header) {
+      T.addRow(headerRow(R, "config"));
+      Header = true;
+    }
+    printSeries(T, Label, R);
+    Rep.addSeries(Label, R);
+    return R;
+  }
+
+  int exitCode() const { return ExitCode; }
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_BENCH_BENCHHARNESS_H

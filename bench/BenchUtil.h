@@ -1,75 +1,48 @@
-//===- bench/BenchUtil.h - Shared harness for the paper's figures -*- C++ -*-===//
+//===- bench/BenchUtil.h - DEPRECATED shim over runtime/SuiteRunner -*- C++ -*-===//
 ///
 /// \file
-/// Helpers shared by the per-figure bench binaries: run the full
-/// pipeline over the SPECfp suite for a given option set and print the
-/// per-benchmark normalized ED2 rows the paper plots.
+/// DEPRECATED. Suite execution is now a library feature:
+/// runtime/Session owns the worker pool and the shared EvalCache,
+/// runtime/SuiteRunner fans runProgram across programs with structured
+/// failure records, and bench/BenchHarness.h holds the presentation
+/// helpers the figure benches share. This header remains only so
+/// out-of-tree users of the old free functions keep compiling; it
+/// forwards to the new API and will be removed.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HCVLIW_BENCH_BENCHUTIL_H
 #define HCVLIW_BENCH_BENCHUTIL_H
 
-#include "core/HeterogeneousPipeline.h"
-#include "support/Stats.h"
-#include "support/StrUtil.h"
-#include "support/TablePrinter.h"
+#include "BenchHarness.h"
+#include "runtime/SuiteRunner.h"
 
 #include <cstdio>
 #include <string>
-#include <vector>
 
 namespace hcvliw {
 
-struct SuiteResult {
-  std::vector<std::string> Names; ///< short benchmark names
-  std::vector<double> ED2Ratios;  ///< heterogeneous / optimum homogeneous
-  std::vector<ProgramRunResult> Details;
-
-  double meanRatio() const { return mean(ED2Ratios); }
-};
-
-/// Strips the SPEC number prefix ("171.swim" -> "swim").
+/// DEPRECATED: use shortSpecName (runtime/SuiteRunner.h).
 inline std::string shortName(const std::string &Name) {
-  size_t Dot = Name.find('.');
-  return Dot == std::string::npos ? Name : Name.substr(Dot + 1);
+  return shortSpecName(Name);
 }
 
-/// Runs the whole suite under \p Opts.
+/// DEPRECATED: use Session + SuiteRunner::runSpecFP, which parallelize
+/// across programs and share one timing cache. This shim reproduces
+/// the old serial contract exactly (Names shortened, failures also
+/// printed to stderr) on top of the new runner; the returned
+/// SuiteResult now additionally carries the structured Failures
+/// records instead of only dropping failed programs.
 inline SuiteResult runSuite(const PipelineOptions &Opts) {
-  SuiteResult R;
-  HeterogeneousPipeline Pipe(Opts);
-  for (const auto &Prog : buildSpecFPSuite()) {
-    auto Res = Pipe.runProgram(Prog);
-    if (!Res) {
-      std::fprintf(stderr, "error: pipeline failed on %s\n",
-                   Prog.Name.c_str());
-      continue;
-    }
-    R.Names.push_back(shortName(Prog.Name));
-    R.ED2Ratios.push_back(Res->ED2Ratio);
-    R.Details.push_back(std::move(*Res));
-  }
+  Session S(Opts, /*Threads=*/1);
+  SuiteResult R = SuiteRunner(S).runSpecFP();
+  for (const SuiteFailure &F : R.Failures)
+    std::fprintf(stderr, "error: pipeline failed on %s (%s: %s)\n",
+                 F.Program.c_str(), pipelineStageName(F.Stage),
+                 F.Reason.c_str());
+  for (std::string &N : R.Names)
+    N = shortSpecName(N);
   return R;
-}
-
-/// Prints one figure-style series: benchmarks as columns plus the mean.
-inline void printSeries(TablePrinter &T, const std::string &Label,
-                        const SuiteResult &R) {
-  std::vector<std::string> Row = {Label};
-  for (double V : R.ED2Ratios)
-    Row.push_back(formatString("%.3f", V));
-  Row.push_back(formatString("%.3f", R.meanRatio()));
-  T.addRow(std::move(Row));
-}
-
-inline std::vector<std::string> headerRow(const SuiteResult &R,
-                                          const std::string &First) {
-  std::vector<std::string> H = {First};
-  for (const auto &N : R.Names)
-    H.push_back(N);
-  H.push_back("mean");
-  return H;
 }
 
 } // namespace hcvliw

@@ -15,8 +15,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchHarness.h"
+
 #include "explore/ExplorationEngine.h"
 #include "profiling/Profiler.h"
+#include "runtime/WorkerPool.h"
 #include "support/StrUtil.h"
 #include "support/TablePrinter.h"
 #include "workloads/SpecFPSuite.h"
@@ -59,10 +62,12 @@ DesignSpaceOptions enlargedSpace(unsigned NFast, unsigned NRatios) {
   return Space;
 }
 
-double exploreOnce(const ExplorationEngine &Eng, unsigned Threads,
+/// Reuses one long-lived WorkerPool across repeats (the Session model),
+/// so the timings measure evaluation scaling, not thread spawning.
+double exploreOnce(const ExplorationEngine &Eng, WorkerPool &Pool,
                    bool UseCache, ExplorationResult *Out = nullptr) {
   ExploreOptions Opts;
-  Opts.Threads = Threads;
+  Opts.Pool = &Pool;
   Opts.UseCache = UseCache;
   ExplorationResult R = Eng.explore(Opts);
   double Ms = R.Stats.WallMs;
@@ -114,6 +119,7 @@ int main(int argc, char **argv) {
     std::printf("WARNING: fewer than 4 hardware threads; parallel "
                 "speedups below reflect this machine, not the engine.\n\n");
 
+  BenchReporter Reporter("bench_explore_scaling");
   const unsigned ThreadCounts[] = {1, 2, 4, 8};
   double Base = 0;
   ExplorationResult Ref;
@@ -121,10 +127,11 @@ int main(int argc, char **argv) {
   T.addRow({"threads", "best ms", "speedup vs 1"});
   double SpeedupAt4 = 0;
   for (unsigned TC : ThreadCounts) {
+    WorkerPool Pool(TC);
     double BestMs = 0;
     for (unsigned Rep = 0; Rep < Repeats; ++Rep) {
       ExplorationResult R;
-      double Ms = exploreOnce(Eng, TC, /*UseCache=*/false, &R);
+      double Ms = exploreOnce(Eng, Pool, /*UseCache=*/false, &R);
       if (Rep == 0 || Ms < BestMs)
         BestMs = Ms;
       // Cross-check determinism across thread counts.
@@ -152,10 +159,11 @@ int main(int argc, char **argv) {
   DesignSpaceOptions Paper = DesignSpaceOptions::paperDefault();
   ExplorationEngine PaperEng(*P, M, E, Tech, FrequencyMenu::continuous(),
                              Paper);
+  WorkerPool Serial(1);
   double NoCacheMs = 0, CacheMs = 0;
   for (unsigned Rep = 0; Rep < Repeats; ++Rep) {
-    double A = exploreOnce(PaperEng, 1, /*UseCache=*/false);
-    double B = exploreOnce(PaperEng, 1, /*UseCache=*/true);
+    double A = exploreOnce(PaperEng, Serial, /*UseCache=*/false);
+    double B = exploreOnce(PaperEng, Serial, /*UseCache=*/true);
     if (Rep == 0 || A < NoCacheMs)
       NoCacheMs = A;
     if (Rep == 0 || B < CacheMs)
@@ -171,5 +179,8 @@ int main(int argc, char **argv) {
                   ? "(PASS: > 1.8x)"
                   : (HW < 4 ? "(machine has < 4 hardware threads)"
                             : "(FAIL: expected > 1.8x)"));
+  Reporter.addMetric("speedup_at_4_threads", SpeedupAt4);
+  Reporter.addMetric("memoization_speedup", NoCacheMs / CacheMs);
+  Reporter.write();
   return ScalingOk ? 0 : 1;
 }

@@ -6,6 +6,11 @@
 // ~35% for 200.sixtrack, ~30% for 187.facerec, 20-25% for 189.lucas and
 // the smallest benefits (~5%) for 168.wupwise / 173.applu.
 //
+// Runs on the runtime Session/SuiteRunner API: programs fan out across
+// the session's worker pool, loop-timing estimates are shared through
+// the session EvalCache (structurally identical loops hit across
+// programs), and failed programs surface as structured records.
+//
 // Flags:
 //   --ablation   also run with recurrence pre-placement disabled and
 //                with the balance-only refinement objective (DESIGN.md
@@ -13,31 +18,41 @@
 //   --oracle     cross-check the Section 3 estimator: measure every
 //                ranked heterogeneous candidate of each program and
 //                report the estimator's regret (DESIGN.md ablation #4).
+//   --threads N  worker-pool parallelism (default: hardware).
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchHarness.h"
 
+#include "profiling/Profiler.h"
+
+#include <cstdlib>
 #include <cstring>
 
 using namespace hcvliw;
+
+static unsigned ThreadsFlag = 0;
 
 static void runOracle() {
   std::printf("\nOracle cross-check (estimator pick vs best measured "
               "candidate):\n");
   PipelineOptions Opts;
-  HeterogeneousPipeline Pipe(Opts);
+  Session S(Opts, ThreadsFlag);
+  const HeterogeneousPipeline &Pipe = S.pipeline();
   TablePrinter T("estimator regret per program");
   T.addRow({"program", "est-pick ED2", "oracle ED2", "regret %"});
   for (const auto &Prog : buildSpecFPSuite()) {
-    Profiler Prof(Pipe.machine(), Opts.ProgramBudgetNs);
+    Profiler Prof(S.machine(), Opts.ProgramBudgetNs);
     auto Profile = Prof.profileProgram(Prog.Name, Prog.Loops);
     if (!Profile)
       continue;
     EnergyModel Energy(Opts.Breakdown, Profile->Totals, Profile->TexecRefNs,
-                       Pipe.machine().numClusters());
-    ConfigurationSelector Sel(*Profile, Pipe.machine(), Energy, Opts.Tech,
-                              Pipe.menu(), Opts.Space);
+                       S.machine().numClusters());
+    // Session-backed selector: the ranking's candidate evaluations
+    // share the session's timing cache and worker pool.
+    ConfigurationSelector Sel(*Profile, S.machine(), Energy, Opts.Tech,
+                              S.menu(), Opts.Space, &S.evalCache(),
+                              &S.pool());
     auto Ranked = Sel.rankHeterogeneous();
     if (Ranked.empty())
       continue;
@@ -53,7 +68,7 @@ static void runOracle() {
       if (BestED2 == 0 || M.ED2 < BestED2)
         BestED2 = M.ED2;
     }
-    T.addRow({shortName(Prog.Name), formatString("%.4g", PickED2),
+    T.addRow({shortSpecName(Prog.Name), formatString("%.4g", PickED2),
               formatString("%.4g", BestED2),
               formatString("%.2f", 100.0 * (PickED2 / BestED2 - 1.0))});
   }
@@ -67,6 +82,8 @@ int main(int argc, char **argv) {
       Ablation = true;
     if (!std::strcmp(argv[I], "--oracle"))
       Oracle = true;
+    if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
+      ThreadsFlag = parseThreadsArg(argv[++I]);
   }
 
   std::printf("Figure 6: ED2 of the heterogeneous approach normalized to "
@@ -75,32 +92,30 @@ int main(int argc, char **argv) {
               "~0.70, lucas 0.75-0.80; wupwise/applu highest (~0.95); "
               "mean ~0.85.\n\n");
 
+  BenchReporter Reporter("bench_fig6_ed2");
   TablePrinter T("Figure 6: normalized ED2 (lower is better)");
-  bool Header = false;
+  SuiteSeriesRunner Series(T, Reporter, ThreadsFlag);
+
   for (unsigned Buses : {1u, 2u}) {
     PipelineOptions Opts;
     Opts.Buses = Buses;
-    SuiteResult R = runSuite(Opts);
-    if (!Header) {
-      T.addRow(headerRow(R, "config"));
-      Header = true;
-    }
-    printSeries(T, formatString("%u bus%s", Buses, Buses > 1 ? "es" : ""),
-                R);
+    Series.run(formatString("%u bus%s", Buses, Buses > 1 ? "es" : ""),
+               Opts);
 
     if (Ablation && Buses == 1) {
       PipelineOptions NoPre = Opts;
       NoPre.Part.PrePlaceRecurrences = false;
-      printSeries(T, "1 bus, no rec pre-place", runSuite(NoPre));
+      Series.run("1 bus, no rec pre-place", NoPre);
 
       PipelineOptions BalOnly = Opts;
       BalOnly.Part.ED2Objective = false;
-      printSeries(T, "1 bus, balance-only refine", runSuite(BalOnly));
+      Series.run("1 bus, balance-only refine", BalOnly);
     }
   }
   T.print();
 
   if (Oracle)
     runOracle();
-  return 0;
+  Reporter.write();
+  return Series.exitCode();
 }

@@ -7,20 +7,32 @@
 // IT due to synchronization problems"). The paper reports <0.1%
 // degradation with 16 frequencies, <1% with 8 and ~2% with 4.
 //
+// Runs on the runtime Session/SuiteRunner API; each menu size is one
+// session (the shared EvalCache is menu-bound).
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchHarness.h"
+
+#include <cstdlib>
+#include <cstring>
 
 using namespace hcvliw;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Threads = 0;
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
+      Threads = parseThreadsArg(argv[++I]);
+
   std::printf("Figure 7: ED2 (normalized to the optimum homogeneous) for "
               "different numbers of supported frequencies.\n"
               "Paper shape: 16 freqs ~= any; 8 freqs < 1%% worse; 4 freqs "
               "~2%% worse.\n\n");
 
+  BenchReporter Reporter("bench_fig7_frequencies");
   TablePrinter T("Figure 7: normalized ED2 by frequency-menu size");
-  bool Header = false;
+  SuiteSeriesRunner Series(T, Reporter, Threads);
   for (unsigned Buses : {1u, 2u}) {
     struct MenuCase {
       const char *Label;
@@ -33,17 +45,12 @@ int main() {
       PipelineOptions Opts;
       Opts.Buses = Buses;
       Opts.MenuSize = C.Size;
-      SuiteResult R = runSuite(Opts);
-      if (!Header) {
-        T.addRow(headerRow(R, "config"));
-        Header = true;
-      }
-      printSeries(T,
-                  formatString("%u bus%s, %s", Buses,
-                               Buses > 1 ? "es" : "", C.Label),
-                  R);
+      Series.run(formatString("%u bus%s, %s", Buses, Buses > 1 ? "es" : "",
+                              C.Label),
+                 Opts);
     }
   }
   T.print();
-  return 0;
+  Reporter.write();
+  return Series.exitCode();
 }

@@ -7,13 +7,24 @@
 // against *its own* optimum homogeneous design. The paper reports only
 // slight variation across these assumptions.
 //
+// Runs on the runtime Session/SuiteRunner API (one session per
+// assumption set; programs fan out across the session's worker pool).
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchHarness.h"
+
+#include <cstdlib>
+#include <cstring>
 
 using namespace hcvliw;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Threads = 0;
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
+      Threads = parseThreadsArg(argv[++I]);
+
   std::printf("Figure 8: ED2 varying the energy shares of the ICN and the "
               "cache (each vs its own optimum homogeneous).\n"
               "Paper shape: results vary only slightly.\n\n");
@@ -23,27 +34,23 @@ int main() {
   } Cases[] = {{0.10, 0.25}, {0.10, 1.0 / 3.0}, {0.15, 0.30},
                {0.20, 0.25}, {0.20, 0.30}};
 
+  BenchReporter Reporter("bench_fig8_energy_shares");
   TablePrinter T("Figure 8: normalized ED2 by ICN/cache energy share");
-  bool Header = false;
+  SuiteSeriesRunner Series(T, Reporter, Threads);
   for (unsigned Buses : {1u, 2u}) {
     for (const auto &C : Cases) {
       PipelineOptions Opts;
       Opts.Buses = Buses;
       Opts.Breakdown.IcnShare = C.Icn;
       Opts.Breakdown.CacheShare = C.Cache;
-      SuiteResult R = runSuite(Opts);
-      if (!Header) {
-        T.addRow(headerRow(R, "config"));
-        Header = true;
-      }
-      printSeries(T,
-                  formatString("%u bus%s, .%02d/.%02d", Buses,
-                               Buses > 1 ? "es" : "",
-                               static_cast<int>(C.Icn * 100),
-                               static_cast<int>(C.Cache * 100)),
-                  R);
+      Series.run(formatString("%u bus%s, .%02d/.%02d", Buses,
+                              Buses > 1 ? "es" : "",
+                              static_cast<int>(C.Icn * 100),
+                              static_cast<int>(C.Cache * 100)),
+                 Opts);
     }
   }
   T.print();
-  return 0;
+  Reporter.write();
+  return Series.exitCode();
 }

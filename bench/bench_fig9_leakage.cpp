@@ -6,13 +6,24 @@
 // little impact ("our scheme is somewhat independent of the assumptions
 // made for the baseline microarchitecture").
 //
+// Runs on the runtime Session/SuiteRunner API (one session per
+// assumption set; programs fan out across the session's worker pool).
+//
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchHarness.h"
+
+#include <cstdlib>
+#include <cstring>
 
 using namespace hcvliw;
 
-int main() {
+int main(int argc, char **argv) {
+  unsigned Threads = 0;
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
+      Threads = parseThreadsArg(argv[++I]);
+
   std::printf("Figure 9: ED2 varying the leakage fractions "
               "(cluster/ICN/cache), each vs its own optimum "
               "homogeneous.\nPaper shape: changing these percentages has "
@@ -25,8 +36,9 @@ int main() {
                {0.40, 0.15, 0.70},
                {0.20, 0.10, 0.75}};
 
+  BenchReporter Reporter("bench_fig9_leakage");
   TablePrinter T("Figure 9: normalized ED2 by leakage fractions");
-  bool Header = false;
+  SuiteSeriesRunner Series(T, Reporter, Threads);
   for (unsigned Buses : {1u, 2u}) {
     for (const auto &C : Cases) {
       PipelineOptions Opts;
@@ -34,20 +46,15 @@ int main() {
       Opts.Breakdown.ClusterLeakageFrac = C.Cluster;
       Opts.Breakdown.IcnLeakageFrac = C.Icn;
       Opts.Breakdown.CacheLeakageFrac = C.Cache;
-      SuiteResult R = runSuite(Opts);
-      if (!Header) {
-        T.addRow(headerRow(R, "config"));
-        Header = true;
-      }
-      printSeries(T,
-                  formatString("%u bus%s, .%02d/.%02d/.%02d", Buses,
-                               Buses > 1 ? "es" : "",
-                               static_cast<int>(C.Cluster * 100 + 0.5),
-                               static_cast<int>(C.Icn * 100 + 0.5),
-                               static_cast<int>(C.Cache * 100 + 0.5)),
-                  R);
+      Series.run(formatString("%u bus%s, .%02d/.%02d/.%02d", Buses,
+                              Buses > 1 ? "es" : "",
+                              static_cast<int>(C.Cluster * 100 + 0.5),
+                              static_cast<int>(C.Icn * 100 + 0.5),
+                              static_cast<int>(C.Cache * 100 + 0.5)),
+                 Opts);
     }
   }
   T.print();
-  return 0;
+  Reporter.write();
+  return Series.exitCode();
 }

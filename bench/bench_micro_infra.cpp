@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchHarness.h"
+
 #include "core/HeterogeneousPipeline.h"
 #include "ir/MinDist.h"
 #include "ir/RecurrenceAnalysis.h"
@@ -97,4 +99,15 @@ static void BM_FullProgramPipeline(benchmark::State &State) {
 }
 BENCHMARK(BM_FullProgramPipeline);
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN: also emits the BENCH_<name>.json artifact
+// (wall-clock only; google-benchmark owns the per-kernel numbers).
+int main(int argc, char **argv) {
+  BenchReporter Reporter("bench_micro_infra");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  Reporter.write();
+  return 0;
+}

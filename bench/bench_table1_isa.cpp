@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchHarness.h"
+
 #include "ir/LoopBuilder.h"
 #include "partition/LoopScheduler.h"
 #include "support/StrUtil.h"
@@ -19,6 +21,7 @@
 using namespace hcvliw;
 
 int main() {
+  BenchReporter Reporter("bench_table1_isa");
   MachineDescription M = MachineDescription::paperDefault();
 
   std::printf("Table 1: latency of the instructions and energy relative "
@@ -92,5 +95,6 @@ int main() {
               formatString("%lld", static_cast<long long>(Sep))});
   }
   S.print();
+  Reporter.write();
   return 0;
 }

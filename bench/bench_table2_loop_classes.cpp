@@ -9,7 +9,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "BenchHarness.h"
+
+#include "profiling/Profiler.h"
 
 using namespace hcvliw;
 
@@ -17,24 +19,27 @@ int main() {
   std::printf("Table 2: %% of execution time in resource- / borderline- / "
               "recurrence-constrained loops (reference machine, 1 bus).\n\n");
 
+  BenchReporter Reporter("bench_table2_loop_classes");
   PipelineOptions Opts;
-  HeterogeneousPipeline Pipe(Opts);
-  Profiler Prof(Pipe.machine(), Opts.ProgramBudgetNs);
+  // Serial session: this bench only profiles, so the pool stays idle.
+  Session S(Opts, /*Threads=*/1);
+  Profiler Prof(S.machine(), Opts.ProgramBudgetNs);
 
   TablePrinter T("Table 2: loop constraint classes");
   T.addRow({"program", "recMII<resMII", "resMII<=recMII<1.3resMII",
             "1.3resMII<=recMII"});
   for (const auto &Prog : buildSpecFPSuite()) {
-    auto Profile = Prof.profileProgram(Prog.Name, Prog.Loops);
+    std::string Err;
+    auto Profile = Prof.profileProgram(Prog.Name, Prog.Loops, &Err);
     if (!Profile) {
-      std::fprintf(stderr, "error: profiling failed on %s\n",
-                   Prog.Name.c_str());
+      std::fprintf(stderr, "error: profiling failed on %s: %s\n",
+                   Prog.Name.c_str(), Err.c_str());
       continue;
     }
-    auto S = Profile->shareByConstraint();
-    T.addRow({Prog.Name, formatString("%.2f%%", 100 * S[0]),
-              formatString("%.2f%%", 100 * S[1]),
-              formatString("%.2f%%", 100 * S[2])});
+    auto Sh = Profile->shareByConstraint();
+    T.addRow({Prog.Name, formatString("%.2f%%", 100 * Sh[0]),
+              formatString("%.2f%%", 100 * Sh[1]),
+              formatString("%.2f%%", 100 * Sh[2])});
   }
   T.print();
 
@@ -53,5 +58,6 @@ int main() {
                 formatString("%.4f", LP.Weight)});
   }
   D.print();
+  Reporter.write();
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "configsel/ConfigurationSelector.h"
 #include "explore/ExplorationReport.h"
 #include "profiling/Profiler.h"
+#include "runtime/WorkerPool.h"
 #include "support/StrUtil.h"
 #include "workloads/SpecFPSuite.h"
 
@@ -76,7 +77,7 @@ int main(int argc, char **argv) {
   std::string Program;
   std::string CsvPath, JsonPath;
   ExploreOptions Opts;
-  Opts.Threads = 0;
+  unsigned Threads = 0;
   DesignSpaceOptions Space = DesignSpaceOptions::paperDefault();
   unsigned MenuK = 0;
 
@@ -91,7 +92,11 @@ int main(int argc, char **argv) {
     if (!std::strcmp(argv[I], "--program")) {
       Program = need("--program");
     } else if (!std::strcmp(argv[I], "--threads")) {
-      Opts.Threads = static_cast<unsigned>(std::atoi(need("--threads")));
+      if (!parseThreadCount(need("--threads"), Threads)) {
+        std::fprintf(stderr,
+                     "error: --threads expects an integer in [0, 1024]\n");
+        return 1;
+      }
     } else if (!std::strcmp(argv[I], "--menu")) {
       MenuK = static_cast<unsigned>(std::atoi(need("--menu")));
     } else if (!std::strcmp(argv[I], "--fast")) {
@@ -145,6 +150,14 @@ int main(int argc, char **argv) {
   TechnologyModel Tech = TechnologyModel::paperDefault();
   Profiler Prof(M);
 
+  // The runtime substrate, shared across every program of the run: one
+  // worker pool (no per-explore thread spawning) and one timing cache
+  // (structurally identical loops hit across programs).
+  WorkerPool Pool(Threads);
+  EvalCache Cache(M, Menu);
+  Opts.Pool = &Pool;
+  Opts.SharedCache = &Cache;
+
   int Rc = 0;
   for (const BenchmarkProgram &Prog : Programs) {
     auto P = Prof.profileProgram(Prog.Name, Prog.Loops);
@@ -188,5 +201,11 @@ int main(int argc, char **argv) {
     }
     std::printf("\n");
   }
+  if (Programs.size() > 1 && Opts.UseCache)
+    std::printf("shared timing cache over the whole run: %llu hits, "
+                "%llu misses, %zu entries\n",
+                static_cast<unsigned long long>(Cache.hits()),
+                static_cast<unsigned long long>(Cache.misses()),
+                Cache.size());
   return Rc;
 }

@@ -8,11 +8,16 @@
 // homogeneous baseline -- then measure both and compare reality against
 // the estimates.
 //
+// Runs through a runtime Session: the session owns the worker pool the
+// design-space search fans out on and the shared timing cache, and a
+// failed run reports *where* it failed (structured PipelineError)
+// instead of a bare nullopt.
+//
 // Build & run:  ./build/examples/frequency_selection [program]
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/HeterogeneousPipeline.h"
+#include "runtime/Session.h"
 #include "support/StrUtil.h"
 #include "support/TablePrinter.h"
 
@@ -25,10 +30,12 @@ int main(int argc, char **argv) {
   BenchmarkProgram Prog = buildSpecFPProgram(Name);
 
   PipelineOptions Opts;
-  HeterogeneousPipeline Pipe(Opts);
-  auto R = Pipe.runProgram(Prog);
+  Session S(Opts);
+  PipelineError Err;
+  auto R = S.pipeline().runProgram(Prog, &Err);
   if (!R) {
-    std::fprintf(stderr, "pipeline failed on %s\n", Name.c_str());
+    std::fprintf(stderr, "pipeline failed on %s at %s: %s\n", Name.c_str(),
+                 pipelineStageName(Err.Stage), Err.Reason.c_str());
     return 1;
   }
 

@@ -25,12 +25,14 @@
 
 #include "ir/LoopDSL.h"
 #include "partition/LoopScheduler.h"
+#include "runtime/WorkerPool.h"
 #include "support/StrUtil.h"
 #include "vliwsim/PipelinedSimulator.h"
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace hcvliw;
 
@@ -127,25 +129,41 @@ int main(int argc, char **argv) {
               Fast.str().c_str(), (Fast * Ratio).str().c_str(), M.Buses,
               MenuK ? formatString("%u freqs", MenuK).c_str() : "any");
 
-  int Rc = 0;
-  for (const Loop &L : Parsed.Loops) {
+  // Schedule and verify every loop on the worker-pool substrate
+  // (slot-indexed results, so the printed order and exit code are
+  // independent of the thread count), then print serially.
+  struct LoopOutcome {
+    bool Success = false;
+    std::string Text;
+  };
+  std::vector<LoopOutcome> Out(Parsed.Loops.size());
+  WorkerPool Pool;
+  Pool.parallelFor(Parsed.Loops.size(), [&](size_t I) {
+    const Loop &L = Parsed.Loops[I];
     LoopScheduleResult R = Sched.schedule(L);
+    LoopOutcome &O = Out[I];
     if (!R.Success) {
-      std::printf("loop '%s': FAILED (%s)\n", L.Name.c_str(),
-                  R.Failure.c_str());
-      Rc = 1;
-      continue;
+      O.Text = formatString("loop '%s': FAILED (%s)\n", L.Name.c_str(),
+                            R.Failure.c_str());
+      return;
     }
     std::string Err =
         checkFunctionalEquivalence(L, R.PG, R.Sched, M, L.TripCount);
-    std::printf("loop '%s': recMII=%lld resMII=%lld MIT=%s ns -> "
-                "IT=%s ns, comms/iter=%u, %s\n",
-                L.Name.c_str(), static_cast<long long>(R.RecMII),
-                static_cast<long long>(R.ResMII), R.MITNs.str().c_str(),
-                R.Sched.Plan.ITNs.str().c_str(), R.PG.numCopies(),
-                Err.empty() ? "functionally EXACT" : Err.c_str());
-    std::printf("%s\n", R.Sched.str(R.PG).c_str());
-    if (!Err.empty())
+    O.Success = Err.empty();
+    O.Text = formatString(
+        "loop '%s': recMII=%lld resMII=%lld MIT=%s ns -> "
+        "IT=%s ns, comms/iter=%u, %s\n",
+        L.Name.c_str(), static_cast<long long>(R.RecMII),
+        static_cast<long long>(R.ResMII), R.MITNs.str().c_str(),
+        R.Sched.Plan.ITNs.str().c_str(), R.PG.numCopies(),
+        Err.empty() ? "functionally EXACT" : Err.c_str());
+    O.Text += R.Sched.str(R.PG) + "\n";
+  });
+
+  int Rc = 0;
+  for (const LoopOutcome &O : Out) {
+    std::fputs(O.Text.c_str(), stdout);
+    if (!O.Success)
       Rc = 1;
   }
   return Rc;

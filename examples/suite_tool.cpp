@@ -1,0 +1,116 @@
+//===- examples/suite_tool.cpp - Suite execution CLI ------------------------===//
+//
+// Drives the runtime Session/SuiteRunner API over the synthetic SPECfp
+// suite: programs fan out across the session's worker pool (each
+// program's design-space search nests on the same pool), per-program
+// completions stream to stderr as they happen, failures are reported
+// as structured records, and the per-benchmark normalized ED2 table —
+// the paper's Figure 6 row — prints at the end together with the
+// session's shared-cache statistics.
+//
+// Usage:
+//   suite_tool [--threads N] [--lanes K] [--buses B] [--menu K]
+//              [--repeat N]
+//     --threads  worker-pool parallelism (default: hardware)
+//     --lanes    nested-parallelism budget: max programs in flight
+//                (default: all; spare threads speed up exploration)
+//     --buses    inter-cluster buses (default 1)
+//     --menu     frequencies per domain (default: any)
+//     --repeat   run the suite N times in one session to show the
+//                selection memo (repeats skip all searches)
+//
+// Build & run:  ./build/suite_tool --threads 4 --lanes 2
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SuiteRunner.h"
+#include "support/StrUtil.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace hcvliw;
+
+int main(int argc, char **argv) {
+  unsigned Threads = 0, Buses = 1, MenuK = 0, Repeat = 1;
+  size_t Lanes = 0;
+  for (int I = 1; I < argc; ++I) {
+    auto need = [&](const char *Flag) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(1);
+      }
+      return argv[++I];
+    };
+    if (!std::strcmp(argv[I], "--threads")) {
+      if (!parseThreadCount(need("--threads"), Threads)) {
+        std::fprintf(stderr,
+                     "error: --threads expects an integer in [0, 1024]\n");
+        return 1;
+      }
+    } else if (!std::strcmp(argv[I], "--lanes")) {
+      int N = std::atoi(need("--lanes"));
+      Lanes = N > 0 ? static_cast<size_t>(N) : 0;
+    } else if (!std::strcmp(argv[I], "--buses"))
+      Buses = static_cast<unsigned>(std::atoi(need("--buses")));
+    else if (!std::strcmp(argv[I], "--menu"))
+      MenuK = static_cast<unsigned>(std::atoi(need("--menu")));
+    else if (!std::strcmp(argv[I], "--repeat"))
+      Repeat = static_cast<unsigned>(std::atoi(need("--repeat")));
+    else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[I]);
+      return 1;
+    }
+  }
+
+  PipelineOptions Opts;
+  Opts.Buses = Buses;
+  if (MenuK > 0)
+    Opts.MenuSize = MenuK;
+  Session S(Opts, Threads);
+  SuiteRunner Runner(S);
+
+  SuiteOptions SO;
+  SO.ProgramLanes = Lanes;
+  SO.OnProgramDone = [](const SuiteProgress &P) {
+    if (P.Ok)
+      std::fprintf(stderr, "[%zu/%zu] %-13s ED2 ratio %.3f\n", P.Completed,
+                   P.Total, P.Program.c_str(), P.ED2Ratio);
+    else
+      std::fprintf(stderr, "[%zu/%zu] %-13s FAILED at %s: %s\n",
+                   P.Completed, P.Total, P.Program.c_str(),
+                   pipelineStageName(P.Failure->Stage),
+                   P.Failure->Reason.c_str());
+  };
+
+  SuiteResult R;
+  for (unsigned Rep = 0; Rep < std::max(1u, Repeat); ++Rep)
+    R = Runner.runSpecFP(SO);
+
+  TablePrinter T("normalized ED2 (heterogeneous / optimum homogeneous)");
+  std::vector<std::string> Header = {"program"}, Row = {"ED2 ratio"};
+  for (size_t I = 0; I < R.Names.size(); ++I) {
+    Header.push_back(shortSpecName(R.Names[I]));
+    Row.push_back(formatString("%.3f", R.ED2Ratios[I]));
+  }
+  Header.push_back("mean");
+  Row.push_back(formatString("%.3f", R.meanRatio()));
+  T.addRow(std::move(Header));
+  T.addRow(std::move(Row));
+  T.print();
+
+  for (const SuiteFailure &F : R.Failures)
+    std::fprintf(stderr, "error: %s failed at %s: %s\n", F.Program.c_str(),
+                 pipelineStageName(F.Stage), F.Reason.c_str());
+
+  const EvalCache &C = S.evalCache();
+  std::printf("\nsession cache: %llu timing hits / %llu misses "
+              "(%zu entries), %llu selection memo hits / %llu misses\n",
+              static_cast<unsigned long long>(C.hits()),
+              static_cast<unsigned long long>(C.misses()), C.size(),
+              static_cast<unsigned long long>(C.selectionHits()),
+              static_cast<unsigned long long>(C.selectionMisses()));
+  return R.Failures.empty() ? 0 : 1;
+}

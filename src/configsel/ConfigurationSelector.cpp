@@ -9,10 +9,10 @@ using namespace hcvliw;
 ConfigurationSelector::ConfigurationSelector(
     const ProgramProfile &P, const MachineDescription &M,
     const EnergyModel &E, const TechnologyModel &T, const FrequencyMenu &Mn,
-    const DesignSpaceOptions &S)
+    const DesignSpaceOptions &S, EvalCache *SharedCache, WorkerPool *Pool)
     : Profile(P), Machine(M), Energy(E), Tech(T),
       Alpha(T, M.refFrequency().toDouble(), M.RefVdd, M.RefVth), Space(S),
-      Engine(P, M, E, T, Mn, S) {}
+      Engine(P, M, E, T, Mn, S), SharedCache(SharedCache), Pool(Pool) {}
 
 std::vector<SelectedDesign> ConfigurationSelector::rankHeterogeneous() const {
   // The seed's exhaustive serial walk: one worker, frontier bookkeeping
@@ -21,14 +21,14 @@ std::vector<SelectedDesign> ConfigurationSelector::rankHeterogeneous() const {
   ExploreOptions Opts;
   Opts.Threads = 1;
   Opts.ComputeFrontier = false;
-  return Engine.explore(Opts).rankedByED2();
+  return explore(Opts).rankedByED2();
 }
 
 SelectedDesign ConfigurationSelector::selectHeterogeneous() const {
   ExploreOptions Opts;
   Opts.Threads = 1;
   Opts.ComputeFrontier = false;
-  return Engine.explore(Opts).Best;
+  return explore(Opts).Best;
 }
 
 SelectedDesign ConfigurationSelector::selectOptimumHomogeneous() const {

@@ -40,6 +40,8 @@
 
 namespace hcvliw {
 
+class WorkerPool;
+
 class ConfigurationSelector {
   const ProgramProfile &Profile;
   const MachineDescription &Machine;
@@ -47,17 +49,30 @@ class ConfigurationSelector {
   TechnologyModel Tech;
   AlphaPowerModel Alpha;
   DesignSpaceOptions Space;
-  ExplorationEngine Engine; ///< holds the frequency menu
+  ExplorationEngine Engine;  ///< holds the frequency menu
+  EvalCache *SharedCache;    ///< session-owned; may be null
+  WorkerPool *Pool;          ///< session-owned; may be null
 
 public:
+  /// \p SharedCache / \p Pool, when given (the Session substrate), are
+  /// threaded through every search this selector runs; results are
+  /// bit-identical to the self-contained defaults.
   ConfigurationSelector(const ProgramProfile &P,
                         const MachineDescription &M, const EnergyModel &E,
                         const TechnologyModel &T, const FrequencyMenu &Menu,
-                        const DesignSpaceOptions &Space);
+                        const DesignSpaceOptions &Space,
+                        EvalCache *SharedCache = nullptr,
+                        WorkerPool *Pool = nullptr);
 
   /// The underlying parallel search; callers wanting threads, the
-  /// Pareto frontier, or serialized reports use this directly.
-  ExplorationResult explore(const ExploreOptions &Opts) const {
+  /// Pareto frontier, or serialized reports use this directly. The
+  /// selector's shared cache / pool (if any) fill unset fields of
+  /// \p Opts.
+  ExplorationResult explore(ExploreOptions Opts) const {
+    if (!Opts.SharedCache)
+      Opts.SharedCache = SharedCache;
+    if (!Opts.Pool)
+      Opts.Pool = Pool;
     return Engine.explore(Opts);
   }
 

@@ -2,6 +2,9 @@
 
 #include "core/HeterogeneousPipeline.h"
 #include "partition/LoopScheduler.h"
+#include "runtime/Session.h"
+#include "support/HashUtil.h"
+#include "support/StrUtil.h"
 #include "vliwsim/PipelinedSimulator.h"
 
 #include <algorithm>
@@ -9,16 +12,39 @@
 
 using namespace hcvliw;
 
+const char *hcvliw::pipelineStageName(PipelineStage S) {
+  switch (S) {
+  case PipelineStage::Profiling:
+    return "profiling";
+  case PipelineStage::Selection:
+    return "selection";
+  case PipelineStage::Measurement:
+    return "measurement";
+  }
+  assert(false && "unknown pipeline stage");
+  return "?";
+}
+
 HeterogeneousPipeline::HeterogeneousPipeline(const PipelineOptions &O)
     : Opts(O),
-      Machine(MachineDescription::paperDefault(O.Buses, O.NumClusters)) {}
+      OwnedMachine(MachineDescription::paperDefault(O.Buses, O.NumClusters)),
+      MachineRef(&*OwnedMachine) {}
+
+HeterogeneousPipeline::HeterogeneousPipeline(Session &S)
+    : Opts(S.pipelineOptions()), MachineRef(&S.machine()), Sess(&S) {}
 
 FrequencyMenu HeterogeneousPipeline::menu() const {
-  if (!Opts.MenuSize)
+  // Session mode reuses the session's one menu object (the same the
+  // shared EvalCache is bound to) instead of rebuilding per call.
+  return Sess ? Sess->menu() : menuFor(Opts);
+}
+
+FrequencyMenu HeterogeneousPipeline::menuFor(const PipelineOptions &O) {
+  if (!O.MenuSize)
     return FrequencyMenu::continuous();
   // Every domain's clock network derives MenuSize sub-frequencies of
   // that domain's own maximum (Figure 2's multipliers/dividers).
-  return FrequencyMenu::relativeLadder(*Opts.MenuSize);
+  return FrequencyMenu::relativeLadder(*O.MenuSize);
 }
 
 ConfigRunResult HeterogeneousPipeline::measureConfig(
@@ -38,10 +64,10 @@ ConfigRunResult HeterogeneousPipeline::measureConfig(
   // The ablation knob in Opts.Part can force the balance-only objective
   // even on the heterogeneous machine.
   LSO.Part.ED2Objective = ED2Objective && Opts.Part.ED2Objective;
-  LoopScheduler Sched(Machine, Config, LSO);
+  LoopScheduler Sched(machine(), Config, LSO);
 
   double TexecNs = 0;
-  std::vector<double> WIns(Machine.numClusters(), 0.0);
+  std::vector<double> WIns(machine().numClusters(), 0.0);
   double Comms = 0, Mem = 0;
 
   for (size_t I = 0; I < Loops.size(); ++I) {
@@ -59,7 +85,7 @@ ConfigRunResult HeterogeneousPipeline::measureConfig(
     if (Opts.SimCheckIterations > 0) {
       uint64_t N = std::min<uint64_t>(L.TripCount, Opts.SimCheckIterations);
       [[maybe_unused]] std::string Err =
-          checkFunctionalEquivalence(L, LR.PG, LR.Sched, Machine, N);
+          checkFunctionalEquivalence(L, LR.PG, LR.Sched, machine(), N);
       assert(Err.empty() && "measured schedule is not functionally correct");
     }
 
@@ -71,7 +97,7 @@ ConfigRunResult HeterogeneousPipeline::measureConfig(
         LP.Invocations * static_cast<double>(L.TripCount);
     for (unsigned Op = 0; Op < L.size(); ++Op)
       WIns[LR.Assignment.cluster(Op)] +=
-          Machine.Isa.energy(L.Ops[Op].Op) * Iters;
+          machine().Isa.energy(L.Ops[Op].Op) * Iters;
     Comms += static_cast<double>(LR.PG.numCopies()) * Iters;
     Mem += LP.PerIter.MemAccesses * Iters;
 
@@ -92,25 +118,103 @@ ConfigRunResult HeterogeneousPipeline::measureConfig(
   return R;
 }
 
+namespace {
+
+/// Everything a selection's result depends on beyond the shared cache's
+/// own (machine, menu) binding: the profile, the grids, the technology,
+/// the energy-share assumptions, the reference operating point, and
+/// which of the two selections ran.
+uint64_t selectionKey(uint64_t ProfileFP, const PipelineOptions &Opts,
+                      const MachineDescription &M, bool Heterogeneous) {
+  FnvHasher H;
+  H.mix(ProfileFP);
+  H.mix(Heterogeneous ? 1u : 2u);
+  const DesignSpaceOptions &S = Opts.Space;
+  H.mixVector(S.FastFactors);
+  H.mixVector(S.SlowRatios);
+  H.mix(S.NumFastClusters);
+  H.mixVector(S.ClusterVddGrid);
+  H.mixVector(S.IcnVddGrid);
+  H.mixVector(S.CacheVddGrid);
+  H.mixVector(S.HomogFactors);
+  H.mixVector(S.HomogVddGrid);
+  H.mixDouble(Opts.Tech.Alpha);
+  H.mixDouble(Opts.Tech.SubthresholdSlopeV);
+  H.mixDouble(Opts.Tech.OverdriveMargin);
+  H.mixDouble(Opts.Breakdown.CacheShare);
+  H.mixDouble(Opts.Breakdown.IcnShare);
+  H.mixDouble(Opts.Breakdown.ClusterLeakageFrac);
+  H.mixDouble(Opts.Breakdown.CacheLeakageFrac);
+  H.mixDouble(Opts.Breakdown.IcnLeakageFrac);
+  H.mixDouble(M.RefVdd);
+  H.mixDouble(M.RefVth);
+  return H.digest();
+}
+
+void setError(PipelineError *Err, PipelineStage Stage, std::string Reason) {
+  if (!Err)
+    return;
+  Err->Stage = Stage;
+  Err->Reason = std::move(Reason);
+}
+
+} // namespace
+
 std::optional<ProgramRunResult>
-HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program) const {
+HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
+                                  PipelineError *Err) const {
   ProgramRunResult R;
   R.Name = Program.Name;
 
-  Profiler Prof(Machine, Opts.ProgramBudgetNs);
-  auto Profile = Prof.profileProgram(Program.Name, Program.Loops);
-  if (!Profile)
+  Profiler Prof(machine(), Opts.ProgramBudgetNs);
+  std::string ProfErr;
+  auto Profile = Prof.profileProgram(Program.Name, Program.Loops, &ProfErr);
+  if (!Profile) {
+    setError(Err, PipelineStage::Profiling, std::move(ProfErr));
     return std::nullopt;
+  }
   R.Profile = std::move(*Profile);
 
   EnergyModel Energy(Opts.Breakdown, R.Profile.Totals, R.Profile.TexecRefNs,
-                     Machine.numClusters());
-  ConfigurationSelector Sel(R.Profile, Machine, Energy, Opts.Tech, menu(),
-                            Opts.Space);
-  R.HetDesign = Sel.selectHeterogeneous();
-  R.HomDesign = Sel.selectOptimumHomogeneous();
-  if (!R.HetDesign.Valid || !R.HomDesign.Valid)
+                     machine().numClusters());
+  EvalCache *Cache = Sess ? &Sess->evalCache() : nullptr;
+  ConfigurationSelector Sel(R.Profile, machine(), Energy, Opts.Tech, menu(),
+                            Opts.Space, Cache,
+                            Sess ? &Sess->pool() : nullptr);
+
+  // Session mode memoizes whole selections: a repeated program (same
+  // profile, same selection inputs) skips its searches entirely. The
+  // memo is exact — equal keys hash equal inputs, and the searches are
+  // pure functions of those inputs.
+  if (Cache) {
+    uint64_t FP = R.Profile.fingerprint();
+    uint64_t HetKey = selectionKey(FP, Opts, machine(), true);
+    uint64_t HomKey = selectionKey(FP, Opts, machine(), false);
+    if (auto D = Cache->findSelection(HetKey)) {
+      R.HetDesign = *D;
+    } else {
+      R.HetDesign = Sel.selectHeterogeneous();
+      Cache->storeSelection(HetKey, R.HetDesign);
+    }
+    if (auto D = Cache->findSelection(HomKey)) {
+      R.HomDesign = *D;
+    } else {
+      R.HomDesign = Sel.selectOptimumHomogeneous();
+      Cache->storeSelection(HomKey, R.HomDesign);
+    }
+  } else {
+    R.HetDesign = Sel.selectHeterogeneous();
+    R.HomDesign = Sel.selectOptimumHomogeneous();
+  }
+  if (!R.HetDesign.Valid || !R.HomDesign.Valid) {
+    setError(Err, PipelineStage::Selection,
+             formatString("no feasible %s design in the grid",
+                          !R.HetDesign.Valid && !R.HomDesign.Valid
+                              ? "heterogeneous or homogeneous"
+                              : (!R.HetDesign.Valid ? "heterogeneous"
+                                                    : "homogeneous")));
     return std::nullopt;
+  }
 
   R.HetMeasured =
       measureConfig(R.Profile, Program.Loops, R.HetDesign.Config,
@@ -118,8 +222,16 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program) const {
   R.HomMeasured =
       measureConfig(R.Profile, Program.Loops, R.HomDesign.Config,
                     R.HomDesign.Scaling, Energy, /*ED2Objective=*/false);
-  if (!R.HetMeasured.Ok || !R.HomMeasured.Ok)
+  if (!R.HetMeasured.Ok || !R.HomMeasured.Ok) {
+    const ConfigRunResult &Bad =
+        !R.HetMeasured.Ok ? R.HetMeasured : R.HomMeasured;
+    setError(Err, PipelineStage::Measurement,
+             formatString(
+                 "%s measurement failed: %u of %zu loops unschedulable",
+                 !R.HetMeasured.Ok ? "heterogeneous" : "homogeneous",
+                 Bad.Failures, Program.Loops.size()));
     return std::nullopt;
+  }
 
   R.ED2Ratio = R.HetMeasured.ED2 / R.HomMeasured.ED2;
   return R;

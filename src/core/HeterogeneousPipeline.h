@@ -81,23 +81,55 @@ struct ProgramRunResult {
   double ED2Ratio = 1.0;
 };
 
+/// Where a failed runProgram gave up.
+enum class PipelineStage { Profiling, Selection, Measurement };
+
+const char *pipelineStageName(PipelineStage S);
+
+/// Structured failure record: stage plus a human-readable reason (the
+/// SuiteRunner surfaces these instead of dropping failed programs).
+struct PipelineError {
+  PipelineStage Stage = PipelineStage::Profiling;
+  std::string Reason;
+};
+
+class Session;
+
 class HeterogeneousPipeline {
   PipelineOptions Opts;
-  MachineDescription Machine;
+  /// Standalone mode owns its machine; session mode points at the
+  /// session's (the same object its EvalCache is bound to).
+  std::optional<MachineDescription> OwnedMachine;
+  const MachineDescription *MachineRef = nullptr;
+  Session *Sess = nullptr; ///< non-owning; null for standalone pipelines
 
 public:
   explicit HeterogeneousPipeline(const PipelineOptions &O);
 
-  const MachineDescription &machine() const { return Machine; }
+  /// Session-backed pipeline: machine and menu are the session's,
+  /// selections run on the session's worker pool and memoize through
+  /// its shared EvalCache (loop timing across programs, whole
+  /// selections across repeated runs). Numerically identical to the
+  /// standalone constructor.
+  explicit HeterogeneousPipeline(Session &S);
+
+  HeterogeneousPipeline(const HeterogeneousPipeline &) = delete;
+  HeterogeneousPipeline &operator=(const HeterogeneousPipeline &) = delete;
+
+  const MachineDescription &machine() const { return *MachineRef; }
   const PipelineOptions &options() const { return Opts; }
 
   /// The frequency menu heterogeneous scheduling/selection uses.
   FrequencyMenu menu() const;
+  static FrequencyMenu menuFor(const PipelineOptions &O);
 
-  /// Full pipeline for one program; std::nullopt when profiling or
-  /// selection fails (a workload bug).
+  /// Full pipeline for one program; std::nullopt when profiling,
+  /// selection or measurement fails (a workload bug). On failure,
+  /// \p Err (when non-null) records the stage and reason. Safe to call
+  /// concurrently from multiple threads.
   std::optional<ProgramRunResult>
-  runProgram(const BenchmarkProgram &Program) const;
+  runProgram(const BenchmarkProgram &Program,
+             PipelineError *Err = nullptr) const;
 
   /// Schedules and evaluates one already-chosen configuration
   /// (exposed for the oracle ablation and the tests).

@@ -15,10 +15,11 @@ CandidateEvaluator::CandidateEvaluator(const ProgramProfile &P,
                                        const TechnologyModel &T,
                                        const FrequencyMenu &Mn,
                                        const DesignSpaceOptions &S,
-                                       EvalCache *Cache)
+                                       EvalCache *Cache,
+                                       CacheCounters *Counters)
     : Profile(P), Machine(M), Energy(E), Tech(T),
       Alpha(T, M.refFrequency().toDouble(), M.RefVdd, M.RefVth), Menu(Mn),
-      Space(S), Cache(Cache) {}
+      Space(S), Cache(Cache), Counters(Counters) {}
 
 namespace {
 
@@ -77,9 +78,13 @@ SelectedDesign CandidateEvaluator::evaluate(const Rational &FastPeriod,
   double Comms = 0, Mem = 0;
   for (unsigned LI = 0; LI < Profile.Loops.size(); ++LI) {
     const LoopProfile &LP = Profile.Loops[LI];
+    bool WasHit = false;
     LoopTimingEstimate TE =
-        Cache ? Cache->loopTiming(LI, FastPeriod, SlowPeriod, NF)
+        Cache ? Cache->loopTiming(LP, FastPeriod, SlowPeriod, NF, &WasHit)
               : estimateLoopTiming(LP, Machine, C, Menu);
+    if (Cache && Counters)
+      (WasHit ? Counters->Hits : Counters->Misses)
+          .fetch_add(1, std::memory_order_relaxed);
     if (!TE.Feasible)
       return D;
     TexecNs += LP.Invocations * TE.TexecNs;

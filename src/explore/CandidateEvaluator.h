@@ -20,7 +20,17 @@
 #include "mcd/FrequencyMenu.h"
 #include "profiling/ProfileData.h"
 
+#include <atomic>
+
 namespace hcvliw {
+
+/// Per-search cache statistics. The EvalCache's own counters are
+/// lifetime totals over every concurrent user; a search that wants its
+/// exact private hit/miss contribution passes one of these.
+struct CacheCounters {
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
 
 class CandidateEvaluator {
   const ProgramProfile &Profile;
@@ -30,14 +40,16 @@ class CandidateEvaluator {
   AlphaPowerModel Alpha;
   FrequencyMenu Menu;
   const DesignSpaceOptions &Space;
-  EvalCache *Cache; ///< may be null: evaluate timing directly
+  EvalCache *Cache;        ///< may be null: evaluate timing directly
+  CacheCounters *Counters; ///< may be null: no per-search stats
 
 public:
   CandidateEvaluator(const ProgramProfile &P, const MachineDescription &M,
                      const EnergyModel &E, const TechnologyModel &T,
                      const FrequencyMenu &Menu,
                      const DesignSpaceOptions &Space,
-                     EvalCache *Cache = nullptr);
+                     EvalCache *Cache = nullptr,
+                     CacheCounters *Counters = nullptr);
 
   /// Estimates the candidate with the first NumFastClusters clusters at
   /// \p FastPeriod, the rest at \p SlowPeriod, ICN/cache clocked with

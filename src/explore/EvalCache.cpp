@@ -6,9 +6,8 @@
 
 using namespace hcvliw;
 
-EvalCache::EvalCache(const ProgramProfile &P, const MachineDescription &M,
-                     const FrequencyMenu &Menu)
-    : Profile(P), Machine(M), Menu(Menu),
+EvalCache::EvalCache(const MachineDescription &M, const FrequencyMenu &Menu)
+    : Machine(M), Menu(Menu),
       // Continuous and relative menus decide every (II, freq) pair from
       // IT * fmax products only; absolute menus pin real frequencies.
       ScaleInvariant(Menu.frequencies().empty()) {}
@@ -18,7 +17,31 @@ size_t EvalCache::size() const {
   return Entries.size();
 }
 
+bool EvalCache::compatibleWith(const MachineDescription &M,
+                               const FrequencyMenu &Mn) const {
+  auto sameMenu = [](const FrequencyMenu &A, const FrequencyMenu &B) {
+    return A.isContinuous() == B.isContinuous() &&
+           A.frequencies() == B.frequencies() && A.ratios() == B.ratios();
+  };
+  if (&M != &Machine) {
+    // Value equality of the timing-relevant structure (the Isa table is
+    // a fixed paper constant and not compared).
+    if (M.numClusters() != Machine.numClusters() ||
+        M.Buses != Machine.Buses || M.BusLatency != Machine.BusLatency ||
+        !(M.RefPeriodNs == Machine.RefPeriodNs))
+      return false;
+    for (unsigned I = 0; I < M.numClusters(); ++I) {
+      const ClusterConfig &A = M.Clusters[I], &B = Machine.Clusters[I];
+      if (A.IntFUs != B.IntFUs || A.FpFUs != B.FpFUs ||
+          A.MemPorts != B.MemPorts || A.Registers != B.Registers)
+        return false;
+    }
+  }
+  return sameMenu(Mn, Menu);
+}
+
 EvalCache::CachedTiming EvalCache::compute(const Key &K,
+                                           const LoopProfile &LP,
                                            const Rational &FastPeriod,
                                            const Rational &SlowPeriod) const {
   // Under scale invariance, evaluate at a normalized fast period of
@@ -28,7 +51,6 @@ EvalCache::CachedTiming EvalCache::compute(const Key &K,
   Rational NormSlow =
       ScaleInvariant ? Rational(K.RatioNum, K.RatioDen) : SlowPeriod;
 
-  const LoopProfile &LP = Profile.Loops[K.LoopIdx];
   unsigned NC = Machine.numClusters();
   HeteroConfig C;
   C.Clusters.resize(NC);
@@ -47,18 +69,20 @@ EvalCache::CachedTiming EvalCache::compute(const Key &K,
   return T;
 }
 
-LoopTimingEstimate EvalCache::loopTiming(unsigned LoopIdx,
+LoopTimingEstimate EvalCache::loopTiming(const LoopProfile &LP,
                                          const Rational &FastPeriod,
                                          const Rational &SlowPeriod,
-                                         unsigned NumFast) {
-  assert(LoopIdx < Profile.Loops.size() && "loop index out of range");
+                                         unsigned NumFast, bool *WasHit) {
   assert(FastPeriod.isPositive() && SlowPeriod.isPositive() &&
          "periods must be positive");
 
   Rational Ratio = SlowPeriod / FastPeriod;
   Key K;
-  K.LoopIdx = LoopIdx;
-  K.NumFast = NumFast;
+  K.LoopFP = LP.timingFingerprint();
+  // A ratio of 1 makes every cluster (and the ICN and cache) run at the
+  // same period whatever NumFast says; canonicalize so homogeneous
+  // shapes reached from different NumFast values share one entry.
+  K.NumFast = Ratio == Rational(1) ? Machine.numClusters() : NumFast;
   K.RatioNum = Ratio.num();
   K.RatioDen = Ratio.den();
   if (!ScaleInvariant) {
@@ -66,7 +90,7 @@ LoopTimingEstimate EvalCache::loopTiming(unsigned LoopIdx,
     K.FastDen = FastPeriod.den();
   }
 
-  const CachedTiming *Found = nullptr;
+  bool Found = false;
   CachedTiming Computed;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -74,22 +98,23 @@ LoopTimingEstimate EvalCache::loopTiming(unsigned LoopIdx,
     if (It != Entries.end()) {
       Hits.fetch_add(1, std::memory_order_relaxed);
       Computed = It->second;
-      Found = &Computed;
+      Found = true;
     }
   }
   if (!Found) {
     Misses.fetch_add(1, std::memory_order_relaxed);
-    Computed = compute(K, FastPeriod, SlowPeriod);
+    Computed = compute(K, LP, FastPeriod, SlowPeriod);
     std::lock_guard<std::mutex> Lock(Mutex);
     // First writer wins; concurrent computes of the same key produce
     // identical values, so dropping the duplicate is safe.
     Entries.emplace(K, Computed);
   }
+  if (WasHit)
+    *WasHit = Found;
 
   // Materialize the estimate at the caller's actual periods with the
   // exact expressions estimateLoopTiming uses, so cached and direct
   // evaluation are bit-identical.
-  const LoopProfile &LP = Profile.Loops[LoopIdx];
   LoopTimingEstimate E;
   E.Feasible = Computed.Feasible;
   if (!E.Feasible)
@@ -112,4 +137,20 @@ LoopTimingEstimate EvalCache::loopTiming(unsigned LoopIdx,
       E.ItLengthNs;
   E.ClusterShare = Computed.ClusterShare;
   return E;
+}
+
+std::optional<SelectedDesign> EvalCache::findSelection(uint64_t SelKey) {
+  std::lock_guard<std::mutex> Lock(SelMutex);
+  auto It = Selections.find(SelKey);
+  if (It == Selections.end()) {
+    SelMisses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  SelHits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void EvalCache::storeSelection(uint64_t SelKey, const SelectedDesign &D) {
+  std::lock_guard<std::mutex> Lock(SelMutex);
+  Selections.emplace(SelKey, D);
 }

@@ -1,17 +1,30 @@
 //===- explore/EvalCache.h - Memoized loop-timing evaluation -----*- C++ -*-===//
 ///
 /// \file
-/// Memoizes the Section 3.2 timing estimate per (loop, frequency shape).
-/// For continuous and relative frequency menus the estimator is exactly
-/// scale-invariant in Rational arithmetic: multiplying every domain
-/// period by a factor s multiplies the IT by s and leaves every per-
-/// domain II (and hence feasibility, packing, and the cluster capacity
-/// shares) unchanged, because all menu decisions depend only on the
-/// products IT * fmax. The cache therefore keys those menus on the
-/// slow/fast *ratio* alone, evaluates once at a normalized fast period
-/// of 1 ns, and rescales exactly — candidates sharing a ratio never
-/// re-run the estimator. Absolute menus pin actual frequencies, so the
-/// key falls back to the exact (fast, slow) period pair.
+/// Memoizes the Section 3.2 timing estimate per (loop structure,
+/// frequency shape). For continuous and relative frequency menus the
+/// estimator is exactly scale-invariant in Rational arithmetic:
+/// multiplying every domain period by a factor s multiplies the IT by s
+/// and leaves every per-domain II (and hence feasibility, packing, and
+/// the cluster capacity shares) unchanged, because all menu decisions
+/// depend only on the products IT * fmax. The cache therefore keys
+/// those menus on the slow/fast *ratio* alone, evaluates once at a
+/// normalized fast period of 1 ns, and rescales exactly — candidates
+/// sharing a ratio never re-run the estimator. Absolute menus pin
+/// actual frequencies, so the key falls back to the exact (fast, slow)
+/// period pair.
+///
+/// Loops are identified by LoopProfile::timingFingerprint(), not by
+/// their index in some profile, so one cache instance is shareable
+/// across programs and across explore() calls: structurally identical
+/// loops in different programs (common in the synthetic SPECfp suite)
+/// hit the same entries. A Session owns one such cache per
+/// (machine, menu) pair and threads it through every selection.
+///
+/// The cache also carries a selection memo: whole SelectedDesigns
+/// keyed by a caller-computed hash of the full selection inputs, so a
+/// Session can skip re-running a selection it has already performed
+/// (repeated runProgram calls, oracle re-ranking, series sweeps).
 ///
 /// Rescaling is bit-identical to direct evaluation: the IT is an exact
 /// Rational product, and the derived doubles (iteration length,
@@ -23,24 +36,26 @@
 #ifndef HCVLIW_EXPLORE_EVALCACHE_H
 #define HCVLIW_EXPLORE_EVALCACHE_H
 
+#include "configsel/DesignSpace.h"
 #include "configsel/TimingEstimator.h"
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 namespace hcvliw {
 
 class EvalCache {
   struct Key {
-    uint32_t LoopIdx = 0;
+    uint64_t LoopFP = 0;                ///< LoopProfile::timingFingerprint()
     uint32_t NumFast = 0;
     int64_t RatioNum = 1, RatioDen = 1; ///< slow/fast period ratio
     int64_t FastNum = 1, FastDen = 1;   ///< 1/1 under scale invariance
 
     bool operator==(const Key &O) const {
-      return LoopIdx == O.LoopIdx && NumFast == O.NumFast &&
+      return LoopFP == O.LoopFP && NumFast == O.NumFast &&
              RatioNum == O.RatioNum && RatioDen == O.RatioDen &&
              FastNum == O.FastNum && FastDen == O.FastDen;
     }
@@ -52,7 +67,7 @@ class EvalCache {
         H ^= V;
         H *= 0x100000001b3ull;
       };
-      mix(K.LoopIdx);
+      mix(K.LoopFP);
       mix(K.NumFast);
       mix(static_cast<uint64_t>(K.RatioNum));
       mix(static_cast<uint64_t>(K.RatioDen));
@@ -70,7 +85,6 @@ class EvalCache {
     std::vector<double> ClusterShare;
   };
 
-  const ProgramProfile &Profile;
   const MachineDescription &Machine;
   FrequencyMenu Menu;
   bool ScaleInvariant;
@@ -80,26 +94,61 @@ class EvalCache {
   std::atomic<uint64_t> Hits{0};
   std::atomic<uint64_t> Misses{0};
 
-  CachedTiming compute(const Key &K, const Rational &FastPeriod,
+  mutable std::mutex SelMutex;
+  std::unordered_map<uint64_t, SelectedDesign> Selections;
+  std::atomic<uint64_t> SelHits{0};
+  std::atomic<uint64_t> SelMisses{0};
+
+  CachedTiming compute(const Key &K, const LoopProfile &LP,
+                       const Rational &FastPeriod,
                        const Rational &SlowPeriod) const;
 
 public:
-  EvalCache(const ProgramProfile &P, const MachineDescription &M,
-            const FrequencyMenu &Menu);
+  /// A cache is bound to one machine and one frequency menu; every user
+  /// must evaluate against an equivalent pair (checked by
+  /// compatibleWith / asserted by the engine).
+  EvalCache(const MachineDescription &M, const FrequencyMenu &Menu);
 
-  /// Timing of Profile.Loops[LoopIdx] with the first \p NumFast clusters
-  /// at \p FastPeriod, the rest at \p SlowPeriod, ICN and cache at
-  /// \p FastPeriod (the paper's candidate shape). Memoized; safe to call
-  /// from multiple threads (duplicate concurrent computes are allowed
-  /// and produce identical values, so insertion is first-writer-wins).
-  LoopTimingEstimate loopTiming(unsigned LoopIdx, const Rational &FastPeriod,
-                                const Rational &SlowPeriod, unsigned NumFast);
+  /// Timing of \p LP with the first \p NumFast clusters at
+  /// \p FastPeriod, the rest at \p SlowPeriod, ICN and cache at
+  /// \p FastPeriod (the paper's candidate shape). Memoized; safe to
+  /// call from multiple threads (duplicate concurrent computes are
+  /// allowed and produce identical values, so insertion is
+  /// first-writer-wins). \p WasHit (when non-null) reports whether
+  /// this call was served from the cache, so concurrent users can
+  /// keep exact private statistics.
+  LoopTimingEstimate loopTiming(const LoopProfile &LP,
+                                const Rational &FastPeriod,
+                                const Rational &SlowPeriod,
+                                unsigned NumFast, bool *WasHit = nullptr);
 
   /// True when the menu allows ratio-keyed memoization.
   bool scaleInvariant() const { return ScaleInvariant; }
 
+  const MachineDescription &machine() const { return Machine; }
+  const FrequencyMenu &menu() const { return Menu; }
+
+  /// Whether this cache may serve evaluations against (\p M, \p Mn):
+  /// the timing-relevant machine structure and the menu must be equal
+  /// (same values, not same objects).
+  bool compatibleWith(const MachineDescription &M,
+                      const FrequencyMenu &Mn) const;
+
+  /// Selection memo: a whole SelectedDesign keyed by the caller's hash
+  /// of the complete selection inputs (profile fingerprint, design
+  /// space, technology, het/hom kind). Thread-safe,
+  /// first-writer-wins.
+  std::optional<SelectedDesign> findSelection(uint64_t SelKey);
+  void storeSelection(uint64_t SelKey, const SelectedDesign &D);
+
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t selectionHits() const {
+    return SelHits.load(std::memory_order_relaxed);
+  }
+  uint64_t selectionMisses() const {
+    return SelMisses.load(std::memory_order_relaxed);
+  }
   size_t size() const;
 };
 

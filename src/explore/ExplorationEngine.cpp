@@ -2,9 +2,12 @@
 
 #include "explore/ExplorationEngine.h"
 
+#include "runtime/WorkerPool.h"
+
 #include <algorithm>
-#include <atomic>
+#include <cassert>
 #include <chrono>
+#include <memory>
 #include <thread>
 
 using namespace hcvliw;
@@ -55,45 +58,51 @@ ExplorationEngine::explore(const ExploreOptions &Opts) const {
   R.Candidates = enumerate();
   R.Stats.Enumerated = R.Candidates.size();
 
-  unsigned Threads = Opts.Threads;
-  if (Threads == 0)
-    Threads = std::max(1u, std::thread::hardware_concurrency());
-  Threads = static_cast<unsigned>(
-      std::min<size_t>(Threads, std::max<size_t>(1, R.Candidates.size())));
-  R.Stats.ThreadsUsed = Threads;
+  // Resolve the pool: the caller's long-lived one (Session substrate)
+  // or a per-call pool of Opts.Threads.
+  std::unique_ptr<WorkerPool> OwnPool;
+  WorkerPool *Pool = Opts.Pool;
+  if (!Pool) {
+    unsigned Threads = Opts.Threads;
+    if (Threads == 0)
+      Threads = std::max(1u, std::thread::hardware_concurrency());
+    Threads = static_cast<unsigned>(
+        std::min<size_t>(Threads, std::max<size_t>(1, R.Candidates.size())));
+    OwnPool = std::make_unique<WorkerPool>(Threads);
+    Pool = OwnPool.get();
+  }
+  R.Stats.ThreadsUsed = Pool->threads();
 
-  EvalCache Cache(Profile, Machine, Menu);
-  CandidateEvaluator Eval(Profile, Machine, Energy, Tech, Menu, Space,
-                          Opts.UseCache ? &Cache : nullptr);
-
-  // Fan out: workers claim enumeration slots off a shared counter and
-  // write results into their own slot; no result ordering depends on
-  // thread scheduling.
-  auto evaluateAll = [&] {
-    std::atomic<size_t> Next{0};
-    auto Work = [&] {
-      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-           I < R.Candidates.size();
-           I = Next.fetch_add(1, std::memory_order_relaxed)) {
-        ExploreCandidate &C = R.Candidates[I];
-        C.Design = Eval.evaluate(C.FastPeriodNs, C.SlowPeriodNs);
-      }
-    };
-    if (Threads <= 1) {
-      Work();
-      return;
+  // Resolve the cache: the caller's shared one (hits persist across
+  // explore() calls and across programs) or a private per-call one.
+  std::unique_ptr<EvalCache> OwnCache;
+  EvalCache *Cache = nullptr;
+  if (Opts.UseCache) {
+    if (Opts.SharedCache) {
+      assert(Opts.SharedCache->compatibleWith(Machine, Menu) &&
+             "shared EvalCache bound to a different machine or menu");
+      Cache = Opts.SharedCache;
+    } else {
+      OwnCache = std::make_unique<EvalCache>(Machine, Menu);
+      Cache = OwnCache.get();
     }
-    std::vector<std::thread> Pool;
-    Pool.reserve(Threads);
-    for (unsigned T = 0; T < Threads; ++T)
-      Pool.emplace_back(Work);
-    for (std::thread &T : Pool)
-      T.join();
-  };
-  evaluateAll();
+  }
+  // Private hit/miss counters: the shared cache's own totals cover
+  // every concurrent user, so this explore's stats are counted at the
+  // call sites instead.
+  CacheCounters Counters;
+  CandidateEvaluator Eval(Profile, Machine, Energy, Tech, Menu, Space,
+                          Cache, &Counters);
 
-  R.Stats.CacheHits = Cache.hits();
-  R.Stats.CacheMisses = Cache.misses();
+  // Fan out: workers claim enumeration slots and write results into
+  // their own slot; no result ordering depends on thread scheduling.
+  Pool->parallelFor(R.Candidates.size(), [&](size_t I) {
+    ExploreCandidate &C = R.Candidates[I];
+    C.Design = Eval.evaluate(C.FastPeriodNs, C.SlowPeriodNs);
+  });
+
+  R.Stats.CacheHits = Counters.Hits.load(std::memory_order_relaxed);
+  R.Stats.CacheMisses = Counters.Misses.load(std::memory_order_relaxed);
 
   // Serial reductions over the enumeration order: the ED2 argmin (first
   // wins on exact ties, matching the serial search) and the frontier.

@@ -30,8 +30,11 @@
 
 namespace hcvliw {
 
+class WorkerPool;
+
 struct ExploreOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Worker threads when no Pool is given; 0 means
+  /// std::thread::hardware_concurrency(). Ignored when Pool is set.
   unsigned Threads = 1;
   /// Compute the Pareto frontier and mark dominated candidates. Every
   /// candidate is fully evaluated either way — this is reporting
@@ -40,6 +43,16 @@ struct ExploreOptions {
   bool ComputeFrontier = true;
   /// Memoize loop timing across candidates sharing a frequency shape.
   bool UseCache = true;
+  /// Evaluate on this long-lived pool instead of a per-call one (the
+  /// Session substrate: nested under a SuiteRunner's program fan-out,
+  /// exploration shares the suite's thread budget).
+  WorkerPool *Pool = nullptr;
+  /// Memoize loop timing in this long-lived cache instead of a
+  /// per-call one. Must be compatibleWith(engine machine, engine menu);
+  /// ignored when UseCache is false. Results are bit-identical to a
+  /// private cache — entries are pure functions of (loop structure,
+  /// frequency shape).
+  EvalCache *SharedCache = nullptr;
 };
 
 /// One enumerated grid point and (after explore()) its evaluation.

@@ -66,6 +66,22 @@ struct LoopProfile {
 
   /// Reference execution time of all invocations (ns).
   double totalRefNs() const { return Invocations * TexecRefNs.toDouble(); }
+
+  /// Structural identity of everything the Section 3.2 timing estimator
+  /// reads (name, weight and invocation count excluded): two loops with
+  /// equal fingerprints receive bit-identical timing estimates on equal
+  /// machines, which is what lets a shared EvalCache hit across
+  /// programs containing structurally identical loops. The Profiler
+  /// precomputes it into StructuralFP (the hash sits on the cache-hit
+  /// hot path); hand-built profiles are hashed on demand. Mutating a
+  /// profile after it was fingerprinted requires resetting
+  /// StructuralFP to 0.
+  uint64_t timingFingerprint() const {
+    return StructuralFP ? StructuralFP : computeTimingFingerprint();
+  }
+  uint64_t computeTimingFingerprint() const;
+
+  uint64_t StructuralFP = 0; ///< cached timingFingerprint (0 = unset)
 };
 
 struct ProgramProfile {
@@ -76,6 +92,11 @@ struct ProgramProfile {
 
   /// Execution-time share per LoopConstraint class (Table 2 row).
   std::vector<double> shareByConstraint() const;
+
+  /// Identity of every selection-relevant field (loop structure plus
+  /// weights, invocations, activity and reference totals; Name
+  /// excluded). Used by the Session layer to memoize whole selections.
+  uint64_t fingerprint() const;
 };
 
 } // namespace hcvliw

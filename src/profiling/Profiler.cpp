@@ -3,6 +3,7 @@
 #include "profiling/Profiler.h"
 #include "ir/RecurrenceAnalysis.h"
 #include "partition/LoopScheduler.h"
+#include "support/HashUtil.h"
 
 #include <algorithm>
 #include <cassert>
@@ -22,6 +23,46 @@ const char *hcvliw::loopConstraintName(LoopConstraint C) {
   }
   assert(false && "unknown constraint class");
   return "?";
+}
+
+uint64_t LoopProfile::computeTimingFingerprint() const {
+  // Exactly the fields estimateLoopTiming and the EvalCache's derived
+  // expressions read; Name / Weight / Invocations / energy activity are
+  // deliberately excluded so structurally identical loops collide.
+  FnvHasher H;
+  H.mix(TripCount);
+  H.mixSigned(RecMII);
+  H.mixSigned(ResMII);
+  H.mixSigned(IIHom);
+  H.mixRational(ItLengthRefNs);
+  H.mixSigned(SumLifetimesRef);
+  H.mixDouble(PerIter.Comms);
+  H.mix(NumOps);
+  H.mixVector(OpCounts);
+  H.mix(Components.size());
+  for (const ComponentProfile &C : Components) {
+    H.mixVector(C.FUCounts);
+    H.mixSigned(C.RecMII);
+  }
+  return H.digest();
+}
+
+uint64_t ProgramProfile::fingerprint() const {
+  FnvHasher H;
+  H.mixDouble(TexecRefNs);
+  H.mixDouble(Totals.WeightedIns);
+  H.mixDouble(Totals.Comms);
+  H.mixDouble(Totals.MemAccesses);
+  H.mix(Loops.size());
+  for (const LoopProfile &L : Loops) {
+    H.mix(L.timingFingerprint());
+    H.mixDouble(L.Weight);
+    H.mixDouble(L.Invocations);
+    H.mixRational(L.TexecRefNs);
+    H.mixDouble(L.PerIter.WeightedIns);
+    H.mixDouble(L.PerIter.MemAccesses);
+  }
+  return H.digest();
 }
 
 std::vector<double> ProgramProfile::shareByConstraint() const {
@@ -44,7 +85,8 @@ Profiler::Profiler(const MachineDescription &M, double BudgetNs)
 
 std::optional<ProgramProfile>
 Profiler::profileProgram(const std::string &Name,
-                         const std::vector<Loop> &Loops) const {
+                         const std::vector<Loop> &Loops,
+                         std::string *Err) const {
   ProgramProfile P;
   P.Name = Name;
 
@@ -56,13 +98,22 @@ Profiler::profileProgram(const std::string &Name,
   double TotalWeight = 0;
   for (const Loop &L : Loops)
     TotalWeight += L.Weight;
-  if (TotalWeight <= 0)
+  if (TotalWeight <= 0) {
+    if (Err)
+      *Err = Loops.empty() ? "program has no loops"
+                           : "total loop weight is not positive";
     return std::nullopt;
+  }
 
   for (const Loop &L : Loops) {
     LoopScheduleResult R = Sched.schedule(L);
-    if (!R.Success)
+    if (!R.Success) {
+      if (Err)
+        *Err = "loop '" + L.Name +
+               "' failed to schedule on the reference machine: " +
+               R.Failure;
       return std::nullopt;
+    }
 
     LoopProfile LP;
     LP.Name = L.Name;
@@ -130,6 +181,10 @@ Profiler::profileProgram(const std::string &Name,
     P.Totals.Comms += LP.PerIter.Comms * Iters;
     P.Totals.MemAccesses += LP.PerIter.MemAccesses * Iters;
     P.TexecRefNs += LP.totalRefNs();
+
+    // Precompute the structural identity now that every timing-relevant
+    // field is final: the EvalCache keys on it once per candidate.
+    LP.StructuralFP = LP.computeTimingFingerprint();
 
     P.Loops.push_back(std::move(LP));
   }

@@ -30,9 +30,11 @@ public:
                     double ProgramBudgetNs = 1e6);
 
   /// std::nullopt when some loop cannot be scheduled on the reference
-  /// machine (a workload bug).
+  /// machine (a workload bug). On failure, \p Err (when non-null)
+  /// receives a human-readable reason naming the offending loop.
   std::optional<ProgramProfile>
-  profileProgram(const std::string &Name, const std::vector<Loop> &Loops) const;
+  profileProgram(const std::string &Name, const std::vector<Loop> &Loops,
+                 std::string *Err = nullptr) const;
 };
 
 } // namespace hcvliw

@@ -1,0 +1,11 @@
+//===- runtime/Session.cpp - Shared execution substrate ---------------------===//
+
+#include "runtime/Session.h"
+
+using namespace hcvliw;
+
+Session::Session(const PipelineOptions &O, unsigned Threads)
+    : PipeOpts(O),
+      Machine_(MachineDescription::paperDefault(O.Buses, O.NumClusters)),
+      Menu_(HeterogeneousPipeline::menuFor(O)), Pool_(Threads),
+      Cache_(Machine_, Menu_), Pipe_(*this) {}

@@ -1,0 +1,63 @@
+//===- runtime/Session.h - Shared execution substrate ------------*- C++ -*-===//
+///
+/// \file
+/// A Session owns the long-lived state every pipeline run in a process
+/// should share instead of rebuilding per call:
+///
+///   - the PipelineOptions and the MachineDescription they imply,
+///   - one WorkerPool, over which both the suite-level program fan-out
+///     (SuiteRunner) and each program's design-space exploration run
+///     (nested jobs on the same threads, so one thread budget governs
+///     both levels),
+///   - one EvalCache keyed by (loop structure, frequency shape), so
+///     selection no longer rebuilds timing caches per explore() call
+///     and structurally identical loops hit across programs, plus the
+///     selection memo that skips whole repeated selections.
+///
+/// Everything a Session hands out is thread-safe in the ways its users
+/// need: runProgram may be called concurrently, explorations may nest
+/// under suite fan-outs, and all results are bit-identical to the
+/// serial, cache-less computation for any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_RUNTIME_SESSION_H
+#define HCVLIW_RUNTIME_SESSION_H
+
+#include "core/HeterogeneousPipeline.h"
+#include "explore/EvalCache.h"
+#include "runtime/WorkerPool.h"
+
+namespace hcvliw {
+
+class Session {
+  PipelineOptions PipeOpts;
+  MachineDescription Machine_;
+  FrequencyMenu Menu_;
+  WorkerPool Pool_;
+  EvalCache Cache_;
+  HeterogeneousPipeline Pipe_;
+
+public:
+  /// \p Threads is the pool's total parallelism degree (0 = hardware
+  /// concurrency, 1 = fully serial).
+  explicit Session(const PipelineOptions &O = PipelineOptions(),
+                   unsigned Threads = 0);
+
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  const PipelineOptions &pipelineOptions() const { return PipeOpts; }
+  const MachineDescription &machine() const { return Machine_; }
+  const FrequencyMenu &menu() const { return Menu_; }
+  WorkerPool &pool() { return Pool_; }
+  EvalCache &evalCache() { return Cache_; }
+  const EvalCache &evalCache() const { return Cache_; }
+
+  /// The session-backed pipeline (selections share the pool and cache).
+  const HeterogeneousPipeline &pipeline() const { return Pipe_; }
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_RUNTIME_SESSION_H

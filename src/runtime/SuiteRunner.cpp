@@ -1,0 +1,95 @@
+//===- runtime/SuiteRunner.cpp - Parallel suite execution -------------------===//
+
+#include "runtime/SuiteRunner.h"
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+using namespace hcvliw;
+
+double SuiteResult::meanRatio() const { return mean(ED2Ratios); }
+
+std::string hcvliw::shortSpecName(const std::string &Name) {
+  size_t Dot = Name.find('.');
+  return Dot == std::string::npos ? Name : Name.substr(Dot + 1);
+}
+
+SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
+                             const SuiteOptions &Opts) {
+  struct Slot {
+    std::optional<ProgramRunResult> Res;
+    PipelineError Err;
+  };
+  const size_t N = Programs.size();
+  std::vector<Slot> Slots(N);
+
+  std::mutex ProgressMutex;
+  size_t Completed = 0;
+
+  auto runOne = [&](size_t I) {
+    Slot &S_ = Slots[I];
+    S_.Res = S.pipeline().runProgram(Programs[I], &S_.Err);
+    if (!Opts.OnProgramDone)
+      return;
+    // Streamed completion: serialized, in completion order (which is
+    // scheduling-dependent; the SuiteResult reduction below is not).
+    std::lock_guard<std::mutex> Lock(ProgressMutex);
+    SuiteProgress P;
+    P.Completed = ++Completed;
+    P.Total = N;
+    P.Program = Programs[I].Name;
+    P.Ok = S_.Res.has_value();
+    SuiteFailure F;
+    if (P.Ok) {
+      P.ED2Ratio = S_.Res->ED2Ratio;
+    } else {
+      F.Program = Programs[I].Name;
+      F.Stage = S_.Err.Stage;
+      F.Reason = S_.Err.Reason;
+      P.Failure = &F;
+    }
+    Opts.OnProgramDone(P);
+  };
+
+  // Outer fan-out with the nested-parallelism budget: ProgramLanes
+  // strided lanes claim programs; each program's exploration then
+  // nests on the same pool, so spare threads help whichever level has
+  // work. Slot-indexed writes keep the result thread-count-invariant.
+  size_t Lanes = Opts.ProgramLanes == 0
+                     ? N
+                     : std::min<size_t>(Opts.ProgramLanes, N);
+  if (Lanes == N) {
+    S.pool().parallelFor(N, runOne);
+  } else {
+    S.pool().parallelFor(Lanes, [&](size_t Lane) {
+      for (size_t I = Lane; I < N; I += Lanes)
+        runOne(I);
+    });
+  }
+
+  // Serial reduction in suite order.
+  SuiteResult R;
+  for (size_t I = 0; I < N; ++I) {
+    Slot &S_ = Slots[I];
+    if (S_.Res) {
+      R.Names.push_back(Programs[I].Name);
+      R.ED2Ratios.push_back(S_.Res->ED2Ratio);
+      R.Details.push_back(std::move(*S_.Res));
+    } else {
+      SuiteFailure F;
+      F.Program = Programs[I].Name;
+      F.Stage = S_.Err.Stage;
+      F.Reason = std::move(S_.Err.Reason);
+      R.Failures.push_back(std::move(F));
+    }
+  }
+  return R;
+}
+
+SuiteResult SuiteRunner::runSpecFP(const SuiteOptions &Opts) {
+  return run(buildSpecFPSuite(), Opts);
+}

@@ -1,0 +1,98 @@
+//===- runtime/SuiteRunner.h - Parallel suite execution ----------*- C++ -*-===//
+///
+/// \file
+/// First-class suite execution: fans HeterogeneousPipeline::runProgram
+/// across the programs of a benchmark suite on a Session's worker
+/// pool, while each program's design-space exploration nests on the
+/// same pool — one thread budget governs both levels (the
+/// nested-parallelism budget is the ProgramLanes option: how many
+/// programs may be in flight at once; threads left over accelerate the
+/// in-flight programs' candidate grids).
+///
+/// Replaces the deprecated serial bench/BenchUtil.h::runSuite loop,
+/// with two contract upgrades:
+///
+///   - failed programs are not silently dropped: every failure appears
+///     in SuiteResult::Failures as a structured record (program name,
+///     pipeline stage, reason);
+///   - per-program completion streams through SuiteOptions::
+///     OnProgramDone (serialized; completion order is
+///     scheduling-dependent, the SuiteResult is not).
+///
+/// Determinism: each program's result is written to its own slot and
+/// reduced in program order, and every per-program computation is a
+/// pure function of (program, session options), so the SuiteResult is
+/// bit-identical for any thread count and any ProgramLanes value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_RUNTIME_SUITERUNNER_H
+#define HCVLIW_RUNTIME_SUITERUNNER_H
+
+#include "runtime/Session.h"
+#include "workloads/SpecFPSuite.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+
+/// One failed program, with where and why.
+struct SuiteFailure {
+  std::string Program;
+  PipelineStage Stage = PipelineStage::Profiling;
+  std::string Reason;
+};
+
+/// Streamed to OnProgramDone as each program completes.
+struct SuiteProgress {
+  size_t Completed = 0; ///< programs finished so far (this one included)
+  size_t Total = 0;
+  std::string Program;
+  bool Ok = false;
+  double ED2Ratio = 0; ///< valid when Ok
+  const SuiteFailure *Failure = nullptr; ///< valid during the callback
+};
+
+struct SuiteOptions {
+  /// Nested-parallelism budget: at most this many programs in flight
+  /// at once (0 = one lane per program, i.e. the pool decides). With
+  /// fewer lanes than pool threads, the spare threads speed up the
+  /// in-flight programs' exploration grids instead.
+  size_t ProgramLanes = 0;
+  /// Called as each program completes (serialized under a mutex; may
+  /// be invoked from any pool thread).
+  std::function<void(const SuiteProgress &)> OnProgramDone;
+};
+
+struct SuiteResult {
+  std::vector<std::string> Names;        ///< successful programs, suite order
+  std::vector<double> ED2Ratios;         ///< parallel to Names
+  std::vector<ProgramRunResult> Details; ///< parallel to Names
+  std::vector<SuiteFailure> Failures;    ///< failed programs, suite order
+
+  double meanRatio() const;
+  size_t numPrograms() const { return Names.size() + Failures.size(); }
+};
+
+/// Strips the SPEC number prefix ("171.swim" -> "swim").
+std::string shortSpecName(const std::string &Name);
+
+class SuiteRunner {
+  Session &S;
+
+public:
+  explicit SuiteRunner(Session &Sess) : S(Sess) {}
+
+  /// Runs every program of \p Programs under the session's options.
+  SuiteResult run(const std::vector<BenchmarkProgram> &Programs,
+                  const SuiteOptions &Opts = SuiteOptions());
+
+  /// The paper's ten-program synthetic SPECfp suite.
+  SuiteResult runSpecFP(const SuiteOptions &Opts = SuiteOptions());
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_RUNTIME_SUITERUNNER_H

@@ -1,0 +1,120 @@
+//===- runtime/WorkerPool.cpp - Reusable deterministic worker pool ----------===//
+
+#include "runtime/WorkerPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hcvliw;
+
+WorkerPool::WorkerPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = std::max(1u, std::thread::hardware_concurrency());
+  NumThreads = Threads;
+  Workers.reserve(NumThreads - 1);
+  for (unsigned T = 1; T < NumThreads; ++T)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(Jobs.empty() && "WorkerPool destroyed with active jobs");
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+namespace {
+/// Pre: queue mutex held. Erases \p J if still present: the thread
+/// claiming a job's last slot removes it so no later claimer sees an
+/// exhausted job.
+template <typename Deque, typename JobT> void eraseJob(Deque &Jobs, JobT *J) {
+  for (auto It = Jobs.begin(); It != Jobs.end(); ++It)
+    if (*It == J) {
+      Jobs.erase(It);
+      return;
+    }
+}
+} // namespace
+
+/// Pre: Mutex held. Records one completed slot and wakes submitters
+/// when the job is fully done. The job object is guaranteed alive here
+/// because its submitter only returns (destroying the job) after
+/// observing Done == N under the same mutex.
+void WorkerPool::finishSlot(Job &J) {
+  if (J.Done.fetch_add(1, std::memory_order_relaxed) + 1 == J.N)
+    JobFinished.notify_all();
+}
+
+/// Pre: \p Lock holds Mutex; so again on return. Claims and runs slots
+/// of \p J until none are left, removing J from the queue with the last
+/// claim. Slot claims happen under the mutex, so a job still in the
+/// queue always has an unclaimed slot.
+void WorkerPool::drain(Job &J, std::unique_lock<std::mutex> &Lock) {
+  while (J.Next.load(std::memory_order_relaxed) < J.N) {
+    size_t Slot = J.Next.fetch_add(1, std::memory_order_relaxed);
+    if (J.Next.load(std::memory_order_relaxed) >= J.N)
+      eraseJob(Jobs, &J);
+    Lock.unlock();
+    (*J.Fn)(Slot);
+    Lock.lock();
+    finishSlot(J);
+  }
+}
+
+void WorkerPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  while (true) {
+    WorkAvailable.wait(Lock, [this] { return Stopping || !Jobs.empty(); });
+    if (Stopping)
+      return;
+    Job *J = Jobs.front();
+    if (J->Next.load(std::memory_order_relaxed) >= J->N) {
+      Jobs.pop_front();
+      continue;
+    }
+    size_t Slot = J->Next.fetch_add(1, std::memory_order_relaxed);
+    if (J->Next.load(std::memory_order_relaxed) >= J->N)
+      eraseJob(Jobs, J);
+    Lock.unlock();
+    (*J->Fn)(Slot);
+    Lock.lock();
+    finishSlot(*J);
+  }
+}
+
+void WorkerPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (NumThreads <= 1 || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  Job J;
+  J.Fn = &Fn;
+  J.N = N;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Jobs.push_back(&J);
+  WorkAvailable.notify_all();
+  // The submitter works on its own job too: essential under nesting,
+  // where every other worker may be busy (or blocked on a deeper job)
+  // and the only guaranteed progress is the submitter's.
+  drain(J, Lock);
+  JobFinished.wait(Lock, [&J] {
+    return J.Done.load(std::memory_order_relaxed) == J.N;
+  });
+}
+
+void WorkerPool::parallelFor(size_t N, const RNG &Root,
+                             const std::function<void(size_t, RNG &)> &Fn) {
+  parallelFor(N, [&Root, &Fn](size_t Slot) {
+    RNG Stream = Root.fork(Slot);
+    Fn(Slot, Stream);
+  });
+}

@@ -1,0 +1,95 @@
+//===- runtime/WorkerPool.h - Reusable deterministic worker pool -*- C++ -*-===//
+///
+/// \file
+/// The worker-pool substrate shared by every parallel layer of the
+/// library (design-space exploration, suite execution). Extracted from
+/// ExplorationEngine so outer loops (programs) and inner loops
+/// (candidate grids) fan out over the *same* threads instead of
+/// spawning per-call.
+///
+/// Determinism contract: parallelFor(N, Fn) calls Fn(Slot) exactly once
+/// for every Slot in [0, N). Which thread runs which slot is
+/// scheduling-dependent, but a caller that writes its result into
+/// element Slot of a pre-sized vector obtains a result identical to the
+/// serial loop for any pool size. Randomized work items obtain their
+/// stream by fork()ing a root RNG on the slot index (the RNG overload),
+/// never by drawing from a shared generator, so random draws are also
+/// independent of thread scheduling.
+///
+/// Nesting: parallelFor may be called from inside a work item. The
+/// nested job is queued on the same pool and the submitting thread
+/// participates in it (it claims the nested job's slots itself), so
+/// nesting never deadlocks even when every other worker is busy; idle
+/// workers help with whatever job is runnable, which is how the suite
+/// runner's outer program loop and each program's inner candidate grid
+/// share one thread budget.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_RUNTIME_WORKERPOOL_H
+#define HCVLIW_RUNTIME_WORKERPOOL_H
+
+#include "support/RNG.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcvliw {
+
+class WorkerPool {
+  /// One parallelFor invocation. Lives on the submitter's stack; the
+  /// queue holds non-owning pointers for exactly the job's lifetime.
+  struct Job {
+    const std::function<void(size_t)> *Fn = nullptr;
+    size_t N = 0;
+    std::atomic<size_t> Next{0}; ///< next unclaimed slot
+    std::atomic<size_t> Done{0}; ///< completed slots
+  };
+
+  unsigned NumThreads; ///< parallelism degree (submitter included)
+  std::vector<std::thread> Workers; ///< NumThreads - 1 helper threads
+  mutable std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable JobFinished;
+  std::deque<Job *> Jobs;
+  bool Stopping = false;
+
+  void workerLoop();
+  /// Claims and runs slots of \p J until none are left.
+  void drain(Job &J, std::unique_lock<std::mutex> &Lock);
+  void finishSlot(Job &J);
+
+public:
+  /// \p Threads is the total parallelism degree: the submitting thread
+  /// plus Threads - 1 pool threads. 0 means hardware_concurrency();
+  /// 1 means fully inline execution (no threads are spawned).
+  explicit WorkerPool(unsigned Threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Total parallelism degree (>= 1).
+  unsigned threads() const { return NumThreads; }
+
+  /// Runs Fn(Slot) for every Slot in [0, N); returns when all have
+  /// completed. Callable from any thread, including pool workers
+  /// (nested jobs). Fn must not throw.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// As above, with a deterministic per-slot RNG stream forked off
+  /// \p Root: Fn(Slot, Rng) sees Root.fork(Slot) regardless of which
+  /// thread runs the slot.
+  void parallelFor(size_t N, const RNG &Root,
+                   const std::function<void(size_t, RNG &)> &Fn);
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_RUNTIME_WORKERPOOL_H

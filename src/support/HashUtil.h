@@ -1,0 +1,80 @@
+//===- support/HashUtil.h - FNV-1a hashing for cache keys --------*- C++ -*-===//
+///
+/// \file
+/// A small FNV-1a accumulator used to fingerprint value-semantic model
+/// inputs (loop profiles, design-space grids) for cross-program
+/// memoization keys. Not cryptographic: 64-bit FNV over a handful of
+/// structurally distinct workloads, where an accidental collision is
+/// vanishingly unlikely and would at worst reuse a numerically
+/// identical cached result shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SUPPORT_HASHUTIL_H
+#define HCVLIW_SUPPORT_HASHUTIL_H
+
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace hcvliw {
+
+class FnvHasher {
+  uint64_t H = 0xcbf29ce484222325ull;
+
+public:
+  FnvHasher &mix(uint64_t V) {
+    // Mix all eight bytes (classic FNV-1a is byte-wise; word-wise with
+    // a final avalanche keeps the cost down while separating fields).
+    H ^= V;
+    H *= 0x100000001b3ull;
+    H ^= H >> 32;
+    H *= 0x100000001b3ull;
+    return *this;
+  }
+
+  FnvHasher &mixSigned(int64_t V) { return mix(static_cast<uint64_t>(V)); }
+
+  FnvHasher &mixDouble(double V) {
+    uint64_t Bits = 0;
+    static_assert(sizeof(Bits) == sizeof(V), "double is not 64-bit");
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    return mix(Bits);
+  }
+
+  FnvHasher &mixRational(const Rational &R) {
+    mixSigned(R.num());
+    return mixSigned(R.den());
+  }
+
+  template <typename T> FnvHasher &mixVector(const std::vector<T> &V);
+
+  uint64_t digest() const { return H; }
+};
+
+template <> inline FnvHasher &FnvHasher::mixVector(const std::vector<double> &V) {
+  mix(V.size());
+  for (double X : V)
+    mixDouble(X);
+  return *this;
+}
+
+template <> inline FnvHasher &FnvHasher::mixVector(const std::vector<unsigned> &V) {
+  mix(V.size());
+  for (unsigned X : V)
+    mix(X);
+  return *this;
+}
+
+template <> inline FnvHasher &FnvHasher::mixVector(const std::vector<Rational> &V) {
+  mix(V.size());
+  for (const Rational &X : V)
+    mixRational(X);
+  return *this;
+}
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SUPPORT_HASHUTIL_H

@@ -65,6 +65,14 @@ bool hcvliw::parseInt64(std::string_view S, int64_t &Out) {
   return true;
 }
 
+bool hcvliw::parseThreadCount(std::string_view S, unsigned &Out) {
+  int64_t V = 0;
+  if (!parseInt64(S, V) || V < 0 || V > 1024)
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
 bool hcvliw::parseDouble(std::string_view S, double &Out) {
   std::string Buf(S);
   if (Buf.empty())

@@ -29,6 +29,12 @@ std::string_view trimString(std::string_view S);
 /// Parses a signed integer; returns false on malformed input.
 bool parseInt64(std::string_view S, int64_t &Out);
 
+/// Parses a --threads style value: an integer in [0, 1024] (0 = let
+/// the worker pool pick hardware concurrency). Returns false on
+/// malformed or out-of-range input — a stray "-1" must not turn into
+/// four billion worker threads.
+bool parseThreadCount(std::string_view S, unsigned &Out);
+
 /// Parses a double; returns false on malformed input.
 bool parseDouble(std::string_view S, double &Out);
 

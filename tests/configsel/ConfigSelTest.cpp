@@ -2,6 +2,7 @@
 
 #include "configsel/ConfigurationSelector.h"
 #include "profiling/Profiler.h"
+#include "runtime/WorkerPool.h"
 #include "workloads/SyntheticLoops.h"
 
 #include <gtest/gtest.h>
@@ -174,6 +175,25 @@ TEST(Selector, PaperDefaultSelectedDesignRegression) {
             D.Config.Clusters.front().PeriodNs);
   EXPECT_EQ(R.Best.Config.Clusters.back().PeriodNs,
             D.Config.Clusters.back().PeriodNs);
+
+  // Session substrate: a selector wired onto a shared cache and a
+  // long-lived pool must reproduce the same pinned design, and a
+  // second selection must run entirely from the cache.
+  WorkerPool Pool(4);
+  EvalCache Shared(F.M, FrequencyMenu::continuous());
+  ConfigurationSelector SharedSel(F.Profile, F.M, E, F.Tech,
+                                  FrequencyMenu::continuous(),
+                                  DesignSpaceOptions::paperDefault(),
+                                  &Shared, &Pool);
+  SelectedDesign DS = SharedSel.selectHeterogeneous();
+  ASSERT_TRUE(DS.Valid);
+  EXPECT_EQ(DS.EstED2, D.EstED2);
+  EXPECT_EQ(DS.EstTexecNs, D.EstTexecNs);
+  EXPECT_EQ(DS.EstEnergy, D.EstEnergy);
+  uint64_t Misses = Shared.misses();
+  SelectedDesign DS2 = SharedSel.selectHeterogeneous();
+  EXPECT_EQ(DS2.EstED2, D.EstED2);
+  EXPECT_EQ(Shared.misses(), Misses) << "re-selection re-ran the estimator";
 }
 
 TEST(Selector, HomogeneousOptimumNoWorseThanReferencePoint) {

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/HeterogeneousPipeline.h"
+#include "runtime/SuiteRunner.h"
 
 #include <gtest/gtest.h>
 
@@ -18,17 +19,21 @@ using namespace hcvliw;
 
 namespace {
 
-// One shared run of the whole suite (the pipeline is deterministic).
+// One shared run of the whole suite (the pipeline is deterministic),
+// through the Session/SuiteRunner API: programs fan out across the
+// session pool and selections share the session EvalCache — results
+// are bit-identical to the serial standalone pipeline, which
+// SessionSuiteTest pins explicitly.
 const std::map<std::string, ProgramRunResult> &suiteResults() {
   static const std::map<std::string, ProgramRunResult> Results = [] {
     std::map<std::string, ProgramRunResult> R;
     PipelineOptions Opts;
     Opts.SimCheckIterations = 48; // functional checks on every schedule
-    HeterogeneousPipeline Pipe(Opts);
-    for (const auto &Prog : buildSpecFPSuite()) {
-      auto Res = Pipe.runProgram(Prog);
-      if (Res)
-        R.emplace(Prog.Name, std::move(*Res));
+    Session S(Opts, 4);
+    SuiteResult Suite = SuiteRunner(S).runSpecFP();
+    for (ProgramRunResult &Res : Suite.Details) {
+      std::string Name = Res.Name;
+      R.emplace(std::move(Name), std::move(Res));
     }
     return R;
   }();

@@ -3,6 +3,7 @@
 #include "explore/ExplorationEngine.h"
 #include "explore/ExplorationReport.h"
 #include "profiling/Profiler.h"
+#include "runtime/WorkerPool.h"
 #include "workloads/SyntheticLoops.h"
 
 #include <gtest/gtest.h>
@@ -254,6 +255,88 @@ TEST(Engine, RelativeMenuIsAlsoCacheable) {
                 RD.Candidates[I].Design.EstED2);
     }
   }
+}
+
+TEST(Engine, SharedPoolAndCacheAreBitIdenticalToPrivate) {
+  // The Session substrate: a long-lived WorkerPool plus a shared
+  // EvalCache threaded through explore() must reproduce the private
+  // per-call setup exactly, and a second explore over the same grid
+  // must be served entirely from the shared cache (zero new misses).
+  Fixture F(mixedLoops());
+  EnergyModel E = F.energy();
+  ExplorationEngine Eng(F.Profile, F.M, E, F.Tech,
+                        FrequencyMenu::continuous(),
+                        DesignSpaceOptions::paperDefault());
+  auto Private = Eng.explore();
+
+  WorkerPool Pool(4);
+  EvalCache Shared(F.M, FrequencyMenu::continuous());
+  ExploreOptions Opts;
+  Opts.Pool = &Pool;
+  Opts.SharedCache = &Shared;
+  auto First = Eng.explore(Opts);
+  EXPECT_EQ(First.Stats.ThreadsUsed, 4u);
+  ASSERT_EQ(First.Candidates.size(), Private.Candidates.size());
+  for (size_t I = 0; I < First.Candidates.size(); ++I) {
+    ASSERT_EQ(First.Candidates[I].Design.Valid,
+              Private.Candidates[I].Design.Valid);
+    if (!First.Candidates[I].Design.Valid)
+      continue;
+    EXPECT_EQ(First.Candidates[I].Design.EstED2,
+              Private.Candidates[I].Design.EstED2);
+    EXPECT_EQ(First.Candidates[I].Design.EstTexecNs,
+              Private.Candidates[I].Design.EstTexecNs);
+    EXPECT_EQ(First.Candidates[I].Design.EstEnergy,
+              Private.Candidates[I].Design.EstEnergy);
+  }
+  EXPECT_EQ(First.Frontier, Private.Frontier);
+  // Stats report this explore's own calls, not the cache's lifetime
+  // totals. Under concurrency two workers may race to first query a
+  // key and both count a miss (duplicate computes are by-design), so
+  // the split is only bounded, while the total is exact.
+  EXPECT_EQ(First.Stats.CacheHits + First.Stats.CacheMisses,
+            Private.Stats.CacheHits + Private.Stats.CacheMisses);
+  EXPECT_GE(First.Stats.CacheMisses, Private.Stats.CacheMisses);
+  EXPECT_GT(First.Stats.CacheHits, 0u);
+
+  // A fully populated cache cannot miss: the second explore's stats
+  // are deterministic for any thread count.
+  auto Second = Eng.explore(Opts);
+  EXPECT_EQ(Second.Stats.CacheMisses, 0u);
+  EXPECT_GT(Second.Stats.CacheHits, 0u);
+  EXPECT_EQ(Second.Best.EstED2, Private.Best.EstED2);
+}
+
+TEST(Engine, SharedCacheHitsAcrossStructurallyIdenticalPrograms) {
+  // Two "programs" containing the same loop structures under different
+  // names and weights share every timing entry: the second explore
+  // sees zero misses through the loop-fingerprint keys.
+  Fixture A({makeChainRecurrenceLoop("a_rec", 1, 2, 1, 4, 64, 0.7),
+             makeStreamLoop("a_s", 5, 64, 0.3)});
+  Fixture B({makeChainRecurrenceLoop("b_rec", 1, 2, 1, 4, 64, 0.2),
+             makeStreamLoop("b_s", 5, 64, 0.8)});
+  EnergyModel EA = A.energy(), EB = B.energy();
+  EvalCache Shared(A.M, FrequencyMenu::continuous());
+  ExploreOptions Opts;
+  Opts.SharedCache = &Shared;
+
+  ExplorationEngine EngA(A.Profile, A.M, EA, A.Tech,
+                         FrequencyMenu::continuous(),
+                         DesignSpaceOptions::paperDefault());
+  auto RA = EngA.explore(Opts);
+  ASSERT_TRUE(RA.Best.Valid);
+  EXPECT_GT(RA.Stats.CacheMisses, 0u);
+
+  // B's machine is a distinct object with equal structure: the cache
+  // accepts it by value equality.
+  ExplorationEngine EngB(B.Profile, B.M, EB, B.Tech,
+                         FrequencyMenu::continuous(),
+                         DesignSpaceOptions::paperDefault());
+  auto RB = EngB.explore(Opts);
+  ASSERT_TRUE(RB.Best.Valid);
+  EXPECT_EQ(RB.Stats.CacheMisses, 0u)
+      << "all loop structures were already cached by program A";
+  EXPECT_GT(RB.Stats.CacheHits, 0u);
 }
 
 // --- Report ---------------------------------------------------------------
