@@ -6,13 +6,15 @@
 ///
 ///   - figure-style table rows over a SuiteResult (benchmarks as
 ///     columns plus the mean),
-///   - loud, structured failure reporting (the old BenchUtil runSuite
-///     silently dropped failed programs),
+///   - loud, structured failure reporting (the seed's bench-side suite
+///     loop silently dropped failed programs),
 ///   - BenchReporter: every bench binary emits a machine-readable
 ///     BENCH_<name>.json (wall-clock, mean ED2 ratio, per-series
-///     means, extra metrics) so the performance trajectory of the
-///     repository is diffable run over run. The output directory is
-///     $BENCH_JSON_DIR when set, else the working directory.
+///     means, extra metrics, and the session cache statistics —
+///     EvalCache timing/selection and ScheduleCache hit/miss counters
+///     per series) so the performance trajectory of the repository is
+///     diffable run over run. The output directory is $BENCH_JSON_DIR
+///     when set, else the working directory.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -76,18 +78,24 @@ inline unsigned parseThreadsArg(const char *Value) {
 
 /// Collects one bench binary's results and writes BENCH_<name>.json.
 class BenchReporter {
+  /// One cache's counters at the end of a series (a Session's EvalCache
+  /// and ScheduleCache snapshot).
+  struct CacheStats {
+    std::string Label;
+    uint64_t EvalHits = 0, EvalMisses = 0;
+    uint64_t SelectionHits = 0, SelectionMisses = 0;
+    uint64_t ScheduleHits = 0, ScheduleMisses = 0;
+  };
+
   std::string Name;
   std::chrono::steady_clock::time_point Start;
   std::vector<std::pair<std::string, double>> Series; ///< label, mean ED2
   std::vector<std::pair<std::string, double>> Metrics; ///< free-form extras
+  std::vector<CacheStats> Caches; ///< per-series cache counters
 
   static void appendJsonString(std::string &Out, const std::string &S) {
     Out += '"';
-    for (char C : S) {
-      if (C == '"' || C == '\\')
-        Out += '\\';
-      Out += C;
-    }
+    Out += jsonEscape(S); // the shared escaper in support/StrUtil
     Out += '"';
   }
 
@@ -103,6 +111,20 @@ public:
   /// Records a free-form scalar (speedups, cache hit rates, ...).
   void addMetric(const std::string &Label, double Value) {
     Metrics.emplace_back(Label, Value);
+  }
+
+  /// Snapshots a session's cache counters under \p Label (one call per
+  /// series; the JSON's "caches" object carries them all).
+  void addCacheStats(const std::string &Label, const Session &S) {
+    CacheStats C;
+    C.Label = Label;
+    C.EvalHits = S.evalCache().hits();
+    C.EvalMisses = S.evalCache().misses();
+    C.SelectionHits = S.evalCache().selectionHits();
+    C.SelectionMisses = S.evalCache().selectionMisses();
+    C.ScheduleHits = S.scheduleCache().hits();
+    C.ScheduleMisses = S.scheduleCache().misses();
+    Caches.push_back(std::move(C));
   }
 
   /// Writes BENCH_<name>.json; returns false (and warns) on IO errors.
@@ -136,7 +158,26 @@ public:
       appendJsonString(J, Metrics[I].first);
       J += formatString(": %.6f", Metrics[I].second);
     }
-    J += "}\n}\n";
+    J += "}";
+    J += ",\n  \"caches\": {";
+    for (size_t I = 0; I < Caches.size(); ++I) {
+      const CacheStats &C = Caches[I];
+      J += I ? ",\n    " : "\n    ";
+      appendJsonString(J, C.Label);
+      J += formatString(": {\"eval_hits\": %llu, \"eval_misses\": %llu, "
+                        "\"selection_hits\": %llu, "
+                        "\"selection_misses\": %llu, "
+                        "\"schedule_hits\": %llu, "
+                        "\"schedule_misses\": %llu}",
+                        static_cast<unsigned long long>(C.EvalHits),
+                        static_cast<unsigned long long>(C.EvalMisses),
+                        static_cast<unsigned long long>(C.SelectionHits),
+                        static_cast<unsigned long long>(C.SelectionMisses),
+                        static_cast<unsigned long long>(C.ScheduleHits),
+                        static_cast<unsigned long long>(C.ScheduleMisses));
+    }
+    J += Caches.empty() ? "}" : "\n  }";
+    J += "\n}\n";
 
     const char *Dir = std::getenv("BENCH_JSON_DIR");
     std::string Path = (Dir && *Dir ? std::string(Dir) + "/" : std::string()) +
@@ -180,6 +221,7 @@ public:
     }
     printSeries(T, Label, R);
     Rep.addSeries(Label, R);
+    Rep.addCacheStats(Label, S);
     return R;
   }
 

@@ -58,6 +58,7 @@ int main() {
                 formatString("%.4f", LP.Weight)});
   }
   D.print();
+  Reporter.addCacheStats("profile-only", S);
   Reporter.write();
   return 0;
 }

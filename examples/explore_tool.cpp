@@ -8,6 +8,8 @@
 //   explore_tool [--program NAME] [--threads N] [--menu K]
 //                [--fast LIST] [--ratios LIST] [--num-fast N]
 //                [--no-prune] [--no-cache] [--csv PATH] [--json PATH]
+//                [--measure-frontier] [--measured-csv PATH]
+//                [--measured-json PATH]
 //     --program   SPECfp program name (e.g. 171.swim; default: all)
 //     --threads   worker threads (default 0 = hardware concurrency)
 //     --menu      frequencies per domain (default: any)
@@ -19,15 +21,23 @@
 //     --csv/--json  write the report (with --program only, the path is
 //                   used as-is; over the suite, the program name is
 //                   inserted before the extension)
+//     --measure-frontier  also measure every frontier point with real
+//                   schedules (measure/FrontierMeasurer on a session
+//                   pool + ScheduleCache), re-rank by measured ED2 and
+//                   write frontier_measured.csv / frontier_measured.json
+//                   (paths overridable with --measured-csv/--measured-json)
 //
 //===----------------------------------------------------------------------===//
 
 #include "configsel/ConfigurationSelector.h"
 #include "explore/ExplorationReport.h"
+#include "measure/FrontierMeasurer.h"
 #include "profiling/Profiler.h"
 #include "runtime/WorkerPool.h"
 #include "support/StrUtil.h"
 #include "workloads/SpecFPSuite.h"
+
+#include <memory>
 
 #include <cstdio>
 #include <cstring>
@@ -80,6 +90,9 @@ int main(int argc, char **argv) {
   unsigned Threads = 0;
   DesignSpaceOptions Space = DesignSpaceOptions::paperDefault();
   unsigned MenuK = 0;
+  bool MeasureFrontier = false;
+  std::string MeasuredCsv = "frontier_measured.csv";
+  std::string MeasuredJson = "frontier_measured.json";
 
   for (int I = 1; I < argc; ++I) {
     auto need = [&](const char *Flag) {
@@ -120,6 +133,12 @@ int main(int argc, char **argv) {
       CsvPath = need("--csv");
     } else if (!std::strcmp(argv[I], "--json")) {
       JsonPath = need("--json");
+    } else if (!std::strcmp(argv[I], "--measure-frontier")) {
+      MeasureFrontier = true;
+    } else if (!std::strcmp(argv[I], "--measured-csv")) {
+      MeasuredCsv = need("--measured-csv");
+    } else if (!std::strcmp(argv[I], "--measured-json")) {
+      MeasuredJson = need("--measured-json");
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[I]);
       return 1;
@@ -152,11 +171,29 @@ int main(int argc, char **argv) {
 
   // The runtime substrate, shared across every program of the run: one
   // worker pool (no per-explore thread spawning) and one timing cache
-  // (structurally identical loops hit across programs).
-  WorkerPool Pool(Threads);
-  EvalCache Cache(M, Menu);
-  Opts.Pool = &Pool;
-  Opts.SharedCache = &Cache;
+  // (structurally identical loops hit across programs). The
+  // measure-frontier mode needs the full Session (its ScheduleCache
+  // memoizes per-loop schedules across frontier points and programs),
+  // so it runs on a session-owned pool and cache instead.
+  std::unique_ptr<WorkerPool> OwnPool;
+  std::unique_ptr<EvalCache> OwnCache;
+  std::unique_ptr<Session> Sess;
+  if (MeasureFrontier) {
+    PipelineOptions PO;
+    if (MenuK > 0)
+      PO.MenuSize = MenuK;
+    PO.Space = Space;
+    Sess = std::make_unique<Session>(PO, Threads);
+    Opts.Pool = &Sess->pool();
+    Opts.SharedCache = &Sess->evalCache();
+  } else {
+    OwnPool = std::make_unique<WorkerPool>(Threads);
+    OwnCache = std::make_unique<EvalCache>(M, Menu);
+    Opts.Pool = OwnPool.get();
+    Opts.SharedCache = OwnCache.get();
+  }
+  EvalCache &Cache = *Opts.SharedCache;
+  std::vector<MeasuredFrontier> Measured;
 
   int Rc = 0;
   for (const BenchmarkProgram &Prog : Programs) {
@@ -180,6 +217,18 @@ int main(int argc, char **argv) {
       Rc = 1;
     }
 
+    if (MeasureFrontier) {
+      MeasuredFrontier F =
+          FrontierMeasurer(*Sess).measure(Prog.Name, Prog.Loops, *P);
+      std::printf("measured frontier: %zu points, argmin %s, mean |ED2 "
+                  "error| %.4f\n",
+                  F.Points.size(),
+                  F.ArgminAgrees ? "agrees with the estimate"
+                                 : "DIFFERS from the estimate",
+                  F.meanAbsED2Error());
+      Measured.push_back(std::move(F));
+    }
+
     if (!CsvPath.empty()) {
       std::string Path = Suite ? perProgramPath(CsvPath, Prog.Name) : CsvPath;
       if (!Rep.writeCsv(Path)) {
@@ -200,6 +249,27 @@ int main(int argc, char **argv) {
       }
     }
     std::printf("\n");
+  }
+  if (MeasureFrontier) {
+    if (writeFrontierCsv(Measured, MeasuredCsv))
+      std::printf("wrote %s\n", MeasuredCsv.c_str());
+    else {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   MeasuredCsv.c_str());
+      Rc = 1;
+    }
+    if (writeFrontierJson(Measured, MeasuredJson))
+      std::printf("wrote %s\n", MeasuredJson.c_str());
+    else {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   MeasuredJson.c_str());
+      Rc = 1;
+    }
+    const ScheduleCache &SC = Sess->scheduleCache();
+    std::printf("schedule cache over the whole run: %llu hits, %llu "
+                "misses, %zu entries\n",
+                static_cast<unsigned long long>(SC.hits()),
+                static_cast<unsigned long long>(SC.misses()), SC.size());
   }
   if (Programs.size() > 1 && Opts.UseCache)
     std::printf("shared timing cache over the whole run: %llu hits, "

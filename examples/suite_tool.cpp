@@ -10,7 +10,8 @@
 //
 // Usage:
 //   suite_tool [--threads N] [--lanes K] [--buses B] [--menu K]
-//              [--repeat N]
+//              [--repeat N] [--measure-frontier]
+//              [--frontier-csv PATH] [--frontier-json PATH]
 //     --threads  worker-pool parallelism (default: hardware)
 //     --lanes    nested-parallelism budget: max programs in flight
 //                (default: all; spare threads speed up exploration)
@@ -18,6 +19,10 @@
 //     --menu     frequencies per domain (default: any)
 //     --repeat   run the suite N times in one session to show the
 //                selection memo (repeats skip all searches)
+//     --measure-frontier  also measure every program's Pareto frontier
+//                with real schedules (measure/FrontierMeasurer) and
+//                emit frontier_measured.csv / frontier_measured.json
+//                (paths overridable with --frontier-csv/--frontier-json)
 //
 // Build & run:  ./build/suite_tool --threads 4 --lanes 2
 //
@@ -36,6 +41,9 @@ using namespace hcvliw;
 int main(int argc, char **argv) {
   unsigned Threads = 0, Buses = 1, MenuK = 0, Repeat = 1;
   size_t Lanes = 0;
+  bool MeasureFrontier = false;
+  std::string FrontierCsv = "frontier_measured.csv";
+  std::string FrontierJson = "frontier_measured.json";
   for (int I = 1; I < argc; ++I) {
     auto need = [&](const char *Flag) {
       if (I + 1 >= argc) {
@@ -59,6 +67,12 @@ int main(int argc, char **argv) {
       MenuK = static_cast<unsigned>(std::atoi(need("--menu")));
     else if (!std::strcmp(argv[I], "--repeat"))
       Repeat = static_cast<unsigned>(std::atoi(need("--repeat")));
+    else if (!std::strcmp(argv[I], "--measure-frontier"))
+      MeasureFrontier = true;
+    else if (!std::strcmp(argv[I], "--frontier-csv"))
+      FrontierCsv = need("--frontier-csv");
+    else if (!std::strcmp(argv[I], "--frontier-json"))
+      FrontierJson = need("--frontier-json");
     else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[I]);
       return 1;
@@ -74,6 +88,7 @@ int main(int argc, char **argv) {
 
   SuiteOptions SO;
   SO.ProgramLanes = Lanes;
+  SO.MeasureFrontier = MeasureFrontier;
   SO.OnProgramDone = [](const SuiteProgress &P) {
     if (P.Ok)
       std::fprintf(stderr, "[%zu/%zu] %-13s ED2 ratio %.3f\n", P.Completed,
@@ -105,6 +120,32 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s failed at %s: %s\n", F.Program.c_str(),
                  pipelineStageName(F.Stage), F.Reason.c_str());
 
+  int Rc = R.Failures.empty() ? 0 : 1;
+  if (MeasureFrontier) {
+    TablePrinter FT("measured frontier (re-ranked by measured ED2)");
+    FT.addRow({"program", "points", "argmin agrees", "mean |ED2 err|"});
+    for (const MeasuredFrontier &F : R.Frontiers)
+      FT.addRow({shortSpecName(F.Program),
+                 formatString("%zu", F.Points.size()),
+                 F.ArgminAgrees ? "yes" : "NO",
+                 formatString("%.4f", F.meanAbsED2Error())});
+    FT.print();
+    if (writeFrontierCsv(R.Frontiers, FrontierCsv)) {
+      std::printf("wrote %s\n", FrontierCsv.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   FrontierCsv.c_str());
+      Rc = 1;
+    }
+    if (writeFrontierJson(R.Frontiers, FrontierJson)) {
+      std::printf("wrote %s\n", FrontierJson.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   FrontierJson.c_str());
+      Rc = 1;
+    }
+  }
+
   const EvalCache &C = S.evalCache();
   std::printf("\nsession cache: %llu timing hits / %llu misses "
               "(%zu entries), %llu selection memo hits / %llu misses\n",
@@ -112,5 +153,9 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(C.misses()), C.size(),
               static_cast<unsigned long long>(C.selectionHits()),
               static_cast<unsigned long long>(C.selectionMisses()));
-  return R.Failures.empty() ? 0 : 1;
+  const ScheduleCache &SC = S.scheduleCache();
+  std::printf("schedule cache: %llu hits / %llu misses (%zu entries)\n",
+              static_cast<unsigned long long>(SC.hits()),
+              static_cast<unsigned long long>(SC.misses()), SC.size());
+  return Rc;
 }

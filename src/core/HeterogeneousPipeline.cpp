@@ -1,13 +1,10 @@
 //===- core/HeterogeneousPipeline.cpp - Whole-paper pipeline ----------------===//
 
 #include "core/HeterogeneousPipeline.h"
-#include "partition/LoopScheduler.h"
 #include "runtime/Session.h"
 #include "support/HashUtil.h"
 #include "support/StrUtil.h"
-#include "vliwsim/PipelinedSimulator.h"
 
-#include <algorithm>
 #include <cassert>
 
 using namespace hcvliw;
@@ -47,75 +44,30 @@ FrequencyMenu HeterogeneousPipeline::menuFor(const PipelineOptions &O) {
   return FrequencyMenu::relativeLadder(*O.MenuSize);
 }
 
+MeasureOptions
+HeterogeneousPipeline::measureOptionsFor(const PipelineOptions &O) {
+  MeasureOptions MO;
+  MO.Menu = menuFor(O);
+  MO.Part = O.Part;
+  MO.MaxITSteps = O.MaxITSteps;
+  MO.SimCheckIterations = O.SimCheckIterations;
+  return MO;
+}
+
 ConfigRunResult HeterogeneousPipeline::measureConfig(
     const ProgramProfile &Profile, const std::vector<Loop> &Loops,
     const HeteroConfig &Config, const HeteroScaling &Scaling,
     const EnergyModel &Energy, bool ED2Objective) const {
-  ConfigRunResult R;
-  assert(Profile.Loops.size() == Loops.size() &&
-         "profile does not match the loop list");
-
-  LoopScheduleOptions LSO;
-  // Homogeneous baselines run at one fixed frequency; only the
-  // heterogeneous machine negotiates per-loop (II, freq) pairs from the
-  // restricted menu.
-  LSO.Menu = ED2Objective ? menu() : FrequencyMenu::continuous();
-  LSO.Part = Opts.Part;
-  // The ablation knob in Opts.Part can force the balance-only objective
-  // even on the heterogeneous machine.
-  LSO.Part.ED2Objective = ED2Objective && Opts.Part.ED2Objective;
-  LoopScheduler Sched(machine(), Config, LSO);
-
-  double TexecNs = 0;
-  std::vector<double> WIns(machine().numClusters(), 0.0);
-  double Comms = 0, Mem = 0;
-
-  for (size_t I = 0; I < Loops.size(); ++I) {
-    const Loop &L = Loops[I];
-    const LoopProfile &LP = Profile.Loops[I];
-
-    LoopScheduleResult LR =
-        Sched.schedule(L, ED2Objective ? &Energy : nullptr,
-                       ED2Objective ? &Scaling : nullptr);
-    if (!LR.Success) {
-      ++R.Failures;
-      continue;
-    }
-
-    if (Opts.SimCheckIterations > 0) {
-      uint64_t N = std::min<uint64_t>(L.TripCount, Opts.SimCheckIterations);
-      [[maybe_unused]] std::string Err =
-          checkFunctionalEquivalence(L, LR.PG, LR.Sched, machine(), N);
-      assert(Err.empty() && "measured schedule is not functionally correct");
-    }
-
-    double LoopT = LP.Invocations *
-                   LR.Sched.execTimeNs(LR.PG, L.TripCount).toDouble();
-    TexecNs += LoopT;
-
-    double Iters =
-        LP.Invocations * static_cast<double>(L.TripCount);
-    for (unsigned Op = 0; Op < L.size(); ++Op)
-      WIns[LR.Assignment.cluster(Op)] +=
-          machine().Isa.energy(L.Ops[Op].Op) * Iters;
-    Comms += static_cast<double>(LR.PG.numCopies()) * Iters;
-    Mem += LP.PerIter.MemAccesses * Iters;
-
-    LoopRunStat Stat;
-    Stat.Name = L.Name;
-    Stat.ITNs = LR.Sched.Plan.ITNs.toDouble();
-    Stat.TexecNs = LoopT;
-    Stat.Comms = LR.PG.numCopies();
-    R.Loops.push_back(std::move(Stat));
-  }
-
-  if (R.Failures == Loops.size())
-    return R;
-  R.TexecNs = TexecNs;
-  R.Energy = Energy.heteroEnergy(WIns, Comms, Mem, TexecNs, Scaling);
-  R.ED2 = computeED2(R.Energy, TexecNs);
-  R.Ok = true;
-  return R;
+  // Step 4 is the measure/ layer's ScheduleMeasurer, run under this
+  // pipeline's options; session mode memoizes per-loop schedules
+  // through the session ScheduleCache (bit-identical to recomputation,
+  // so standalone and session pipelines still agree exactly).
+  MeasureOptions MO = measureOptionsFor(Opts);
+  MO.Menu = menu(); // session mode reuses the session's menu object
+  ScheduleMeasurer Measurer(machine(), MO,
+                            Sess ? &Sess->scheduleCache() : nullptr);
+  return Measurer.measure(Profile, Loops, Config, Scaling, Energy,
+                          ED2Objective);
 }
 
 namespace {

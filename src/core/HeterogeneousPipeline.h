@@ -25,6 +25,7 @@
 #define HCVLIW_CORE_HETEROGENEOUSPIPELINE_H
 
 #include "configsel/ConfigurationSelector.h"
+#include "measure/ScheduleMeasurer.h"
 #include "partition/Partitioner.h"
 #include "profiling/Profiler.h"
 #include "workloads/SpecFPSuite.h"
@@ -46,28 +47,19 @@ struct PipelineOptions {
   /// the ED2 refinement objective).
   PartitionerOptions Part;
   double ProgramBudgetNs = 1e6;
+  /// Measurement-stage IT growth attempts per loop (Figure 5 retries);
+  /// a loop exhausting them counts as a measurement failure.
+  unsigned MaxITSteps = 64;
   /// When nonzero, every measured schedule is re-executed on the MCD
   /// simulator for min(trip, this) iterations and compared bit-for-bit
   /// against sequential execution.
   uint64_t SimCheckIterations = 0;
 };
 
-struct LoopRunStat {
-  std::string Name;
-  double ITNs = 0;
-  double TexecNs = 0; ///< all invocations
-  unsigned Comms = 0; ///< per iteration
-};
-
-/// Measured behaviour of one configuration on one program.
-struct ConfigRunResult {
-  bool Ok = false;
-  double TexecNs = 0;
-  double Energy = 0;
-  double ED2 = 0;
-  unsigned Failures = 0; ///< loops that could not be scheduled
-  std::vector<LoopRunStat> Loops;
-};
+// LoopRunStat / ConfigRunResult — the measured-schedule result types —
+// live in measure/ScheduleMeasurer.h since the measurement stage was
+// extracted into src/measure/; re-exported here for source
+// compatibility.
 
 struct ProgramRunResult {
   std::string Name;
@@ -123,6 +115,10 @@ public:
   FrequencyMenu menu() const;
   static FrequencyMenu menuFor(const PipelineOptions &O);
 
+  /// The measurement-stage knobs \p O implies (what this pipeline's
+  /// ScheduleMeasurer runs under).
+  static MeasureOptions measureOptionsFor(const PipelineOptions &O);
+
   /// Full pipeline for one program; std::nullopt when profiling,
   /// selection or measurement fails (a workload bug). On failure,
   /// \p Err (when non-null) records the stage and reason. Safe to call
@@ -131,8 +127,11 @@ public:
   runProgram(const BenchmarkProgram &Program,
              PipelineError *Err = nullptr) const;
 
-  /// Schedules and evaluates one already-chosen configuration
-  /// (exposed for the oracle ablation and the tests).
+  /// Schedules and evaluates one already-chosen configuration: a thin
+  /// facade over the measure/ layer's ScheduleMeasurer, run under this
+  /// pipeline's options (exposed for the oracle ablation and the
+  /// tests). In session mode per-loop schedules are memoized through
+  /// the session ScheduleCache; results are bit-identical either way.
   ConfigRunResult measureConfig(const ProgramProfile &Profile,
                                 const std::vector<Loop> &Loops,
                                 const HeteroConfig &Config,

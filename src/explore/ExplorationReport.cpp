@@ -20,21 +20,6 @@ const DomainOperatingPoint &slowCluster(const SelectedDesign &D) {
   return D.Config.Clusters.back();
 }
 
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    if (static_cast<unsigned char>(C) < 0x20) {
-      Out += formatString("\\u%04x", C);
-      continue;
-    }
-    Out += C;
-  }
-  return Out;
-}
-
 std::string candidateJson(const ExploreCandidate &C, size_t Index) {
   std::string S = formatString(
       "    {\"index\": %zu, \"fast_factor\": \"%s\", \"slow_ratio\": "

@@ -1,6 +1,7 @@
 //===- ir/Loop.cpp - Loop bodies with functional semantics ----------------===//
 
 #include "ir/Loop.h"
+#include "support/HashUtil.h"
 #include "support/StrUtil.h"
 
 #include <cassert>
@@ -71,6 +72,32 @@ std::vector<unsigned> Loop::opCountsByFU() const {
   for (const Operation &O : Ops)
     ++Counts[static_cast<unsigned>(fuKindOf(O.Op))];
   return Counts;
+}
+
+uint64_t Loop::structuralFingerprint() const {
+  FnvHasher H;
+  H.mix(TripCount);
+  H.mix(Ops.size());
+  for (const Operation &O : Ops) {
+    H.mix(static_cast<uint64_t>(O.Op));
+    H.mix(O.Operands.size());
+    for (const Operand &U : O.Operands) {
+      H.mix(static_cast<uint64_t>(U.Kind));
+      H.mix(U.Index);
+      H.mix(U.Distance);
+      H.mixDouble(U.Imm);
+    }
+    H.mixSigned(O.Array);
+    H.mixSigned(O.IndexScale);
+    H.mixSigned(O.Offset);
+    H.mixDouble(O.InitValue);
+    H.mixDouble(O.InitStep);
+  }
+  H.mix(LiveIns.size());
+  for (const LiveIn &L : LiveIns)
+    H.mixDouble(L.Value);
+  H.mix(Arrays.size());
+  return H.digest();
 }
 
 std::string Loop::str() const {

@@ -111,6 +111,15 @@ public:
   /// array, stores are unnamed. Returns an empty string when valid.
   std::string validate() const;
 
+  /// Identity of everything the per-loop scheduling flow reads: trip
+  /// count, every operation (opcode, operands, addressing, initial-value
+  /// functions) and the live-in values. Names and the profiling Weight
+  /// are excluded — two loops with equal fingerprints receive
+  /// bit-identical schedules on equal machines under equal options,
+  /// which is what lets a ScheduleCache hit across frontier points and
+  /// across programs containing structurally identical loops.
+  uint64_t structuralFingerprint() const;
+
   /// Number of operations executed per iteration on each FU kind.
   /// (Copies never appear in source loops.)
   std::vector<unsigned> opCountsByFU() const;

@@ -1,0 +1,30 @@
+//===- measure/ScheduleCache.cpp - Memoized per-loop schedules --------------===//
+
+#include "measure/ScheduleCache.h"
+
+using namespace hcvliw;
+
+std::optional<LoopScheduleResult> ScheduleCache::find(uint64_t Key,
+                                                      bool *WasHit) const {
+  std::optional<LoopScheduleResult> R;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Entries.find(Key);
+    if (It != Entries.end())
+      R = It->second;
+  }
+  (R ? Hits : Misses).fetch_add(1, std::memory_order_relaxed);
+  if (WasHit)
+    *WasHit = R.has_value();
+  return R;
+}
+
+void ScheduleCache::store(uint64_t Key, const LoopScheduleResult &R) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.emplace(Key, R); // first-writer-wins: emplace keeps the old value
+}
+
+size_t ScheduleCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}

@@ -1,0 +1,184 @@
+//===- measure/ScheduleMeasurer.cpp - Measured-schedule evaluation ----------===//
+
+#include "measure/ScheduleMeasurer.h"
+
+#include "support/HashUtil.h"
+#include "vliwsim/PipelinedSimulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hcvliw;
+
+ScheduleMeasurer::ScheduleMeasurer(const MachineDescription &M,
+                                   const MeasureOptions &O,
+                                   ScheduleCache *Cache)
+    : Machine(M), Opts(O), Cache(Cache) {}
+
+namespace {
+
+void mixMenu(FnvHasher &H, const FrequencyMenu &Menu) {
+  H.mix(Menu.isContinuous() ? 1u : Menu.frequencies().empty() ? 2u : 3u);
+  H.mixVector(Menu.frequencies());
+  H.mixVector(Menu.ratios());
+}
+
+/// Everything the ED2 partitioning objective reads off the energy
+/// model: the per-unit energies (which embed the breakdown shares and
+/// the reference activity) and the cluster count.
+void mixEnergy(FnvHasher &H, const EnergyModel &E) {
+  H.mix(E.numClusters());
+  H.mixDouble(E.insUnit());
+  H.mixDouble(E.commUnit());
+  H.mixDouble(E.accessUnit());
+  H.mixDouble(E.clusterLeakPerNs());
+  H.mixDouble(E.icnLeakPerNs());
+  H.mixDouble(E.cacheLeakPerNs());
+}
+
+void mixScaling(FnvHasher &H, const HeteroScaling &S) {
+  H.mix(S.Clusters.size());
+  for (const DomainScaling &D : S.Clusters) {
+    H.mixDouble(D.Delta);
+    H.mixDouble(D.Sigma);
+  }
+  H.mixDouble(S.Icn.Delta);
+  H.mixDouble(S.Icn.Sigma);
+  H.mixDouble(S.Cache.Delta);
+  H.mixDouble(S.Cache.Sigma);
+}
+
+} // namespace
+
+uint64_t ScheduleMeasurer::loopScheduleKey(const Loop &L,
+                                           const HeteroConfig &Config,
+                                           const HeteroScaling &Scaling,
+                                           const EnergyModel &Energy,
+                                           bool ED2Objective) const {
+  FnvHasher H;
+  H.mix(L.structuralFingerprint());
+
+  // The scheduler reads the config only through each domain's fmax
+  // (DomainPlanner); voltages reach it solely via Scaling below, so
+  // homogeneous-objective runs hit across designs differing only in
+  // voltage.
+  H.mix(Config.Clusters.size());
+  for (const DomainOperatingPoint &P : Config.Clusters)
+    H.mixRational(P.PeriodNs);
+  H.mixRational(Config.Icn.PeriodNs);
+  H.mixRational(Config.Cache.PeriodNs);
+
+  H.mix(ED2Objective ? 1u : 2u);
+  mixMenu(H, ED2Objective ? Opts.Menu : FrequencyMenu::continuous());
+
+  // Effective partitioner objective (the ablation knob can force
+  // balance-only even on the heterogeneous machine).
+  bool EffectiveED2 = ED2Objective && Opts.Part.ED2Objective;
+  H.mix(EffectiveED2 ? 1u : 2u);
+  H.mix(Opts.Part.PrePlaceRecurrences ? 1u : 2u);
+  H.mix(Opts.Part.MaxRefinePasses);
+  H.mix(Opts.Part.MaxRefineMacros);
+  H.mix(Opts.Sched.BudgetFactor);
+  H.mixSigned(Opts.Sched.MaxSlotMultiple);
+  H.mix(Opts.MaxITSteps);
+
+  // The energy model and the per-domain scaling factors steer
+  // partition refinement only under the ED2 objective; the baseline
+  // objective reads neither.
+  if (EffectiveED2) {
+    mixEnergy(H, Energy);
+    mixScaling(H, Scaling);
+  }
+  return H.digest();
+}
+
+ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
+                                          const std::vector<Loop> &Loops,
+                                          const HeteroConfig &Config,
+                                          const HeteroScaling &Scaling,
+                                          const EnergyModel &Energy,
+                                          bool ED2Objective) const {
+  ConfigRunResult R;
+  assert(Profile.Loops.size() == Loops.size() &&
+         "profile does not match the loop list");
+
+  LoopScheduleOptions LSO;
+  // Homogeneous baselines run at one fixed frequency; only the
+  // heterogeneous machine negotiates per-loop (II, freq) pairs from the
+  // restricted menu.
+  LSO.Menu = ED2Objective ? Opts.Menu : FrequencyMenu::continuous();
+  LSO.Part = Opts.Part;
+  // The ablation knob in Opts.Part can force the balance-only objective
+  // even on the heterogeneous machine.
+  LSO.Part.ED2Objective = ED2Objective && Opts.Part.ED2Objective;
+  LSO.Sched = Opts.Sched;
+  LSO.MaxITSteps = Opts.MaxITSteps;
+  LoopScheduler Sched(Machine, Config, LSO);
+
+  double TexecNs = 0;
+  std::vector<double> WIns(Machine.numClusters(), 0.0);
+  double Comms = 0, Mem = 0;
+
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    const Loop &L = Loops[I];
+    const LoopProfile &LP = Profile.Loops[I];
+
+    LoopScheduleResult LR;
+    bool Fresh = true;
+    if (Cache) {
+      uint64_t Key =
+          loopScheduleKey(L, Config, Scaling, Energy, ED2Objective);
+      bool WasHit = false;
+      if (auto Cached = Cache->find(Key, &WasHit)) {
+        LR = std::move(*Cached);
+        Fresh = false;
+      } else {
+        LR = Sched.schedule(L, ED2Objective ? &Energy : nullptr,
+                            ED2Objective ? &Scaling : nullptr);
+        Cache->store(Key, LR);
+      }
+      ++(WasHit ? R.ScheduleHits : R.ScheduleMisses);
+    } else {
+      LR = Sched.schedule(L, ED2Objective ? &Energy : nullptr,
+                          ED2Objective ? &Scaling : nullptr);
+    }
+    if (!LR.Success) {
+      ++R.Failures;
+      continue;
+    }
+
+    if (Fresh && Opts.SimCheckIterations > 0) {
+      uint64_t N = std::min<uint64_t>(L.TripCount, Opts.SimCheckIterations);
+      [[maybe_unused]] std::string Err =
+          checkFunctionalEquivalence(L, LR.PG, LR.Sched, Machine, N);
+      assert(Err.empty() && "measured schedule is not functionally correct");
+    }
+
+    double LoopT = LP.Invocations *
+                   LR.Sched.execTimeNs(LR.PG, L.TripCount).toDouble();
+    TexecNs += LoopT;
+
+    double Iters =
+        LP.Invocations * static_cast<double>(L.TripCount);
+    for (unsigned Op = 0; Op < L.size(); ++Op)
+      WIns[LR.Assignment.cluster(Op)] +=
+          Machine.Isa.energy(L.Ops[Op].Op) * Iters;
+    Comms += static_cast<double>(LR.PG.numCopies()) * Iters;
+    Mem += LP.PerIter.MemAccesses * Iters;
+
+    LoopRunStat Stat;
+    Stat.Name = L.Name;
+    Stat.ITNs = LR.Sched.Plan.ITNs.toDouble();
+    Stat.TexecNs = LoopT;
+    Stat.Comms = LR.PG.numCopies();
+    R.Loops.push_back(std::move(Stat));
+  }
+
+  if (R.Failures == Loops.size())
+    return R;
+  R.TexecNs = TexecNs;
+  R.Energy = Energy.heteroEnergy(WIns, Comms, Mem, TexecNs, Scaling);
+  R.ED2 = computeED2(R.Energy, TexecNs);
+  R.Ok = true;
+  return R;
+}

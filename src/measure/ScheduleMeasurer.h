@@ -1,0 +1,118 @@
+//===- measure/ScheduleMeasurer.h - Measured-schedule evaluation -*- C++ -*-===//
+///
+/// \file
+/// The measurement stage of the paper's evaluation (step 4 of the
+/// HeterogeneousPipeline), extracted into its own layer so it can be
+/// driven by more callers than the once-per-program pipeline: the
+/// frontier measurer fans it across Pareto points, the oracle ablation
+/// across ranked candidates, and benches across option sweeps.
+///
+/// Measuring one HeteroConfig for a program means, per loop: partition
+/// the DDG, run the heterogeneous modulo scheduler (the Figure 5
+/// driver with the ED2-objective partitioning on heterogeneous
+/// machines, the [2][3] baseline objective on homogeneous ones),
+/// validate the schedule, optionally re-execute it on the MCD
+/// simulator as a functional check, and accumulate measured
+/// time/energy/ED2 from the resulting schedules.
+///
+/// Per-loop scheduling runs are memoized through an optional
+/// ScheduleCache (session-owned), keyed on everything the Figure 5
+/// driver reads — see ScheduleCache.h for the key contract. Cached
+/// results are bit-identical to recomputation, so measurement with and
+/// without a cache (and for any concurrency) produces identical
+/// ConfigRunResults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_MEASURE_SCHEDULEMEASURER_H
+#define HCVLIW_MEASURE_SCHEDULEMEASURER_H
+
+#include "measure/ScheduleCache.h"
+#include "power/EnergyModel.h"
+#include "profiling/ProfileData.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+
+/// Measured behaviour of one loop under one configuration.
+struct LoopRunStat {
+  std::string Name;
+  double ITNs = 0;
+  double TexecNs = 0; ///< all invocations
+  unsigned Comms = 0; ///< per iteration
+};
+
+/// Measured behaviour of one configuration on one program.
+struct ConfigRunResult {
+  bool Ok = false;
+  double TexecNs = 0;
+  double Energy = 0;
+  double ED2 = 0;
+  unsigned Failures = 0; ///< loops that could not be scheduled
+  std::vector<LoopRunStat> Loops;
+  /// This measurement's ScheduleCache statistics (both zero when no
+  /// cache was attached).
+  uint64_t ScheduleHits = 0;
+  uint64_t ScheduleMisses = 0;
+};
+
+/// The measurement-stage knobs a ScheduleMeasurer runs under; derived
+/// from PipelineOptions by the pipeline and the frontier measurer.
+struct MeasureOptions {
+  /// Menu heterogeneous (ED2-objective) scheduling negotiates (II,
+  /// freq) pairs from; homogeneous baselines always run continuous.
+  FrequencyMenu Menu = FrequencyMenu::continuous();
+  PartitionerOptions Part;
+  SchedulerOptions Sched;
+  /// IT growth attempts per loop before the loop counts as a
+  /// measurement failure (Figure 5 retries).
+  unsigned MaxITSteps = 64;
+  /// When nonzero, every *freshly computed* schedule is re-executed on
+  /// the MCD simulator for min(trip, this) iterations and compared
+  /// bit-for-bit against sequential execution (cache hits were checked
+  /// when first computed — same key, same schedule).
+  uint64_t SimCheckIterations = 0;
+};
+
+class ScheduleMeasurer {
+  const MachineDescription &Machine;
+  MeasureOptions Opts;
+  ScheduleCache *Cache; ///< may be null: schedule every loop directly
+
+public:
+  /// \p Cache, when given, must be used with one machine only (the
+  /// schedule key does not re-hash the machine; a Session owns one
+  /// cache per machine).
+  ScheduleMeasurer(const MachineDescription &M, const MeasureOptions &O,
+                   ScheduleCache *Cache = nullptr);
+
+  const MachineDescription &machine() const { return Machine; }
+  const MeasureOptions &options() const { return Opts; }
+
+  /// Schedules every loop of the program under \p Config and evaluates
+  /// measured time/energy/ED2. \p ED2Objective selects the
+  /// heterogeneous flow (restricted menu, ED2-guided partitioning);
+  /// homogeneous baselines pass false. Pure function of its inputs:
+  /// bit-identical for any thread count, with or without the cache.
+  ConfigRunResult measure(const ProgramProfile &Profile,
+                          const std::vector<Loop> &Loops,
+                          const HeteroConfig &Config,
+                          const HeteroScaling &Scaling,
+                          const EnergyModel &Energy,
+                          bool ED2Objective) const;
+
+  /// The ScheduleCache key of one loop's scheduling run under this
+  /// measurer's options: hashes everything LoopScheduler::schedule
+  /// reads (see ScheduleCache.h for the contract).
+  uint64_t loopScheduleKey(const Loop &L, const HeteroConfig &Config,
+                           const HeteroScaling &Scaling,
+                           const EnergyModel &Energy,
+                           bool ED2Objective) const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_MEASURE_SCHEDULEMEASURER_H

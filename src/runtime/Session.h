@@ -12,7 +12,12 @@
 ///   - one EvalCache keyed by (loop structure, frequency shape), so
 ///     selection no longer rebuilds timing caches per explore() call
 ///     and structurally identical loops hit across programs, plus the
-///     selection memo that skips whole repeated selections.
+///     selection memo that skips whole repeated selections,
+///   - one ScheduleCache memoizing whole per-loop scheduling runs, so
+///     the measurement stage (pipeline step 4, the frontier measurer,
+///     the oracle ablation) never schedules the same (loop, machine
+///     plan) pair twice — schedules are reused across frontier points,
+///     across repeated measurements and across programs.
 ///
 /// Everything a Session hands out is thread-safe in the ways its users
 /// need: runProgram may be called concurrently, explorations may nest
@@ -26,6 +31,7 @@
 
 #include "core/HeterogeneousPipeline.h"
 #include "explore/EvalCache.h"
+#include "measure/ScheduleCache.h"
 #include "runtime/WorkerPool.h"
 
 namespace hcvliw {
@@ -36,6 +42,7 @@ class Session {
   FrequencyMenu Menu_;
   WorkerPool Pool_;
   EvalCache Cache_;
+  ScheduleCache SchedCache_;
   HeterogeneousPipeline Pipe_;
 
 public:
@@ -53,6 +60,8 @@ public:
   WorkerPool &pool() { return Pool_; }
   EvalCache &evalCache() { return Cache_; }
   const EvalCache &evalCache() const { return Cache_; }
+  ScheduleCache &scheduleCache() { return SchedCache_; }
+  const ScheduleCache &scheduleCache() const { return SchedCache_; }
 
   /// The session-backed pipeline (selections share the pool and cache).
   const HeterogeneousPipeline &pipeline() const { return Pipe_; }

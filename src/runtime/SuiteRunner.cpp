@@ -22,6 +22,7 @@ SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
                              const SuiteOptions &Opts) {
   struct Slot {
     std::optional<ProgramRunResult> Res;
+    std::optional<MeasuredFrontier> Frontier;
     PipelineError Err;
   };
   const size_t N = Programs.size();
@@ -33,6 +34,12 @@ SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
   auto runOne = [&](size_t I) {
     Slot &S_ = Slots[I];
     S_.Res = S.pipeline().runProgram(Programs[I], &S_.Err);
+    // The measured frontier reuses the program's profile; exploration
+    // hits the session EvalCache and the argmin point's schedules hit
+    // the ScheduleCache entries step 4 just filled.
+    if (Opts.MeasureFrontier && S_.Res)
+      S_.Frontier = FrontierMeasurer(S).measure(
+          Programs[I].Name, Programs[I].Loops, S_.Res->Profile);
     if (!Opts.OnProgramDone)
       return;
     // Streamed completion: serialized, in completion order (which is
@@ -79,6 +86,8 @@ SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
       R.Names.push_back(Programs[I].Name);
       R.ED2Ratios.push_back(S_.Res->ED2Ratio);
       R.Details.push_back(std::move(*S_.Res));
+      if (S_.Frontier)
+        R.Frontiers.push_back(std::move(*S_.Frontier));
     } else {
       SuiteFailure F;
       F.Program = Programs[I].Name;

@@ -9,8 +9,8 @@
 /// programs may be in flight at once; threads left over accelerate the
 /// in-flight programs' candidate grids).
 ///
-/// Replaces the deprecated serial bench/BenchUtil.h::runSuite loop,
-/// with two contract upgrades:
+/// Replaces the seed's serial bench-side suite loop (the long-removed
+/// bench/BenchUtil.h shim), with two contract upgrades:
 ///
 ///   - failed programs are not silently dropped: every failure appears
 ///     in SuiteResult::Failures as a structured record (program name,
@@ -29,6 +29,7 @@
 #ifndef HCVLIW_RUNTIME_SUITERUNNER_H
 #define HCVLIW_RUNTIME_SUITERUNNER_H
 
+#include "measure/FrontierMeasurer.h"
 #include "runtime/Session.h"
 #include "workloads/SpecFPSuite.h"
 
@@ -64,12 +65,19 @@ struct SuiteOptions {
   /// Called as each program completes (serialized under a mutex; may
   /// be invoked from any pool thread).
   std::function<void(const SuiteProgress &)> OnProgramDone;
+  /// Also measure every successful program's Pareto frontier with real
+  /// schedules (measure/FrontierMeasurer on the session pool and
+  /// ScheduleCache) and fill SuiteResult::Frontiers.
+  bool MeasureFrontier = false;
 };
 
 struct SuiteResult {
   std::vector<std::string> Names;        ///< successful programs, suite order
   std::vector<double> ED2Ratios;         ///< parallel to Names
   std::vector<ProgramRunResult> Details; ///< parallel to Names
+  /// Parallel to Names when SuiteOptions::MeasureFrontier was set
+  /// (empty otherwise): each program's measured frontier.
+  std::vector<MeasuredFrontier> Frontiers;
   std::vector<SuiteFailure> Failures;    ///< failed programs, suite order
 
   double meanRatio() const;

@@ -73,6 +73,21 @@ bool hcvliw::parseThreadCount(std::string_view S, unsigned &Out) {
   return true;
 }
 
+std::string hcvliw::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += formatString("\\u%04x", C);
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
 bool hcvliw::parseDouble(std::string_view S, double &Out) {
   std::string Buf(S);
   if (Buf.empty())

@@ -38,6 +38,11 @@ bool parseThreadCount(std::string_view S, unsigned &Out);
 /// Parses a double; returns false on malformed input.
 bool parseDouble(std::string_view S, double &Out);
 
+/// Escapes \p S for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by every JSON-emitting
+/// report writer so artifact escaping stays uniform.
+std::string jsonEscape(const std::string &S);
+
 } // namespace hcvliw
 
 #endif // HCVLIW_SUPPORT_STRUTIL_H
