@@ -85,6 +85,10 @@ class BenchReporter {
     uint64_t EvalHits = 0, EvalMisses = 0;
     uint64_t SelectionHits = 0, SelectionMisses = 0;
     uint64_t ScheduleHits = 0, ScheduleMisses = 0;
+    /// Scheduler effort behind the misses (fresh Figure 5 runs only):
+    /// how future perf PRs attribute wins.
+    uint64_t SchedPlacements = 0, SchedEjections = 0;
+    uint64_t SchedBudgetUsed = 0, SchedITSteps = 0;
   };
 
   std::string Name;
@@ -124,6 +128,10 @@ public:
     C.SelectionMisses = S.evalCache().selectionMisses();
     C.ScheduleHits = S.scheduleCache().hits();
     C.ScheduleMisses = S.scheduleCache().misses();
+    C.SchedPlacements = S.scheduleCache().placements();
+    C.SchedEjections = S.scheduleCache().ejections();
+    C.SchedBudgetUsed = S.scheduleCache().budgetUsed();
+    C.SchedITSteps = S.scheduleCache().itSteps();
     Caches.push_back(std::move(C));
   }
 
@@ -168,13 +176,21 @@ public:
                         "\"selection_hits\": %llu, "
                         "\"selection_misses\": %llu, "
                         "\"schedule_hits\": %llu, "
-                        "\"schedule_misses\": %llu}",
+                        "\"schedule_misses\": %llu, "
+                        "\"sched_placements\": %llu, "
+                        "\"sched_ejections\": %llu, "
+                        "\"sched_budget_used\": %llu, "
+                        "\"sched_it_steps\": %llu}",
                         static_cast<unsigned long long>(C.EvalHits),
                         static_cast<unsigned long long>(C.EvalMisses),
                         static_cast<unsigned long long>(C.SelectionHits),
                         static_cast<unsigned long long>(C.SelectionMisses),
                         static_cast<unsigned long long>(C.ScheduleHits),
-                        static_cast<unsigned long long>(C.ScheduleMisses));
+                        static_cast<unsigned long long>(C.ScheduleMisses),
+                        static_cast<unsigned long long>(C.SchedPlacements),
+                        static_cast<unsigned long long>(C.SchedEjections),
+                        static_cast<unsigned long long>(C.SchedBudgetUsed),
+                        static_cast<unsigned long long>(C.SchedITSteps));
     }
     J += Caches.empty() ? "}" : "\n  }";
     J += "\n}\n";

@@ -11,17 +11,32 @@ MinDistMatrix MinDistMatrix::compute(const DDG &G,
                                      const std::vector<unsigned> &NodeLatency,
                                      int64_t II) {
   MinDistMatrix M;
+  computeInto(M, G, NodeLatency, II);
+  return M;
+}
+
+void MinDistMatrix::computeInto(MinDistMatrix &M, const DDG &G,
+                                const std::vector<unsigned> &NodeLatency,
+                                int64_t II) {
   M.N = G.size();
+  // assign reuses the scratch matrix's existing allocation.
   M.Data.assign(static_cast<size_t>(M.N) * M.N, NegInf);
 
+  // Rows with no outgoing path contribute nothing to any relaxation:
+  // track row non-emptiness so the Floyd-Kleene pivot skips them whole
+  // (sink-heavy DDGs have many such rows).
+  std::vector<char> RowNonEmpty(M.N, 0);
   for (const auto &E : G.edges()) {
     int64_t W = static_cast<int64_t>(edgeLatency(E, NodeLatency)) -
                 II * static_cast<int64_t>(E.Distance);
     int64_t &Cell = M.Data[E.Src * M.N + E.Dst];
     Cell = std::max(Cell, W);
+    RowNonEmpty[E.Src] = 1;
   }
 
-  for (unsigned K = 0; K < M.N; ++K)
+  for (unsigned K = 0; K < M.N; ++K) {
+    if (!RowNonEmpty[K])
+      continue; // empty pivot row relaxes nothing
     for (unsigned I = 0; I < M.N; ++I) {
       int64_t IK = M.Data[I * M.N + K];
       if (IK == NegInf)
@@ -33,11 +48,12 @@ MinDistMatrix MinDistMatrix::compute(const DDG &G,
         int64_t &Cell = M.Data[I * M.N + J];
         Cell = std::max(Cell, IK + KJ);
       }
+      RowNonEmpty[I] = 1; // row I gained (or already had) entries
     }
+  }
 
   for (unsigned I = 0; I < M.N; ++I)
     assert(M.at(I, I) <= 0 && "II below recMII: positive self-distance");
-  return M;
 }
 
 int64_t MinDistMatrix::height(unsigned I) const {

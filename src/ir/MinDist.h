@@ -32,6 +32,13 @@ public:
                                const std::vector<unsigned> &NodeLatency,
                                int64_t II);
 
+  /// In-place form of compute: reuses \p M's O(N^2) buffer (callers
+  /// recomputing per II attempt pass one scratch matrix instead of
+  /// reallocating every time).
+  static void computeInto(MinDistMatrix &M, const DDG &G,
+                          const std::vector<unsigned> &NodeLatency,
+                          int64_t II);
+
   unsigned size() const { return N; }
   int64_t at(unsigned I, unsigned J) const { return Data[I * N + J]; }
   bool reaches(unsigned I, unsigned J) const {

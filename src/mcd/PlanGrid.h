@@ -1,0 +1,79 @@
+//===- mcd/PlanGrid.h - Integer tick grid of a machine plan -----*- C++ -*-===//
+///
+/// \file
+/// The per-plan tick grid: because the Section 2.2 integrality condition
+/// `II_X = IT * f_X` holds for every domain, the initiation time and all
+/// running periods of one MachinePlan share a finite common grid. One
+/// *tick* is `1 / TicksPerNs` nanoseconds, where TicksPerNs is the LCM
+/// of the denominators of the IT, every cluster period, and the bus
+/// period. On that grid every clock quantity of the schedule hot path
+/// (ASAP/ALAP fixpoints, edge bounds, placement, validation, register
+/// pressure) is an exact int64, so the whole per-loop scheduling chain
+/// runs on integer div/mod instead of Rational gcd normalization --
+/// with bit-identical results, since tick arithmetic is Rational
+/// arithmetic scaled by one exact common denominator.
+///
+/// The lowering is best-effort: when the LCM (or any lowered quantity)
+/// would overflow the headroom needed by schedule-time products, the
+/// grid is invalid and callers fall back to the exact Rational path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_MCD_PLANGRID_H
+#define HCVLIW_MCD_PLANGRID_H
+
+#include "mcd/DomainPlanner.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hcvliw {
+
+class PlanGrid {
+  int64_t TicksPerNsVal = 0; ///< 0 = invalid grid (overflow fallback)
+  int64_t ITTicksVal = 0;
+  std::vector<int64_t> ClusterPeriodTicks;
+  int64_t BusPeriodTicksVal = 0;
+
+public:
+  /// Lowered IT and period ticks stay below this bound so that every
+  /// product the scheduler forms (slots x periods, fixpoint horizons,
+  /// distance x IT) keeps ample int64 headroom.
+  static constexpr int64_t MaxTicks = int64_t(1) << 38;
+
+  /// Lowers \p Plan onto its tick grid; the result is invalid (and
+  /// callers must use the Rational path) when the denominator LCM or
+  /// any lowered quantity exceeds MaxTicks.
+  static PlanGrid compute(const MachinePlan &Plan);
+
+  bool valid() const { return TicksPerNsVal > 0; }
+  int64_t ticksPerNs() const { return TicksPerNsVal; }
+  int64_t itTicks() const { return ITTicksVal; }
+  int64_t clusterPeriodTicks(unsigned C) const {
+    return ClusterPeriodTicks[C];
+  }
+  int64_t busPeriodTicks() const { return BusPeriodTicksVal; }
+
+  /// Period ticks of domain \p D, where \p BusDomain is the bus id
+  /// (PartitionedGraph::busDomain() layout: clusters then bus).
+  int64_t periodTicks(unsigned D, unsigned BusDomain) const {
+    return D == BusDomain ? BusPeriodTicksVal : ClusterPeriodTicks[D];
+  }
+
+  /// Exact lowering of \p R (whose denominator divides TicksPerNs) onto
+  /// the grid; only meaningful on a valid grid.
+  int64_t toTicks(const Rational &R) const;
+
+  /// The Rational value of \p Ticks (the inverse of toTicks).
+  Rational toNs(int64_t Ticks) const {
+    return Rational(Ticks, TicksPerNsVal);
+  }
+};
+
+/// Least common multiple that reports overflow as 0 instead of
+/// asserting (the grid lowering treats overflow as "no grid").
+int64_t lcm64Checked(int64_t A, int64_t B);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_MCD_PLANGRID_H

@@ -36,6 +36,44 @@ inline Rational crossDomainArrival(const Rational &ReadyNs,
   return alignUpToTick(ReadyNs, ConsumerPeriod) + ConsumerPeriod;
 }
 
+//===----------------------------------------------------------------------===//
+// Tick-grid (integer) forms of the same timing rules. On a valid
+// PlanGrid every time is an exact int64 tick count, so the rules reduce
+// to floor/ceil division -- by construction equal to the Rational forms
+// scaled by the grid's ticks-per-ns.
+//===----------------------------------------------------------------------===//
+
+/// Floor division for any sign of \p A (\p B > 0); matches
+/// Rational(A, B).floor().
+inline int64_t floorDivTick(int64_t A, int64_t B) {
+  if (A >= 0)
+    return A / B;
+  return -((-A + B - 1) / B);
+}
+
+/// Ceiling division for any sign of \p A (\p B > 0); matches
+/// Rational(A, B).ceil().
+inline int64_t ceilDivTick(int64_t A, int64_t B) {
+  if (A >= 0)
+    return (A + B - 1) / B;
+  return -((-A) / B);
+}
+
+/// First multiple of \p PeriodTicks at or after \p TTicks.
+inline int64_t alignUpToTick(int64_t TTicks, int64_t PeriodTicks) {
+  return ceilDivTick(TTicks, PeriodTicks) * PeriodTicks;
+}
+
+/// Tick-grid form of the sync-queue arrival rule.
+inline int64_t crossDomainArrival(int64_t ReadyTicks,
+                                  int64_t ProducerPeriodTicks,
+                                  int64_t ConsumerPeriodTicks) {
+  if (ProducerPeriodTicks == ConsumerPeriodTicks)
+    return ReadyTicks;
+  return alignUpToTick(ReadyTicks, ConsumerPeriodTicks) +
+         ConsumerPeriodTicks;
+}
+
 } // namespace hcvliw
 
 #endif // HCVLIW_MCD_SYNCMODEL_H

@@ -20,6 +20,12 @@ std::optional<LoopScheduleResult> ScheduleCache::find(uint64_t Key,
 }
 
 void ScheduleCache::store(uint64_t Key, const LoopScheduleResult &R) {
+  // Every store was a fresh Figure 5 run: account its effort even when
+  // a concurrent duplicate compute loses the emplace race below.
+  Placements.fetch_add(R.Placements, std::memory_order_relaxed);
+  Ejections.fetch_add(R.Ejections, std::memory_order_relaxed);
+  BudgetUsed.fetch_add(R.BudgetUsed, std::memory_order_relaxed);
+  ITSteps.fetch_add(R.ITSteps, std::memory_order_relaxed);
   std::lock_guard<std::mutex> Lock(Mutex);
   Entries.emplace(Key, R); // first-writer-wins: emplace keeps the old value
 }

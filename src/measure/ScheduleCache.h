@@ -52,6 +52,10 @@ class ScheduleCache {
   std::unordered_map<uint64_t, LoopScheduleResult> Entries;
   mutable std::atomic<uint64_t> Hits{0};
   mutable std::atomic<uint64_t> Misses{0};
+  std::atomic<uint64_t> Placements{0};
+  std::atomic<uint64_t> Ejections{0};
+  std::atomic<uint64_t> BudgetUsed{0};
+  std::atomic<uint64_t> ITSteps{0};
 
 public:
   ScheduleCache() = default;
@@ -64,12 +68,29 @@ public:
   std::optional<LoopScheduleResult> find(uint64_t Key,
                                          bool *WasHit = nullptr) const;
 
-  /// Stores \p R under \p Key (first-writer-wins).
+  /// Stores \p R under \p Key (first-writer-wins) and accumulates its
+  /// scheduler effort counters into the session-wide totals below.
   void store(uint64_t Key, const LoopScheduleResult &R);
 
   uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
   size_t size() const;
+
+  /// Scheduler effort of every *freshly computed* run stored here
+  /// (cache hits add nothing: the work was not redone). Surfaced per
+  /// series in the bench JSON "caches" object.
+  uint64_t placements() const {
+    return Placements.load(std::memory_order_relaxed);
+  }
+  uint64_t ejections() const {
+    return Ejections.load(std::memory_order_relaxed);
+  }
+  uint64_t budgetUsed() const {
+    return BudgetUsed.load(std::memory_order_relaxed);
+  }
+  uint64_t itSteps() const {
+    return ITSteps.load(std::memory_order_relaxed);
+  }
 };
 
 } // namespace hcvliw

@@ -142,6 +142,10 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
       LR = Sched.schedule(L, ED2Objective ? &Energy : nullptr,
                           ED2Objective ? &Scaling : nullptr);
     }
+    R.SchedPlacements += LR.Placements;
+    R.SchedEjections += LR.Ejections;
+    R.SchedBudgetUsed += LR.BudgetUsed;
+    R.SchedITSteps += LR.ITSteps;
     if (!LR.Success) {
       ++R.Failures;
       continue;

@@ -57,6 +57,14 @@ struct ConfigRunResult {
   /// cache was attached).
   uint64_t ScheduleHits = 0;
   uint64_t ScheduleMisses = 0;
+  /// Scheduler effort summed over every loop's Figure 5 run (failed
+  /// loops included). Cached results carry the counters of their
+  /// original computation, so these are bit-identical with and without
+  /// a cache; future perf work attributes wins through them.
+  uint64_t SchedPlacements = 0;
+  uint64_t SchedEjections = 0;
+  uint64_t SchedBudgetUsed = 0;
+  uint64_t SchedITSteps = 0;
 };
 
 /// The measurement-stage knobs a ScheduleMeasurer runs under; derived

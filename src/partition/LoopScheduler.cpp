@@ -3,6 +3,7 @@
 #include "partition/LoopScheduler.h"
 #include "mcd/DomainPlanner.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace hcvliw;
@@ -36,6 +37,12 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
   if (!Energy)
     PartOpts.ED2Objective = false;
 
+  // The coarsening slack matrix is IT-independent: compute it once here
+  // instead of once per (IT step x partitioner attempt).
+  MinDistMatrix Slack;
+  MinDistMatrix::computeInto(Slack, G, Lat,
+                             std::max<int64_t>(Recs.RecMII, 1));
+
   Rational IT = R.MITNs;
   for (unsigned Step = 0; Step <= Opts.MaxITSteps; ++Step) {
     R.ITSteps = Step;
@@ -55,6 +62,7 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
     Ctx.Energy = Energy;
     Ctx.Scaling = Scaling;
     Ctx.TripCount = L.TripCount;
+    Ctx.SlackMatrix = &Slack;
 
     // The ED2-guided partition is tried first; if its schedule cannot be
     // completed at this IT, fall back to the balance-first partition of
@@ -81,19 +89,27 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
 
       HeteroModuloScheduler Scheduler(Machine, PG, *Plan, Opts.Sched);
       SchedulerResult SR = Scheduler.run();
+      R.Placements += SR.Placements;
+      R.Ejections += SR.Ejections;
+      R.BudgetUsed += SR.BudgetUsed;
       if (!SR.Success) {
         R.Failure = SR.FailureReason;
         continue;
       }
 
       RegisterPressureResult Pressure =
-          computeRegisterPressure(PG, SR.Sched);
+          computeRegisterPressure(PG, SR.Sched, Opts.Sched.UseTickGrid);
       if (!Pressure.fits(Machine)) {
         R.Failure = "register pressure exceeds the register files";
         continue;
       }
 
-      std::string Err = validateSchedule(Machine, PG, SR.Sched);
+      ValidatorOptions VO;
+      VO.UseTickGrid = Opts.Sched.UseTickGrid;
+      // Pressure was computed and bounds-checked just above; don't pay
+      // a second full computation inside the validator.
+      VO.CheckRegisterPressure = false;
+      std::string Err = validateSchedule(Machine, PG, SR.Sched, VO);
       assert(Err.empty() && "scheduler produced an invalid schedule");
       (void)Err;
 

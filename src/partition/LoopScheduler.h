@@ -43,6 +43,14 @@ struct LoopScheduleResult {
   Rational MITNs;
   unsigned ITSteps = 0; ///< times the IT was increased past the MIT
 
+  /// Scheduler effort over the whole Figure 5 run (every attempt at
+  /// every IT step, failed ones included): placements made, nodes
+  /// ejected, and placement-loop iterations consumed. Deterministic for
+  /// fixed inputs, so cached results carry identical counters.
+  uint64_t Placements = 0;
+  uint64_t Ejections = 0;
+  uint64_t BudgetUsed = 0;
+
   /// Reference-machine classification stats (Table 2): recurrence- and
   /// resource-constrained MII of the loop.
   int64_t RecMII = 0;

@@ -146,14 +146,19 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
     return std::nullopt;
 
   // Slack matrix for the coarsening order, on reference latencies at the
-  // recurrence-safe II.
-  std::vector<unsigned> Lat = M.Isa.nodeLatencies(*Ctx.L);
-  MinDistMatrix Slack =
-      MinDistMatrix::compute(*Ctx.G, Lat, std::max<int64_t>(Ctx.Recs->RecMII,
-                                                            1));
+  // recurrence-safe II; IT-independent, so drivers that retry IT steps
+  // pass one precomputed matrix through the context.
+  MinDistMatrix OwnSlack;
+  const MinDistMatrix *Slack = Ctx.SlackMatrix;
+  if (!Slack) {
+    std::vector<unsigned> Lat = M.Isa.nodeLatencies(*Ctx.L);
+    MinDistMatrix::computeInto(OwnSlack, *Ctx.G, Lat,
+                               std::max<int64_t>(Ctx.Recs->RecMII, 1));
+    Slack = &OwnSlack;
+  }
 
   MultilevelGraph ML;
-  ML.build(*Ctx.L, *Ctx.G, M, Groups, Pins, Slack, NC);
+  ML.build(*Ctx.L, *Ctx.G, M, Groups, Pins, *Slack, NC);
 
   // Initial assignment of the coarsest macros: pins first, then largest
   // macros onto the cluster with the most remaining per-kind slot

@@ -21,6 +21,7 @@
 #ifndef HCVLIW_PARTITION_PARTITIONER_H
 #define HCVLIW_PARTITION_PARTITIONER_H
 
+#include "ir/MinDist.h"
 #include "ir/RecurrenceAnalysis.h"
 #include "mcd/DomainPlanner.h"
 #include "power/EnergyModel.h"
@@ -56,6 +57,12 @@ struct PartitionContext {
   const EnergyModel *Energy = nullptr;
   const HeteroScaling *Scaling = nullptr;
   uint64_t TripCount = 1;
+  /// Optional precomputed coarsening slack matrix
+  /// (MinDistMatrix::compute(G, Isa latencies, max(RecMII, 1))). The
+  /// matrix does not depend on the IT, so drivers retrying II/IT steps
+  /// compute it once instead of reallocating the O(N^2) buffer per
+  /// attempt; when null the partitioner computes its own.
+  const MinDistMatrix *SlackMatrix = nullptr;
 };
 
 /// Runs the partitioner; std::nullopt when no feasible assignment exists

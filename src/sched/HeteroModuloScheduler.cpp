@@ -1,7 +1,24 @@
 //===- sched/HeteroModuloScheduler.cpp - Heterogeneous IMS ------------------===//
+//
+// Two interchangeable placement paths produce bit-identical schedules:
+//
+//   - runTicks: the production fast path on the plan's PlanGrid --
+//     every clock quantity an exact int64 tick count, per-edge timing
+//     constants precomputed (TickGraph), and the highest-priority
+//     unplaced node selected through a rank-ordered bitset instead of a
+//     linear rescan of the priority list.
+//   - runRational: the retained exact-Rational reference, also the
+//     automatic fallback when the plan's grid overflows int64.
+//
+// Both paths make the same decisions in the same order (tick arithmetic
+// is Rational arithmetic scaled by ticksPerNs, exactly), which
+// tests/sched/TickDomainTest pins over random loops and plans.
+//
+//===----------------------------------------------------------------------===//
 
 #include "sched/HeteroModuloScheduler.h"
 #include "mcd/SyncModel.h"
+#include "sched/TickGraph.h"
 
 #include <algorithm>
 #include <cassert>
@@ -70,9 +87,223 @@ struct PriorityEntry {
   Rational Asap;
 };
 
+/// Tick-domain ordering key (same order as PriorityEntry).
+struct TickPriorityEntry {
+  unsigned Node;
+  int64_t Slack;
+  int64_t Asap;
+};
+
+/// The indexed ready structure of the tick path: one bit per priority
+/// rank, set while the node holding that rank is unplaced. Selecting
+/// the highest-priority unplaced node is a find-first-set over the
+/// word array (O(N/64) worst case, first-word in the common case)
+/// instead of the reference path's O(N) rescan of the priority list.
+class RankReadySet {
+  std::vector<uint64_t> Words;
+
+public:
+  explicit RankReadySet(unsigned N) : Words((N + 63) / 64, 0) {
+    for (unsigned R = 0; R < N; ++R)
+      Words[R / 64] |= uint64_t(1) << (R % 64);
+  }
+
+  void insert(unsigned Rank) { Words[Rank / 64] |= uint64_t(1) << (Rank % 64); }
+  void erase(unsigned Rank) { Words[Rank / 64] &= ~(uint64_t(1) << (Rank % 64)); }
+
+  /// Lowest set rank, or -1 when all nodes are placed.
+  int first() const {
+    for (size_t W = 0; W < Words.size(); ++W)
+      if (Words[W])
+        return static_cast<int>(W * 64 +
+                                static_cast<unsigned>(__builtin_ctzll(Words[W])));
+    return -1;
+  }
+};
+
 } // namespace
 
 SchedulerResult HeteroModuloScheduler::run() {
+  if (Opts.UseTickGrid)
+    if (auto T = TickGraph::build(PG, Plan))
+      return runTicks(*T);
+  return runRational();
+}
+
+//===----------------------------------------------------------------------===//
+// Tick-domain fast path
+//===----------------------------------------------------------------------===//
+
+SchedulerResult HeteroModuloScheduler::runTicks(const TickGraph &T) {
+  SchedulerResult Result;
+  unsigned N = PG.size();
+
+  auto AsapOpt = T.computeAsapTicks();
+  if (!AsapOpt) {
+    Result.FailureReason = "recurrence infeasible at this IT";
+    return Result;
+  }
+  const std::vector<int64_t> &Asap = *AsapOpt;
+
+  // Approximate ALAP against the ASAP horizon using the no-sync timing
+  // rule backwards (priorities only; correctness never depends on it).
+  int64_t Horizon = 0;
+  for (unsigned I = 0; I < N; ++I)
+    Horizon = std::max(Horizon, Asap[I]);
+  std::vector<int64_t> Alap(N, Horizon);
+  std::vector<int64_t> EdgeBack(PG.edges().size());
+  for (unsigned EIx = 0; EIx < PG.edges().size(); ++EIx)
+    // The backward rule's per-edge constant, from the TickGraph's
+    // precomputed products: distance * IT - latency * period(src).
+    EdgeBack[EIx] = T.edgeDistTicks(EIx) - T.edgeLatTicks(EIx);
+  for (unsigned Round = 0; Round < N; ++Round) {
+    bool Changed = false;
+    for (unsigned EIx = 0; EIx < PG.edges().size(); ++EIx) {
+      const PGEdge &E = PG.edge(EIx);
+      int64_t Limit = Alap[E.Dst] + EdgeBack[EIx];
+      if (Limit < Alap[E.Src]) {
+        Alap[E.Src] = Limit;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  std::vector<TickPriorityEntry> Order(N);
+  for (unsigned I = 0; I < N; ++I)
+    Order[I] = {I, Alap[I] - Asap[I], Asap[I]};
+  std::sort(Order.begin(), Order.end(),
+            [](const TickPriorityEntry &A, const TickPriorityEntry &B) {
+              if (A.Slack != B.Slack)
+                return A.Slack < B.Slack;
+              if (A.Asap != B.Asap)
+                return A.Asap < B.Asap;
+              return A.Node < B.Node;
+            });
+  std::vector<unsigned> Rank(N);
+  std::vector<unsigned> NodeOfRank(N);
+  for (unsigned I = 0; I < N; ++I) {
+    Rank[Order[I].Node] = I;
+    NodeOfRank[I] = Order[I].Node;
+  }
+
+  ModuloReservationTable MRT(Machine, Plan);
+  std::vector<bool> Placed(N, false);
+  std::vector<int64_t> Slot(N, 0);
+  std::vector<unsigned> Unit(N, 0);
+  std::vector<int64_t> LastSlot(N, INT64_MIN);
+  RankReadySet Ready(N);
+
+  auto startTicks = [&](unsigned Node) {
+    return T.startTicks(Node, Slot[Node]);
+  };
+
+  auto eject = [&](unsigned Node) {
+    assert(Placed[Node] && "ejecting an unplaced node");
+    MRT.release(PG.node(Node).Domain, PG.node(Node).Kind, Slot[Node],
+                Unit[Node], Node);
+    Placed[Node] = false;
+    Ready.insert(Rank[Node]);
+    ++Result.Ejections;
+  };
+
+  int64_t Budget =
+      static_cast<int64_t>(Opts.BudgetFactor) * static_cast<int64_t>(N) + 64;
+  unsigned NumPlaced = 0;
+
+  while (NumPlaced < N) {
+    if (--Budget < 0) {
+      Result.FailureReason = "scheduling budget exhausted";
+      return Result;
+    }
+    ++Result.BudgetUsed;
+    // Highest-priority unplaced node, from the rank-indexed ready set.
+    int FirstRank = Ready.first();
+    assert(FirstRank >= 0 && "no unplaced node despite NumPlaced < N");
+    unsigned U = NodeOfRank[static_cast<unsigned>(FirstRank)];
+
+    // Earliest slot from ASAP and placed predecessors.
+    int64_t Earliest = Asap[U];
+    for (unsigned EIx : PG.inEdges(U)) {
+      const PGEdge &E = PG.edge(EIx);
+      if (!Placed[E.Src])
+        continue;
+      Earliest = std::max(Earliest, T.edgeStartBound(EIx, startTicks(E.Src)));
+    }
+    int64_t E0 = ceilDivTick(Earliest, T.periodTicks(U));
+    if (E0 < 0)
+      E0 = 0;
+    if (LastSlot[U] != INT64_MIN && E0 <= LastSlot[U])
+      E0 = LastSlot[U] + 1; // Rau's progress rule on re-placement
+
+    int64_t II = T.iiOf(U);
+    if (E0 > Opts.MaxSlotMultiple * II) {
+      Result.FailureReason = "slot bound exceeded (ejection runaway)";
+      return Result;
+    }
+
+    const PGNode &Node = PG.node(U);
+    int GotUnit = -1;
+    int64_t S = E0;
+    for (; S < E0 + II; ++S) {
+      GotUnit = MRT.tryReserve(Node.Domain, Node.Kind, S, U);
+      if (GotUnit >= 0)
+        break;
+    }
+    if (GotUnit < 0) {
+      // Force placement at E0: evict one occupant of the cell.
+      S = E0;
+      std::vector<unsigned> Occ = MRT.occupants(Node.Domain, Node.Kind, S);
+      assert(!Occ.empty() && "no free unit yet no occupants");
+      // Evict the lowest-priority occupant (largest rank).
+      unsigned Victim = Occ.front();
+      for (unsigned O : Occ)
+        if (Rank[O] > Rank[Victim])
+          Victim = O;
+      eject(Victim);
+      --NumPlaced;
+      GotUnit = MRT.tryReserve(Node.Domain, Node.Kind, S, U);
+      assert(GotUnit >= 0 && "reservation failed after eviction");
+    }
+
+    Placed[U] = true;
+    Slot[U] = S;
+    Unit[U] = static_cast<unsigned>(GotUnit);
+    LastSlot[U] = S;
+    Ready.erase(Rank[U]);
+    ++NumPlaced;
+    ++Result.Placements;
+
+    // Eject placed successors whose dependence is now violated.
+    for (unsigned EIx : PG.outEdges(U)) {
+      const PGEdge &E = PG.edge(EIx);
+      if (!Placed[E.Dst] || E.Dst == U)
+        continue;
+      int64_t Bound = T.edgeStartBound(EIx, startTicks(U));
+      if (startTicks(E.Dst) < Bound) {
+        eject(E.Dst);
+        --NumPlaced;
+      }
+    }
+  }
+
+  Result.Success = true;
+  Result.Sched.Plan = Plan;
+  Result.Sched.Nodes.assign(N, ScheduledNode());
+  for (unsigned I = 0; I < N; ++I) {
+    Result.Sched.Nodes[I].Placed = true;
+    Result.Sched.Nodes[I].Slot = Slot[I];
+    Result.Sched.Nodes[I].Unit = Unit[I];
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Exact-Rational reference path (and overflow fallback)
+//===----------------------------------------------------------------------===//
+
+SchedulerResult HeteroModuloScheduler::runRational() {
   SchedulerResult Result;
   unsigned N = PG.size();
 
@@ -137,6 +368,7 @@ SchedulerResult HeteroModuloScheduler::run() {
     MRT.release(PG.node(Node).Domain, PG.node(Node).Kind, Slot[Node],
                 Unit[Node], Node);
     Placed[Node] = false;
+    ++Result.Ejections;
   };
 
   int64_t Budget =
@@ -148,6 +380,7 @@ SchedulerResult HeteroModuloScheduler::run() {
       Result.FailureReason = "scheduling budget exhausted";
       return Result;
     }
+    ++Result.BudgetUsed;
     // Highest-priority unplaced node.
     unsigned U = ~0u;
     for (const auto &P : Order)
@@ -207,6 +440,7 @@ SchedulerResult HeteroModuloScheduler::run() {
     Unit[U] = static_cast<unsigned>(GotUnit);
     LastSlot[U] = S;
     ++NumPlaced;
+    ++Result.Placements;
 
     // Eject placed successors whose dependence is now violated.
     for (unsigned EIx : PG.outEdges(U)) {

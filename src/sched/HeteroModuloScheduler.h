@@ -36,12 +36,23 @@ struct SchedulerOptions {
   /// Fail when any slot exceeds this multiple of its domain's II
   /// (runaway ejection chains).
   int64_t MaxSlotMultiple = 64;
+  /// Run the placement loop on the plan's integer tick grid (PlanGrid)
+  /// when it has one; results are bit-identical to the Rational
+  /// reference path, which remains reachable by clearing this (and is
+  /// the automatic fallback when the grid overflows). Not part of the
+  /// ScheduleCache key for exactly that reason.
+  bool UseTickGrid = true;
 };
 
 struct SchedulerResult {
   bool Success = false;
   Schedule Sched;
   std::string FailureReason;
+  /// Effort counters (identical on the tick and Rational paths, which
+  /// make the same decisions in the same order).
+  uint64_t Placements = 0; ///< successful node placements
+  uint64_t Ejections = 0;  ///< evictions + dependence ejections
+  uint64_t BudgetUsed = 0; ///< placement-loop iterations consumed
 };
 
 /// Earliest start times (ns) of every node ignoring resources, or
@@ -56,11 +67,16 @@ computeAsapTimes(const PartitionedGraph &PG, const MachinePlan &Plan);
 Rational edgeStartBound(const PartitionedGraph &PG, const MachinePlan &Plan,
                         const PGEdge &E, const Rational &SrcStartNs);
 
+class TickGraph;
+
 class HeteroModuloScheduler {
   const MachineDescription &Machine;
   const PartitionedGraph &PG;
   MachinePlan Plan;
   SchedulerOptions Opts;
+
+  SchedulerResult runRational();
+  SchedulerResult runTicks(const TickGraph &T);
 
 public:
   HeteroModuloScheduler(const MachineDescription &M,

@@ -2,7 +2,9 @@
 
 #include "sched/PseudoScheduler.h"
 #include "sched/HeteroModuloScheduler.h"
+#include "sched/TickGraph.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace hcvliw;
@@ -59,22 +61,40 @@ PseudoSchedule hcvliw::estimatePseudoSchedule(const Loop &L, const DDG &G,
          (static_cast<double>(PS.Comms) - static_cast<double>(BusSlots)) /
              static_cast<double>(BusSlots));
 
-  // Recurrence feasibility + it_length from the exact ASAP fixpoint.
-  auto Asap = computeAsapTimes(PG, Plan);
-  if (!Asap) {
-    // No usable gradient for an unsatisfiable cycle: dominate every
-    // capacity violation so refinement prefers fixing the recurrence.
-    flag("recurrence infeasible", 1e3);
-  } else {
-    Rational End(0);
-    for (unsigned N = 0; N < PG.size(); ++N) {
-      Rational P2 = PG.node(N).Domain == PG.busDomain()
-                        ? Plan.Bus.PeriodNs
-                        : Plan.Clusters[PG.node(N).Domain].PeriodNs;
-      End = Rational::max(
-          End, (*Asap)[N] + Rational(PG.node(N).LatencyCycles) * P2);
+  // Recurrence feasibility + it_length from the exact ASAP fixpoint --
+  // on the plan's integer tick grid when it has one (this estimate runs
+  // once per refinement candidate, so it is the partitioner's hottest
+  // clock math), through Rational otherwise. Both are exact and agree.
+  if (auto T = TickGraph::build(PG, Plan)) {
+    auto Asap = T->computeAsapTicks();
+    if (!Asap) {
+      // No usable gradient for an unsatisfiable cycle: dominate every
+      // capacity violation so refinement prefers fixing the recurrence.
+      flag("recurrence infeasible", 1e3);
+    } else {
+      int64_t End = 0;
+      for (unsigned N = 0; N < PG.size(); ++N)
+        End = std::max(End,
+                       (*Asap)[N] +
+                           static_cast<int64_t>(PG.node(N).LatencyCycles) *
+                               T->periodTicks(N));
+      PS.ItLengthNs = T->grid().toNs(End);
     }
-    PS.ItLengthNs = End;
+  } else {
+    auto Asap = computeAsapTimes(PG, Plan);
+    if (!Asap) {
+      flag("recurrence infeasible", 1e3);
+    } else {
+      Rational End(0);
+      for (unsigned N = 0; N < PG.size(); ++N) {
+        Rational P2 = PG.node(N).Domain == PG.busDomain()
+                          ? Plan.Bus.PeriodNs
+                          : Plan.Clusters[PG.node(N).Domain].PeriodNs;
+        End = Rational::max(
+            End, (*Asap)[N] + Rational(PG.node(N).LatencyCycles) * P2);
+      }
+      PS.ItLengthNs = End;
+    }
   }
 
   // Register proxy: each value's lifetime is roughly its producer

@@ -2,6 +2,7 @@
 
 #include "sched/RegisterPressure.h"
 #include "mcd/SyncModel.h"
+#include "sched/TickGraph.h"
 
 #include <algorithm>
 #include <cassert>
@@ -15,81 +16,142 @@ bool RegisterPressureResult::fits(const MachineDescription &M) const {
   return true;
 }
 
+namespace {
+
+/// One value's register occupation: [DefSlot, DefSlot + Len) in cluster
+/// \p Home's slot space. Both the tick and the Rational path reduce a
+/// node to this triple; the modulo accumulation below is shared.
+struct Lifetime {
+  unsigned Home;
+  int64_t DefSlot;
+  int64_t Len;
+};
+
+/// True when node \p N defines a register and, for copies, resolves the
+/// (unique) consumer cluster the payload lands in. Shared between the
+/// two arithmetic paths so they classify nodes identically.
+bool valueHome(const PartitionedGraph &PG, unsigned N, unsigned &Home,
+               bool &IsCopy) {
+  const PGNode &Node = PG.node(N);
+  bool DefinesRegister = Node.Op != Opcode::Store &&
+                         (Node.OrigOp >= 0 || Node.CopiedValue >= 0);
+  if (!DefinesRegister)
+    return false;
+  if (Node.Domain != PG.busDomain()) {
+    Home = Node.Domain;
+    IsCopy = false;
+    return true;
+  }
+  // A copy's payload lands in the (unique) cluster of its consumers.
+  int HomeInt = -1;
+  for (unsigned EIx : PG.outEdges(N)) {
+    unsigned DstDom = PG.node(PG.edge(EIx).Dst).Domain;
+    assert(DstDom != PG.busDomain() && "copy feeding a copy");
+    assert((HomeInt < 0 || HomeInt == static_cast<int>(DstDom)) &&
+           "copy with consumers in several clusters");
+    HomeInt = static_cast<int>(DstDom);
+  }
+  if (HomeInt < 0)
+    return false; // dead copy: nothing to hold
+  Home = static_cast<unsigned>(HomeInt);
+  IsCopy = true;
+  return true;
+}
+
+} // namespace
+
 RegisterPressureResult
-hcvliw::computeRegisterPressure(const PartitionedGraph &PG,
-                                const Schedule &S) {
+hcvliw::computeRegisterPressure(const PartitionedGraph &PG, const Schedule &S,
+                                bool UseTickGrid) {
   unsigned NC = PG.numClusters();
   RegisterPressureResult R;
   R.MaxLive.assign(NC, 0);
   R.SumLifetimes.assign(NC, 0);
 
-  // Per-cluster modulo pressure accumulators.
+  std::optional<TickGraph> T;
+  if (UseTickGrid)
+    T = TickGraph::build(PG, S.Plan);
+
+  // A node's value occupies a register in cluster Home from its write
+  // time until the latest read among its value-carrying out-edges.
+  std::vector<Lifetime> Lifetimes;
+  Lifetimes.reserve(PG.size());
+  for (unsigned N = 0; N < PG.size(); ++N) {
+    unsigned Home;
+    bool IsCopy;
+    if (!valueHome(PG, N, Home, IsCopy))
+      continue;
+
+    bool HasUse = false;
+    int64_t DefSlot, EndSlot;
+    if (T) {
+      const PlanGrid &G = T->grid();
+      int64_t Write = T->startTicks(N, S.Nodes[N].Slot) +
+                      static_cast<int64_t>(PG.node(N).LatencyCycles) *
+                          T->periodTicks(N);
+      if (IsCopy)
+        Write = crossDomainArrival(Write, G.busPeriodTicks(),
+                                   G.clusterPeriodTicks(Home));
+      int64_t LastRead = 0;
+      for (unsigned EIx : PG.outEdges(N)) {
+        const PGEdge &E = PG.edge(EIx);
+        if (!E.CarriesValue)
+          continue;
+        int64_t Read = T->startTicks(E.Dst, S.Nodes[E.Dst].Slot) +
+                       static_cast<int64_t>(E.Distance) * G.itTicks();
+        if (!HasUse || LastRead < Read)
+          LastRead = Read;
+        HasUse = true;
+      }
+      if (!HasUse)
+        continue;
+      int64_t P = G.clusterPeriodTicks(Home);
+      DefSlot = floorDivTick(Write, P);
+      EndSlot = ceilDivTick(LastRead, P);
+    } else {
+      Rational WriteNs = S.readyNs(PG, N);
+      if (IsCopy)
+        WriteNs = crossDomainArrival(WriteNs, S.Plan.Bus.PeriodNs,
+                                     S.Plan.Clusters[Home].PeriodNs);
+      Rational LastReadNs(0);
+      for (unsigned EIx : PG.outEdges(N)) {
+        const PGEdge &E = PG.edge(EIx);
+        if (!E.CarriesValue)
+          continue;
+        Rational ReadNs =
+            S.startNs(PG, E.Dst) + Rational(E.Distance) * S.Plan.ITNs;
+        if (!HasUse || LastReadNs < ReadNs)
+          LastReadNs = ReadNs;
+        HasUse = true;
+      }
+      if (!HasUse)
+        continue;
+      const Rational &P = S.Plan.Clusters[Home].PeriodNs;
+      DefSlot = (WriteNs / P).floor();
+      EndSlot = (LastReadNs / P).ceil();
+    }
+
+    int64_t Len = std::max<int64_t>(1, EndSlot - DefSlot);
+    R.SumLifetimes[Home] += Len;
+    Lifetimes.push_back({Home, DefSlot, Len});
+  }
+
+  // Per-cluster modulo pressure accumulators: a lifetime of Len cycles
+  // adds floor(Len / II) at every modulo slot plus one over Len mod II
+  // slots starting at the def.
   std::vector<std::vector<int64_t>> Pressure(NC);
   for (unsigned C = 0; C < NC; ++C)
     Pressure[C].assign(static_cast<size_t>(S.Plan.Clusters[C].II), 0);
-
-  // A node's value occupies a register in cluster HomeCluster from
-  // WriteNs until the latest read among its value-carrying out-edges.
-  for (unsigned N = 0; N < PG.size(); ++N) {
-    const PGNode &Node = PG.node(N);
-    bool DefinesRegister =
-        Node.Op != Opcode::Store &&
-        (Node.OrigOp >= 0 || Node.CopiedValue >= 0);
-    if (!DefinesRegister)
-      continue;
-
-    // Where does the value live, and when is it written?
-    unsigned Home;
-    Rational WriteNs;
-    if (Node.Domain != PG.busDomain()) {
-      Home = Node.Domain;
-      WriteNs = S.readyNs(PG, N);
-    } else {
-      // A copy's payload lands in the (unique) cluster of its consumers.
-      int HomeInt = -1;
-      for (unsigned EIx : PG.outEdges(N)) {
-        unsigned DstDom = PG.node(PG.edge(EIx).Dst).Domain;
-        assert(DstDom != PG.busDomain() && "copy feeding a copy");
-        assert((HomeInt < 0 || HomeInt == static_cast<int>(DstDom)) &&
-               "copy with consumers in several clusters");
-        HomeInt = static_cast<int>(DstDom);
-      }
-      if (HomeInt < 0)
-        continue; // dead copy: nothing to hold
-      Home = static_cast<unsigned>(HomeInt);
-      WriteNs = crossDomainArrival(S.readyNs(PG, N), S.Plan.Bus.PeriodNs,
-                                   S.Plan.Clusters[Home].PeriodNs);
-    }
-
-    bool HasUse = false;
-    Rational LastReadNs(0);
-    for (unsigned EIx : PG.outEdges(N)) {
-      const PGEdge &E = PG.edge(EIx);
-      if (!E.CarriesValue)
-        continue;
-      Rational ReadNs = S.startNs(PG, E.Dst) +
-                        Rational(E.Distance) * S.Plan.ITNs;
-      if (!HasUse || LastReadNs < ReadNs)
-        LastReadNs = ReadNs;
-      HasUse = true;
-    }
-    if (!HasUse)
-      continue;
-
-    const Rational &P = S.Plan.Clusters[Home].PeriodNs;
-    int64_t II = S.Plan.Clusters[Home].II;
-    int64_t DefSlot = (WriteNs / P).floor();
-    int64_t EndSlot = (LastReadNs / P).ceil();
-    int64_t Len = std::max<int64_t>(1, EndSlot - DefSlot);
-    R.SumLifetimes[Home] += Len;
-
-    int64_t Full = Len / II;
-    int64_t Rem = Len % II;
+  for (const Lifetime &L : Lifetimes) {
+    int64_t II = S.Plan.Clusters[L.Home].II;
+    int64_t Full = L.Len / II;
+    int64_t Rem = L.Len % II;
     for (int64_t M = 0; M < II; ++M) {
-      int64_t Shift = (M - DefSlot) % II;
+      int64_t Shift = (M - L.DefSlot) % II;
       if (Shift < 0)
         Shift += II;
-      Pressure[Home][static_cast<size_t>(M)] += Full + (Shift < Rem ? 1 : 0);
+      Pressure[L.Home][static_cast<size_t>(M)] +=
+          Full + (Shift < Rem ? 1 : 0);
     }
   }
 

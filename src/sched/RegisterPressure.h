@@ -31,8 +31,12 @@ struct RegisterPressureResult {
   bool fits(const MachineDescription &M) const;
 };
 
+/// Computes pressure on the plan's integer tick grid when it has one
+/// (\p UseTickGrid, the default), falling back to the exact Rational
+/// arithmetic otherwise; both forms are bit-identical.
 RegisterPressureResult computeRegisterPressure(const PartitionedGraph &PG,
-                                               const Schedule &S);
+                                               const Schedule &S,
+                                               bool UseTickGrid = true);
 
 } // namespace hcvliw
 

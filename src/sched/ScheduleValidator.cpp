@@ -2,6 +2,7 @@
 
 #include "sched/ScheduleValidator.h"
 #include "sched/HeteroModuloScheduler.h"
+#include "sched/TickGraph.h"
 #include "support/StrUtil.h"
 
 #include <map>
@@ -30,11 +31,24 @@ std::string hcvliw::validateSchedule(const MachineDescription &M,
       return formatString("node %u at negative slot", N);
   }
 
-  // Dependences under the exact timing rule.
+  // Dependences under the exact timing rule -- on the plan's tick grid
+  // when it has one (the same rule scaled by an exact common
+  // denominator), through Rational otherwise.
+  std::optional<TickGraph> T;
+  if (Opts.UseTickGrid)
+    T = TickGraph::build(PG, S.Plan);
   for (unsigned EIx = 0; EIx < PG.edges().size(); ++EIx) {
     const PGEdge &E = PG.edge(EIx);
-    Rational Bound = edgeStartBound(PG, S.Plan, E, S.startNs(PG, E.Src));
-    if (S.startNs(PG, E.Dst) < Bound)
+    bool Violated;
+    if (T) {
+      int64_t Bound =
+          T->edgeStartBound(EIx, T->startTicks(E.Src, S.Nodes[E.Src].Slot));
+      Violated = T->startTicks(E.Dst, S.Nodes[E.Dst].Slot) < Bound;
+    } else {
+      Rational Bound = edgeStartBound(PG, S.Plan, E, S.startNs(PG, E.Src));
+      Violated = S.startNs(PG, E.Dst) < Bound;
+    }
+    if (Violated)
       return formatString("edge %u->%u (dist %u) violated", E.Src, E.Dst,
                           E.Distance);
   }
@@ -61,7 +75,8 @@ std::string hcvliw::validateSchedule(const MachineDescription &M,
   }
 
   if (Opts.CheckRegisterPressure) {
-    RegisterPressureResult R = computeRegisterPressure(PG, S);
+    RegisterPressureResult R =
+        computeRegisterPressure(PG, S, Opts.UseTickGrid);
     for (unsigned C = 0; C < PG.numClusters(); ++C)
       if (R.MaxLive[C] > static_cast<int64_t>(M.Clusters[C].Registers))
         return formatString("cluster %u: MaxLive %lld exceeds %u registers",

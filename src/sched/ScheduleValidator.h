@@ -21,6 +21,9 @@ namespace hcvliw {
 
 struct ValidatorOptions {
   bool CheckRegisterPressure = true;
+  /// Check dependences on the plan's integer tick grid when it has one
+  /// (bit-identical to the Rational rule, which remains the fallback).
+  bool UseTickGrid = true;
 };
 
 /// Returns an empty string when the schedule is valid, else a

@@ -1,0 +1,64 @@
+//===- sched/TickGraph.cpp - Tick-domain view of a partitioned graph -------===//
+
+#include "sched/TickGraph.h"
+
+using namespace hcvliw;
+
+std::optional<TickGraph> TickGraph::build(const PartitionedGraph &Graph,
+                                          const MachinePlan &Plan) {
+  PlanGrid Grid = PlanGrid::compute(Plan);
+  if (!Grid.valid())
+    return std::nullopt;
+
+  TickGraph T;
+  T.PG = &Graph;
+  T.Grid = Grid;
+
+  unsigned N = Graph.size();
+  unsigned Bus = Graph.busDomain();
+  T.PeriodTicksVec.resize(N);
+  T.IIsVec.resize(N);
+  for (unsigned I = 0; I < N; ++I) {
+    unsigned D = Graph.node(I).Domain;
+    T.PeriodTicksVec[I] = Grid.periodTicks(D, Bus);
+    T.IIsVec[I] = D == Bus ? Plan.Bus.II : Plan.Clusters[D].II;
+  }
+
+  size_t NE = Graph.edges().size();
+  T.EdgeLatTicks.resize(NE);
+  T.EdgeDistTicks.resize(NE);
+  for (size_t E = 0; E < NE; ++E) {
+    const PGEdge &Edge = Graph.edge(static_cast<unsigned>(E));
+    T.EdgeLatTicks[E] = static_cast<int64_t>(Edge.LatencyCycles) *
+                        T.PeriodTicksVec[Edge.Src];
+    T.EdgeDistTicks[E] =
+        static_cast<int64_t>(Edge.Distance) * Grid.itTicks();
+  }
+  return T;
+}
+
+std::optional<std::vector<int64_t>> TickGraph::computeAsapTicks() const {
+  unsigned N = PG->size();
+  std::vector<int64_t> Start(N, 0);
+  // Longest-path fixpoint; with V nodes, a change in round V proves an
+  // unsatisfiable (positive) dependence cycle for this IT. Mirrors the
+  // Rational computeAsapTimes round for round.
+  for (unsigned Round = 0; Round <= N; ++Round) {
+    bool Changed = false;
+    for (unsigned EIx = 0; EIx < PG->edges().size(); ++EIx) {
+      const PGEdge &E = PG->edge(EIx);
+      int64_t Bound = edgeStartBound(EIx, Start[E.Src]);
+      if (Start[E.Dst] < Bound) {
+        // Starts are slot-aligned: round the bound up to the domain tick.
+        int64_t Aligned = alignUpToTick(Bound, PeriodTicksVec[E.Dst]);
+        if (Start[E.Dst] < Aligned) {
+          Start[E.Dst] = Aligned;
+          Changed = true;
+        }
+      }
+    }
+    if (!Changed)
+      return Start;
+  }
+  return std::nullopt;
+}

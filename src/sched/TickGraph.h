@@ -1,0 +1,77 @@
+//===- sched/TickGraph.h - Tick-domain view of a partitioned graph -*-C++-*-===//
+///
+/// \file
+/// The scheduling hot path's integer view of one (PartitionedGraph,
+/// MachinePlan) pair: the plan lowered onto its PlanGrid plus per-node
+/// and per-edge tick constants precomputed once --
+///
+///   PeriodTicks[n]  running period of n's domain, in ticks
+///   IIs[n]          II of n's domain (slots per IT)
+///   EdgeLatTicks[e] LatencyCycles(e) * period(src(e)), in ticks
+///   EdgeDistTicks[e] Distance(e) * IT, in ticks
+///
+/// so the ASAP/ALAP fixpoints, edgeStartBound, the placement/ejection
+/// loop, the validator, and the register-pressure computation are pure
+/// integer arithmetic. Tick results are bit-identical to the Rational
+/// reference (every quantity is the Rational value times ticksPerNs,
+/// exactly); HeteroModuloScheduler's retained Rational path and
+/// tests/sched/TickDomainTest pin that equivalence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_SCHED_TICKGRAPH_H
+#define HCVLIW_SCHED_TICKGRAPH_H
+
+#include "mcd/PlanGrid.h"
+#include "mcd/SyncModel.h"
+#include "sched/PartitionedGraph.h"
+
+#include <optional>
+#include <vector>
+
+namespace hcvliw {
+
+class TickGraph {
+  const PartitionedGraph *PG = nullptr;
+  PlanGrid Grid;
+  std::vector<int64_t> PeriodTicksVec; ///< per node
+  std::vector<int64_t> IIsVec;         ///< per node
+  std::vector<int64_t> EdgeLatTicks;   ///< per edge: latency * period(src)
+  std::vector<int64_t> EdgeDistTicks;  ///< per edge: distance * IT
+
+public:
+  /// Lowers \p Graph under \p Plan; std::nullopt when the plan has no
+  /// valid grid (LCM overflow) and callers must take the Rational path.
+  static std::optional<TickGraph> build(const PartitionedGraph &Graph,
+                                        const MachinePlan &Plan);
+
+  const PlanGrid &grid() const { return Grid; }
+  const PartitionedGraph &graph() const { return *PG; }
+  int64_t itTicks() const { return Grid.itTicks(); }
+  int64_t periodTicks(unsigned Node) const { return PeriodTicksVec[Node]; }
+  int64_t iiOf(unsigned Node) const { return IIsVec[Node]; }
+  int64_t edgeLatTicks(unsigned EIx) const { return EdgeLatTicks[EIx]; }
+  int64_t edgeDistTicks(unsigned EIx) const { return EdgeDistTicks[EIx]; }
+
+  /// start(n) in ticks when n issues at \p Slot of its own domain.
+  int64_t startTicks(unsigned Node, int64_t Slot) const {
+    return Slot * PeriodTicksVec[Node];
+  }
+
+  /// Tick form of hcvliw::edgeStartBound for edge index \p EIx.
+  int64_t edgeStartBound(unsigned EIx, int64_t SrcStartTicks) const {
+    const PGEdge &E = PG->edge(EIx);
+    int64_t Ready = SrcStartTicks + EdgeLatTicks[EIx];
+    int64_t Arrive = crossDomainArrival(Ready, PeriodTicksVec[E.Src],
+                                        PeriodTicksVec[E.Dst]);
+    return Arrive - EdgeDistTicks[EIx];
+  }
+
+  /// Tick form of hcvliw::computeAsapTimes: earliest starts ignoring
+  /// resources, or std::nullopt when the recurrence cannot meet the IT.
+  std::optional<std::vector<int64_t>> computeAsapTicks() const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_SCHED_TICKGRAPH_H

@@ -78,18 +78,38 @@ static Rational make128(__int128 N, __int128 D) {
 }
 
 Rational Rational::operator+(const Rational &O) const {
+  // Fast path: equal denominators (integers included) add numerator to
+  // numerator -- no 128-bit products, and no gcd at all when both are
+  // integers. Overflow falls through to the wide path.
+  if (Den == O.Den) {
+    int64_t N;
+    if (!__builtin_add_overflow(Num, O.Num, &N))
+      return Den == 1 ? Rational(N) : Rational(N, Den);
+  }
   return make128(static_cast<__int128>(Num) * O.Den +
                      static_cast<__int128>(O.Num) * Den,
                  static_cast<__int128>(Den) * O.Den);
 }
 
 Rational Rational::operator-(const Rational &O) const {
+  if (Den == O.Den) {
+    int64_t N;
+    if (!__builtin_sub_overflow(Num, O.Num, &N))
+      return Den == 1 ? Rational(N) : Rational(N, Den);
+  }
   return make128(static_cast<__int128>(Num) * O.Den -
                      static_cast<__int128>(O.Num) * Den,
                  static_cast<__int128>(Den) * O.Den);
 }
 
 Rational Rational::operator*(const Rational &O) const {
+  // Fast path: integer * integer needs no gcd and no 128-bit product
+  // unless the multiplication itself overflows.
+  if (Den == 1 && O.Den == 1) {
+    int64_t N;
+    if (!__builtin_mul_overflow(Num, O.Num, &N))
+      return Rational(N);
+  }
   return make128(static_cast<__int128>(Num) * O.Num,
                  static_cast<__int128>(Den) * O.Den);
 }
@@ -101,6 +121,9 @@ Rational Rational::operator/(const Rational &O) const {
 }
 
 bool Rational::operator<(const Rational &O) const {
+  // Equal denominators (integers included) compare by numerator alone.
+  if (Den == O.Den)
+    return Num < O.Num;
   return static_cast<__int128>(Num) * O.Den <
          static_cast<__int128>(O.Num) * Den;
 }

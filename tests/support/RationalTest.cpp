@@ -104,6 +104,38 @@ TEST(Rational, LargeIntermediatesReduce) {
   EXPECT_EQ(Sum, Rational(5, 9000000000LL));
 }
 
+// The equal-denominator fast paths of +, -, * and < must agree with
+// the general 128-bit route, including at the int64 boundaries where
+// the fast path must fall through instead of wrapping.
+TEST(Rational, FastPathIntegerArithmetic) {
+  EXPECT_EQ(Rational(7) + Rational(35), Rational(42));
+  EXPECT_EQ(Rational(-7) - Rational(35), Rational(-42));
+  EXPECT_EQ(Rational(6) * Rational(-7), Rational(-42));
+  EXPECT_LT(Rational(41), Rational(42));
+  EXPECT_EQ(Rational(INT64_MAX - 1) + Rational(1), Rational(INT64_MAX));
+  EXPECT_EQ(Rational(INT64_MIN + 1) - Rational(1), Rational(INT64_MIN));
+}
+
+TEST(Rational, FastPathEqualDenominators) {
+  // Sum needs renormalization: 1/4 + 1/4 = 1/2.
+  EXPECT_EQ(Rational(1, 4) + Rational(1, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(3, 10) - Rational(1, 10), Rational(1, 5));
+  EXPECT_EQ(Rational(5, 7) + Rational(9, 7), Rational(2));
+  EXPECT_LT(Rational(5, 7), Rational(6, 7));
+  EXPECT_FALSE(Rational(6, 7) < Rational(5, 7));
+}
+
+TEST(Rational, FastPathOverflowFallsThrough) {
+  // Numerator addition overflows int64: must take the wide route and
+  // still reduce exactly (here to a representable value).
+  Rational A(INT64_MAX - 1, 2), B(INT64_MAX - 1, 2);
+  EXPECT_EQ(A + B, Rational(INT64_MAX - 1));
+  EXPECT_EQ(A - B, Rational(0));
+  // Integer product overflows int64 but reduces back under division.
+  Rational C(INT64_MAX - 1, 1), D(2, INT64_MAX - 1);
+  EXPECT_EQ(C * D, Rational(2));
+}
+
 TEST(Rational, GcdLcm) {
   EXPECT_EQ(gcd64(12, 18), 6);
   EXPECT_EQ(gcd64(7, 13), 1);
