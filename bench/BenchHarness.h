@@ -26,12 +26,44 @@
 #include "support/StrUtil.h"
 #include "support/TablePrinter.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
+
+//===----------------------------------------------------------------------===//
+// Allocation counter. Every bench binary is a single translation unit
+// including this header once, so the (deliberately non-inline)
+// replacement operator new/delete definitions below are well-formed per
+// binary and count *every* heap allocation the bench performs — the
+// metric behind "allocations per schedule" in the BENCH json (and the
+// top-level "alloc_count" BenchReporter emits for every bench).
+//===----------------------------------------------------------------------===//
+
+namespace hcvliw {
+inline std::atomic<uint64_t> BenchAllocCounter{0};
+/// Allocations since process start (relaxed; exact in single-threaded
+/// measurement sections, monotone everywhere).
+inline uint64_t benchAllocCount() {
+  return BenchAllocCounter.load(std::memory_order_relaxed);
+}
+} // namespace hcvliw
+
+void *operator new(std::size_t Sz) {
+  hcvliw::BenchAllocCounter.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Sz ? Sz : 1))
+    return P;
+  std::abort(); // benches never install new_handlers
+}
+void *operator new[](std::size_t Sz) { return ::operator new(Sz); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
 
 namespace hcvliw {
 
@@ -148,6 +180,8 @@ public:
     std::string J = "{\n  \"bench\": ";
     appendJsonString(J, Name);
     J += formatString(",\n  \"wall_ms\": %.3f", WallMs);
+    J += formatString(",\n  \"alloc_count\": %llu",
+                      static_cast<unsigned long long>(benchAllocCount()));
     if (Means.empty())
       J += ",\n  \"mean_ed2_ratio\": null";
     else

@@ -8,10 +8,43 @@
 // bit-identical schedules (tests/sched/TickDomainTest), so the ratio
 // is pure arithmetic/indexing win.
 //
+// The speedup_192ops falloff (PR 4 baseline: 13x vs 22.5x at 96 ops),
+// investigated and fixed in PR 5: the 192-op cyclic-partition fixture
+// is bus-saturated (~151 copies on a single bus with II == 151), and
+// most of its placement-loop time went into the MRT slot-probe scan
+// over the nearly-full bus table — path-INDEPENDENT integer work (one
+// int64 modulo division per probed slot, paid identically on the tick
+// and Rational routes) that grows ~quadratically with the copy count
+// and so dilutes the tick/Rational ratio toward the scan-bound limit.
+// ModuloReservationTable::reserveFirstFree now performs that scan with
+// one modulo total (wrap-around index instead of a division per
+// probe), and the forced-placement victim scan no longer materializes
+// an occupant vector; 192-op tick throughput rose ~1.8x and the
+// speedup to ~23x. The residual gap to the 96-op ratio is the
+// remaining path-independent share: ejection-heavy budget iterations
+// (~40% of placements are re-placements here) whose predecessor
+// rescans and table updates are integer work on both routes.
+//
 // Besides the google-benchmark kernels, a self-timed pass records the
 // per-schedule throughput ratio in BENCH_sched_hotpath.json
-// ("speedup_<N>ops" metrics measured in the same run). Exit code 1
-// (advisory on shared CI runners) when the 96-op speedup is below 3x.
+// ("speedup_<N>ops" metrics measured in the same run) plus, per size,
+// steady-state allocations per schedule on the tick path (scratch
+// arena + prebuilt TickGraph: ~3 allocs, the escaping result vector).
+// An end-to-end "loop_schedules_per_sec" section times the whole
+// Figure 5 driver (LoopScheduler::schedule — partition + IT sweep +
+// schedule + pressure + validation) on a menu-restricted sweep-heavy
+// fixture, warm (per-worker ScheduleScratch arena + warm-started IT
+// sweep) against cold (WarmStart=false, no caller arena). Note the
+// cold side still shares most of PR 5's driver-level wins (worklist
+// ASAP fixpoint, modulo-free MRT slot scan, in-run buffer reuse), so
+// "warmstart_speedup" isolates only the warm-start memos/prune and
+// understates the PR-over-PR gain: against the pristine PR 4 library
+// this same fixture measured 73 loop-schedules/s vs ~280/s warm here —
+// ~3.8x, from ~6700 allocations per loop-schedule down to ~800.
+// Exit code 1 (advisory on shared CI runners) when the 96-op speedup
+// is below 3x or warm-start stops paying at all (speedup below 1.02x);
+// the cross-run regression gate lives in CI, against the committed
+// BENCH_sched_hotpath.json baseline.
 //
 //===----------------------------------------------------------------------===//
 
@@ -20,7 +53,9 @@
 #include "ir/RecurrenceAnalysis.h"
 #include "mcd/DomainPlanner.h"
 #include "partition/LoopScheduler.h"
+#include "partition/ScheduleScratch.h"
 #include "sched/HeteroModuloScheduler.h"
+#include "sched/TickGraph.h"
 #include "workloads/SyntheticLoops.h"
 
 #include <benchmark/benchmark.h>
@@ -32,6 +67,8 @@
 using namespace hcvliw;
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// One prepared scheduling problem: the partitioned graph and machine
 /// plan a LoopScheduler run settled on, so the bench times exactly one
@@ -82,7 +119,8 @@ Prepared &prepared(unsigned Ops) {
     // assignment (bus-heavy: ~40% copy nodes) and the smallest IT the
     // scheduler itself completes at. The bench times the scheduler, not
     // the partitioner, so fixture quality is irrelevant -- determinism
-    // and success are what matter.
+    // and success are what matter. (This is the bus-saturated fixture
+    // behind the speedup_192ops finding in the header.)
     const MachineDescription &M = machine();
     HeteroConfig C = heteroConfig(M);
     DDG G = DDG::build(P.L);
@@ -113,10 +151,13 @@ Prepared &prepared(unsigned Ops) {
   return P;
 }
 
-SchedulerResult runOnce(const Prepared &P, bool UseTickGrid) {
+SchedulerResult runOnce(const Prepared &P, bool UseTickGrid,
+                        const TickGraph *Ticks = nullptr,
+                        SchedulerScratch *Scratch = nullptr) {
   SchedulerOptions O;
   O.UseTickGrid = UseTickGrid;
-  return HeteroModuloScheduler(machine(), P.R.PG, P.R.Sched.Plan, O).run();
+  return HeteroModuloScheduler(machine(), P.R.PG, P.R.Sched.Plan, O)
+      .run(Ticks, Scratch);
 }
 
 void benchPath(benchmark::State &State, bool UseTickGrid) {
@@ -125,8 +166,14 @@ void benchPath(benchmark::State &State, bool UseTickGrid) {
     State.SkipWithError("preparation schedule failed");
     return;
   }
+  // Steady-state configuration: per-worker scratch + one tick lowering,
+  // exactly what the Figure 5 driver passes per attempt.
+  SchedulerScratch Scratch;
+  TickGraph Ticks;
+  TickGraph::buildInto(Ticks, P.R.PG, P.R.Sched.Plan);
   for (auto _ : State) {
-    SchedulerResult R = runOnce(P, UseTickGrid);
+    SchedulerResult R = runOnce(P, UseTickGrid,
+                                UseTickGrid ? &Ticks : nullptr, &Scratch);
     benchmark::DoNotOptimize(R.Success);
   }
   State.SetItemsProcessed(State.iterations());
@@ -138,22 +185,94 @@ void BM_ScheduleRational(benchmark::State &State) { benchPath(State, false); }
 BENCHMARK(BM_ScheduleTick)->Arg(16)->Arg(48)->Arg(96)->Arg(192);
 BENCHMARK(BM_ScheduleRational)->Arg(16)->Arg(48)->Arg(96)->Arg(192);
 
-/// Self-timed per-schedule throughput of one path, in schedules/sec.
-double schedulesPerSec(const Prepared &P, bool UseTickGrid,
-                       unsigned MinIters, double MinSeconds) {
-  using Clock = std::chrono::steady_clock;
-  // Warm-up (page in the tables, settle the allocator).
-  runOnce(P, UseTickGrid);
+/// Self-timed throughput of one path in schedules/sec, plus the
+/// steady-state allocation count per schedule (exact: the measurement
+/// section is single-threaded).
+struct PathTiming {
+  double PerSec = 0;
+  double AllocsPerRun = 0;
+};
+
+PathTiming schedulesPerSec(const Prepared &P, bool UseTickGrid,
+                           unsigned MinIters, double MinSeconds) {
+  SchedulerScratch Scratch;
+  TickGraph Ticks;
+  TickGraph::buildInto(Ticks, P.R.PG, P.R.Sched.Plan);
+  const TickGraph *TP = UseTickGrid ? &Ticks : nullptr;
+  // Warm-up (page in the tables, grow the arena to steady state).
+  runOnce(P, UseTickGrid, TP, &Scratch);
   unsigned Iters = 0;
+  uint64_t Allocs0 = benchAllocCount();
   auto Start = Clock::now();
   double Elapsed = 0;
   do {
-    SchedulerResult R = runOnce(P, UseTickGrid);
+    SchedulerResult R = runOnce(P, UseTickGrid, TP, &Scratch);
     benchmark::DoNotOptimize(R.Success);
     ++Iters;
     Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
   } while (Iters < MinIters || Elapsed < MinSeconds);
-  return Iters / Elapsed;
+  PathTiming T;
+  T.PerSec = Iters / Elapsed;
+  T.AllocsPerRun =
+      static_cast<double>(benchAllocCount() - Allocs0) / Iters;
+  return T;
+}
+
+/// The end-to-end fixture: sweep-heavy random loops on the 4-frequency
+/// relative ladder (the menu shape that makes the Figure 5 driver pay
+/// several failing IT steps per loop — the regime warm-start targets).
+const std::vector<Loop> &e2eLoops() {
+  static std::vector<Loop> Loops = [] {
+    std::vector<Loop> Ls;
+    for (unsigned I = 0; I < 12; ++I) {
+      RNG Rng(0xe2e + 131 * I);
+      RandomLoopParams Params;
+      Params.MinOps = 16;
+      Params.MaxOps = 40;
+      Params.Trip = 64;
+      Ls.push_back(makeRandomLoop(Rng, Params, "e2e"));
+    }
+    return Ls;
+  }();
+  return Loops;
+}
+
+/// Whole-driver throughput in loop-schedules/sec: every loop of the
+/// fixture through LoopScheduler::schedule. Warm = caller arena +
+/// warm-started sweep; cold = WarmStart off, no caller arena (the
+/// retained reference configuration — see the header note on how this
+/// relates to the PR 4 baseline).
+PathTiming loopSchedulesPerSec(bool Warm, unsigned MinIters,
+                               double MinSeconds) {
+  const std::vector<Loop> &Loops = e2eLoops();
+  LoopScheduleOptions O;
+  O.Menu = FrequencyMenu::relativeLadder(4);
+  O.WarmStart = Warm;
+  LoopScheduler S(machine(), heteroConfig(machine()), O);
+  ScheduleScratch Scratch;
+  auto runAll = [&] {
+    for (const Loop &L : Loops) {
+      LoopScheduleResult R =
+          S.schedule(L, nullptr, nullptr, Warm ? &Scratch : nullptr);
+      benchmark::DoNotOptimize(R.Success);
+    }
+  };
+  runAll(); // warm-up
+  unsigned Iters = 0;
+  uint64_t Allocs0 = benchAllocCount();
+  auto Start = Clock::now();
+  double Elapsed = 0;
+  do {
+    runAll();
+    ++Iters;
+    Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
+  } while (Iters < MinIters || Elapsed < MinSeconds);
+  PathTiming T;
+  double Schedules = static_cast<double>(Iters) * Loops.size();
+  T.PerSec = Schedules / Elapsed;
+  T.AllocsPerRun =
+      static_cast<double>(benchAllocCount() - Allocs0) / Schedules;
+  return T;
 }
 
 } // namespace
@@ -182,7 +301,8 @@ int main(int argc, char **argv) {
   benchmark::Shutdown();
 
   // The JSON's headline metrics: tick/Rational throughput ratio per
-  // size, measured back-to-back in this same run.
+  // size plus steady-state allocations per tick schedule, measured
+  // back-to-back in this same run.
   double Speedup96 = 0;
   for (unsigned Ops : {16u, 48u, 96u, 192u}) {
     Prepared &P = prepared(Ops);
@@ -190,26 +310,51 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, "warning: %u-op preparation failed\n", Ops);
       continue;
     }
-    double Rat = schedulesPerSec(P, false, MinIters, MinSeconds);
-    double Tick = schedulesPerSec(P, true, MinIters, MinSeconds);
-    double Speedup = Tick / Rat;
+    PathTiming Rat = schedulesPerSec(P, false, MinIters, MinSeconds);
+    PathTiming Tick = schedulesPerSec(P, true, MinIters, MinSeconds);
+    double Speedup = Tick.PerSec / Rat.PerSec;
     if (Ops == 96)
       Speedup96 = Speedup;
     Reporter.addMetric(formatString("schedules_per_sec_rational_%uops", Ops),
-                       Rat);
+                       Rat.PerSec);
     Reporter.addMetric(formatString("schedules_per_sec_tick_%uops", Ops),
-                       Tick);
+                       Tick.PerSec);
     Reporter.addMetric(formatString("speedup_%uops", Ops), Speedup);
-    std::printf("%3u ops: rational %.0f/s, tick %.0f/s, speedup %.2fx\n",
-                Ops, Rat, Tick, Speedup);
+    Reporter.addMetric(formatString("allocs_per_schedule_tick_%uops", Ops),
+                       Tick.AllocsPerRun);
+    std::printf("%3u ops: rational %.0f/s, tick %.0f/s, speedup %.2fx, "
+                "%.1f allocs/schedule\n",
+                Ops, Rat.PerSec, Tick.PerSec, Speedup, Tick.AllocsPerRun);
   }
+
+  // End-to-end Figure 5 driver: warm-started arena sweep vs the cold
+  // PR 4 behavior, on the menu-restricted fixture.
+  PathTiming Cold = loopSchedulesPerSec(false, MinIters, MinSeconds);
+  PathTiming WarmT = loopSchedulesPerSec(true, MinIters, MinSeconds);
+  double WarmSpeedup = WarmT.PerSec / Cold.PerSec;
+  Reporter.addMetric("loop_schedules_per_sec", WarmT.PerSec);
+  Reporter.addMetric("loop_schedules_per_sec_cold", Cold.PerSec);
+  Reporter.addMetric("warmstart_speedup", WarmSpeedup);
+  Reporter.addMetric("allocs_per_loop_schedule", WarmT.AllocsPerRun);
+  std::printf("e2e: cold %.0f loop-schedules/s, warm %.0f/s, "
+              "warm-start speedup %.2fx, %.1f allocs/loop-schedule\n",
+              Cold.PerSec, WarmT.PerSec, WarmSpeedup, WarmT.AllocsPerRun);
+
   Reporter.write();
 
+  int Exit = 0;
   if (Speedup96 < 3.0) {
     std::fprintf(stderr,
                  "warning: 96-op tick speedup %.2fx below the 3x target\n",
                  Speedup96);
-    return 1; // advisory on shared runners (CI treats it as a warning)
+    Exit = 1; // advisory on shared runners (CI treats it as a warning)
   }
-  return 0;
+  if (WarmSpeedup < 1.02) {
+    std::fprintf(stderr,
+                 "warning: warm-start speedup %.2fx — the warm path is "
+                 "no longer paying for itself\n",
+                 WarmSpeedup);
+    Exit = 1;
+  }
+  return Exit;
 }

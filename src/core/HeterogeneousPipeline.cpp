@@ -65,7 +65,8 @@ ConfigRunResult HeterogeneousPipeline::measureConfig(
   MeasureOptions MO = measureOptionsFor(Opts);
   MO.Menu = menu(); // session mode reuses the session's menu object
   ScheduleMeasurer Measurer(machine(), MO,
-                            Sess ? &Sess->scheduleCache() : nullptr);
+                            Sess ? &Sess->scheduleCache() : nullptr,
+                            Sess ? &Sess->scheduleScratchPool() : nullptr);
   return Measurer.measure(Profile, Loops, Config, Scaling, Energy,
                           ED2Objective);
 }
@@ -177,11 +178,17 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
   if (!R.HetMeasured.Ok || !R.HomMeasured.Ok) {
     const ConfigRunResult &Bad =
         !R.HetMeasured.Ok ? R.HetMeasured : R.HomMeasured;
-    setError(Err, PipelineStage::Measurement,
-             formatString(
-                 "%s measurement failed: %u of %zu loops unschedulable",
-                 !R.HetMeasured.Ok ? "heterogeneous" : "homogeneous",
-                 Bad.Failures, Program.Loops.size()));
+    std::string Reason = formatString(
+        "%s measurement failed: %u of %zu loops unschedulable",
+        !R.HetMeasured.Ok ? "heterogeneous" : "homogeneous", Bad.Failures,
+        Program.Loops.size());
+    // Surface the Figure 5 sweep's per-IT failure aggregation for the
+    // first failed loop: which stage failed at which IT.
+    if (!Bad.FailureDetails.empty()) {
+      const LoopScheduleFailure &F = Bad.FailureDetails.front();
+      Reason += formatString(" (%s: %s)", F.Loop.c_str(), F.Detail.c_str());
+    }
+    setError(Err, PipelineStage::Measurement, std::move(Reason));
     return std::nullopt;
   }
 

@@ -13,8 +13,12 @@ EvalCache::EvalCache(const MachineDescription &M, const FrequencyMenu &Menu)
       ScaleInvariant(Menu.frequencies().empty()) {}
 
 size_t EvalCache::size() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Entries.size();
+  size_t N = 0;
+  for (const TimingShard &S : TimingShards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    N += S.Entries.size();
+  }
+  return N;
 }
 
 bool EvalCache::compatibleWith(const MachineDescription &M,
@@ -90,24 +94,25 @@ LoopTimingEstimate EvalCache::loopTiming(const LoopProfile &LP,
     K.FastDen = FastPeriod.den();
   }
 
+  TimingShard &Shard = TimingShards[shardOf(KeyHash()(K))];
   bool Found = false;
   CachedTiming Computed;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Entries.find(K);
-    if (It != Entries.end()) {
-      Hits.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(Shard.Mutex);
+    auto It = Shard.Entries.find(K);
+    if (It != Shard.Entries.end()) {
+      Shard.Hits.fetch_add(1, std::memory_order_relaxed);
       Computed = It->second;
       Found = true;
     }
   }
   if (!Found) {
-    Misses.fetch_add(1, std::memory_order_relaxed);
+    Shard.Misses.fetch_add(1, std::memory_order_relaxed);
     Computed = compute(K, LP, FastPeriod, SlowPeriod);
-    std::lock_guard<std::mutex> Lock(Mutex);
+    std::lock_guard<std::mutex> Lock(Shard.Mutex);
     // First writer wins; concurrent computes of the same key produce
     // identical values, so dropping the duplicate is safe.
-    Entries.emplace(K, Computed);
+    Shard.Entries.emplace(K, Computed);
   }
   if (WasHit)
     *WasHit = Found;
@@ -140,17 +145,19 @@ LoopTimingEstimate EvalCache::loopTiming(const LoopProfile &LP,
 }
 
 std::optional<SelectedDesign> EvalCache::findSelection(uint64_t SelKey) {
-  std::lock_guard<std::mutex> Lock(SelMutex);
-  auto It = Selections.find(SelKey);
-  if (It == Selections.end()) {
-    SelMisses.fetch_add(1, std::memory_order_relaxed);
+  SelectionShard &Shard = SelectionShards[shardOf(SelKey)];
+  std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  auto It = Shard.Selections.find(SelKey);
+  if (It == Shard.Selections.end()) {
+    Shard.Misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  SelHits.fetch_add(1, std::memory_order_relaxed);
+  Shard.Hits.fetch_add(1, std::memory_order_relaxed);
   return It->second;
 }
 
 void EvalCache::storeSelection(uint64_t SelKey, const SelectedDesign &D) {
-  std::lock_guard<std::mutex> Lock(SelMutex);
-  Selections.emplace(SelKey, D);
+  SelectionShard &Shard = SelectionShards[shardOf(SelKey)];
+  std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  Shard.Selections.emplace(SelKey, D);
 }

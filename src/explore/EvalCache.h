@@ -31,6 +31,10 @@
 /// execution time) are recomputed from the same expressions
 /// estimateLoopTiming uses.
 ///
+/// Storage is striped (sharded by key hash, per-shard mutex + exact
+/// per-shard counters summed at report time), so high-thread grids do
+/// not serialize on one lock.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HCVLIW_EXPLORE_EVALCACHE_H
@@ -89,15 +93,43 @@ class EvalCache {
   FrequencyMenu Menu;
   bool ScaleInvariant;
 
-  mutable std::mutex Mutex;
-  std::unordered_map<Key, CachedTiming, KeyHash> Entries;
-  std::atomic<uint64_t> Hits{0};
-  std::atomic<uint64_t> Misses{0};
+  /// Striped storage: timing entries and selection memos live in shards
+  /// selected by key hash, each with its own mutex and hit/miss
+  /// counters, so a high-thread exploration grid stops serializing on
+  /// one lock. The public counters sum the per-shard atomics at report
+  /// time and stay exact.
+  static constexpr unsigned NumShards = 16;
 
-  mutable std::mutex SelMutex;
-  std::unordered_map<uint64_t, SelectedDesign> Selections;
-  std::atomic<uint64_t> SelHits{0};
-  std::atomic<uint64_t> SelMisses{0};
+  struct alignas(64) TimingShard {
+    mutable std::mutex Mutex;
+    std::unordered_map<Key, CachedTiming, KeyHash> Entries;
+    std::atomic<uint64_t> Hits{0};
+    std::atomic<uint64_t> Misses{0};
+  };
+  struct alignas(64) SelectionShard {
+    mutable std::mutex Mutex;
+    std::unordered_map<uint64_t, SelectedDesign> Selections;
+    std::atomic<uint64_t> Hits{0};
+    std::atomic<uint64_t> Misses{0};
+  };
+
+  mutable TimingShard TimingShards[NumShards];
+  mutable SelectionShard SelectionShards[NumShards];
+
+  /// Fold the hash's high bits so shard choice stays independent of the
+  /// maps' bucket choice (which consumes the low bits).
+  static unsigned shardOf(uint64_t H) {
+    return static_cast<unsigned>((H >> 59) ^ (H >> 13)) % NumShards;
+  }
+
+  template <typename ShardT, unsigned N>
+  static uint64_t sumShards(ShardT (&Shards)[N],
+                            std::atomic<uint64_t> ShardT::*Counter) {
+    uint64_t Total = 0;
+    for (const ShardT &S : Shards)
+      Total += (S.*Counter).load(std::memory_order_relaxed);
+    return Total;
+  }
 
   CachedTiming compute(const Key &K, const LoopProfile &LP,
                        const Rational &FastPeriod,
@@ -141,13 +173,17 @@ public:
   std::optional<SelectedDesign> findSelection(uint64_t SelKey);
   void storeSelection(uint64_t SelKey, const SelectedDesign &D);
 
-  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t hits() const {
+    return sumShards(TimingShards, &TimingShard::Hits);
+  }
+  uint64_t misses() const {
+    return sumShards(TimingShards, &TimingShard::Misses);
+  }
   uint64_t selectionHits() const {
-    return SelHits.load(std::memory_order_relaxed);
+    return sumShards(SelectionShards, &SelectionShard::Hits);
   }
   uint64_t selectionMisses() const {
-    return SelMisses.load(std::memory_order_relaxed);
+    return sumShards(SelectionShards, &SelectionShard::Misses);
   }
   size_t size() const;
 };

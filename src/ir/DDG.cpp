@@ -83,8 +83,24 @@ static void addAliasEdges(DDG &G, const Loop &L, unsigned IxA, unsigned IxB) {
 }
 
 DDG DDG::build(const Loop &L) {
+  DDG G;
+  buildInto(G, L);
+  return G;
+}
+
+void DDG::buildInto(DDG &G, const Loop &L) {
   assert(L.validate().empty() && "building DDG of an invalid loop");
-  DDG G(L.size());
+  // Reset for reuse: keep the adjacency rows' capacity where the node
+  // count allows (consecutive loops of one program are similar sizes).
+  unsigned N = L.size();
+  G.Edges.clear();
+  G.OutEdgeIx.resize(N);
+  G.InEdgeIx.resize(N);
+  for (unsigned I = 0; I < N; ++I) {
+    G.OutEdgeIx[I].clear();
+    G.InEdgeIx[I].clear();
+  }
+  G.NumNodes = N;
 
   // Register flow edges.
   for (unsigned I = 0; I < L.size(); ++I)
@@ -103,5 +119,4 @@ DDG DDG::build(const Loop &L) {
       for (size_t Y = X + 1; Y < Accesses.size(); ++Y)
         addAliasEdges(G, L, Accesses[X], Accesses[Y]);
   }
-  return G;
 }

@@ -57,6 +57,11 @@ public:
   /// valid (Loop::validate).
   static DDG build(const Loop &L);
 
+  /// In-place form of build: reuses \p G's node and edge buffers, so
+  /// drivers scheduling one loop after another (the measurement layer's
+  /// per-loop chain) stop reallocating the graph per loop.
+  static void buildInto(DDG &G, const Loop &L);
+
   unsigned size() const { return NumNodes; }
   unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
   const std::vector<Edge> &edges() const { return Edges; }

@@ -35,10 +35,15 @@ void IsaTable::set(OpCategory Cat, bool IsFloat, LatencyEnergy LE) {
 
 std::vector<unsigned> IsaTable::nodeLatencies(const Loop &L) const {
   std::vector<unsigned> Lat;
-  Lat.reserve(L.size());
-  for (const Operation &O : L.Ops)
-    Lat.push_back(latency(O.Op));
+  nodeLatenciesInto(Lat, L);
   return Lat;
+}
+
+void IsaTable::nodeLatenciesInto(std::vector<unsigned> &Lat,
+                                 const Loop &L) const {
+  Lat.resize(L.size());
+  for (unsigned I = 0; I < L.size(); ++I)
+    Lat[I] = latency(L.Ops[I].Op);
 }
 
 double IsaTable::meanInstructionEnergy(const Loop &L) const {

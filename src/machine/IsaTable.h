@@ -46,6 +46,10 @@ public:
   /// the DDG analyses consume.
   std::vector<unsigned> nodeLatencies(const Loop &L) const;
 
+  /// In-place form of nodeLatencies: reuses \p Lat's buffer (the
+  /// per-loop scheduling chain calls this once per Figure 5 run).
+  void nodeLatenciesInto(std::vector<unsigned> &Lat, const Loop &L) const;
+
   /// Mean relative energy of one executed instruction of \p L (used to
   /// weight the per-instruction unit energy of the Section 3.1 model).
   double meanInstructionEnergy(const Loop &L) const;

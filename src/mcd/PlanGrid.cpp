@@ -26,34 +26,38 @@ static int64_t lowerChecked(const Rational &R, int64_t TicksPerNs) {
 
 PlanGrid PlanGrid::compute(const MachinePlan &Plan) {
   PlanGrid G;
+  computeInto(G, Plan);
+  return G;
+}
+
+void PlanGrid::computeInto(PlanGrid &G, const MachinePlan &Plan) {
+  G.TicksPerNsVal = 0; // invalid until the lowering fully succeeds
   int64_t L = Plan.ITNs.den();
   for (const DomainPlan &C : Plan.Clusters) {
     L = lcm64Checked(L, C.PeriodNs.den());
     if (L == 0 || L > MaxTicks)
-      return G;
+      return;
   }
   L = lcm64Checked(L, Plan.Bus.PeriodNs.den());
   if (L == 0 || L > MaxTicks)
-    return G;
+    return;
 
   int64_t IT = lowerChecked(Plan.ITNs, L);
   int64_t Bus = lowerChecked(Plan.Bus.PeriodNs, L);
   if (IT < 0 || Bus < 0)
-    return G;
-  std::vector<int64_t> Periods;
-  Periods.reserve(Plan.Clusters.size());
+    return;
+  G.ClusterPeriodTicks.clear();
+  G.ClusterPeriodTicks.reserve(Plan.Clusters.size());
   for (const DomainPlan &C : Plan.Clusters) {
     int64_t P = lowerChecked(C.PeriodNs, L);
     if (P < 0)
-      return G;
-    Periods.push_back(P);
+      return;
+    G.ClusterPeriodTicks.push_back(P);
   }
 
   G.TicksPerNsVal = L;
   G.ITTicksVal = IT;
   G.BusPeriodTicksVal = Bus;
-  G.ClusterPeriodTicks = std::move(Periods);
-  return G;
 }
 
 int64_t PlanGrid::toTicks(const Rational &R) const {

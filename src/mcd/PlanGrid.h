@@ -46,6 +46,10 @@ public:
   /// any lowered quantity exceeds MaxTicks.
   static PlanGrid compute(const MachinePlan &Plan);
 
+  /// In-place form of compute: reuses \p G's period buffer (the
+  /// pseudo-scheduler lowers one grid per refinement candidate).
+  static void computeInto(PlanGrid &G, const MachinePlan &Plan);
+
   bool valid() const { return TicksPerNsVal > 0; }
   int64_t ticksPerNs() const { return TicksPerNsVal; }
   int64_t itTicks() const { return ITTicksVal; }

@@ -189,7 +189,8 @@ FrontierMeasurer::measure(const std::string &ProgramName,
   MeasureOptions MO =
       HeterogeneousPipeline::measureOptionsFor(S.pipelineOptions());
   MO.Menu = S.menu();
-  ScheduleMeasurer Measurer(S.machine(), MO, &S.scheduleCache());
+  ScheduleMeasurer Measurer(S.machine(), MO, &S.scheduleCache(),
+                            &S.scheduleScratchPool());
 
   S.pool().parallelFor(F.Points.size(), [&](size_t I) {
     FrontierPointMeasurement &P = F.Points[I];

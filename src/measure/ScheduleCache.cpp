@@ -6,31 +6,37 @@ using namespace hcvliw;
 
 std::optional<LoopScheduleResult> ScheduleCache::find(uint64_t Key,
                                                       bool *WasHit) const {
+  const Shard &S = Shards[shardOf(Key)];
   std::optional<LoopScheduleResult> R;
   {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    auto It = Entries.find(Key);
-    if (It != Entries.end())
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Entries.find(Key);
+    if (It != S.Entries.end())
       R = It->second;
   }
-  (R ? Hits : Misses).fetch_add(1, std::memory_order_relaxed);
+  (R ? S.Hits : S.Misses).fetch_add(1, std::memory_order_relaxed);
   if (WasHit)
     *WasHit = R.has_value();
   return R;
 }
 
 void ScheduleCache::store(uint64_t Key, const LoopScheduleResult &R) {
+  Shard &S = Shards[shardOf(Key)];
   // Every store was a fresh Figure 5 run: account its effort even when
   // a concurrent duplicate compute loses the emplace race below.
-  Placements.fetch_add(R.Placements, std::memory_order_relaxed);
-  Ejections.fetch_add(R.Ejections, std::memory_order_relaxed);
-  BudgetUsed.fetch_add(R.BudgetUsed, std::memory_order_relaxed);
-  ITSteps.fetch_add(R.ITSteps, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Entries.emplace(Key, R); // first-writer-wins: emplace keeps the old value
+  S.Placements.fetch_add(R.Placements, std::memory_order_relaxed);
+  S.Ejections.fetch_add(R.Ejections, std::memory_order_relaxed);
+  S.BudgetUsed.fetch_add(R.BudgetUsed, std::memory_order_relaxed);
+  S.ITSteps.fetch_add(R.ITSteps, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Entries.emplace(Key, R); // first-writer-wins: emplace keeps the old value
 }
 
 size_t ScheduleCache::size() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Entries.size();
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    N += S.Entries.size();
+  }
+  return N;
 }

@@ -29,8 +29,12 @@
 /// deterministic function of those inputs, a cached result is
 /// bit-identical to recomputation.
 ///
-/// Thread-safe; concurrent duplicate computes are allowed and insertion
-/// is first-writer-wins (all writers hold identical values).
+/// Thread-safe and *striped*: entries live in shards selected by key
+/// hash, each with its own mutex and hit/miss/effort counters, so
+/// high-thread suite runs stop serializing on one lock. The public
+/// counters sum the per-shard atomics at report time and stay exact.
+/// Concurrent duplicate computes are allowed and insertion is
+/// first-writer-wins (all writers hold identical values).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,14 +52,38 @@
 namespace hcvliw {
 
 class ScheduleCache {
-  mutable std::mutex Mutex;
-  std::unordered_map<uint64_t, LoopScheduleResult> Entries;
-  mutable std::atomic<uint64_t> Hits{0};
-  mutable std::atomic<uint64_t> Misses{0};
-  std::atomic<uint64_t> Placements{0};
-  std::atomic<uint64_t> Ejections{0};
-  std::atomic<uint64_t> BudgetUsed{0};
-  std::atomic<uint64_t> ITSteps{0};
+  /// Shard count: enough to make lock collisions rare at suite-level
+  /// thread counts, small enough that summing counters stays trivial.
+  static constexpr unsigned NumShards = 16;
+
+  /// One stripe: its own lock, map and statistics. Cache-line aligned
+  /// so neighbouring shards' counters do not false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex Mutex;
+    std::unordered_map<uint64_t, LoopScheduleResult> Entries;
+    mutable std::atomic<uint64_t> Hits{0};
+    mutable std::atomic<uint64_t> Misses{0};
+    std::atomic<uint64_t> Placements{0};
+    std::atomic<uint64_t> Ejections{0};
+    std::atomic<uint64_t> BudgetUsed{0};
+    std::atomic<uint64_t> ITSteps{0};
+  };
+
+  Shard Shards[NumShards];
+
+  /// Keys are already FNV digests; fold the high bits so shard choice
+  /// is independent of the map's own bucket choice (which uses the low
+  /// bits).
+  static unsigned shardOf(uint64_t Key) {
+    return static_cast<unsigned>((Key >> 59) ^ (Key >> 13)) % NumShards;
+  }
+
+  template <typename Fn> uint64_t sum(Fn &&Get) const {
+    uint64_t Total = 0;
+    for (const Shard &S : Shards)
+      Total += Get(S).load(std::memory_order_relaxed);
+    return Total;
+  }
 
 public:
   ScheduleCache() = default;
@@ -72,24 +100,40 @@ public:
   /// scheduler effort counters into the session-wide totals below.
   void store(uint64_t Key, const LoopScheduleResult &R);
 
-  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  uint64_t hits() const {
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.Hits;
+    });
+  }
+  uint64_t misses() const {
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.Misses;
+    });
+  }
   size_t size() const;
 
   /// Scheduler effort of every *freshly computed* run stored here
   /// (cache hits add nothing: the work was not redone). Surfaced per
   /// series in the bench JSON "caches" object.
   uint64_t placements() const {
-    return Placements.load(std::memory_order_relaxed);
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.Placements;
+    });
   }
   uint64_t ejections() const {
-    return Ejections.load(std::memory_order_relaxed);
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.Ejections;
+    });
   }
   uint64_t budgetUsed() const {
-    return BudgetUsed.load(std::memory_order_relaxed);
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.BudgetUsed;
+    });
   }
   uint64_t itSteps() const {
-    return ITSteps.load(std::memory_order_relaxed);
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.ITSteps;
+    });
   }
 };
 

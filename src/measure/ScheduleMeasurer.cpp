@@ -2,6 +2,7 @@
 
 #include "measure/ScheduleMeasurer.h"
 
+#include "partition/ScheduleScratch.h"
 #include "support/HashUtil.h"
 #include "vliwsim/PipelinedSimulator.h"
 
@@ -12,8 +13,9 @@ using namespace hcvliw;
 
 ScheduleMeasurer::ScheduleMeasurer(const MachineDescription &M,
                                    const MeasureOptions &O,
-                                   ScheduleCache *Cache)
-    : Machine(M), Opts(O), Cache(Cache) {}
+                                   ScheduleCache *Cache,
+                                   ScheduleScratchPool *Scratches)
+    : Machine(M), Opts(O), Cache(Cache), Scratches(Scratches) {}
 
 namespace {
 
@@ -115,6 +117,18 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
   LSO.MaxITSteps = Opts.MaxITSteps;
   LoopScheduler Sched(Machine, Config, LSO);
 
+  // The per-worker arena: the session pool hands this thread its own,
+  // or a local one serves this call. Acquired once per measurement, not
+  // per loop; schedule() results never depend on the arena.
+  std::unique_ptr<ScheduleScratch> OwnScratch;
+  ScheduleScratch *Scratch;
+  if (Scratches) {
+    Scratch = &Scratches->forThisThread();
+  } else {
+    OwnScratch = std::make_unique<ScheduleScratch>();
+    Scratch = OwnScratch.get();
+  }
+
   double TexecNs = 0;
   std::vector<double> WIns(Machine.numClusters(), 0.0);
   double Comms = 0, Mem = 0;
@@ -134,13 +148,13 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
         Fresh = false;
       } else {
         LR = Sched.schedule(L, ED2Objective ? &Energy : nullptr,
-                            ED2Objective ? &Scaling : nullptr);
+                            ED2Objective ? &Scaling : nullptr, Scratch);
         Cache->store(Key, LR);
       }
       ++(WasHit ? R.ScheduleHits : R.ScheduleMisses);
     } else {
       LR = Sched.schedule(L, ED2Objective ? &Energy : nullptr,
-                          ED2Objective ? &Scaling : nullptr);
+                          ED2Objective ? &Scaling : nullptr, Scratch);
     }
     R.SchedPlacements += LR.Placements;
     R.SchedEjections += LR.Ejections;
@@ -148,6 +162,7 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
     R.SchedITSteps += LR.ITSteps;
     if (!LR.Success) {
       ++R.Failures;
+      R.FailureDetails.push_back({L.Name, LR.failureSummary()});
       continue;
     }
 

@@ -45,6 +45,14 @@ struct LoopRunStat {
   unsigned Comms = 0; ///< per iteration
 };
 
+/// One unschedulable loop, with the Figure 5 sweep's aggregated per-IT
+/// failure reasons (which stage failed at which IT) — the detail
+/// SuiteFailure records surface.
+struct LoopScheduleFailure {
+  std::string Loop;
+  std::string Detail; ///< LoopScheduleResult::failureSummary()
+};
+
 /// Measured behaviour of one configuration on one program.
 struct ConfigRunResult {
   bool Ok = false;
@@ -52,6 +60,8 @@ struct ConfigRunResult {
   double Energy = 0;
   double ED2 = 0;
   unsigned Failures = 0; ///< loops that could not be scheduled
+  /// Parallel detail for every failed loop, in loop order.
+  std::vector<LoopScheduleFailure> FailureDetails;
   std::vector<LoopRunStat> Loops;
   /// This measurement's ScheduleCache statistics (both zero when no
   /// cache was attached).
@@ -85,17 +95,24 @@ struct MeasureOptions {
   uint64_t SimCheckIterations = 0;
 };
 
+class ScheduleScratchPool;
+
 class ScheduleMeasurer {
   const MachineDescription &Machine;
   MeasureOptions Opts;
   ScheduleCache *Cache; ///< may be null: schedule every loop directly
+  ScheduleScratchPool *Scratches; ///< may be null: one local arena per call
 
 public:
   /// \p Cache, when given, must be used with one machine only (the
   /// schedule key does not re-hash the machine; a Session owns one
-  /// cache per machine).
+  /// cache per machine). \p Scratches, when given, supplies the
+  /// per-worker ScheduleScratch arenas (Session-owned); measure() then
+  /// schedules allocation-free in steady state. Results are
+  /// bit-identical with or without either.
   ScheduleMeasurer(const MachineDescription &M, const MeasureOptions &O,
-                   ScheduleCache *Cache = nullptr);
+                   ScheduleCache *Cache = nullptr,
+                   ScheduleScratchPool *Scratches = nullptr);
 
   const MachineDescription &machine() const { return Machine; }
   const MeasureOptions &options() const { return Opts; }

@@ -11,6 +11,19 @@
 /// frequency, baseline [2][3] objective) and heterogeneous ones (ED2
 /// objective, Section 4 extensions).
 ///
+/// The sweep is *warm-started* by default (LoopScheduleOptions::
+/// WarmStart): an IT step whose critical recurrence provably cannot be
+/// placed is skipped without paying the partition attempts, the
+/// coarsening level stack is carried across attempts and IT steps when
+/// its inputs are unchanged, the partitioned graph is carried forward
+/// whenever an attempt re-derives the previous assignment, and a second
+/// attempt that re-derives the first attempt's failed assignment reuses
+/// its outcome. Every one of these is an exact memo or an exact lower
+/// bound — results (schedule, counters, failure log) are bit-identical
+/// to the retained WarmStart=false cold path, which recomputes
+/// everything from scratch at every step; tests/sched/WarmStartTest
+/// pins the equivalence the way TickDomainTest pins tick-vs-Rational.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HCVLIW_PARTITION_LOOPSCHEDULER_H
@@ -23,12 +36,27 @@
 
 namespace hcvliw {
 
+struct ScheduleScratch;
+
 struct LoopScheduleOptions {
   FrequencyMenu Menu = FrequencyMenu::continuous();
   SchedulerOptions Sched;
   PartitionerOptions Part;
   /// IT growth attempts before giving up.
   unsigned MaxITSteps = 64;
+  /// Warm-start the IT sweep (exact memos + lower-bound prune; see the
+  /// file header). Bit-identical to the cold path, so — like
+  /// SchedulerOptions::UseTickGrid — not part of any cache key.
+  bool WarmStart = true;
+};
+
+/// One failed (IT step, attempt) of the Figure 5 sweep; consecutive
+/// identical failures at one step are folded into Count.
+struct ITFailure {
+  unsigned Step = 0; ///< IT growths past the MIT when this failed
+  Rational ITNs;     ///< the IT attempted
+  std::string Reason;
+  unsigned Count = 1;
 };
 
 struct LoopScheduleResult {
@@ -51,26 +79,46 @@ struct LoopScheduleResult {
   uint64_t Ejections = 0;
   uint64_t BudgetUsed = 0;
 
+  /// Every failed (IT step, attempt) of the sweep, in order — the
+  /// per-IT failure aggregation SuiteFailure records surface. Identical
+  /// on the warm and cold paths (warm-start skips work, not outcomes).
+  std::vector<ITFailure> FailureLog;
+
+  /// IT steps the warm-start lower bound skipped without paying the
+  /// partition attempts. Diagnostic only (always 0 on the cold path):
+  /// the one field that reports work *saved*, so it is excluded from
+  /// the warm-vs-cold equivalence contract.
+  unsigned PrunedITSteps = 0;
+
   /// Reference-machine classification stats (Table 2): recurrence- and
   /// resource-constrained MII of the loop.
   int64_t RecMII = 0;
   int64_t ResMII = 0;
+
+  /// Human-readable digest of FailureLog: which stage failed at which
+  /// IT, most recent \p MaxEntries steps, earlier ones summarized.
+  std::string failureSummary(size_t MaxEntries = 4) const;
 };
 
 class LoopScheduler {
   const MachineDescription &Machine;
   HeteroConfig Config;
   LoopScheduleOptions Opts;
+  DomainPlanner Planner; ///< fixed per (machine, config, menu)
 
 public:
   LoopScheduler(const MachineDescription &M, const HeteroConfig &C,
                 const LoopScheduleOptions &O = LoopScheduleOptions());
 
   /// Schedules \p L; \p Energy / \p Scaling enable the ED2 partitioning
-  /// objective (both or neither).
+  /// objective (both or neither). \p Scratch provides the per-worker
+  /// arena (reusable buffers + warm-start memos); when null a local
+  /// arena serves this one call. Results are bit-identical for any
+  /// scratch (ScheduleScratch contract).
   LoopScheduleResult schedule(const Loop &L,
                               const EnergyModel *Energy = nullptr,
-                              const HeteroScaling *Scaling = nullptr) const;
+                              const HeteroScaling *Scaling = nullptr,
+                              ScheduleScratch *Scratch = nullptr) const;
 };
 
 } // namespace hcvliw

@@ -24,6 +24,7 @@
 #include "ir/MinDist.h"
 #include "ir/RecurrenceAnalysis.h"
 #include "mcd/DomainPlanner.h"
+#include "partition/MultilevelGraph.h"
 #include "power/EnergyModel.h"
 #include "sched/Partition.h"
 #include "sched/PseudoScheduler.h"
@@ -31,6 +32,43 @@
 #include <optional>
 
 namespace hcvliw {
+
+/// Reusable buffers + warm-start memo for partitionLoop. One partition
+/// run builds groups, a multilevel coarsening, an initial assignment
+/// and hundreds of refinement candidates; the Figure 5 driver runs it
+/// up to twice per IT step. A scratch removes the allocation churn, and
+/// — on the warm-start path only (EnableMemo) — carries the coarsening
+/// across attempts and IT steps: MultilevelGraph::build depends only on
+/// (loop, DDG, machine, groups, pins, slack), all of which are fixed
+/// within one Figure 5 run except the (groups, pins) pair, so an exact
+/// key match lets the next attempt reuse the level stack verbatim.
+struct PartitionScratch {
+  /// Warm-start switch, set by the driver; the cold reference path
+  /// leaves it false and recomputes the coarsening every attempt.
+  bool EnableMemo = false;
+
+  // Per-attempt buffers (no information carried between attempts).
+  std::vector<std::vector<unsigned>> Groups;
+  std::vector<int> Pins;
+  std::vector<int64_t> Free; ///< flat [cluster][kind] slot capacity
+  std::vector<unsigned> ClusterOfMacro;
+  std::vector<unsigned> ByWeight;
+  std::vector<unsigned> Assign;
+  Partition Current;
+  Partition Cand;
+  PseudoScratch PS;
+  /// Refinement eval stamps (flat [macro][cluster]): the accepted-move
+  /// count at the last evaluation of that move, for the exact
+  /// unchanged-candidate skip (warm path only).
+  std::vector<uint64_t> EvalStamp;
+
+  // Coarsening memo, valid for one Figure 5 run (the driver clears
+  // MLValid per loop); keyed exactly on the (groups, pins) inputs.
+  MultilevelGraph ML;
+  std::vector<std::vector<unsigned>> MemoGroups;
+  std::vector<int> MemoPins;
+  bool MLValid = false;
+};
 
 struct PartitionerOptions {
   /// Score moves by estimated ED2 (the heterogeneous objective); when
@@ -63,6 +101,9 @@ struct PartitionContext {
   /// compute it once instead of reallocating the O(N^2) buffer per
   /// attempt; when null the partitioner computes its own.
   const MinDistMatrix *SlackMatrix = nullptr;
+  /// Optional reusable buffers + warm-start coarsening memo; results
+  /// are bit-identical with or without one.
+  PartitionScratch *Scratch = nullptr;
 };
 
 /// Runs the partitioner; std::nullopt when no feasible assignment exists

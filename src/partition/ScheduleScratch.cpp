@@ -1,0 +1,19 @@
+//===- partition/ScheduleScratch.cpp - Per-worker schedule arenas -----------===//
+
+#include "partition/ScheduleScratch.h"
+
+using namespace hcvliw;
+
+ScheduleScratch &ScheduleScratchPool::forThisThread() {
+  std::thread::id Id = std::this_thread::get_id();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::unique_ptr<ScheduleScratch> &Slot = PerThread[Id];
+  if (!Slot)
+    Slot = std::make_unique<ScheduleScratch>();
+  return *Slot;
+}
+
+size_t ScheduleScratchPool::threadsSeen() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return PerThread.size();
+}

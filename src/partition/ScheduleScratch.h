@@ -1,0 +1,108 @@
+//===- partition/ScheduleScratch.h - Per-worker schedule arenas --*- C++ -*-===//
+///
+/// \file
+/// The per-worker scratch arena of the per-loop scheduling chain. One
+/// ScheduleScratch owns every reusable buffer a Figure 5 run touches —
+/// the DDG, the coarsening slack matrix, the partitioner's multilevel
+/// stack and pseudo-schedule buffers, the partitioned graph and its
+/// tick lowering, the modulo reservation table, the scheduler's
+/// ready-list bitset and priority arrays, and the register-pressure
+/// accumulators — so the thousands of schedule runs a suite performs
+/// stop hitting malloc in steady state.
+///
+/// Ownership contract (see also README "Performance"):
+///
+///   - A ScheduleScratch belongs to exactly one thread at a time. The
+///     Session-owned ScheduleScratchPool hands each thread its own
+///     arena (keyed on the thread's identity), so pool workers and
+///     external callers never share one.
+///   - Everything inside a scratch is *owned by the scratch* and valid
+///     only until the next LoopScheduler::schedule call that uses it.
+///     Callers must not hold references into a scratch across schedule
+///     calls; results that escape (LoopScheduleResult) are copied or
+///     moved out by the driver before it returns.
+///   - Scratch contents never carry information between runs: results
+///     are bit-identical with and without a scratch, for any pool
+///     shape. The warm-start memos inside (coarsening, partitioned
+///     graph) are keyed exactly and invalidated per run
+///     (beginLoopRun), so they are reuse, not state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_PARTITION_SCHEDULESCRATCH_H
+#define HCVLIW_PARTITION_SCHEDULESCRATCH_H
+
+#include "ir/DDG.h"
+#include "ir/MinDist.h"
+#include "partition/Partitioner.h"
+#include "sched/HeteroModuloScheduler.h"
+#include "sched/RegisterPressure.h"
+#include "sched/TickGraph.h"
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace hcvliw {
+
+/// All reusable storage of one per-loop scheduling run (one thread's
+/// arena). See the file header for the ownership contract.
+struct ScheduleScratch {
+  // Figure 5 driver state (per loop).
+  DDG G;
+  std::vector<unsigned> Lat;
+  MinDistMatrix Slack;
+
+  // Per-attempt structures.
+  PartitionedGraph PG;
+  std::vector<int> PGCopySlots;
+  TickGraph Ticks;
+  SchedulerScratch Sched;
+  PressureScratch Pressure;
+  PartitionScratch Part;
+
+  // Warm-start memo: the assignment PG currently materializes. The
+  // graph is a pure function of the assignment (the plan plays no
+  // part), so an exact match across attempts or IT steps skips the
+  // rebuild. Valid for one Figure 5 run only.
+  Partition PGAssignment;
+  bool PGValid = false;
+
+  /// Invalidates the cross-attempt memos; the driver calls this at the
+  /// start of every schedule() run (the memo keys are only unique
+  /// within one loop's sweep).
+  void beginLoopRun() {
+    PGValid = false;
+    Part.MLValid = false;
+  }
+};
+
+/// The Session-owned arena table: one ScheduleScratch per thread that
+/// schedules through the session (pool workers and any external caller
+/// of runProgram). Thread-keyed so concurrent measurements never share
+/// an arena; which arena a thread gets cannot affect results (see the
+/// ScheduleScratch contract), so determinism is preserved for any pool
+/// shape. Arenas live as long as the pool.
+class ScheduleScratchPool {
+  mutable std::mutex Mutex;
+  std::unordered_map<std::thread::id, std::unique_ptr<ScheduleScratch>>
+      PerThread;
+
+public:
+  ScheduleScratchPool() = default;
+  ScheduleScratchPool(const ScheduleScratchPool &) = delete;
+  ScheduleScratchPool &operator=(const ScheduleScratchPool &) = delete;
+
+  /// The calling thread's arena (created on first use). One mutex
+  /// acquisition per call; callers acquire once per program
+  /// measurement, not per loop.
+  ScheduleScratch &forThisThread();
+
+  /// Number of distinct threads that have acquired an arena.
+  size_t threadsSeen() const;
+};
+
+} // namespace hcvliw
+
+#endif // HCVLIW_PARTITION_SCHEDULESCRATCH_H

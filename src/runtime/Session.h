@@ -17,7 +17,11 @@
 ///     the measurement stage (pipeline step 4, the frontier measurer,
 ///     the oracle ablation) never schedules the same (loop, machine
 ///     plan) pair twice — schedules are reused across frontier points,
-///     across repeated measurements and across programs.
+///     across repeated measurements and across programs,
+///   - one ScheduleScratchPool of per-worker ScheduleScratch arenas, so
+///     the schedule runs that do happen reuse their working storage
+///     (DDG, partitioned graph, tick graphs, reservation tables, ...)
+///     instead of hitting malloc per attempt.
 ///
 /// Everything a Session hands out is thread-safe in the ways its users
 /// need: runProgram may be called concurrently, explorations may nest
@@ -32,6 +36,7 @@
 #include "core/HeterogeneousPipeline.h"
 #include "explore/EvalCache.h"
 #include "measure/ScheduleCache.h"
+#include "partition/ScheduleScratch.h"
 #include "runtime/WorkerPool.h"
 
 namespace hcvliw {
@@ -43,6 +48,7 @@ class Session {
   WorkerPool Pool_;
   EvalCache Cache_;
   ScheduleCache SchedCache_;
+  ScheduleScratchPool Scratches_;
   HeterogeneousPipeline Pipe_;
 
 public:
@@ -62,6 +68,13 @@ public:
   const EvalCache &evalCache() const { return Cache_; }
   ScheduleCache &scheduleCache() { return SchedCache_; }
   const ScheduleCache &scheduleCache() const { return SchedCache_; }
+  /// The per-worker ScheduleScratch arenas every measurement this
+  /// session backs schedules through (one arena per thread; results
+  /// never depend on which arena serves a run).
+  ScheduleScratchPool &scheduleScratchPool() { return Scratches_; }
+  const ScheduleScratchPool &scheduleScratchPool() const {
+    return Scratches_;
+  }
 
   /// The session-backed pipeline (selections share the pool and cache).
   const HeterogeneousPipeline &pipeline() const { return Pipe_; }

@@ -14,6 +14,10 @@
 // is Rational arithmetic scaled by ticksPerNs, exactly), which
 // tests/sched/TickDomainTest pins over random loops and plans.
 //
+// All per-run storage lives in a SchedulerScratch (caller-provided for
+// steady-state allocation-free sweeps, stack-local otherwise); scratch
+// contents never carry information between runs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "sched/HeteroModuloScheduler.h"
@@ -47,9 +51,10 @@ Rational hcvliw::edgeStartBound(const PartitionedGraph &PG,
   return Arrive - Rational(E.Distance) * Plan.ITNs;
 }
 
-std::optional<std::vector<Rational>>
-hcvliw::computeAsapTimes(const PartitionedGraph &PG, const MachinePlan &Plan) {
-  std::vector<Rational> Start(PG.size(), Rational(0));
+bool hcvliw::computeAsapTimesInto(std::vector<Rational> &Start,
+                                  const PartitionedGraph &PG,
+                                  const MachinePlan &Plan) {
+  Start.assign(PG.size(), Rational(0));
   // Longest-path fixpoint; with V nodes, a change in round V proves an
   // unsatisfiable (positive) dependence cycle for this IT.
   for (unsigned Round = 0; Round <= PG.size(); ++Round) {
@@ -67,9 +72,17 @@ hcvliw::computeAsapTimes(const PartitionedGraph &PG, const MachinePlan &Plan) {
       }
     }
     if (!Changed)
-      return Start;
+      return true;
   }
-  return std::nullopt;
+  return false;
+}
+
+std::optional<std::vector<Rational>>
+hcvliw::computeAsapTimes(const PartitionedGraph &PG, const MachinePlan &Plan) {
+  std::vector<Rational> Start;
+  if (!computeAsapTimesInto(Start, PG, Plan))
+    return std::nullopt;
+  return Start;
 }
 
 HeteroModuloScheduler::HeteroModuloScheduler(const MachineDescription &M,
@@ -80,30 +93,18 @@ HeteroModuloScheduler::HeteroModuloScheduler(const MachineDescription &M,
 
 namespace {
 
-/// Ordering key: tighter slack first, earlier ASAP second.
-struct PriorityEntry {
-  unsigned Node;
-  Rational Slack;
-  Rational Asap;
-};
-
-/// Tick-domain ordering key (same order as PriorityEntry).
-struct TickPriorityEntry {
-  unsigned Node;
-  int64_t Slack;
-  int64_t Asap;
-};
-
 /// The indexed ready structure of the tick path: one bit per priority
 /// rank, set while the node holding that rank is unplaced. Selecting
 /// the highest-priority unplaced node is a find-first-set over the
 /// word array (O(N/64) worst case, first-word in the common case)
 /// instead of the reference path's O(N) rescan of the priority list.
+/// Operates on a caller-owned word buffer so sweeps reuse the storage.
 class RankReadySet {
-  std::vector<uint64_t> Words;
+  std::vector<uint64_t> &Words;
 
 public:
-  explicit RankReadySet(unsigned N) : Words((N + 63) / 64, 0) {
+  RankReadySet(std::vector<uint64_t> &Storage, unsigned N) : Words(Storage) {
+    Words.assign((N + 63) / 64, 0);
     for (unsigned R = 0; R < N; ++R)
       Words[R / 64] |= uint64_t(1) << (R % 64);
   }
@@ -121,37 +122,69 @@ public:
   }
 };
 
+/// Occupant of (Domain, Kind, Slot) with the largest rank (the
+/// lowest-priority victim of a forced placement), without materializing
+/// the occupant list. Identical choice to scanning occupants() in unit
+/// order and keeping the strictly-larger rank.
+int victimByRank(ModuloReservationTable &MRT, unsigned Domain, FUKind Kind,
+                 int64_t Slot, const std::vector<unsigned> &Rank) {
+  int Victim = -1;
+  unsigned Units = MRT.units(Domain, Kind);
+  for (unsigned U = 0; U < Units; ++U) {
+    int Occ = MRT.occupant(Domain, Kind, Slot, U);
+    if (Occ < 0)
+      continue;
+    if (Victim < 0 || Rank[static_cast<unsigned>(Occ)] >
+                          Rank[static_cast<unsigned>(Victim)])
+      Victim = Occ;
+  }
+  return Victim;
+}
+
 } // namespace
 
-SchedulerResult HeteroModuloScheduler::run() {
-  if (Opts.UseTickGrid)
-    if (auto T = TickGraph::build(PG, Plan))
-      return runTicks(*T);
-  return runRational();
+SchedulerResult HeteroModuloScheduler::run(const TickGraph *Ticks,
+                                           SchedulerScratch *Scratch) {
+  SchedulerScratch Local;
+  SchedulerScratch &SS = Scratch ? *Scratch : Local;
+  if (Opts.UseTickGrid) {
+    if (Ticks) {
+      if (Ticks->valid()) {
+        assert(&Ticks->graph() == &PG && "prebuilt tick graph mismatch");
+        return runTicks(*Ticks, SS);
+      }
+      // Caller already proved the plan has no grid: Rational fallback.
+    } else if (auto T = TickGraph::build(PG, Plan)) {
+      return runTicks(*T, SS);
+    }
+  }
+  return runRational(SS);
 }
 
 //===----------------------------------------------------------------------===//
 // Tick-domain fast path
 //===----------------------------------------------------------------------===//
 
-SchedulerResult HeteroModuloScheduler::runTicks(const TickGraph &T) {
+SchedulerResult HeteroModuloScheduler::runTicks(const TickGraph &T,
+                                                SchedulerScratch &SS) {
   SchedulerResult Result;
   unsigned N = PG.size();
 
-  auto AsapOpt = T.computeAsapTicks();
-  if (!AsapOpt) {
+  if (!T.computeAsapTicksInto(SS.Asap)) {
     Result.FailureReason = "recurrence infeasible at this IT";
     return Result;
   }
-  const std::vector<int64_t> &Asap = *AsapOpt;
+  const std::vector<int64_t> &Asap = SS.Asap;
 
   // Approximate ALAP against the ASAP horizon using the no-sync timing
   // rule backwards (priorities only; correctness never depends on it).
   int64_t Horizon = 0;
   for (unsigned I = 0; I < N; ++I)
     Horizon = std::max(Horizon, Asap[I]);
-  std::vector<int64_t> Alap(N, Horizon);
-  std::vector<int64_t> EdgeBack(PG.edges().size());
+  std::vector<int64_t> &Alap = SS.Alap;
+  Alap.assign(N, Horizon);
+  std::vector<int64_t> &EdgeBack = SS.EdgeBack;
+  EdgeBack.resize(PG.edges().size());
   for (unsigned EIx = 0; EIx < PG.edges().size(); ++EIx)
     // The backward rule's per-edge constant, from the TickGraph's
     // precomputed products: distance * IT - latency * period(src).
@@ -170,30 +203,39 @@ SchedulerResult HeteroModuloScheduler::runTicks(const TickGraph &T) {
       break;
   }
 
-  std::vector<TickPriorityEntry> Order(N);
+  std::vector<SchedulerScratch::TickEntry> &Order = SS.TickOrder;
+  Order.resize(N);
   for (unsigned I = 0; I < N; ++I)
     Order[I] = {I, Alap[I] - Asap[I], Asap[I]};
   std::sort(Order.begin(), Order.end(),
-            [](const TickPriorityEntry &A, const TickPriorityEntry &B) {
+            [](const SchedulerScratch::TickEntry &A,
+               const SchedulerScratch::TickEntry &B) {
               if (A.Slack != B.Slack)
                 return A.Slack < B.Slack;
               if (A.Asap != B.Asap)
                 return A.Asap < B.Asap;
               return A.Node < B.Node;
             });
-  std::vector<unsigned> Rank(N);
-  std::vector<unsigned> NodeOfRank(N);
+  std::vector<unsigned> &Rank = SS.Rank;
+  std::vector<unsigned> &NodeOfRank = SS.NodeOfRank;
+  Rank.resize(N);
+  NodeOfRank.resize(N);
   for (unsigned I = 0; I < N; ++I) {
     Rank[Order[I].Node] = I;
     NodeOfRank[I] = Order[I].Node;
   }
 
-  ModuloReservationTable MRT(Machine, Plan);
-  std::vector<bool> Placed(N, false);
-  std::vector<int64_t> Slot(N, 0);
-  std::vector<unsigned> Unit(N, 0);
-  std::vector<int64_t> LastSlot(N, INT64_MIN);
-  RankReadySet Ready(N);
+  SS.MRT.reset(Machine, Plan);
+  ModuloReservationTable &MRT = SS.MRT;
+  SS.Placed.assign(N, 0);
+  std::vector<uint8_t> &Placed = SS.Placed;
+  SS.Slot.assign(N, 0);
+  std::vector<int64_t> &Slot = SS.Slot;
+  SS.Unit.assign(N, 0);
+  std::vector<unsigned> &Unit = SS.Unit;
+  SS.LastSlot.assign(N, INT64_MIN);
+  std::vector<int64_t> &LastSlot = SS.LastSlot;
+  RankReadySet Ready(SS.ReadyWords, N);
 
   auto startTicks = [&](unsigned Node) {
     return T.startTicks(Node, Slot[Node]);
@@ -203,7 +245,7 @@ SchedulerResult HeteroModuloScheduler::runTicks(const TickGraph &T) {
     assert(Placed[Node] && "ejecting an unplaced node");
     MRT.release(PG.node(Node).Domain, PG.node(Node).Kind, Slot[Node],
                 Unit[Node], Node);
-    Placed[Node] = false;
+    Placed[Node] = 0;
     Ready.insert(Rank[Node]);
     ++Result.Ejections;
   };
@@ -244,30 +286,24 @@ SchedulerResult HeteroModuloScheduler::runTicks(const TickGraph &T) {
     }
 
     const PGNode &Node = PG.node(U);
-    int GotUnit = -1;
+    // First resource-feasible slot in the II-slot window above E0 (the
+    // modulo-free scan; identical choice to probing slot by slot).
     int64_t S = E0;
-    for (; S < E0 + II; ++S) {
-      GotUnit = MRT.tryReserve(Node.Domain, Node.Kind, S, U);
-      if (GotUnit >= 0)
-        break;
-    }
+    int GotUnit = MRT.reserveFirstFree(Node.Domain, Node.Kind, E0, U, S);
     if (GotUnit < 0) {
-      // Force placement at E0: evict one occupant of the cell.
+      // Force placement at E0: evict one occupant of the cell (the
+      // lowest-priority one, i.e. largest rank), scanning the cell's
+      // units in place instead of materializing an occupant list.
       S = E0;
-      std::vector<unsigned> Occ = MRT.occupants(Node.Domain, Node.Kind, S);
-      assert(!Occ.empty() && "no free unit yet no occupants");
-      // Evict the lowest-priority occupant (largest rank).
-      unsigned Victim = Occ.front();
-      for (unsigned O : Occ)
-        if (Rank[O] > Rank[Victim])
-          Victim = O;
-      eject(Victim);
+      int Victim = victimByRank(MRT, Node.Domain, Node.Kind, S, Rank);
+      assert(Victim >= 0 && "no free unit yet no occupants");
+      eject(static_cast<unsigned>(Victim));
       --NumPlaced;
       GotUnit = MRT.tryReserve(Node.Domain, Node.Kind, S, U);
       assert(GotUnit >= 0 && "reservation failed after eviction");
     }
 
-    Placed[U] = true;
+    Placed[U] = 1;
     Slot[U] = S;
     Unit[U] = static_cast<unsigned>(GotUnit);
     LastSlot[U] = S;
@@ -303,23 +339,23 @@ SchedulerResult HeteroModuloScheduler::runTicks(const TickGraph &T) {
 // Exact-Rational reference path (and overflow fallback)
 //===----------------------------------------------------------------------===//
 
-SchedulerResult HeteroModuloScheduler::runRational() {
+SchedulerResult HeteroModuloScheduler::runRational(SchedulerScratch &SS) {
   SchedulerResult Result;
   unsigned N = PG.size();
 
-  auto AsapOpt = computeAsapTimes(PG, Plan);
-  if (!AsapOpt) {
+  if (!computeAsapTimesInto(SS.RatAsap, PG, Plan)) {
     Result.FailureReason = "recurrence infeasible at this IT";
     return Result;
   }
-  const std::vector<Rational> &Asap = *AsapOpt;
+  const std::vector<Rational> &Asap = SS.RatAsap;
 
   // Approximate ALAP against the ASAP horizon using the no-sync timing
   // rule backwards (priorities only; correctness never depends on it).
   Rational Horizon(0);
   for (unsigned I = 0; I < N; ++I)
     Horizon = Rational::max(Horizon, Asap[I]);
-  std::vector<Rational> Alap(N, Horizon);
+  std::vector<Rational> &Alap = SS.RatAlap;
+  Alap.assign(N, Horizon);
   for (unsigned Round = 0; Round < N; ++Round) {
     bool Changed = false;
     for (const PGEdge &E : PG.edges()) {
@@ -335,27 +371,36 @@ SchedulerResult HeteroModuloScheduler::runRational() {
       break;
   }
 
-  std::vector<PriorityEntry> Order(N);
+  std::vector<SchedulerScratch::RatEntry> &Order = SS.RatOrder;
+  Order.resize(N);
   for (unsigned I = 0; I < N; ++I)
     Order[I] = {I, Alap[I] - Asap[I], Asap[I]};
   std::sort(Order.begin(), Order.end(),
-            [](const PriorityEntry &A, const PriorityEntry &B) {
+            [](const SchedulerScratch::RatEntry &A,
+               const SchedulerScratch::RatEntry &B) {
               if (A.Slack != B.Slack)
                 return A.Slack < B.Slack;
               if (A.Asap != B.Asap)
                 return A.Asap < B.Asap;
               return A.Node < B.Node;
             });
-  std::vector<unsigned> Rank(N);
+  std::vector<unsigned> &Rank = SS.Rank;
+  Rank.resize(N);
   for (unsigned I = 0; I < N; ++I)
     Rank[Order[I].Node] = I;
 
-  ModuloReservationTable MRT(Machine, Plan);
-  std::vector<bool> Placed(N, false);
-  std::vector<int64_t> Slot(N, 0);
-  std::vector<unsigned> Unit(N, 0);
-  std::vector<int64_t> LastSlot(N, INT64_MIN);
-  std::vector<Rational> Period(N);
+  SS.MRT.reset(Machine, Plan);
+  ModuloReservationTable &MRT = SS.MRT;
+  SS.Placed.assign(N, 0);
+  std::vector<uint8_t> &Placed = SS.Placed;
+  SS.Slot.assign(N, 0);
+  std::vector<int64_t> &Slot = SS.Slot;
+  SS.Unit.assign(N, 0);
+  std::vector<unsigned> &Unit = SS.Unit;
+  SS.LastSlot.assign(N, INT64_MIN);
+  std::vector<int64_t> &LastSlot = SS.LastSlot;
+  std::vector<Rational> &Period = SS.RatPeriod;
+  Period.resize(N);
   for (unsigned I = 0; I < N; ++I)
     Period[I] = periodOf(PG, Plan, I);
 
@@ -367,7 +412,7 @@ SchedulerResult HeteroModuloScheduler::runRational() {
     assert(Placed[Node] && "ejecting an unplaced node");
     MRT.release(PG.node(Node).Domain, PG.node(Node).Kind, Slot[Node],
                 Unit[Node], Node);
-    Placed[Node] = false;
+    Placed[Node] = 0;
     ++Result.Ejections;
   };
 
@@ -381,7 +426,8 @@ SchedulerResult HeteroModuloScheduler::runRational() {
       return Result;
     }
     ++Result.BudgetUsed;
-    // Highest-priority unplaced node.
+    // Highest-priority unplaced node (the reference path's linear
+    // rescan of the priority list).
     unsigned U = ~0u;
     for (const auto &P : Order)
       if (!Placed[P.Node]) {
@@ -412,30 +458,22 @@ SchedulerResult HeteroModuloScheduler::runRational() {
     }
 
     const PGNode &Node = PG.node(U);
-    int GotUnit = -1;
+    // Same modulo-free first-free-slot scan as the tick path.
     int64_t S = E0;
-    for (; S < E0 + II; ++S) {
-      GotUnit = MRT.tryReserve(Node.Domain, Node.Kind, S, U);
-      if (GotUnit >= 0)
-        break;
-    }
+    int GotUnit = MRT.reserveFirstFree(Node.Domain, Node.Kind, E0, U, S);
     if (GotUnit < 0) {
-      // Force placement at E0: evict one occupant of the cell.
+      // Force placement at E0: evict one occupant of the cell (same
+      // in-place victim scan as the tick path).
       S = E0;
-      std::vector<unsigned> Occ = MRT.occupants(Node.Domain, Node.Kind, S);
-      assert(!Occ.empty() && "no free unit yet no occupants");
-      // Evict the lowest-priority occupant (largest rank).
-      unsigned Victim = Occ.front();
-      for (unsigned O : Occ)
-        if (Rank[O] > Rank[Victim])
-          Victim = O;
-      eject(Victim);
+      int Victim = victimByRank(MRT, Node.Domain, Node.Kind, S, Rank);
+      assert(Victim >= 0 && "no free unit yet no occupants");
+      eject(static_cast<unsigned>(Victim));
       --NumPlaced;
       GotUnit = MRT.tryReserve(Node.Domain, Node.Kind, S, U);
       assert(GotUnit >= 0 && "reservation failed after eviction");
     }
 
-    Placed[U] = true;
+    Placed[U] = 1;
     Slot[U] = S;
     Unit[U] = static_cast<unsigned>(GotUnit);
     LastSlot[U] = S;

@@ -62,6 +62,12 @@ struct SchedulerResult {
 std::optional<std::vector<Rational>>
 computeAsapTimes(const PartitionedGraph &PG, const MachinePlan &Plan);
 
+/// In-place form of computeAsapTimes: fills \p Start and returns false
+/// on an unsatisfiable recurrence. Identical values.
+bool computeAsapTimesInto(std::vector<Rational> &Start,
+                          const PartitionedGraph &PG,
+                          const MachinePlan &Plan);
+
 /// Lower bound on start(Dst) induced by edge \p E when Src starts at
 /// \p SrcStartNs (the Section 2.2 + sync-queue timing rule).
 Rational edgeStartBound(const PartitionedGraph &PG, const MachinePlan &Plan,
@@ -69,14 +75,41 @@ Rational edgeStartBound(const PartitionedGraph &PG, const MachinePlan &Plan,
 
 class TickGraph;
 
+/// Reusable buffers for HeteroModuloScheduler::run. One scheduling run
+/// allocates ~a dozen per-node/per-edge vectors plus the reservation
+/// table; an IT sweep runs the scheduler many times per loop, so sweep
+/// drivers (LoopScheduler via ScheduleScratch) pass one of these and
+/// the steady state stops hitting malloc. Contents carry no information
+/// between runs — results are bit-identical with or without a scratch.
+struct SchedulerScratch {
+  struct TickEntry {
+    unsigned Node;
+    int64_t Slack;
+    int64_t Asap;
+  };
+  struct RatEntry {
+    unsigned Node;
+    Rational Slack;
+    Rational Asap;
+  };
+  std::vector<int64_t> Asap, Alap, EdgeBack, Slot, LastSlot;
+  std::vector<unsigned> Unit, Rank, NodeOfRank;
+  std::vector<uint8_t> Placed;
+  std::vector<uint64_t> ReadyWords;
+  std::vector<TickEntry> TickOrder;
+  std::vector<RatEntry> RatOrder;
+  std::vector<Rational> RatAsap, RatAlap, RatPeriod;
+  ModuloReservationTable MRT;
+};
+
 class HeteroModuloScheduler {
   const MachineDescription &Machine;
   const PartitionedGraph &PG;
   MachinePlan Plan;
   SchedulerOptions Opts;
 
-  SchedulerResult runRational();
-  SchedulerResult runTicks(const TickGraph &T);
+  SchedulerResult runRational(SchedulerScratch &S);
+  SchedulerResult runTicks(const TickGraph &T, SchedulerScratch &S);
 
 public:
   HeteroModuloScheduler(const MachineDescription &M,
@@ -84,7 +117,13 @@ public:
                         const MachinePlan &ThePlan,
                         const SchedulerOptions &O = SchedulerOptions());
 
-  SchedulerResult run();
+  /// Runs the placement loop. \p Ticks: nullptr = lower the plan's tick
+  /// grid internally (the historical behavior); a *valid* TickGraph of
+  /// exactly (Graph, ThePlan) = use it directly; an *invalid* one = the
+  /// caller already proved the plan has no grid, go straight to the
+  /// Rational path. \p Scratch provides reusable buffers (optional).
+  SchedulerResult run(const TickGraph *Ticks = nullptr,
+                      SchedulerScratch *Scratch = nullptr);
 };
 
 } // namespace hcvliw

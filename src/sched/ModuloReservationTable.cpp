@@ -7,8 +7,13 @@
 using namespace hcvliw;
 
 ModuloReservationTable::ModuloReservationTable(const MachineDescription &M,
-                                               const MachinePlan &Plan)
-    : NumClusters(M.numClusters()) {
+                                               const MachinePlan &Plan) {
+  reset(M, Plan);
+}
+
+void ModuloReservationTable::reset(const MachineDescription &M,
+                                   const MachinePlan &Plan) {
+  NumClusters = M.numClusters();
   Tables.resize(NumClusters + 1);
   for (unsigned C = 0; C < NumClusters; ++C) {
     Tables[C].resize(NumFUKinds);
@@ -37,6 +42,29 @@ ModuloReservationTable::tableFor(unsigned Domain, FUKind Kind) {
   KindTable &T = Tables[Domain][static_cast<unsigned>(Kind)];
   assert(T.Units > 0 && "reserving a unit kind this domain lacks");
   return T;
+}
+
+int ModuloReservationTable::reserveFirstFree(unsigned Domain, FUKind Kind,
+                                             int64_t FromSlot, unsigned Node,
+                                             int64_t &GotSlot) {
+  KindTable &T = tableFor(Domain, Kind);
+  int64_t M = FromSlot % T.II;
+  if (M < 0)
+    M += T.II;
+  for (int64_t Off = 0; Off < T.II; ++Off) {
+    for (unsigned U = 0; U < T.Units; ++U) {
+      int &Cell = T.Cells[U * static_cast<size_t>(T.II) +
+                          static_cast<size_t>(M)];
+      if (Cell < 0) {
+        Cell = static_cast<int>(Node);
+        GotSlot = FromSlot + Off;
+        return static_cast<int>(U);
+      }
+    }
+    if (++M == T.II)
+      M = 0;
+  }
+  return -1;
 }
 
 int ModuloReservationTable::tryReserve(unsigned Domain, FUKind Kind,

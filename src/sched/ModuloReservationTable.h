@@ -41,11 +41,34 @@ class ModuloReservationTable {
   KindTable &tableFor(unsigned Domain, FUKind Kind);
 
 public:
+  /// An empty table; reset() before use (scratch-arena form).
+  ModuloReservationTable() = default;
   ModuloReservationTable(const MachineDescription &M, const MachinePlan &Plan);
+
+  /// Re-initializes the table for (\p M, \p Plan), reusing the cell
+  /// buffers of any previous plan (the scheduling sweep resets one
+  /// table per attempt instead of allocating a fresh one).
+  void reset(const MachineDescription &M, const MachinePlan &Plan);
+
+  /// Functional-unit instances of \p Kind in \p Domain.
+  unsigned units(unsigned Domain, FUKind Kind) {
+    return tableFor(Domain, Kind).Units;
+  }
 
   /// Tries to reserve a unit of \p Kind in \p Domain at \p Slot for node
   /// \p Node. Returns the unit index, or -1 when all units are busy.
   int tryReserve(unsigned Domain, FUKind Kind, int64_t Slot, unsigned Node);
+
+  /// First slot S in [FromSlot, FromSlot + II) with a free unit of
+  /// \p Kind in \p Domain, reserving the lowest free unit there for
+  /// \p Node: identical outcome to probing tryReserve slot by slot, but
+  /// with one modulo division total instead of one per probed slot (the
+  /// scan over a nearly-full single-unit table — the saturated bus of
+  /// copy-heavy loops — is the placement loop's hottest stretch).
+  /// Returns the unit and sets \p GotSlot, or -1 when the whole window
+  /// is full (\p GotSlot untouched).
+  int reserveFirstFree(unsigned Domain, FUKind Kind, int64_t FromSlot,
+                       unsigned Node, int64_t &GotSlot);
 
   /// Releases the reservation \p Node holds at \p Slot.
   void release(unsigned Domain, FUKind Kind, int64_t Slot, unsigned Unit,

@@ -3,14 +3,19 @@
 #include "sched/PartitionedGraph.h"
 
 #include <cassert>
-#include <map>
 
 using namespace hcvliw;
 
 void PartitionedGraph::addNode(const PGNode &N) {
   Nodes.push_back(N);
-  OutEdgeIx.emplace_back();
-  InEdgeIx.emplace_back();
+  if (OutEdgeIx.size() < Nodes.size()) {
+    OutEdgeIx.emplace_back();
+    InEdgeIx.emplace_back();
+  } else {
+    // Reused adjacency row (buildInto keeps rows around for capacity).
+    OutEdgeIx[Nodes.size() - 1].clear();
+    InEdgeIx[Nodes.size() - 1].clear();
+  }
 }
 
 void PartitionedGraph::addEdge(const PGEdge &E) {
@@ -35,9 +40,24 @@ PartitionedGraph PartitionedGraph::build(const Loop &L, const DDG &G,
                                          const Partition &P,
                                          unsigned NumClusters,
                                          unsigned BusLatency) {
-  assert(P.size() == G.size() && "partition does not cover the DDG");
   PartitionedGraph PG;
+  buildInto(PG, L, G, Isa, P, NumClusters, BusLatency);
+  return PG;
+}
+
+void PartitionedGraph::buildInto(PartitionedGraph &PG, const Loop &L,
+                                 const DDG &G, const IsaTable &Isa,
+                                 const Partition &P, unsigned NumClusters,
+                                 unsigned BusLatency,
+                                 std::vector<int> *CopyScratch,
+                                 const std::vector<unsigned> *NodeLatencies) {
+  assert(P.size() == G.size() && "partition does not cover the DDG");
   PG.NumClustersVal = NumClusters;
+  PG.Nodes.clear();
+  PG.Edges.clear();
+  // Adjacency rows are kept at the largest node count ever built into
+  // this object (rows keep their capacity across builds; addNode clears
+  // a row when it reuses one).
 
   for (unsigned I = 0; I < G.size(); ++I) {
     assert(P.cluster(I) < NumClusters && "cluster id out of range");
@@ -50,17 +70,26 @@ PartitionedGraph PartitionedGraph::build(const Loop &L, const DDG &G,
     PG.addNode(N);
   }
 
-  std::vector<unsigned> NodeLat = Isa.nodeLatencies(L);
+  std::vector<unsigned> LocalLat;
+  if (!NodeLatencies) {
+    Isa.nodeLatenciesInto(LocalLat, L);
+    NodeLatencies = &LocalLat;
+  }
+  const std::vector<unsigned> &NodeLat = *NodeLatencies;
+  assert(NodeLat.size() == G.size() && "latency vector does not match");
 
   // One copy per (produced value, destination cluster); consumers at
   // different distances share it (the copy follows the producer at
-  // distance 0; each consumer keeps its original distance).
-  std::map<std::pair<unsigned, unsigned>, unsigned> CopyIx;
+  // distance 0; each consumer keeps its original distance). The flat
+  // index table replaces the old std::map: same lookup semantics, no
+  // per-copy node allocation.
+  std::vector<int> LocalCopyIx;
+  std::vector<int> &CopyIx = CopyScratch ? *CopyScratch : LocalCopyIx;
+  CopyIx.assign(static_cast<size_t>(G.size()) * NumClusters, -1);
   auto copyFor = [&](unsigned Value, unsigned DstCluster) -> unsigned {
-    auto Key = std::make_pair(Value, DstCluster);
-    auto It = CopyIx.find(Key);
-    if (It != CopyIx.end())
-      return It->second;
+    int &Slot = CopyIx[static_cast<size_t>(Value) * NumClusters + DstCluster];
+    if (Slot >= 0)
+      return static_cast<unsigned>(Slot);
     PGNode C;
     C.Domain = PG.busDomain();
     C.Op = Opcode::Copy;
@@ -72,7 +101,7 @@ PartitionedGraph PartitionedGraph::build(const Loop &L, const DDG &G,
     PG.addNode(C);
     PG.addEdge({Value, Ix, /*Distance=*/0, /*LatencyCycles=*/NodeLat[Value],
                 /*CarriesValue=*/true});
-    CopyIx.emplace(Key, Ix);
+    Slot = static_cast<int>(Ix);
     return Ix;
   };
 
@@ -87,5 +116,4 @@ PartitionedGraph PartitionedGraph::build(const Loop &L, const DDG &G,
     PG.addEdge({C, E.Dst, E.Distance, /*LatencyCycles=*/BusLatency,
                 /*CarriesValue=*/true});
   }
-  return PG;
 }

@@ -68,6 +68,19 @@ public:
                                 const IsaTable &Isa, const Partition &P,
                                 unsigned NumClusters, unsigned BusLatency);
 
+  /// In-place form of build: reuses \p PG's node/edge/adjacency buffers
+  /// and (when given) \p CopyScratch, a flat (value, cluster) -> copy
+  /// index table sized G.size() * NumClusters, and \p NodeLatencies,
+  /// the Isa.nodeLatencies(L) vector callers usually already hold. The
+  /// partitioner scores hundreds of candidate assignments per loop and
+  /// the Figure 5 driver rebuilds per attempt; this keeps all of that
+  /// allocation-free in steady state. Identical output to build().
+  static void buildInto(PartitionedGraph &PG, const Loop &L, const DDG &G,
+                        const IsaTable &Isa, const Partition &P,
+                        unsigned NumClusters, unsigned BusLatency,
+                        std::vector<int> *CopyScratch = nullptr,
+                        const std::vector<unsigned> *NodeLatencies = nullptr);
+
   unsigned numClusters() const { return NumClustersVal; }
   unsigned busDomain() const { return NumClustersVal; }
   unsigned size() const { return static_cast<unsigned>(Nodes.size()); }

@@ -2,7 +2,6 @@
 
 #include "sched/PseudoScheduler.h"
 #include "sched/HeteroModuloScheduler.h"
-#include "sched/TickGraph.h"
 
 #include <algorithm>
 #include <cassert>
@@ -12,8 +11,28 @@ using namespace hcvliw;
 PseudoSchedule hcvliw::estimatePseudoSchedule(const Loop &L, const DDG &G,
                                               const MachineDescription &M,
                                               const MachinePlan &Plan,
-                                              const Partition &P) {
+                                              const Partition &P,
+                                              PseudoScratch *Scratch) {
   PseudoSchedule PS;
+  estimatePseudoScheduleInto(PS, L, G, M, Plan, P, Scratch);
+  return PS;
+}
+
+void hcvliw::estimatePseudoScheduleInto(PseudoSchedule &PS, const Loop &L,
+                                        const DDG &G,
+                                        const MachineDescription &M,
+                                        const MachinePlan &Plan,
+                                        const Partition &P,
+                                        PseudoScratch *Scratch) {
+  PseudoScratch Local;
+  PseudoScratch &S = Scratch ? *Scratch : Local;
+
+  // Reset every field (PS may be a reused scratch result).
+  PS.Feasible = false;
+  PS.Reason.clear();
+  PS.Overflow = 0;
+  PS.Comms = 0;
+  PS.ItLengthNs = Rational(0);
   unsigned NC = M.numClusters();
   PS.WInsPerCluster.assign(NC, 0.0);
   PS.LifetimeProxy.assign(NC, 0);
@@ -24,36 +43,38 @@ PseudoSchedule hcvliw::estimatePseudoSchedule(const Loop &L, const DDG &G,
     PS.Overflow += Amount;
   };
 
-  // Per-cluster, per-kind capacity at the plan's IIs.
-  std::vector<std::vector<unsigned>> Counts(NC,
-                                            std::vector<unsigned>(NumFUKinds,
-                                                                  0));
+  // Per-cluster, per-kind capacity at the plan's IIs (flat scratch
+  // accumulator: Counts[C * NumFUKinds + K]).
+  std::vector<unsigned> &Counts = S.Counts;
+  Counts.assign(static_cast<size_t>(NC) * NumFUKinds, 0);
   for (unsigned I = 0; I < G.size(); ++I) {
     unsigned C = P.cluster(I);
-    ++Counts[C][static_cast<unsigned>(fuKindOf(L.Ops[I].Op))];
+    ++Counts[C * NumFUKinds + static_cast<unsigned>(fuKindOf(L.Ops[I].Op))];
     PS.WInsPerCluster[C] += M.Isa.energy(L.Ops[I].Op);
   }
   for (unsigned C = 0; C < NC; ++C)
     for (unsigned K = 0; K < NumFUKinds; ++K) {
       FUKind Kind = static_cast<FUKind>(K);
-      if (Kind == FUKind::Bus || Counts[C][K] == 0)
+      unsigned Cnt = Counts[C * NumFUKinds + K];
+      if (Kind == FUKind::Bus || Cnt == 0)
         continue;
       int64_t Slots = Plan.Clusters[C].II *
                       static_cast<int64_t>(M.Clusters[C].fuCount(Kind));
       if (Slots <= 0) {
-        flag("cluster capacity exceeded", Counts[C][K]);
+        flag("cluster capacity exceeded", Cnt);
         continue;
       }
-      if (static_cast<int64_t>(Counts[C][K]) > Slots)
+      if (static_cast<int64_t>(Cnt) > Slots)
         flag("cluster capacity exceeded",
-             (static_cast<double>(Counts[C][K]) -
-              static_cast<double>(Slots)) /
+             (static_cast<double>(Cnt) - static_cast<double>(Slots)) /
                  static_cast<double>(Slots));
     }
 
   // Materialize copies and check bus capacity.
-  PartitionedGraph PG =
-      PartitionedGraph::build(L, G, M.Isa, P, NC, M.BusLatency);
+  M.Isa.nodeLatenciesInto(S.NodeLat, L);
+  PartitionedGraph::buildInto(S.PG, L, G, M.Isa, P, NC, M.BusLatency,
+                              &S.CopySlots, &S.NodeLat);
+  const PartitionedGraph &PG = S.PG;
   PS.Comms = PG.numCopies();
   int64_t BusSlots = Plan.Bus.II * static_cast<int64_t>(M.Buses);
   if (static_cast<int64_t>(PS.Comms) > BusSlots)
@@ -65,9 +86,9 @@ PseudoSchedule hcvliw::estimatePseudoSchedule(const Loop &L, const DDG &G,
   // on the plan's integer tick grid when it has one (this estimate runs
   // once per refinement candidate, so it is the partitioner's hottest
   // clock math), through Rational otherwise. Both are exact and agree.
-  if (auto T = TickGraph::build(PG, Plan)) {
-    auto Asap = T->computeAsapTicks();
-    if (!Asap) {
+  if (TickGraph::buildInto(S.Ticks, PG, Plan)) {
+    const TickGraph &T = S.Ticks;
+    if (!T.computeAsapTicksInto(S.Asap)) {
       // No usable gradient for an unsatisfiable cycle: dominate every
       // capacity violation so refinement prefers fixing the recurrence.
       flag("recurrence infeasible", 1e3);
@@ -75,10 +96,10 @@ PseudoSchedule hcvliw::estimatePseudoSchedule(const Loop &L, const DDG &G,
       int64_t End = 0;
       for (unsigned N = 0; N < PG.size(); ++N)
         End = std::max(End,
-                       (*Asap)[N] +
+                       S.Asap[N] +
                            static_cast<int64_t>(PG.node(N).LatencyCycles) *
-                               T->periodTicks(N));
-      PS.ItLengthNs = T->grid().toNs(End);
+                               T.periodTicks(N));
+      PS.ItLengthNs = T.grid().toNs(End);
     }
   } else {
     auto Asap = computeAsapTimes(PG, Plan);
@@ -127,5 +148,4 @@ PseudoSchedule hcvliw::estimatePseudoSchedule(const Loop &L, const DDG &G,
   }
 
   PS.Feasible = PS.Reason.empty();
-  return PS;
 }

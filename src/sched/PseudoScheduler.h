@@ -19,6 +19,7 @@
 
 #include "sched/PartitionedGraph.h"
 #include "sched/Schedule.h"
+#include "sched/TickGraph.h"
 
 #include <string>
 #include <vector>
@@ -44,11 +45,36 @@ struct PseudoSchedule {
   std::vector<int64_t> LifetimeProxy;
 };
 
+/// Reusable buffers for estimatePseudoSchedule. Partition refinement
+/// scores one pseudo-schedule per candidate move — hundreds per loop —
+/// and each estimate materializes a PartitionedGraph plus a tick
+/// lowering; with a scratch, the whole refinement runs allocation-free
+/// in steady state. Contents carry nothing between calls.
+struct PseudoScratch {
+  PartitionedGraph PG;
+  std::vector<int> CopySlots;
+  std::vector<unsigned> NodeLat;
+  TickGraph Ticks;
+  std::vector<int64_t> Asap;
+  std::vector<unsigned> Counts; ///< flat [cluster][kind] op counts
+  PseudoSchedule Result;        ///< reused by scorePartition
+};
+
 /// Estimates the schedule quality of \p P for \p L under \p Plan.
+/// \p Scratch provides reusable buffers (optional; identical results).
 PseudoSchedule estimatePseudoSchedule(const Loop &L, const DDG &G,
                                       const MachineDescription &M,
                                       const MachinePlan &Plan,
-                                      const Partition &P);
+                                      const Partition &P,
+                                      PseudoScratch *Scratch = nullptr);
+
+/// In-place form: writes the estimate into \p PS, reusing its vectors
+/// (refinement scores hundreds of candidates; with this plus a scratch
+/// the whole scoring loop is allocation-free in steady state).
+void estimatePseudoScheduleInto(PseudoSchedule &PS, const Loop &L,
+                                const DDG &G, const MachineDescription &M,
+                                const MachinePlan &Plan, const Partition &P,
+                                PseudoScratch *Scratch = nullptr);
 
 } // namespace hcvliw
 

@@ -18,15 +18,6 @@ bool RegisterPressureResult::fits(const MachineDescription &M) const {
 
 namespace {
 
-/// One value's register occupation: [DefSlot, DefSlot + Len) in cluster
-/// \p Home's slot space. Both the tick and the Rational path reduce a
-/// node to this triple; the modulo accumulation below is shared.
-struct Lifetime {
-  unsigned Home;
-  int64_t DefSlot;
-  int64_t Len;
-};
-
 /// True when node \p N defines a register and, for copies, resolves the
 /// (unique) consumer cluster the payload lands in. Shared between the
 /// two arithmetic paths so they classify nodes identically.
@@ -62,19 +53,31 @@ bool valueHome(const PartitionedGraph &PG, unsigned N, unsigned &Home,
 
 RegisterPressureResult
 hcvliw::computeRegisterPressure(const PartitionedGraph &PG, const Schedule &S,
-                                bool UseTickGrid) {
+                                bool UseTickGrid, const TickGraph *Ticks,
+                                PressureScratch *Scratch) {
   unsigned NC = PG.numClusters();
   RegisterPressureResult R;
   R.MaxLive.assign(NC, 0);
   R.SumLifetimes.assign(NC, 0);
 
-  std::optional<TickGraph> T;
-  if (UseTickGrid)
-    T = TickGraph::build(PG, S.Plan);
+  std::optional<TickGraph> Own;
+  const TickGraph *T = nullptr;
+  if (UseTickGrid) {
+    if (Ticks && Ticks->valid()) {
+      T = Ticks;
+    } else if (!Ticks) {
+      Own = TickGraph::build(PG, S.Plan);
+      if (Own)
+        T = &*Own;
+    }
+  }
 
   // A node's value occupies a register in cluster Home from its write
   // time until the latest read among its value-carrying out-edges.
-  std::vector<Lifetime> Lifetimes;
+  PressureScratch Local;
+  PressureScratch &SS = Scratch ? *Scratch : Local;
+  std::vector<RegLifetime> &Lifetimes = SS.Lifetimes;
+  Lifetimes.clear();
   Lifetimes.reserve(PG.size());
   for (unsigned N = 0; N < PG.size(); ++N) {
     unsigned Home;
@@ -139,10 +142,11 @@ hcvliw::computeRegisterPressure(const PartitionedGraph &PG, const Schedule &S,
   // Per-cluster modulo pressure accumulators: a lifetime of Len cycles
   // adds floor(Len / II) at every modulo slot plus one over Len mod II
   // slots starting at the def.
-  std::vector<std::vector<int64_t>> Pressure(NC);
+  std::vector<std::vector<int64_t>> &Pressure = SS.Pressure;
+  Pressure.resize(NC);
   for (unsigned C = 0; C < NC; ++C)
     Pressure[C].assign(static_cast<size_t>(S.Plan.Clusters[C].II), 0);
-  for (const Lifetime &L : Lifetimes) {
+  for (const RegLifetime &L : Lifetimes) {
     int64_t II = S.Plan.Clusters[L.Home].II;
     int64_t Full = L.Len / II;
     int64_t Rem = L.Len % II;

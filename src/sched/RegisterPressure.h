@@ -21,6 +21,8 @@
 
 namespace hcvliw {
 
+class TickGraph;
+
 struct RegisterPressureResult {
   /// Peak live values per cluster.
   std::vector<int64_t> MaxLive;
@@ -31,12 +33,34 @@ struct RegisterPressureResult {
   bool fits(const MachineDescription &M) const;
 };
 
+/// One value's register occupation: [DefSlot, DefSlot + Len) in cluster
+/// Home's slot space (exposed for the scratch buffers below).
+struct RegLifetime {
+  unsigned Home;
+  int64_t DefSlot;
+  int64_t Len;
+};
+
+/// Reusable buffers for computeRegisterPressure: the Figure 5 driver
+/// computes pressure once per scheduling attempt, so sweep drivers pass
+/// one scratch object instead of reallocating the lifetime list and the
+/// per-cluster modulo accumulators every time.
+struct PressureScratch {
+  std::vector<RegLifetime> Lifetimes;
+  std::vector<std::vector<int64_t>> Pressure;
+};
+
 /// Computes pressure on the plan's integer tick grid when it has one
 /// (\p UseTickGrid, the default), falling back to the exact Rational
-/// arithmetic otherwise; both forms are bit-identical.
+/// arithmetic otherwise; both forms are bit-identical. \p Ticks, when
+/// non-null, must be the lowered (PG, S.Plan) pair and saves the
+/// internal TickGraph build; \p Scratch provides reusable buffers.
 RegisterPressureResult computeRegisterPressure(const PartitionedGraph &PG,
                                                const Schedule &S,
-                                               bool UseTickGrid = true);
+                                               bool UseTickGrid = true,
+                                               const TickGraph *Ticks = nullptr,
+                                               PressureScratch *Scratch =
+                                                   nullptr);
 
 } // namespace hcvliw
 

@@ -34,9 +34,17 @@ std::string hcvliw::validateSchedule(const MachineDescription &M,
   // Dependences under the exact timing rule -- on the plan's tick grid
   // when it has one (the same rule scaled by an exact common
   // denominator), through Rational otherwise.
-  std::optional<TickGraph> T;
-  if (Opts.UseTickGrid)
-    T = TickGraph::build(PG, S.Plan);
+  std::optional<TickGraph> Own;
+  const TickGraph *T = nullptr;
+  if (Opts.UseTickGrid) {
+    if (Opts.Ticks && Opts.Ticks->valid()) {
+      T = Opts.Ticks;
+    } else if (!Opts.Ticks) {
+      Own = TickGraph::build(PG, S.Plan);
+      if (Own)
+        T = &*Own;
+    }
+  }
   for (unsigned EIx = 0; EIx < PG.edges().size(); ++EIx) {
     const PGEdge &E = PG.edge(EIx);
     bool Violated;
@@ -76,7 +84,7 @@ std::string hcvliw::validateSchedule(const MachineDescription &M,
 
   if (Opts.CheckRegisterPressure) {
     RegisterPressureResult R =
-        computeRegisterPressure(PG, S, Opts.UseTickGrid);
+        computeRegisterPressure(PG, S, Opts.UseTickGrid, Opts.Ticks);
     for (unsigned C = 0; C < PG.numClusters(); ++C)
       if (R.MaxLive[C] > static_cast<int64_t>(M.Clusters[C].Registers))
         return formatString("cluster %u: MaxLive %lld exceeds %u registers",

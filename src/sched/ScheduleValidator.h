@@ -19,11 +19,17 @@
 
 namespace hcvliw {
 
+class TickGraph;
+
 struct ValidatorOptions {
   bool CheckRegisterPressure = true;
   /// Check dependences on the plan's integer tick grid when it has one
   /// (bit-identical to the Rational rule, which remains the fallback).
   bool UseTickGrid = true;
+  /// Optional prebuilt tick view of the (PG, S.Plan) pair being
+  /// validated: the driver already lowered one for the scheduler, so
+  /// passing it here saves a redundant TickGraph build per attempt.
+  const TickGraph *Ticks = nullptr;
 };
 
 /// Returns an empty string when the schedule is valid, else a

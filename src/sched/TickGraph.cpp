@@ -6,13 +6,20 @@ using namespace hcvliw;
 
 std::optional<TickGraph> TickGraph::build(const PartitionedGraph &Graph,
                                           const MachinePlan &Plan) {
-  PlanGrid Grid = PlanGrid::compute(Plan);
-  if (!Grid.valid())
-    return std::nullopt;
-
   TickGraph T;
+  if (!buildInto(T, Graph, Plan))
+    return std::nullopt;
+  return T;
+}
+
+bool TickGraph::buildInto(TickGraph &T, const PartitionedGraph &Graph,
+                          const MachinePlan &Plan) {
+  PlanGrid::computeInto(T.Grid, Plan);
+  if (!T.Grid.valid()) {
+    T.PG = nullptr;
+    return false;
+  }
   T.PG = &Graph;
-  T.Grid = Grid;
 
   unsigned N = Graph.size();
   unsigned Bus = Graph.busDomain();
@@ -20,7 +27,7 @@ std::optional<TickGraph> TickGraph::build(const PartitionedGraph &Graph,
   T.IIsVec.resize(N);
   for (unsigned I = 0; I < N; ++I) {
     unsigned D = Graph.node(I).Domain;
-    T.PeriodTicksVec[I] = Grid.periodTicks(D, Bus);
+    T.PeriodTicksVec[I] = T.Grid.periodTicks(D, Bus);
     T.IIsVec[I] = D == Bus ? Plan.Bus.II : Plan.Clusters[D].II;
   }
 
@@ -32,33 +39,58 @@ std::optional<TickGraph> TickGraph::build(const PartitionedGraph &Graph,
     T.EdgeLatTicks[E] = static_cast<int64_t>(Edge.LatencyCycles) *
                         T.PeriodTicksVec[Edge.Src];
     T.EdgeDistTicks[E] =
-        static_cast<int64_t>(Edge.Distance) * Grid.itTicks();
+        static_cast<int64_t>(Edge.Distance) * T.Grid.itTicks();
   }
-  return T;
+  return true;
 }
 
 std::optional<std::vector<int64_t>> TickGraph::computeAsapTicks() const {
+  std::vector<int64_t> Start;
+  if (!computeAsapTicksInto(Start))
+    return std::nullopt;
+  return Start;
+}
+
+bool TickGraph::computeAsapTicksInto(std::vector<int64_t> &Start) const {
   unsigned N = PG->size();
-  std::vector<int64_t> Start(N, 0);
-  // Longest-path fixpoint; with V nodes, a change in round V proves an
-  // unsatisfiable (positive) dependence cycle for this IT. Mirrors the
-  // Rational computeAsapTimes round for round.
-  for (unsigned Round = 0; Round <= N; ++Round) {
-    bool Changed = false;
-    for (unsigned EIx = 0; EIx < PG->edges().size(); ++EIx) {
-      const PGEdge &E = PG->edge(EIx);
-      int64_t Bound = edgeStartBound(EIx, Start[E.Src]);
-      if (Start[E.Dst] < Bound) {
-        // Starts are slot-aligned: round the bound up to the domain tick.
-        int64_t Aligned = alignUpToTick(Bound, PeriodTicksVec[E.Dst]);
-        if (Start[E.Dst] < Aligned) {
-          Start[E.Dst] = Aligned;
-          Changed = true;
+  Start.assign(N, 0);
+  // Longest-path fixpoint as a FIFO worklist in waves: wave k relaxes
+  // the out-edges of nodes raised in wave k-1, so each edge is visited
+  // only when its source actually changed (the round-based reference
+  // rescans every edge every round). The least fixpoint of a monotone
+  // relaxation is unique, so the values are identical to the reference;
+  // and a change in wave N still proves an unsatisfiable (positive)
+  // dependence cycle — a justification chain of more than N edges must
+  // revisit a node, exactly the reference's change-in-round-N argument.
+  WaveCur.resize(N);
+  for (unsigned I = 0; I < N; ++I)
+    WaveCur[I] = I;
+  InWave.assign(N, 0);
+  WaveNext.clear();
+  for (unsigned Wave = 0; Wave <= N; ++Wave) {
+    for (unsigned V : WaveCur) {
+      InWave[V] = 0;
+      for (unsigned EIx : PG->outEdges(V)) {
+        const PGEdge &E = PG->edge(EIx);
+        int64_t Bound = edgeStartBound(EIx, Start[V]);
+        if (Start[E.Dst] < Bound) {
+          // Starts are slot-aligned: round the bound up to the domain
+          // tick.
+          int64_t Aligned = alignUpToTick(Bound, PeriodTicksVec[E.Dst]);
+          if (Start[E.Dst] < Aligned) {
+            Start[E.Dst] = Aligned;
+            if (!InWave[E.Dst]) {
+              InWave[E.Dst] = 1;
+              WaveNext.push_back(E.Dst);
+            }
+          }
         }
       }
     }
-    if (!Changed)
-      return Start;
+    if (WaveNext.empty())
+      return true;
+    WaveCur.swap(WaveNext);
+    WaveNext.clear();
   }
-  return std::nullopt;
+  return false;
 }

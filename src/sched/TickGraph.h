@@ -38,12 +38,28 @@ class TickGraph {
   std::vector<int64_t> IIsVec;         ///< per node
   std::vector<int64_t> EdgeLatTicks;   ///< per edge: latency * period(src)
   std::vector<int64_t> EdgeDistTicks;  ///< per edge: distance * IT
+  /// Worklist buffers of computeAsapTicksInto, reused across calls (a
+  /// TickGraph lives in a per-thread scratch arena; mutable because the
+  /// fixpoint is logically const).
+  mutable std::vector<unsigned> WaveCur, WaveNext;
+  mutable std::vector<uint8_t> InWave;
 
 public:
   /// Lowers \p Graph under \p Plan; std::nullopt when the plan has no
   /// valid grid (LCM overflow) and callers must take the Rational path.
   static std::optional<TickGraph> build(const PartitionedGraph &Graph,
                                         const MachinePlan &Plan);
+
+  /// In-place form of build: reuses \p T's per-node/per-edge vectors.
+  /// Returns false (leaving T invalid) when the plan has no valid grid.
+  /// The scheduling chain lowers one TickGraph per (partition, IT)
+  /// attempt, so sweep drivers pass one scratch object instead of
+  /// reallocating the four vectors every attempt.
+  static bool buildInto(TickGraph &T, const PartitionedGraph &Graph,
+                        const MachinePlan &Plan);
+
+  /// Whether this object holds a lowered graph (buildInto succeeded).
+  bool valid() const { return PG != nullptr && Grid.valid(); }
 
   const PlanGrid &grid() const { return Grid; }
   const PartitionedGraph &graph() const { return *PG; }
@@ -70,6 +86,11 @@ public:
   /// Tick form of hcvliw::computeAsapTimes: earliest starts ignoring
   /// resources, or std::nullopt when the recurrence cannot meet the IT.
   std::optional<std::vector<int64_t>> computeAsapTicks() const;
+
+  /// In-place form of computeAsapTicks: fills \p Start (resized to the
+  /// node count) and returns false when the recurrence cannot meet the
+  /// IT. Identical values to computeAsapTicks.
+  bool computeAsapTicksInto(std::vector<int64_t> &Start) const;
 };
 
 } // namespace hcvliw

@@ -1,0 +1,113 @@
+//===- tests/runtime/ArenaSuiteTest.cpp - Arenas are inert under threads ----===//
+//
+// The per-worker ScheduleScratch arenas (Session::scheduleScratchPool)
+// must be invisible in results: a full SPECfp suite run — which routes
+// every per-loop schedule through a thread-keyed arena — is
+// bit-identical for Threads in {1, 2, 4}, and identical to the
+// standalone (arena-per-call) pipeline. Also pins that the arenas were
+// actually exercised (the pool saw at least one thread) and that the
+// measurement layer's per-IT failure detail reaches SuiteFailure
+// records.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+/// The measured fields the arenas could plausibly corrupt: every
+/// per-loop schedule-derived number, compared bitwise.
+void expectSameMeasured(const SuiteResult &A, const SuiteResult &B) {
+  ASSERT_EQ(A.Names, B.Names);
+  ASSERT_EQ(A.Failures.size(), B.Failures.size());
+  ASSERT_EQ(A.Details.size(), B.Details.size());
+  for (size_t I = 0; I < A.Details.size(); ++I) {
+    const ProgramRunResult &X = A.Details[I], &Y = B.Details[I];
+    EXPECT_EQ(X.ED2Ratio, Y.ED2Ratio) << X.Name;
+    EXPECT_EQ(X.HetMeasured.TexecNs, Y.HetMeasured.TexecNs) << X.Name;
+    EXPECT_EQ(X.HetMeasured.Energy, Y.HetMeasured.Energy) << X.Name;
+    EXPECT_EQ(X.HetMeasured.ED2, Y.HetMeasured.ED2) << X.Name;
+    EXPECT_EQ(X.HomMeasured.TexecNs, Y.HomMeasured.TexecNs) << X.Name;
+    EXPECT_EQ(X.HomMeasured.ED2, Y.HomMeasured.ED2) << X.Name;
+    EXPECT_EQ(X.HetMeasured.SchedPlacements, Y.HetMeasured.SchedPlacements)
+        << X.Name;
+    EXPECT_EQ(X.HetMeasured.SchedEjections, Y.HetMeasured.SchedEjections)
+        << X.Name;
+    EXPECT_EQ(X.HetMeasured.SchedBudgetUsed, Y.HetMeasured.SchedBudgetUsed)
+        << X.Name;
+    EXPECT_EQ(X.HetMeasured.SchedITSteps, Y.HetMeasured.SchedITSteps)
+        << X.Name;
+    ASSERT_EQ(X.HetMeasured.Loops.size(), Y.HetMeasured.Loops.size());
+    for (size_t L = 0; L < X.HetMeasured.Loops.size(); ++L) {
+      EXPECT_EQ(X.HetMeasured.Loops[L].ITNs, Y.HetMeasured.Loops[L].ITNs);
+      EXPECT_EQ(X.HetMeasured.Loops[L].TexecNs,
+                Y.HetMeasured.Loops[L].TexecNs);
+      EXPECT_EQ(X.HetMeasured.Loops[L].Comms, Y.HetMeasured.Loops[L].Comms);
+    }
+  }
+}
+
+TEST(ArenaSuite, SuiteBitIdenticalForThreadCountsWithArenas) {
+  PipelineOptions Opts;
+  SuiteResult Serial;
+  {
+    Session S(Opts, 1);
+    Serial = SuiteRunner(S).runSpecFP();
+    // The suite really scheduled through the session arenas.
+    EXPECT_GE(S.scheduleScratchPool().threadsSeen(), 1u);
+  }
+  ASSERT_EQ(Serial.Names.size(), 10u);
+  EXPECT_TRUE(Serial.Failures.empty());
+  for (unsigned Threads : {2u, 4u}) {
+    Session S(Opts, Threads);
+    SuiteResult Par = SuiteRunner(S).runSpecFP();
+    expectSameMeasured(Serial, Par);
+    EXPECT_GE(S.scheduleScratchPool().threadsSeen(), 1u);
+    EXPECT_LE(S.scheduleScratchPool().threadsSeen(),
+              static_cast<size_t>(Threads));
+  }
+}
+
+TEST(ArenaSuite, SessionArenasMatchStandalonePipeline) {
+  // The standalone pipeline uses a fresh local arena per measurement;
+  // the session pipeline reuses per-worker arenas across programs and
+  // measurements. Same numbers either way.
+  PipelineOptions Opts;
+  HeterogeneousPipeline Standalone(Opts);
+  Session S(Opts, 2);
+  for (const char *Name : {"171.swim", "178.galgel", "200.sixtrack"}) {
+    auto A = Standalone.runProgram(buildSpecFPProgram(Name));
+    auto B = S.pipeline().runProgram(buildSpecFPProgram(Name));
+    ASSERT_TRUE(A.has_value() && B.has_value()) << Name;
+    EXPECT_EQ(A->ED2Ratio, B->ED2Ratio) << Name;
+    EXPECT_EQ(A->HetMeasured.ED2, B->HetMeasured.ED2) << Name;
+    EXPECT_EQ(A->HomMeasured.ED2, B->HomMeasured.ED2) << Name;
+    EXPECT_EQ(A->HetMeasured.SchedPlacements, B->HetMeasured.SchedPlacements)
+        << Name;
+  }
+}
+
+TEST(ArenaSuite, MeasurementFailureCarriesPerITDetail) {
+  // A loop the measurement stage cannot schedule within one IT step:
+  // the SuiteFailure reason must name the loop and the per-IT stage
+  // failures, not just a count.
+  PipelineOptions Opts;
+  Opts.MaxITSteps = 0;
+  Opts.MenuSize = 2; // coarse menu: recurrences regularly miss step 0
+  Session S(Opts, 2);
+  SuiteResult R = SuiteRunner(S).runSpecFP();
+  // Not every program fails under this regime; whichever does must
+  // carry the aggregated detail.
+  for (const SuiteFailure &F : R.Failures) {
+    if (F.Stage != PipelineStage::Measurement)
+      continue;
+    EXPECT_NE(F.Reason.find("IT+"), std::string::npos) << F.Reason;
+    EXPECT_NE(F.Reason.find("unschedulable"), std::string::npos) << F.Reason;
+  }
+}
+
+} // namespace
