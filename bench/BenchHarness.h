@@ -10,17 +10,21 @@
 ///     loop silently dropped failed programs),
 ///   - BenchReporter: every bench binary emits a machine-readable
 ///     BENCH_<name>.json (wall-clock, mean ED2 ratio, per-series
-///     means, extra metrics, and the session cache statistics —
+///     means, extra metrics, the session cache statistics —
 ///     EvalCache timing/selection and ScheduleCache hit/miss counters
-///     per series) so the performance trajectory of the repository is
-///     diffable run over run. The output directory is $BENCH_JSON_DIR
-///     when set, else the working directory.
+///     per series — plus the build provenance stamp and the session
+///     metrics-registry snapshot per series) so the performance
+///     trajectory of the repository is diffable and attributable run
+///     over run. The output directory is $BENCH_JSON_DIR when set,
+///     else the working directory.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HCVLIW_BENCH_BENCHHARNESS_H
 #define HCVLIW_BENCH_BENCHHARNESS_H
 
+#include "obs/AllocHook.h"
+#include "obs/BuildInfo.h"
 #include "runtime/SuiteRunner.h"
 #include "support/Stats.h"
 #include "support/StrUtil.h"
@@ -38,10 +42,13 @@
 //===----------------------------------------------------------------------===//
 // Allocation counter. Every bench binary is a single translation unit
 // including this header once, so the (deliberately non-inline)
-// replacement operator new/delete definitions below are well-formed per
-// binary and count *every* heap allocation the bench performs — the
-// metric behind "allocations per schedule" in the BENCH json (and the
-// top-level "alloc_count" BenchReporter emits for every bench).
+// replacement operator new/delete definitions the macro below expands
+// are well-formed per binary and count *every* heap allocation the
+// bench performs — the metric behind "allocations per schedule" in the
+// BENCH json (and the top-level "alloc_count" BenchReporter emits for
+// every bench). The macro also installs the counter into the obs
+// layer, so span traces recorded by benches carry per-span alloc
+// deltas.
 //===----------------------------------------------------------------------===//
 
 namespace hcvliw {
@@ -53,17 +60,7 @@ inline uint64_t benchAllocCount() {
 }
 } // namespace hcvliw
 
-void *operator new(std::size_t Sz) {
-  hcvliw::BenchAllocCounter.fetch_add(1, std::memory_order_relaxed);
-  if (void *P = std::malloc(Sz ? Sz : 1))
-    return P;
-  std::abort(); // benches never install new_handlers
-}
-void *operator new[](std::size_t Sz) { return ::operator new(Sz); }
-void operator delete(void *P) noexcept { std::free(P); }
-void operator delete[](void *P) noexcept { std::free(P); }
-void operator delete(void *P, std::size_t) noexcept { std::free(P); }
-void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+HCVLIW_INSTRUMENT_ALLOCS(hcvliw::BenchAllocCounter)
 
 namespace hcvliw {
 
@@ -86,11 +83,14 @@ inline std::vector<std::string> headerRow(const SuiteResult &R,
   return H;
 }
 
-/// Prints every structured failure record; returns true when any.
+/// Prints every structured failure record (with the failing stage's
+/// wall time, so timeout-shaped failures read differently from logic
+/// failures); returns true when any.
 inline bool reportFailures(const SuiteResult &R) {
   for (const SuiteFailure &F : R.Failures)
-    std::fprintf(stderr, "error: %s failed at %s: %s\n", F.Program.c_str(),
-                 pipelineStageName(F.Stage), F.Reason.c_str());
+    std::fprintf(stderr, "error: %s failed at %s after %.1f ms: %s\n",
+                 F.Program.c_str(), pipelineStageName(F.Stage),
+                 F.StageWallMs, F.Reason.c_str());
   return !R.Failures.empty();
 }
 
@@ -128,6 +128,9 @@ class BenchReporter {
   std::vector<std::pair<std::string, double>> Series; ///< label, mean ED2
   std::vector<std::pair<std::string, double>> Metrics; ///< free-form extras
   std::vector<CacheStats> Caches; ///< per-series cache counters
+  /// Per-series obs::MetricsRegistry snapshots, pre-rendered as JSON
+  /// (label, snapshot) — the "obs" object of the BENCH json.
+  std::vector<std::pair<std::string, std::string>> ObsSnapshots;
 
   static void appendJsonString(std::string &Out, const std::string &S) {
     Out += '"';
@@ -165,6 +168,9 @@ public:
     C.SchedBudgetUsed = S.scheduleCache().budgetUsed();
     C.SchedITSteps = S.scheduleCache().itSteps();
     Caches.push_back(std::move(C));
+    // The full registry snapshot rides along: stage wall-time
+    // histograms, cache gauges, whatever the series recorded.
+    ObsSnapshots.emplace_back(Label, S.metricsSnapshot().json());
   }
 
   /// Writes BENCH_<name>.json; returns false (and warns) on IO errors.
@@ -179,6 +185,9 @@ public:
 
     std::string J = "{\n  \"bench\": ";
     appendJsonString(J, Name);
+    // Provenance: which build produced this artifact (committed
+    // baselines are only comparable when attributable).
+    J += ",\n  \"build\": " + obs::buildInfoJson();
     J += formatString(",\n  \"wall_ms\": %.3f", WallMs);
     J += formatString(",\n  \"alloc_count\": %llu",
                       static_cast<unsigned long long>(benchAllocCount()));
@@ -227,6 +236,13 @@ public:
                         static_cast<unsigned long long>(C.SchedITSteps));
     }
     J += Caches.empty() ? "}" : "\n  }";
+    J += ",\n  \"obs\": {";
+    for (size_t I = 0; I < ObsSnapshots.size(); ++I) {
+      J += I ? ",\n    " : "\n    ";
+      appendJsonString(J, ObsSnapshots[I].first);
+      J += ": " + ObsSnapshots[I].second;
+    }
+    J += ObsSnapshots.empty() ? "}" : "\n  }";
     J += "\n}\n";
 
     const char *Dir = std::getenv("BENCH_JSON_DIR");

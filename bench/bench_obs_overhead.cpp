@@ -1,0 +1,221 @@
+//===- bench/bench_obs_overhead.cpp - Cost of the observability layer -------===//
+//
+// Pins the two promises the span tracer (src/obs/Trace.h) makes about
+// the Figure 5 hot path:
+//
+//   1. *Tracing never perturbs results.* Every loop schedule produced
+//      with tracing enabled is bit-identical (placements, counters,
+//      failure log) to the untraced baseline. A mismatch here is a real
+//      bug — exit code 2, never advisory.
+//   2. *Off means free, on means cheap.* The same sweep-heavy fixture
+//      as bench_sched_hotpath's end-to-end section runs three ways:
+//      baseline (no tracer anywhere near the call), disabled (a
+//      constructed Tracer passed down but never enabled — the per-span
+//      cost is one branch), and enabled (every loop.schedule /
+//      loop.itstep / part.* / sched.place span recorded). Enabled
+//      overhead above 5% or disabled overhead above 2% exits 1
+//      (advisory on shared runners, like the hotpath gates; the
+//      cross-run regression gate lives in CI).
+//
+// Writes BENCH_obs_overhead.json (throughputs, overhead percentages,
+// events recorded) via BenchReporter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchHarness.h"
+
+#include "partition/LoopScheduler.h"
+#include "partition/ScheduleScratch.h"
+#include "workloads/SyntheticLoops.h"
+
+#include <chrono>
+#include <cstring>
+
+using namespace hcvliw;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+HeteroConfig heteroConfig(const MachineDescription &M) {
+  HeteroConfig C = HeteroConfig::reference(M);
+  C.Clusters[0].PeriodNs = Rational(9, 10);
+  for (unsigned I = 1; I < C.numClusters(); ++I)
+    C.Clusters[I].PeriodNs = Rational(27, 20);
+  C.Icn.PeriodNs = Rational(9, 10);
+  C.Cache.PeriodNs = Rational(9, 10);
+  return C;
+}
+
+const MachineDescription &machine() {
+  static MachineDescription M = MachineDescription::paperDefault();
+  return M;
+}
+
+/// The same regime as bench_sched_hotpath's end-to-end section:
+/// sweep-heavy random loops on the 4-frequency relative ladder, so an
+/// enabled tracer records several loop.itstep spans (plus the nested
+/// partition/scheduler spans) per loop — the worst realistic
+/// span-density for the driver.
+const std::vector<Loop> &fixtureLoops() {
+  static std::vector<Loop> Loops = [] {
+    std::vector<Loop> Ls;
+    for (unsigned I = 0; I < 12; ++I) {
+      RNG Rng(0x0b5 + 131 * I);
+      RandomLoopParams Params;
+      Params.MinOps = 16;
+      Params.MaxOps = 40;
+      Params.Trip = 64;
+      Ls.push_back(makeRandomLoop(Rng, Params, "obs"));
+    }
+    return Ls;
+  }();
+  return Loops;
+}
+
+/// FNV-1a over everything the warm/cold and traced/untraced
+/// equivalence contracts pin: success, every node placement, the
+/// machine-plan IT, the effort counters, and the failure log.
+uint64_t digest(uint64_t H, const LoopScheduleResult &R) {
+  auto mix = [&H](uint64_t V) {
+    for (unsigned B = 0; B < 8; ++B) {
+      H ^= (V >> (8 * B)) & 0xff;
+      H *= 0x100000001b3ull;
+    }
+  };
+  mix(R.Success ? 1 : 0);
+  mix(static_cast<uint64_t>(R.ITSteps));
+  mix(R.Placements);
+  mix(R.Ejections);
+  mix(R.BudgetUsed);
+  mix(static_cast<uint64_t>(R.FailureLog.size()));
+  for (const ScheduledNode &N : R.Sched.Nodes) {
+    mix(N.Placed ? 1 : 0);
+    mix(static_cast<uint64_t>(N.Slot));
+    mix(N.Unit);
+  }
+  return H;
+}
+
+struct ModeResult {
+  double PerSec = 0;       ///< loop-schedules per second
+  double AllocsPerRun = 0; ///< heap allocations per loop-schedule
+  uint64_t Digest = 0;     ///< result digest (identical across modes)
+};
+
+/// Times the whole fixture through LoopScheduler::schedule with \p
+/// Trace plumbed down (null for the baseline mode).
+ModeResult runMode(obs::Tracer *Trace, unsigned MinIters,
+                   double MinSeconds) {
+  const std::vector<Loop> &Loops = fixtureLoops();
+  LoopScheduleOptions O;
+  O.Menu = FrequencyMenu::relativeLadder(4);
+  LoopScheduler S(machine(), heteroConfig(machine()), O);
+  ScheduleScratch Scratch;
+  ModeResult M;
+  auto runAll = [&] {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (const Loop &L : Loops)
+      H = digest(H, S.schedule(L, nullptr, nullptr, &Scratch, Trace));
+    M.Digest = H; // data dependence: the sweep cannot be elided
+  };
+  runAll(); // warm-up (arena growth, page-in; not timed)
+  unsigned Iters = 0;
+  uint64_t Allocs0 = benchAllocCount();
+  auto Start = Clock::now();
+  double Elapsed = 0;
+  do {
+    runAll();
+    ++Iters;
+    Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
+  } while (Iters < MinIters || Elapsed < MinSeconds);
+  double Schedules = static_cast<double>(Iters) * Loops.size();
+  M.PerSec = Schedules / Elapsed;
+  M.AllocsPerRun =
+      static_cast<double>(benchAllocCount() - Allocs0) / Schedules;
+  return M;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned MinIters = 20;
+  double MinSeconds = 0.4;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--iters") == 0 && I + 1 < argc) {
+      MinIters = static_cast<unsigned>(std::atoi(argv[I + 1]));
+      MinSeconds = 0;
+      ++I;
+    } else {
+      std::fprintf(stderr, "usage: bench_obs_overhead [--iters N]\n");
+      return 2;
+    }
+  }
+
+  BenchReporter Reporter("obs_overhead");
+
+  // Baseline: no tracer in sight (the library default — every Trace
+  // parameter defaulted to null).
+  ModeResult Base = runMode(nullptr, MinIters, MinSeconds);
+
+  // Disabled: a Tracer is constructed and plumbed through every layer,
+  // but never enabled. Each span constructor is one branch.
+  obs::Tracer Tr;
+  ModeResult Off = runMode(&Tr, MinIters, MinSeconds);
+
+  // Enabled: every span records. The ring wraps during the run (the
+  // fixture emits far more itstep/place spans than one ring holds);
+  // wrapping is the designed steady state, not an error.
+  Tr.enable();
+  ModeResult On = runMode(&Tr, MinIters, MinSeconds);
+  Tr.disable();
+
+  double OffPct = (Base.PerSec / Off.PerSec - 1.0) * 100.0;
+  double OnPct = (Base.PerSec / On.PerSec - 1.0) * 100.0;
+  std::printf("baseline %.0f loop-schedules/s (%.1f allocs each)\n"
+              "disabled %.0f/s (overhead %+.2f%%)\n"
+              "enabled  %.0f/s (overhead %+.2f%%, %llu events, "
+              "%llu dropped by ring wrap)\n",
+              Base.PerSec, Base.AllocsPerRun, Off.PerSec, OffPct,
+              On.PerSec, OnPct,
+              static_cast<unsigned long long>(Tr.totalEvents()),
+              static_cast<unsigned long long>(Tr.droppedEvents()));
+
+  Reporter.addMetric("loop_schedules_per_sec_baseline", Base.PerSec);
+  Reporter.addMetric("loop_schedules_per_sec_disabled", Off.PerSec);
+  Reporter.addMetric("loop_schedules_per_sec_enabled", On.PerSec);
+  Reporter.addMetric("overhead_disabled_pct", OffPct);
+  Reporter.addMetric("overhead_enabled_pct", OnPct);
+  Reporter.addMetric("allocs_per_loop_schedule", Base.AllocsPerRun);
+  Reporter.addMetric("trace_events",
+                     static_cast<double>(Tr.totalEvents()));
+  Reporter.write();
+
+  // Contract 1 first: identity failures are real failures.
+  if (Off.Digest != Base.Digest || On.Digest != Base.Digest) {
+    std::fprintf(stderr,
+                 "FAIL: results differ across tracing modes "
+                 "(baseline %016llx, disabled %016llx, enabled %016llx)\n",
+                 static_cast<unsigned long long>(Base.Digest),
+                 static_cast<unsigned long long>(Off.Digest),
+                 static_cast<unsigned long long>(On.Digest));
+    return 2;
+  }
+
+  int Exit = 0;
+  if (OnPct > 5.0) {
+    std::fprintf(stderr,
+                 "warning: enabled-tracing overhead %.2f%% above the "
+                 "5%% target\n",
+                 OnPct);
+    Exit = 1; // advisory on shared runners (CI treats it as a warning)
+  }
+  if (OffPct > 2.0) {
+    std::fprintf(stderr,
+                 "warning: disabled-tracer overhead %.2f%% — the "
+                 "span-off path should be a branch\n",
+                 OffPct);
+    Exit = 1;
+  }
+  return Exit;
+}

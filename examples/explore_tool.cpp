@@ -26,22 +26,39 @@
 //                   pool + ScheduleCache), re-rank by measured ED2 and
 //                   write frontier_measured.csv / frontier_measured.json
 //                   (paths overridable with --measured-csv/--measured-json)
+//     --trace PATH  record a span trace of the run and write it as
+//                   Chrome-trace-event JSON (open in Perfetto); results
+//                   are bit-identical with or without tracing
+//     --metrics PATH  write the metrics snapshot (stage wall-time
+//                   histograms, cache counters) as JSON
+//     --help        usage
 //
 //===----------------------------------------------------------------------===//
 
 #include "configsel/ConfigurationSelector.h"
 #include "explore/ExplorationReport.h"
 #include "measure/FrontierMeasurer.h"
+#include "obs/AllocHook.h"
 #include "profiling/Profiler.h"
 #include "runtime/WorkerPool.h"
 #include "support/StrUtil.h"
 #include "workloads/SpecFPSuite.h"
 
+#include <atomic>
+#include <chrono>
 #include <memory>
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+
+namespace hcvliw {
+/// Allocation counter surfaced to the tracer: every span in --trace
+/// output carries its heap-allocation delta.
+std::atomic<uint64_t> ToolAllocCounter{0};
+} // namespace hcvliw
+
+HCVLIW_INSTRUMENT_ALLOCS(hcvliw::ToolAllocCounter)
 
 using namespace hcvliw;
 
@@ -93,6 +110,7 @@ int main(int argc, char **argv) {
   bool MeasureFrontier = false;
   std::string MeasuredCsv = "frontier_measured.csv";
   std::string MeasuredJson = "frontier_measured.json";
+  std::string TracePath, MetricsPath;
 
   for (int I = 1; I < argc; ++I) {
     auto need = [&](const char *Flag) {
@@ -102,7 +120,32 @@ int main(int argc, char **argv) {
       }
       return argv[++I];
     };
-    if (!std::strcmp(argv[I], "--program")) {
+    if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
+      std::printf(
+          "usage: explore_tool [options]\n"
+          "  --program NAME       SPECfp program (default: whole suite)\n"
+          "  --threads N          worker threads (0 = hardware)\n"
+          "  --menu K             frequencies per domain (default: any)\n"
+          "  --fast LIST          fast factors, e.g. 9/10,1,11/10\n"
+          "  --ratios LIST        slow/fast ratios, e.g. 1,5/4,3/2\n"
+          "  --num-fast N         number of fast clusters (default 1)\n"
+          "  --no-prune           skip the Pareto frontier\n"
+          "  --no-cache           disable timing memoization\n"
+          "  --csv/--json PATH    write the exploration report\n"
+          "  --measure-frontier   measure frontier points with real "
+          "schedules\n"
+          "  --measured-csv PATH  measured-frontier CSV path\n"
+          "  --measured-json PATH measured-frontier JSON path\n"
+          "  --trace PATH         write a Perfetto-loadable span trace\n"
+          "                       (tracing never changes results)\n"
+          "  --metrics PATH       write the metrics snapshot as JSON\n"
+          "  --help               this text\n");
+      return 0;
+    } else if (!std::strcmp(argv[I], "--trace")) {
+      TracePath = need("--trace");
+    } else if (!std::strcmp(argv[I], "--metrics")) {
+      MetricsPath = need("--metrics");
+    } else if (!std::strcmp(argv[I], "--program")) {
       Program = need("--program");
     } else if (!std::strcmp(argv[I], "--threads")) {
       if (!parseThreadCount(need("--threads"), Threads)) {
@@ -195,8 +238,20 @@ int main(int argc, char **argv) {
   EvalCache &Cache = *Opts.SharedCache;
   std::vector<MeasuredFrontier> Measured;
 
+  // In session mode spans and metrics land on the session's own
+  // tracer/registry (so frontier measurement phases appear too);
+  // standalone explorations use tool-owned ones.
+  obs::Tracer OwnTracer;
+  obs::MetricsRegistry OwnMetrics;
+  obs::Tracer &Tracer = Sess ? Sess->tracer() : OwnTracer;
+  obs::MetricsRegistry &Metrics = Sess ? Sess->metrics() : OwnMetrics;
+  if (!TracePath.empty())
+    Tracer.enable();
+
   int Rc = 0;
   for (const BenchmarkProgram &Prog : Programs) {
+    obs::Span ProgSp(&Tracer, "explore:", Prog.Name);
+    auto ProgT0 = std::chrono::steady_clock::now();
     auto P = Prof.profileProgram(Prog.Name, Prog.Loops);
     if (!P) {
       std::fprintf(stderr, "error: profiling failed on %s\n",
@@ -248,6 +303,10 @@ int main(int argc, char **argv) {
         std::printf("wrote %s\n", Path.c_str());
       }
     }
+    Metrics.observeMs("stage.explore.ms",
+                      std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - ProgT0)
+                          .count());
     std::printf("\n");
   }
   if (MeasureFrontier) {
@@ -277,5 +336,31 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Cache.hits()),
                 static_cast<unsigned long long>(Cache.misses()),
                 Cache.size());
+
+  if (!TracePath.empty()) {
+    Tracer.disable();
+    if (Tracer.writeChromeTrace(TracePath))
+      std::printf("wrote %s (%llu events across %zu workers, %llu "
+                  "dropped)\n",
+                  TracePath.c_str(),
+                  static_cast<unsigned long long>(Tracer.totalEvents()),
+                  Tracer.numBuffers(),
+                  static_cast<unsigned long long>(Tracer.droppedEvents()));
+    else
+      Rc = 1;
+  }
+  if (!MetricsPath.empty()) {
+    std::string J =
+        Sess ? Sess->metricsSnapshot().json() : Metrics.snapshot().json();
+    std::FILE *Out = std::fopen(MetricsPath.c_str(), "wb");
+    if (Out) {
+      std::fwrite(J.data(), 1, J.size(), Out);
+      std::fclose(Out);
+      std::printf("wrote %s\n", MetricsPath.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write '%s'\n", MetricsPath.c_str());
+      Rc = 1;
+    }
+  }
   return Rc;
 }

@@ -12,6 +12,7 @@
 //   suite_tool [--threads N] [--lanes K] [--buses B] [--menu K]
 //              [--repeat N] [--measure-frontier]
 //              [--frontier-csv PATH] [--frontier-json PATH]
+//              [--trace PATH] [--metrics PATH]
 //     --threads  worker-pool parallelism (default: hardware)
 //     --lanes    nested-parallelism budget: max programs in flight
 //                (default: all; spare threads speed up exploration)
@@ -23,20 +24,58 @@
 //                with real schedules (measure/FrontierMeasurer) and
 //                emit frontier_measured.csv / frontier_measured.json
 //                (paths overridable with --frontier-csv/--frontier-json)
+//     --trace    record a span trace of the whole run and write it as
+//                Chrome-trace-event JSON (open in Perfetto or
+//                chrome://tracing); results are bit-identical with or
+//                without tracing
+//     --metrics  write the session metrics snapshot (stage wall-time
+//                histograms, cache counters) as JSON
 //
 // Build & run:  ./build/suite_tool --threads 4 --lanes 2
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/AllocHook.h"
 #include "runtime/SuiteRunner.h"
 #include "support/StrUtil.h"
 #include "support/TablePrinter.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+namespace hcvliw {
+/// Allocation counter surfaced to the tracer: every span in --trace
+/// output carries its heap-allocation delta.
+std::atomic<uint64_t> ToolAllocCounter{0};
+} // namespace hcvliw
+
+HCVLIW_INSTRUMENT_ALLOCS(hcvliw::ToolAllocCounter)
+
 using namespace hcvliw;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: suite_tool [options]\n"
+      "  --threads N          worker-pool parallelism (default: hardware)\n"
+      "  --lanes K            max programs in flight (default: all)\n"
+      "  --buses B            inter-cluster buses (default 1)\n"
+      "  --menu K             frequencies per domain (default: any)\n"
+      "  --repeat N           run the suite N times in one session\n"
+      "  --measure-frontier   also measure every program's frontier\n"
+      "  --frontier-csv PATH  frontier CSV path\n"
+      "  --frontier-json PATH frontier JSON path\n"
+      "  --trace PATH         write a Perfetto-loadable span trace of the\n"
+      "                       run (Chrome trace-event JSON); tracing never\n"
+      "                       changes results\n"
+      "  --metrics PATH       write the session metrics snapshot as JSON\n"
+      "  --help               this text\n");
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   unsigned Threads = 0, Buses = 1, MenuK = 0, Repeat = 1;
@@ -44,6 +83,7 @@ int main(int argc, char **argv) {
   bool MeasureFrontier = false;
   std::string FrontierCsv = "frontier_measured.csv";
   std::string FrontierJson = "frontier_measured.json";
+  std::string TracePath, MetricsPath;
   for (int I = 1; I < argc; ++I) {
     auto need = [&](const char *Flag) {
       if (I + 1 >= argc) {
@@ -52,7 +92,14 @@ int main(int argc, char **argv) {
       }
       return argv[++I];
     };
-    if (!std::strcmp(argv[I], "--threads")) {
+    if (!std::strcmp(argv[I], "--help") || !std::strcmp(argv[I], "-h")) {
+      printUsage();
+      return 0;
+    } else if (!std::strcmp(argv[I], "--trace")) {
+      TracePath = need("--trace");
+    } else if (!std::strcmp(argv[I], "--metrics")) {
+      MetricsPath = need("--metrics");
+    } else if (!std::strcmp(argv[I], "--threads")) {
       if (!parseThreadCount(need("--threads"), Threads)) {
         std::fprintf(stderr,
                      "error: --threads expects an integer in [0, 1024]\n");
@@ -85,6 +132,8 @@ int main(int argc, char **argv) {
     Opts.MenuSize = MenuK;
   Session S(Opts, Threads);
   SuiteRunner Runner(S);
+  if (!TracePath.empty())
+    S.tracer().enable();
 
   SuiteOptions SO;
   SO.ProgramLanes = Lanes;
@@ -117,8 +166,9 @@ int main(int argc, char **argv) {
   T.print();
 
   for (const SuiteFailure &F : R.Failures)
-    std::fprintf(stderr, "error: %s failed at %s: %s\n", F.Program.c_str(),
-                 pipelineStageName(F.Stage), F.Reason.c_str());
+    std::fprintf(stderr, "error: %s failed at %s after %.1f ms: %s\n",
+                 F.Program.c_str(), pipelineStageName(F.Stage),
+                 F.StageWallMs, F.Reason.c_str());
 
   int Rc = R.Failures.empty() ? 0 : 1;
   if (MeasureFrontier) {
@@ -157,5 +207,31 @@ int main(int argc, char **argv) {
   std::printf("schedule cache: %llu hits / %llu misses (%zu entries)\n",
               static_cast<unsigned long long>(SC.hits()),
               static_cast<unsigned long long>(SC.misses()), SC.size());
+
+  if (!TracePath.empty()) {
+    S.tracer().disable();
+    if (S.tracer().writeChromeTrace(TracePath))
+      std::printf("wrote %s (%llu events across %zu workers, %llu "
+                  "dropped)\n",
+                  TracePath.c_str(),
+                  static_cast<unsigned long long>(S.tracer().totalEvents()),
+                  S.tracer().numBuffers(),
+                  static_cast<unsigned long long>(
+                      S.tracer().droppedEvents()));
+    else
+      Rc = 1;
+  }
+  if (!MetricsPath.empty()) {
+    std::string J = S.metricsSnapshot().json();
+    std::FILE *Out = std::fopen(MetricsPath.c_str(), "wb");
+    if (Out) {
+      std::fwrite(J.data(), 1, J.size(), Out);
+      std::fclose(Out);
+      std::printf("wrote %s\n", MetricsPath.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write '%s'\n", MetricsPath.c_str());
+      Rc = 1;
+    }
+  }
   return Rc;
 }

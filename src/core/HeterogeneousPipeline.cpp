@@ -6,6 +6,7 @@
 #include "support/StrUtil.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace hcvliw;
 
@@ -66,7 +67,9 @@ ConfigRunResult HeterogeneousPipeline::measureConfig(
   MO.Menu = menu(); // session mode reuses the session's menu object
   ScheduleMeasurer Measurer(machine(), MO,
                             Sess ? &Sess->scheduleCache() : nullptr,
-                            Sess ? &Sess->scheduleScratchPool() : nullptr);
+                            Sess ? &Sess->scheduleScratchPool() : nullptr,
+                            Sess ? &Sess->tracer() : nullptr,
+                            Sess ? &Sess->metrics() : nullptr);
   return Measurer.measure(Profile, Loops, Config, Scaling, Energy,
                           ED2Objective);
 }
@@ -119,13 +122,40 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
   ProgramRunResult R;
   R.Name = Program.Name;
 
+  // Observability: stage spans + per-stage wall histograms in session
+  // mode; the stage clock also stamps StageWallMs into failure records
+  // (always cheap: three clock reads per program). None of this feeds
+  // back into any result.
+  obs::Tracer *Trace = Sess ? &Sess->tracer() : nullptr;
+  obs::MetricsRegistry *Metrics = Sess ? &Sess->metrics() : nullptr;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point StageT0 = Clock::now();
+  auto stageMs = [&StageT0] {
+    return std::chrono::duration<double, std::milli>(Clock::now() - StageT0)
+        .count();
+  };
+  auto finishStage = [&](const char *Hist) {
+    double Ms = stageMs();
+    if (Metrics)
+      Metrics->observeMs(Hist, Ms);
+    StageT0 = Clock::now();
+    return Ms;
+  };
+
   Profiler Prof(machine(), Opts.ProgramBudgetNs);
   std::string ProfErr;
-  auto Profile = Prof.profileProgram(Program.Name, Program.Loops, &ProfErr);
+  std::optional<ProgramProfile> Profile;
+  {
+    obs::Span Sp(Trace, "stage.profile:", Program.Name);
+    Profile = Prof.profileProgram(Program.Name, Program.Loops, &ProfErr);
+  }
   if (!Profile) {
     setError(Err, PipelineStage::Profiling, std::move(ProfErr));
+    if (Err)
+      Err->StageWallMs = finishStage("stage.profile.ms");
     return std::nullopt;
   }
+  finishStage("stage.profile.ms");
   R.Profile = std::move(*Profile);
 
   EnergyModel Energy(Opts.Breakdown, R.Profile.Totals, R.Profile.TexecRefNs,
@@ -139,25 +169,32 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
   // profile, same selection inputs) skips its searches entirely. The
   // memo is exact — equal keys hash equal inputs, and the searches are
   // pure functions of those inputs.
-  if (Cache) {
-    uint64_t FP = R.Profile.fingerprint();
-    uint64_t HetKey = selectionKey(FP, Opts, machine(), true);
-    uint64_t HomKey = selectionKey(FP, Opts, machine(), false);
-    if (auto D = Cache->findSelection(HetKey)) {
-      R.HetDesign = *D;
+  {
+    obs::Span Sp(Trace, "stage.select:", Program.Name);
+    if (Cache) {
+      uint64_t FP = R.Profile.fingerprint();
+      uint64_t HetKey = selectionKey(FP, Opts, machine(), true);
+      uint64_t HomKey = selectionKey(FP, Opts, machine(), false);
+      unsigned MemoHits = 0;
+      if (auto D = Cache->findSelection(HetKey)) {
+        R.HetDesign = *D;
+        ++MemoHits;
+      } else {
+        R.HetDesign = Sel.selectHeterogeneous();
+        Cache->storeSelection(HetKey, R.HetDesign);
+      }
+      if (auto D = Cache->findSelection(HomKey)) {
+        R.HomDesign = *D;
+        ++MemoHits;
+      } else {
+        R.HomDesign = Sel.selectOptimumHomogeneous();
+        Cache->storeSelection(HomKey, R.HomDesign);
+      }
+      Sp.arg("memo_hits", MemoHits);
     } else {
       R.HetDesign = Sel.selectHeterogeneous();
-      Cache->storeSelection(HetKey, R.HetDesign);
-    }
-    if (auto D = Cache->findSelection(HomKey)) {
-      R.HomDesign = *D;
-    } else {
       R.HomDesign = Sel.selectOptimumHomogeneous();
-      Cache->storeSelection(HomKey, R.HomDesign);
     }
-  } else {
-    R.HetDesign = Sel.selectHeterogeneous();
-    R.HomDesign = Sel.selectOptimumHomogeneous();
   }
   if (!R.HetDesign.Valid || !R.HomDesign.Valid) {
     setError(Err, PipelineStage::Selection,
@@ -166,15 +203,21 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
                               ? "heterogeneous or homogeneous"
                               : (!R.HetDesign.Valid ? "heterogeneous"
                                                     : "homogeneous")));
+    if (Err)
+      Err->StageWallMs = finishStage("stage.select.ms");
     return std::nullopt;
   }
+  finishStage("stage.select.ms");
 
-  R.HetMeasured =
-      measureConfig(R.Profile, Program.Loops, R.HetDesign.Config,
-                    R.HetDesign.Scaling, Energy, /*ED2Objective=*/true);
-  R.HomMeasured =
-      measureConfig(R.Profile, Program.Loops, R.HomDesign.Config,
-                    R.HomDesign.Scaling, Energy, /*ED2Objective=*/false);
+  {
+    obs::Span Sp(Trace, "stage.measure:", Program.Name);
+    R.HetMeasured =
+        measureConfig(R.Profile, Program.Loops, R.HetDesign.Config,
+                      R.HetDesign.Scaling, Energy, /*ED2Objective=*/true);
+    R.HomMeasured =
+        measureConfig(R.Profile, Program.Loops, R.HomDesign.Config,
+                      R.HomDesign.Scaling, Energy, /*ED2Objective=*/false);
+  }
   if (!R.HetMeasured.Ok || !R.HomMeasured.Ok) {
     const ConfigRunResult &Bad =
         !R.HetMeasured.Ok ? R.HetMeasured : R.HomMeasured;
@@ -189,8 +232,11 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
       Reason += formatString(" (%s: %s)", F.Loop.c_str(), F.Detail.c_str());
     }
     setError(Err, PipelineStage::Measurement, std::move(Reason));
+    if (Err)
+      Err->StageWallMs = finishStage("stage.measure.ms");
     return std::nullopt;
   }
+  finishStage("stage.measure.ms");
 
   R.ED2Ratio = R.HetMeasured.ED2 / R.HomMeasured.ED2;
   return R;

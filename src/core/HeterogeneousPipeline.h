@@ -83,6 +83,11 @@ const char *pipelineStageName(PipelineStage S);
 struct PipelineError {
   PipelineStage Stage = PipelineStage::Profiling;
   std::string Reason;
+  /// Wall time the failing stage ran before giving up, so
+  /// timeout-shaped failures (a stage that ground away for seconds)
+  /// read differently from logic failures (instant). Diagnostic only —
+  /// never part of any result or cache contract.
+  double StageWallMs = 0;
 };
 
 class Session;

@@ -153,6 +153,7 @@ FrontierMeasurer::measure(const std::string &ProgramName,
   const PipelineOptions &Opts = S.pipelineOptions();
   MeasuredFrontier F;
   F.Program = ProgramName;
+  obs::Span FrontierSp(&S.tracer(), "frontier.measure:", ProgramName);
 
   EnergyModel Energy(Opts.Breakdown, Profile.Totals, Profile.TexecRefNs,
                      S.machine().numClusters());
@@ -190,7 +191,8 @@ FrontierMeasurer::measure(const std::string &ProgramName,
       HeterogeneousPipeline::measureOptionsFor(S.pipelineOptions());
   MO.Menu = S.menu();
   ScheduleMeasurer Measurer(S.machine(), MO, &S.scheduleCache(),
-                            &S.scheduleScratchPool());
+                            &S.scheduleScratchPool(), &S.tracer(),
+                            &S.metrics());
 
   S.pool().parallelFor(F.Points.size(), [&](size_t I) {
     FrontierPointMeasurement &P = F.Points[I];
@@ -224,6 +226,11 @@ FrontierMeasurer::measure(const std::string &ProgramName,
   if (!F.RankByMeasuredED2.empty()) {
     F.MeasArgmin = F.RankByMeasuredED2.front();
     F.ArgminAgrees = F.MeasArgmin == F.EstArgmin;
+  }
+  if (FrontierSp.active()) {
+    FrontierSp.arg("points", static_cast<int64_t>(F.Points.size()));
+    FrontierSp.arg("cache_hits", static_cast<int64_t>(F.ScheduleHits));
+    FrontierSp.arg("cache_misses", static_cast<int64_t>(F.ScheduleMisses));
   }
   return F;
 }

@@ -8,14 +8,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace hcvliw;
 
 ScheduleMeasurer::ScheduleMeasurer(const MachineDescription &M,
                                    const MeasureOptions &O,
                                    ScheduleCache *Cache,
-                                   ScheduleScratchPool *Scratches)
-    : Machine(M), Opts(O), Cache(Cache), Scratches(Scratches) {}
+                                   ScheduleScratchPool *Scratches,
+                                   obs::Tracer *Trace,
+                                   obs::MetricsRegistry *Metrics)
+    : Machine(M), Opts(O), Cache(Cache), Scratches(Scratches), Trace(Trace),
+      Metrics(Metrics) {}
 
 namespace {
 
@@ -103,6 +107,8 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
   ConfigRunResult R;
   assert(Profile.Loops.size() == Loops.size() &&
          "profile does not match the loop list");
+  obs::Span CfgSp(Trace, ED2Objective ? "measure.config:het"
+                                      : "measure.config:hom");
 
   LoopScheduleOptions LSO;
   // Homogeneous baselines run at one fixed frequency; only the
@@ -133,6 +139,24 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
   std::vector<double> WIns(Machine.numClusters(), 0.0);
   double Comms = 0, Mem = 0;
 
+  // Fresh (uncached) schedule runs: traced through the Figure 5
+  // driver's own spans and timed into the per-stage wall histogram.
+  // Timing only observes — the result never depends on it.
+  auto scheduleFresh = [&](const Loop &L) {
+    std::chrono::steady_clock::time_point T0;
+    if (Metrics)
+      T0 = std::chrono::steady_clock::now();
+    LoopScheduleResult LR =
+        Sched.schedule(L, ED2Objective ? &Energy : nullptr,
+                       ED2Objective ? &Scaling : nullptr, Scratch, Trace);
+    if (Metrics)
+      Metrics->observeMs("stage.loop_schedule.ms",
+                         std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - T0)
+                             .count());
+    return LR;
+  };
+
   for (size_t I = 0; I < Loops.size(); ++I) {
     const Loop &L = Loops[I];
     const LoopProfile &LP = Profile.Loops[I];
@@ -147,14 +171,12 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
         LR = std::move(*Cached);
         Fresh = false;
       } else {
-        LR = Sched.schedule(L, ED2Objective ? &Energy : nullptr,
-                            ED2Objective ? &Scaling : nullptr, Scratch);
+        LR = scheduleFresh(L);
         Cache->store(Key, LR);
       }
       ++(WasHit ? R.ScheduleHits : R.ScheduleMisses);
     } else {
-      LR = Sched.schedule(L, ED2Objective ? &Energy : nullptr,
-                          ED2Objective ? &Scaling : nullptr, Scratch);
+      LR = scheduleFresh(L);
     }
     R.SchedPlacements += LR.Placements;
     R.SchedEjections += LR.Ejections;
@@ -191,6 +213,22 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
     Stat.TexecNs = LoopT;
     Stat.Comms = LR.PG.numCopies();
     R.Loops.push_back(std::move(Stat));
+  }
+
+  if (Metrics) {
+    Metrics->addCounter("measure.configs");
+    if (Cache) {
+      Metrics->addCounter("cache.schedule.hits", R.ScheduleHits);
+      Metrics->addCounter("cache.schedule.misses", R.ScheduleMisses);
+    }
+    if (R.Failures)
+      Metrics->addCounter("measure.loop_failures", R.Failures);
+  }
+  if (CfgSp.active()) {
+    CfgSp.arg("loops", static_cast<int64_t>(Loops.size()));
+    CfgSp.arg("failures", R.Failures);
+    CfgSp.arg("cache_hits", static_cast<int64_t>(R.ScheduleHits));
+    CfgSp.arg("cache_misses", static_cast<int64_t>(R.ScheduleMisses));
   }
 
   if (R.Failures == Loops.size())

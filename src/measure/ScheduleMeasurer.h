@@ -28,6 +28,8 @@
 #define HCVLIW_MEASURE_SCHEDULEMEASURER_H
 
 #include "measure/ScheduleCache.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "power/EnergyModel.h"
 #include "profiling/ProfileData.h"
 
@@ -102,17 +104,24 @@ class ScheduleMeasurer {
   MeasureOptions Opts;
   ScheduleCache *Cache; ///< may be null: schedule every loop directly
   ScheduleScratchPool *Scratches; ///< may be null: one local arena per call
+  obs::Tracer *Trace;             ///< may be null: no span recording
+  obs::MetricsRegistry *Metrics;  ///< may be null: no metric recording
 
 public:
   /// \p Cache, when given, must be used with one machine only (the
   /// schedule key does not re-hash the machine; a Session owns one
   /// cache per machine). \p Scratches, when given, supplies the
   /// per-worker ScheduleScratch arenas (Session-owned); measure() then
-  /// schedules allocation-free in steady state. Results are
-  /// bit-identical with or without either.
+  /// schedules allocation-free in steady state. \p Trace / \p Metrics
+  /// attach the observability layer (spans per config and per loop,
+  /// the stage.loop_schedule.ms histogram, cache counters) —
+  /// observation only. Results are bit-identical with or without any
+  /// of the four.
   ScheduleMeasurer(const MachineDescription &M, const MeasureOptions &O,
                    ScheduleCache *Cache = nullptr,
-                   ScheduleScratchPool *Scratches = nullptr);
+                   ScheduleScratchPool *Scratches = nullptr,
+                   obs::Tracer *Trace = nullptr,
+                   obs::MetricsRegistry *Metrics = nullptr);
 
   const MachineDescription &machine() const { return Machine; }
   const MeasureOptions &options() const { return Opts; }

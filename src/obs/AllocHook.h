@@ -1,0 +1,81 @@
+//===- obs/AllocHook.h - Allocation-counter hook for span tracing -*- C++ -*-===//
+///
+/// \file
+/// Lets binaries that replace the global operator new (the bench
+/// harness, the CLI tools) surface their allocation counter to the
+/// observability layer, so every trace Span records the heap
+/// allocations that happened inside it (the "allocs" arg in the
+/// exported trace).
+///
+/// The library itself never replaces operator new — a binary opts in
+/// with HCVLIW_INSTRUMENT_ALLOCS() at global scope in exactly one
+/// translation unit, which defines counting new/delete and installs the
+/// counter at static-init time. Library code only ever reads
+/// obs::allocCount(), which is 0 when no hook is installed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_OBS_ALLOCHOOK_H
+#define HCVLIW_OBS_ALLOCHOOK_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace hcvliw {
+namespace obs {
+
+/// The installed allocation counter, or null. One per process.
+inline std::atomic<const std::atomic<uint64_t> *> AllocCounterPtr{nullptr};
+
+/// Installs \p C as the process allocation counter (idempotent; the
+/// tracer starts attributing per-span alloc deltas from then on).
+inline void installAllocCounter(const std::atomic<uint64_t> *C) {
+  AllocCounterPtr.store(C, std::memory_order_release);
+}
+
+/// Allocations since process start, or 0 when no binary-level counter
+/// is installed. Relaxed: exact in single-threaded sections, monotone
+/// everywhere — per-span deltas on one thread are self-consistent.
+inline uint64_t allocCount() {
+  const std::atomic<uint64_t> *C =
+      AllocCounterPtr.load(std::memory_order_acquire);
+  return C ? C->load(std::memory_order_relaxed) : 0;
+}
+
+} // namespace obs
+} // namespace hcvliw
+
+/// Defines a process-wide counting operator new/delete and installs the
+/// counter into the obs layer. Use at global scope, once per binary.
+/// \p CounterName names the counter variable (in whatever namespace the
+/// macro is expanded after — the bench harness keeps its historical
+/// hcvliw::BenchAllocCounter name).
+#define HCVLIW_INSTRUMENT_ALLOCS(CounterName)                                 \
+  void *operator new(std::size_t Sz) {                                        \
+    CounterName.fetch_add(1, std::memory_order_relaxed);                      \
+    if (void *P = std::malloc(Sz ? Sz : 1))                                   \
+      return P;                                                               \
+    std::abort(); /* instrumented binaries never install new_handlers */      \
+  }                                                                           \
+  void *operator new[](std::size_t Sz) { return ::operator new(Sz); }         \
+  /* The replacements allocate with malloc, so free() IS the matching   */    \
+  /* deallocator — GCC's -Wmismatched-new-delete can't see through the  */    \
+  /* replacement and flags every delete site against these definitions. */    \
+  _Pragma("GCC diagnostic push")                                              \
+  _Pragma("GCC diagnostic ignored \"-Wmismatched-new-delete\"")               \
+  void operator delete(void *P) noexcept { std::free(P); }                    \
+  void operator delete[](void *P) noexcept { std::free(P); }                  \
+  void operator delete(void *P, std::size_t) noexcept { std::free(P); }       \
+  void operator delete[](void *P, std::size_t) noexcept { std::free(P); }     \
+  _Pragma("GCC diagnostic pop")                                               \
+  namespace {                                                                 \
+  struct HcvliwAllocHookInstaller {                                           \
+    HcvliwAllocHookInstaller() {                                              \
+      hcvliw::obs::installAllocCounter(&CounterName);                         \
+    }                                                                         \
+  } HcvliwAllocHookInstallerInstance;                                         \
+  }
+
+#endif // HCVLIW_OBS_ALLOCHOOK_H

@@ -1,0 +1,46 @@
+//===- obs/BuildInfo.cpp - Build/provenance stamping ------------------------===//
+//
+// The HCVLIW_GIT_SHA / HCVLIW_BUILD_* macros below are per-source
+// compile definitions set by the root CMakeLists.txt on exactly this
+// file; the fallbacks keep non-CMake builds compiling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/BuildInfo.h"
+
+#include "support/StrUtil.h"
+
+#ifndef HCVLIW_GIT_SHA
+#define HCVLIW_GIT_SHA "unknown"
+#endif
+#ifndef HCVLIW_BUILD_COMPILER
+#define HCVLIW_BUILD_COMPILER "unknown"
+#endif
+#ifndef HCVLIW_BUILD_FLAGS
+#define HCVLIW_BUILD_FLAGS ""
+#endif
+#ifndef HCVLIW_BUILD_TYPE
+#define HCVLIW_BUILD_TYPE "unknown"
+#endif
+
+using namespace hcvliw;
+
+const obs::BuildInfo &obs::buildInfo() {
+  static const BuildInfo Info = {HCVLIW_GIT_SHA, HCVLIW_BUILD_COMPILER,
+                                 HCVLIW_BUILD_FLAGS, HCVLIW_BUILD_TYPE};
+  return Info;
+}
+
+std::string obs::buildInfoJson() {
+  const BuildInfo &B = buildInfo();
+  std::string J = "{\"git_sha\": \"";
+  J += jsonEscape(B.GitSha);
+  J += "\", \"compiler\": \"";
+  J += jsonEscape(B.Compiler);
+  J += "\", \"flags\": \"";
+  J += jsonEscape(B.Flags);
+  J += "\", \"build_type\": \"";
+  J += jsonEscape(B.BuildType);
+  J += "\"}";
+  return J;
+}

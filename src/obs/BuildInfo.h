@@ -1,0 +1,40 @@
+//===- obs/BuildInfo.h - Build/provenance stamping ---------------*- C++ -*-===//
+///
+/// \file
+/// Build provenance for every emitted artifact: committed BENCH_*.json
+/// baselines and archived trace files are only attributable if they
+/// carry the git SHA, compiler, flags and build type they were produced
+/// with. CMake stamps the values into this one translation unit via
+/// per-source compile definitions (so touching the build info never
+/// rebuilds the library).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_OBS_BUILDINFO_H
+#define HCVLIW_OBS_BUILDINFO_H
+
+#include <string>
+
+namespace hcvliw {
+namespace obs {
+
+struct BuildInfo {
+  const char *GitSha;    ///< short commit SHA, "unknown" outside git
+  const char *Compiler;  ///< compiler id + version
+  const char *Flags;     ///< CMAKE_CXX_FLAGS + per-config flags
+  const char *BuildType; ///< Release / Debug / ...
+};
+
+/// The build this library was compiled as.
+const BuildInfo &buildInfo();
+
+/// The provenance as a JSON object string:
+/// {"git_sha": "...", "compiler": "...", "flags": "...",
+///  "build_type": "..."} — embedded verbatim in BENCH_*.json ("build")
+/// and trace files ("otherData").
+std::string buildInfoJson();
+
+} // namespace obs
+} // namespace hcvliw
+
+#endif // HCVLIW_OBS_BUILDINFO_H

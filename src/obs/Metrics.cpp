@@ -1,0 +1,196 @@
+//===- obs/Metrics.cpp - Sharded metrics registry ---------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace hcvliw;
+using namespace hcvliw::obs;
+
+//===----------------------------------------------------------------------===//
+// HistogramData
+//===----------------------------------------------------------------------===//
+
+void HistogramData::observe(double V) {
+  if (Counts.empty())
+    Counts.assign(Bounds.size() + 1, 0);
+  size_t I = static_cast<size_t>(
+      std::upper_bound(Bounds.begin(), Bounds.end(), V) - Bounds.begin());
+  ++Counts[I];
+  Sum += V;
+  if (Count == 0 || V < Min)
+    Min = V;
+  if (Count == 0 || V > Max)
+    Max = V;
+  ++Count;
+}
+
+void HistogramData::merge(const HistogramData &O) {
+  if (O.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = O;
+    return;
+  }
+  // Identical bounds merge bucket-wise; mismatched bounds (two shards
+  // that registered the same name with different explicit bounds) fold
+  // into the overflow bucket rather than misattributing.
+  if (Bounds == O.Bounds && Counts.size() == O.Counts.size()) {
+    for (size_t I = 0; I < Counts.size(); ++I)
+      Counts[I] += O.Counts[I];
+  } else {
+    Counts.back() += O.Count;
+  }
+  Sum += O.Sum;
+  Min = std::min(Min, O.Min);
+  Max = std::max(Max, O.Max);
+  Count += O.Count;
+}
+
+std::vector<double> obs::defaultMsBounds() {
+  return {0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000};
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsSnapshot
+//===----------------------------------------------------------------------===//
+
+std::string MetricsSnapshot::json() const {
+  std::string J = "{\"counters\": {";
+  bool First = true;
+  for (const auto &KV : Counters) {
+    if (!First)
+      J += ", ";
+    First = false;
+    J += formatString("\"%s\": %llu", jsonEscape(KV.first).c_str(),
+                      static_cast<unsigned long long>(KV.second));
+  }
+  J += "}, \"gauges\": {";
+  First = true;
+  for (const auto &KV : Gauges) {
+    if (!First)
+      J += ", ";
+    First = false;
+    J += formatString("\"%s\": %.6g", jsonEscape(KV.first).c_str(), KV.second);
+  }
+  J += "}, \"histograms\": {";
+  First = true;
+  for (const auto &KV : Histograms) {
+    if (!First)
+      J += ", ";
+    First = false;
+    const HistogramData &H = KV.second;
+    double Mean = H.Count ? H.Sum / static_cast<double>(H.Count) : 0;
+    J += formatString("\"%s\": {\"count\": %llu, \"sum\": %.6g, "
+                      "\"min\": %.6g, \"max\": %.6g, \"mean\": %.6g, "
+                      "\"bounds\": [",
+                      jsonEscape(KV.first).c_str(),
+                      static_cast<unsigned long long>(H.Count), H.Sum, H.Min,
+                      H.Max, Mean);
+    for (size_t I = 0; I < H.Bounds.size(); ++I)
+      J += formatString(I ? ", %.6g" : "%.6g", H.Bounds[I]);
+    J += "], \"counts\": [";
+    for (size_t I = 0; I < H.Counts.size(); ++I)
+      J += formatString(I ? ", %llu" : "%llu",
+                        static_cast<unsigned long long>(H.Counts[I]));
+    J += "]}";
+  }
+  J += "}}";
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<uint64_t> RegistryGenerationCounter{1};
+thread_local uint64_t CachedShardGeneration = 0;
+thread_local void *CachedShard = nullptr;
+} // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : Generation(
+          RegistryGenerationCounter.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::Shard &MetricsRegistry::shard() {
+  if (CachedShardGeneration == Generation)
+    return *static_cast<Shard *>(CachedShard);
+  return shardSlow();
+}
+
+MetricsRegistry::Shard &MetricsRegistry::shardSlow() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Shard *&Slot = PerThread[std::this_thread::get_id()];
+  if (!Slot) {
+    Shards.push_back(std::make_unique<Shard>());
+    Slot = Shards.back().get();
+  }
+  CachedShardGeneration = Generation;
+  CachedShard = Slot;
+  return *Slot;
+}
+
+void MetricsRegistry::addCounter(const std::string &Name, uint64_t Delta) {
+  Shard &S = shard();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Counters[Name] += Delta;
+}
+
+void MetricsRegistry::setGauge(const std::string &Name, double Value) {
+  Shard &S = shard();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Gauges[Name] = Value;
+}
+
+void MetricsRegistry::observeMs(const std::string &Name, double Ms) {
+  Shard &S = shard();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  HistogramData &H = S.Histograms[Name];
+  if (H.Bounds.empty() && H.Count == 0)
+    H.Bounds = defaultMsBounds();
+  H.observe(Ms);
+}
+
+void MetricsRegistry::observe(const std::string &Name, double V,
+                              const std::vector<double> &Bounds) {
+  Shard &S = shard();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  HistogramData &H = S.Histograms[Name];
+  if (H.Bounds.empty() && H.Count == 0)
+    H.Bounds = Bounds;
+  H.observe(V);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot Snap;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> SLock(S->Mutex);
+    for (const auto &KV : S->Counters)
+      Snap.Counters[KV.first] += KV.second;
+    for (const auto &KV : S->Gauges)
+      Snap.Gauges[KV.first] = KV.second;
+    for (const auto &KV : S->Histograms)
+      Snap.Histograms[KV.first].merge(KV.second);
+  }
+  return Snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> SLock(S->Mutex);
+    S->Counters.clear();
+    S->Gauges.clear();
+    S->Histograms.clear();
+  }
+}
+
+size_t MetricsRegistry::numShards() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Shards.size();
+}

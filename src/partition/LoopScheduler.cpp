@@ -84,11 +84,13 @@ void logFailure(std::vector<ITFailure> &Log, unsigned Step,
 LoopScheduleResult
 LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
                         const HeteroScaling *Scaling,
-                        ScheduleScratch *Scratch) const {
+                        ScheduleScratch *Scratch,
+                        obs::Tracer *Trace) const {
   LoopScheduleResult R;
   assert(L.validate().empty() && "scheduling an invalid loop");
   assert(((Energy == nullptr) == (Scaling == nullptr)) &&
          "energy model and scaling come together");
+  obs::Span LoopSp(Trace, "loop.schedule:", L.Name);
 
   // The arena: caller-provided per-worker scratch, or a local one for
   // this call (still reused across the whole IT sweep).
@@ -122,7 +124,11 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
                              std::max<int64_t>(Recs.RecMII, 1));
 
   Rational IT = R.MITNs;
-  for (unsigned Step = 0; Step <= Opts.MaxITSteps; ++Step) {
+  bool Done = false;
+  for (unsigned Step = 0; Step <= Opts.MaxITSteps && !Done; ++Step) {
+    obs::Span StepSp(Trace, "loop.itstep");
+    if (StepSp.active())
+      StepSp.arg("step", Step);
     R.ITSteps = Step;
     auto Plan = Planner.planForIT(IT);
     if (!Plan) {
@@ -161,6 +167,7 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
     Ctx.TripCount = L.TripCount;
     Ctx.SlackMatrix = &S.Slack;
     Ctx.Scratch = &S.Part;
+    Ctx.Trace = Trace;
 
     // The ED2-guided partition is tried first; if its schedule cannot be
     // completed at this IT, fall back to the balance-first partition of
@@ -179,7 +186,6 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
     std::string FirstFailure;
     bool HaveFirstTry = false;
 
-    bool Done = false;
     for (unsigned Att = 0; Att < NumAttempts; ++Att) {
       const PartitionerOptions &PO = Attempts[Att];
       auto Assignment = partitionLoop(Ctx, PO);
@@ -225,7 +231,7 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
           Opts.Sched.UseTickGrid ? &S.Ticks : nullptr;
 
       HeteroModuloScheduler Scheduler(Machine, S.PG, *Plan, Opts.Sched);
-      SchedulerResult SR = Scheduler.run(Ticks, &S.Sched);
+      SchedulerResult SR = Scheduler.run(Ticks, &S.Sched, Trace);
       R.Placements += SR.Placements;
       R.Ejections += SR.Ejections;
       R.BudgetUsed += SR.BudgetUsed;
@@ -278,9 +284,14 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
       Done = true;
       break;
     }
-    if (Done)
-      return R;
-    IT = Planner.nextIT(IT);
+    if (!Done)
+      IT = Planner.nextIT(IT);
+  }
+  if (LoopSp.active()) {
+    LoopSp.arg("it_steps", R.ITSteps);
+    LoopSp.arg("placements", static_cast<int64_t>(R.Placements));
+    LoopSp.arg("ejections", static_cast<int64_t>(R.Ejections));
+    LoopSp.arg("ok", R.Success ? 1 : 0);
   }
   return R;
 }

@@ -114,11 +114,15 @@ public:
   /// objective (both or neither). \p Scratch provides the per-worker
   /// arena (reusable buffers + warm-start memos); when null a local
   /// arena serves this one call. Results are bit-identical for any
-  /// scratch (ScheduleScratch contract).
+  /// scratch (ScheduleScratch contract). \p Trace, when enabled,
+  /// records a "loop.schedule:<name>" span per run and one
+  /// "loop.itstep" span per IT step (observation only; the schedule
+  /// never depends on it).
   LoopScheduleResult schedule(const Loop &L,
                               const EnergyModel *Energy = nullptr,
                               const HeteroScaling *Scaling = nullptr,
-                              ScheduleScratch *Scratch = nullptr) const;
+                              ScheduleScratch *Scratch = nullptr,
+                              obs::Tracer *Trace = nullptr) const;
 };
 
 } // namespace hcvliw

@@ -185,7 +185,10 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
   bool ReuseML = S.EnableMemo && S.MLValid && S.MemoGroups == S.Groups &&
                  S.MemoPins == S.Pins;
   if (!ReuseML) {
+    obs::Span CoarsenSp(Ctx.Trace, "part.coarsen");
     S.ML.build(*Ctx.L, *Ctx.G, M, S.Groups, S.Pins, *Slack, NC);
+    if (CoarsenSp.active())
+      CoarsenSp.arg("levels", static_cast<int64_t>(S.ML.numLevels()));
     if (S.EnableMemo) {
       S.MemoGroups = S.Groups;
       S.MemoPins = S.Pins;
@@ -260,6 +263,7 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
   }
 
   // Refinement, coarsest to finest.
+  obs::Span RefineSp(Ctx.Trace, "part.refine");
   Partition &Current = S.Current;
   Partition &Cand = S.Cand;
   expandInto(Current, Coarsest, ClusterOfMacro, NumNodes);

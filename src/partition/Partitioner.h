@@ -24,6 +24,7 @@
 #include "ir/MinDist.h"
 #include "ir/RecurrenceAnalysis.h"
 #include "mcd/DomainPlanner.h"
+#include "obs/Trace.h"
 #include "partition/MultilevelGraph.h"
 #include "power/EnergyModel.h"
 #include "sched/Partition.h"
@@ -104,6 +105,9 @@ struct PartitionContext {
   /// Optional reusable buffers + warm-start coarsening memo; results
   /// are bit-identical with or without one.
   PartitionScratch *Scratch = nullptr;
+  /// Optional span tracer ("part.coarsen" / "part.refine" phases);
+  /// observation only — the assignment never depends on it.
+  obs::Tracer *Trace = nullptr;
 };
 
 /// Runs the partitioner; std::nullopt when no feasible assignment exists

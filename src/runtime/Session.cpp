@@ -9,3 +9,31 @@ Session::Session(const PipelineOptions &O, unsigned Threads)
       Machine_(MachineDescription::paperDefault(O.Buses, O.NumClusters)),
       Menu_(HeterogeneousPipeline::menuFor(O)), Pool_(Threads),
       Cache_(Machine_, Menu_), Pipe_(*this) {}
+
+obs::MetricsSnapshot Session::metricsSnapshot() const {
+  obs::MetricsSnapshot Snap = Metrics_.snapshot();
+  // Mirror the shared substrate's own statistics into the snapshot as
+  // gauges, so one snapshot carries everything the session observed
+  // (the caches keep their deterministic counters; this only reports
+  // them).
+  Snap.Gauges["cache.eval.hits"] = static_cast<double>(Cache_.hits());
+  Snap.Gauges["cache.eval.misses"] = static_cast<double>(Cache_.misses());
+  Snap.Gauges["cache.eval.entries"] = static_cast<double>(Cache_.size());
+  Snap.Gauges["cache.selection.hits"] =
+      static_cast<double>(Cache_.selectionHits());
+  Snap.Gauges["cache.selection.misses"] =
+      static_cast<double>(Cache_.selectionMisses());
+  Snap.Gauges["cache.schedule.hit_total"] =
+      static_cast<double>(SchedCache_.hits());
+  Snap.Gauges["cache.schedule.miss_total"] =
+      static_cast<double>(SchedCache_.misses());
+  Snap.Gauges["cache.schedule.entries"] =
+      static_cast<double>(SchedCache_.size());
+  Snap.Gauges["pool.threads"] = static_cast<double>(Pool_.threads());
+  Snap.Gauges["pool.scratch_arenas"] =
+      static_cast<double>(Scratches_.threadsSeen());
+  Snap.Gauges["obs.trace_events"] = static_cast<double>(Tracer_.totalEvents());
+  Snap.Gauges["obs.trace_dropped"] =
+      static_cast<double>(Tracer_.droppedEvents());
+  return Snap;
+}

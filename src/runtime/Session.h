@@ -36,6 +36,8 @@
 #include "core/HeterogeneousPipeline.h"
 #include "explore/EvalCache.h"
 #include "measure/ScheduleCache.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "partition/ScheduleScratch.h"
 #include "runtime/WorkerPool.h"
 
@@ -49,6 +51,8 @@ class Session {
   EvalCache Cache_;
   ScheduleCache SchedCache_;
   ScheduleScratchPool Scratches_;
+  obs::Tracer Tracer_;
+  obs::MetricsRegistry Metrics_;
   HeterogeneousPipeline Pipe_;
 
 public:
@@ -75,6 +79,25 @@ public:
   const ScheduleScratchPool &scheduleScratchPool() const {
     return Scratches_;
   }
+
+  /// The session span tracer. Off by default: enable it (and export
+  /// after the run) to get a Perfetto-loadable timeline of everything
+  /// this session executes. Tracing only observes — results are
+  /// bit-identical with it on or off (tests/obs/TraceSuiteIdentityTest).
+  obs::Tracer &tracer() { return Tracer_; }
+  const obs::Tracer &tracer() const { return Tracer_; }
+
+  /// The session metrics registry: stage wall-time histograms, cache
+  /// counters, scheduler effort. Recording only observes — results
+  /// never depend on it.
+  obs::MetricsRegistry &metrics() { return Metrics_; }
+  const obs::MetricsRegistry &metrics() const { return Metrics_; }
+
+  /// A snapshot of the registry with the session's cache statistics
+  /// and scratch-pool state mirrored in as gauges (cache.eval.*,
+  /// cache.selection.*, cache.schedule.*, pool.*) — the one call that
+  /// aggregates everything this session observed.
+  obs::MetricsSnapshot metricsSnapshot() const;
 
   /// The session-backed pipeline (selections share the pool and cache).
   const HeterogeneousPipeline &pipeline() const { return Pipe_; }

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <optional>
 
@@ -28,11 +29,17 @@ SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
   const size_t N = Programs.size();
   std::vector<Slot> Slots(N);
 
+  obs::Span SuiteSp(&S.tracer(), "suite.run");
+  if (SuiteSp.active())
+    SuiteSp.arg("programs", static_cast<int64_t>(N));
+
   std::mutex ProgressMutex;
   size_t Completed = 0;
 
   auto runOne = [&](size_t I) {
     Slot &S_ = Slots[I];
+    obs::Span ProgSp(&S.tracer(), "program:", Programs[I].Name);
+    auto T0 = std::chrono::steady_clock::now();
     S_.Res = S.pipeline().runProgram(Programs[I], &S_.Err);
     // The measured frontier reuses the program's profile; exploration
     // hits the session EvalCache and the argmin point's schedules hit
@@ -40,6 +47,13 @@ SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
     if (Opts.MeasureFrontier && S_.Res)
       S_.Frontier = FrontierMeasurer(S).measure(
           Programs[I].Name, Programs[I].Loops, S_.Res->Profile);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+    S.metrics().observeMs("stage.program.ms", Ms);
+    if (ProgSp.active())
+      ProgSp.arg("ok", S_.Res.has_value() ? 1 : 0);
+    ProgSp.close();
     if (!Opts.OnProgramDone)
       return;
     // Streamed completion: serialized, in completion order (which is
@@ -57,6 +71,7 @@ SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
       F.Program = Programs[I].Name;
       F.Stage = S_.Err.Stage;
       F.Reason = S_.Err.Reason;
+      F.StageWallMs = S_.Err.StageWallMs;
       P.Failure = &F;
     }
     Opts.OnProgramDone(P);
@@ -93,6 +108,7 @@ SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
       F.Program = Programs[I].Name;
       F.Stage = S_.Err.Stage;
       F.Reason = std::move(S_.Err.Reason);
+      F.StageWallMs = S_.Err.StageWallMs;
       R.Failures.push_back(std::move(F));
     }
   }

@@ -39,11 +39,16 @@
 
 namespace hcvliw {
 
-/// One failed program, with where and why.
+/// One failed program, with where, why, and for how long the failing
+/// stage ran — so timeout-shaped failures (a stage grinding for
+/// seconds before giving up) read differently from logic failures
+/// (instant). Wall time is diagnostic only: it lives here on the
+/// failure record, never inside any deterministic result.
 struct SuiteFailure {
   std::string Program;
   PipelineStage Stage = PipelineStage::Profiling;
   std::string Reason;
+  double StageWallMs = 0; ///< wall time of the failing stage
 };
 
 /// Streamed to OnProgramDone as each program completes.

@@ -144,21 +144,35 @@ int victimByRank(ModuloReservationTable &MRT, unsigned Domain, FUKind Kind,
 } // namespace
 
 SchedulerResult HeteroModuloScheduler::run(const TickGraph *Ticks,
-                                           SchedulerScratch *Scratch) {
+                                           SchedulerScratch *Scratch,
+                                           obs::Tracer *Trace) {
+  obs::Span Sp(Trace, "sched.place");
   SchedulerScratch Local;
   SchedulerScratch &SS = Scratch ? *Scratch : Local;
+  SchedulerResult R;
+  bool Dispatched = false;
   if (Opts.UseTickGrid) {
     if (Ticks) {
       if (Ticks->valid()) {
         assert(&Ticks->graph() == &PG && "prebuilt tick graph mismatch");
-        return runTicks(*Ticks, SS);
+        R = runTicks(*Ticks, SS);
+        Dispatched = true;
       }
       // Caller already proved the plan has no grid: Rational fallback.
     } else if (auto T = TickGraph::build(PG, Plan)) {
-      return runTicks(*T, SS);
+      R = runTicks(*T, SS);
+      Dispatched = true;
     }
   }
-  return runRational(SS);
+  if (!Dispatched)
+    R = runRational(SS);
+  if (Sp.active()) {
+    Sp.arg("placements", static_cast<int64_t>(R.Placements));
+    Sp.arg("ejections", static_cast<int64_t>(R.Ejections));
+    Sp.arg("budget_used", static_cast<int64_t>(R.BudgetUsed));
+    Sp.arg("ok", R.Success ? 1 : 0);
+  }
+  return R;
 }
 
 //===----------------------------------------------------------------------===//

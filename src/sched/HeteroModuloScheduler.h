@@ -22,6 +22,7 @@
 #ifndef HCVLIW_SCHED_HETEROMODULOSCHEDULER_H
 #define HCVLIW_SCHED_HETEROMODULOSCHEDULER_H
 
+#include "obs/Trace.h"
 #include "sched/ModuloReservationTable.h"
 #include "sched/Schedule.h"
 
@@ -122,8 +123,11 @@ public:
   /// exactly (Graph, ThePlan) = use it directly; an *invalid* one = the
   /// caller already proved the plan has no grid, go straight to the
   /// Rational path. \p Scratch provides reusable buffers (optional).
+  /// \p Trace, when enabled, records one "sched.place" span per run
+  /// (observation only; results never depend on it).
   SchedulerResult run(const TickGraph *Ticks = nullptr,
-                      SchedulerScratch *Scratch = nullptr);
+                      SchedulerScratch *Scratch = nullptr,
+                      obs::Tracer *Trace = nullptr);
 };
 
 } // namespace hcvliw

@@ -1,0 +1,105 @@
+//===- tests/obs/TraceSuiteIdentityTest.cpp - Tracing never perturbs --------===//
+//
+// The observability layer's core contract, pinned end-to-end: a full
+// SPECfp suite run with the session tracer *enabled* is bit-identical
+// to the untraced run, at every thread count. Tracing reads clocks and
+// appends to per-thread rings; nothing downstream reads trace state, so
+// every measured number (ED2 ratios, execution times, energies, the
+// deterministic scheduler-effort counters) must match exactly — the
+// tracing analogue of ArenaSuiteTest's arena-inertness pin. Also pins
+// that the traced runs actually recorded spans (when the tracer is
+// compiled in) and that the exported trace names the suite stages.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace hcvliw;
+
+namespace {
+
+/// Every schedule-derived number tracing could plausibly perturb,
+/// compared bitwise (the ArenaSuiteTest comparator).
+void expectSameMeasured(const SuiteResult &A, const SuiteResult &B) {
+  ASSERT_EQ(A.Names, B.Names);
+  ASSERT_EQ(A.Failures.size(), B.Failures.size());
+  ASSERT_EQ(A.Details.size(), B.Details.size());
+  for (size_t I = 0; I < A.Details.size(); ++I) {
+    const ProgramRunResult &X = A.Details[I], &Y = B.Details[I];
+    EXPECT_EQ(X.ED2Ratio, Y.ED2Ratio) << X.Name;
+    EXPECT_EQ(X.HetMeasured.TexecNs, Y.HetMeasured.TexecNs) << X.Name;
+    EXPECT_EQ(X.HetMeasured.Energy, Y.HetMeasured.Energy) << X.Name;
+    EXPECT_EQ(X.HetMeasured.ED2, Y.HetMeasured.ED2) << X.Name;
+    EXPECT_EQ(X.HomMeasured.TexecNs, Y.HomMeasured.TexecNs) << X.Name;
+    EXPECT_EQ(X.HomMeasured.ED2, Y.HomMeasured.ED2) << X.Name;
+    EXPECT_EQ(X.HetMeasured.SchedPlacements, Y.HetMeasured.SchedPlacements)
+        << X.Name;
+    EXPECT_EQ(X.HetMeasured.SchedEjections, Y.HetMeasured.SchedEjections)
+        << X.Name;
+    EXPECT_EQ(X.HetMeasured.SchedBudgetUsed, Y.HetMeasured.SchedBudgetUsed)
+        << X.Name;
+    EXPECT_EQ(X.HetMeasured.SchedITSteps, Y.HetMeasured.SchedITSteps)
+        << X.Name;
+    ASSERT_EQ(X.HetMeasured.Loops.size(), Y.HetMeasured.Loops.size());
+    for (size_t L = 0; L < X.HetMeasured.Loops.size(); ++L) {
+      EXPECT_EQ(X.HetMeasured.Loops[L].ITNs, Y.HetMeasured.Loops[L].ITNs);
+      EXPECT_EQ(X.HetMeasured.Loops[L].TexecNs,
+                Y.HetMeasured.Loops[L].TexecNs);
+      EXPECT_EQ(X.HetMeasured.Loops[L].Comms, Y.HetMeasured.Loops[L].Comms);
+    }
+  }
+}
+
+TEST(TraceSuiteIdentity, TracedSuiteBitIdenticalAtEveryThreadCount) {
+  PipelineOptions Opts;
+  // The reference: untraced, serial.
+  SuiteResult Baseline;
+  {
+    Session S(Opts, 1);
+    Baseline = SuiteRunner(S).runSpecFP();
+  }
+  ASSERT_EQ(Baseline.Names.size(), 10u);
+  EXPECT_TRUE(Baseline.Failures.empty());
+
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    Session S(Opts, Threads);
+    S.tracer().enable();
+    SuiteResult Traced = SuiteRunner(S).runSpecFP();
+    S.tracer().disable();
+    expectSameMeasured(Baseline, Traced);
+#ifndef HCVLIW_NO_TRACE
+    // The run really was traced: spans from the suite level down to the
+    // per-config measurement recorded, on no more rings than workers.
+    EXPECT_GT(S.tracer().totalEvents(), 0u) << Threads;
+    EXPECT_GE(S.tracer().numBuffers(), 1u);
+    EXPECT_LE(S.tracer().numBuffers(), static_cast<size_t>(Threads));
+    std::string J = S.tracer().chromeTraceJson();
+    EXPECT_NE(J.find("suite.run"), std::string::npos);
+    EXPECT_NE(J.find("program:"), std::string::npos);
+    EXPECT_NE(J.find("measure.config:"), std::string::npos);
+#endif
+  }
+}
+
+TEST(TraceSuiteIdentity, MetricsRecordWithoutPerturbing) {
+  // Same contract for the metrics registry: the session records
+  // stage.program.ms (always on) and the cache counters; none of it
+  // feeds back into results.
+  PipelineOptions Opts;
+  Session A(Opts, 2);
+  SuiteResult RA = SuiteRunner(A).runSpecFP();
+  obs::MetricsSnapshot Snap = A.metricsSnapshot();
+  ASSERT_NE(Snap.Histograms.find("stage.program.ms"),
+            Snap.Histograms.end());
+  EXPECT_EQ(Snap.Histograms.at("stage.program.ms").Count, 10u);
+  EXPECT_NE(Snap.Gauges.find("cache.eval.hits"), Snap.Gauges.end());
+  EXPECT_NE(Snap.Counters.find("measure.configs"), Snap.Counters.end());
+
+  Session B(Opts, 2);
+  SuiteResult RB = SuiteRunner(B).runSpecFP();
+  expectSameMeasured(RA, RB);
+}
+
+} // namespace
