@@ -35,9 +35,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "configsel/ConfigurationSelector.h"
+#include "explore/ConfigurationSelector.h"
 #include "explore/ExplorationReport.h"
-#include "measure/FrontierMeasurer.h"
+#include "runtime/FrontierMeasurer.h"
 #include "obs/AllocHook.h"
 #include "profiling/Profiler.h"
 #include "runtime/WorkerPool.h"

@@ -1,12 +1,12 @@
 //===- core/HeterogeneousPipeline.cpp - Whole-paper pipeline ----------------===//
 
 #include "core/HeterogeneousPipeline.h"
+#include "obs/Stopwatch.h"
 #include "runtime/Session.h"
 #include "support/HashUtil.h"
 #include "support/StrUtil.h"
 
 #include <cassert>
-#include <chrono>
 
 using namespace hcvliw;
 
@@ -128,17 +128,13 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
   // back into any result.
   obs::Tracer *Trace = Sess ? &Sess->tracer() : nullptr;
   obs::MetricsRegistry *Metrics = Sess ? &Sess->metrics() : nullptr;
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point StageT0 = Clock::now();
-  auto stageMs = [&StageT0] {
-    return std::chrono::duration<double, std::milli>(Clock::now() - StageT0)
-        .count();
-  };
+  obs::Stopwatch StageSW;
+  auto stageMs = [&StageSW] { return StageSW.elapsedMs(); };
   auto finishStage = [&](const char *Hist) {
     double Ms = stageMs();
     if (Metrics)
       Metrics->observeMs(Hist, Ms);
-    StageT0 = Clock::now();
+    StageSW.restart();
     return Ms;
   };
 

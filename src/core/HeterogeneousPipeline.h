@@ -24,7 +24,7 @@
 #ifndef HCVLIW_CORE_HETEROGENEOUSPIPELINE_H
 #define HCVLIW_CORE_HETEROGENEOUSPIPELINE_H
 
-#include "configsel/ConfigurationSelector.h"
+#include "explore/ConfigurationSelector.h"
 #include "measure/ScheduleMeasurer.h"
 #include "partition/Partitioner.h"
 #include "profiling/Profiler.h"

@@ -15,11 +15,11 @@ CandidateEvaluator::CandidateEvaluator(const ProgramProfile &P,
                                        const TechnologyModel &T,
                                        const FrequencyMenu &Mn,
                                        const DesignSpaceOptions &S,
-                                       EvalCache *Cache,
-                                       CacheCounters *Counters)
+                                       EvalCache *SharedCache,
+                                       CacheCounters *Stats)
     : Profile(P), Machine(M), Energy(E), Tech(T),
       Alpha(T, M.refFrequency().toDouble(), M.RefVdd, M.RefVth), Menu(Mn),
-      Space(S), Cache(Cache), Counters(Counters) {}
+      Space(S), Cache(SharedCache), Counters(Stats) {}
 
 namespace {
 

@@ -1,6 +1,6 @@
-//===- configsel/ConfigurationSelector.cpp - Section 3.3 search -------------===//
+//===- explore/ConfigurationSelector.cpp - Section 3.3 search -------------===//
 
-#include "configsel/ConfigurationSelector.h"
+#include "explore/ConfigurationSelector.h"
 
 #include <cassert>
 
@@ -9,10 +9,10 @@ using namespace hcvliw;
 ConfigurationSelector::ConfigurationSelector(
     const ProgramProfile &P, const MachineDescription &M,
     const EnergyModel &E, const TechnologyModel &T, const FrequencyMenu &Mn,
-    const DesignSpaceOptions &S, EvalCache *SharedCache, WorkerPool *Pool)
+    const DesignSpaceOptions &S, EvalCache *Cache, WorkerPool *SessionPool)
     : Profile(P), Machine(M), Energy(E), Tech(T),
       Alpha(T, M.refFrequency().toDouble(), M.RefVdd, M.RefVth), Space(S),
-      Engine(P, M, E, T, Mn, S), SharedCache(SharedCache), Pool(Pool) {}
+      Engine(P, M, E, T, Mn, S), SharedCache(Cache), Pool(SessionPool) {}
 
 std::vector<SelectedDesign> ConfigurationSelector::rankHeterogeneous() const {
   // The seed's exhaustive serial walk: one worker, frontier bookkeeping

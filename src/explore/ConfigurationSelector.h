@@ -1,4 +1,4 @@
-//===- configsel/ConfigurationSelector.h - Section 3.3 search ----*- C++ -*-===//
+//===- explore/ConfigurationSelector.h - Section 3.3 search ----*- C++ -*-===//
 ///
 /// \file
 /// The design-space exploration of Section 3.3 / Section 5: choose the
@@ -25,8 +25,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef HCVLIW_CONFIGSEL_CONFIGURATIONSELECTOR_H
-#define HCVLIW_CONFIGSEL_CONFIGURATIONSELECTOR_H
+#ifndef HCVLIW_EXPLORE_CONFIGURATIONSELECTOR_H
+#define HCVLIW_EXPLORE_CONFIGURATIONSELECTOR_H
 
 #include "configsel/DesignSpace.h"
 #include "configsel/Scaling.h"
@@ -89,4 +89,4 @@ public:
 
 } // namespace hcvliw
 
-#endif // HCVLIW_CONFIGSEL_CONFIGURATIONSELECTOR_H
+#endif // HCVLIW_EXPLORE_CONFIGURATIONSELECTOR_H

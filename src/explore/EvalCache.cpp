@@ -6,11 +6,11 @@
 
 using namespace hcvliw;
 
-EvalCache::EvalCache(const MachineDescription &M, const FrequencyMenu &Menu)
-    : Machine(M), Menu(Menu),
+EvalCache::EvalCache(const MachineDescription &M, const FrequencyMenu &Mn)
+    : Machine(M), Menu(Mn),
       // Continuous and relative menus decide every (II, freq) pair from
       // IT * fmax products only; absolute menus pin real frequencies.
-      ScaleInvariant(Menu.frequencies().empty()) {}
+      ScaleInvariant(Mn.frequencies().empty()) {}
 
 size_t EvalCache::size() const {
   size_t N = 0;

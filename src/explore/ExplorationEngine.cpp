@@ -2,11 +2,11 @@
 
 #include "explore/ExplorationEngine.h"
 
+#include "obs/Stopwatch.h"
 #include "runtime/WorkerPool.h"
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <memory>
 #include <thread>
 
@@ -29,9 +29,9 @@ ExplorationEngine::ExplorationEngine(const ProgramProfile &P,
                                      const MachineDescription &M,
                                      const EnergyModel &E,
                                      const TechnologyModel &T,
-                                     const FrequencyMenu &Menu,
-                                     const DesignSpaceOptions &Space)
-    : Profile(P), Machine(M), Energy(E), Tech(T), Menu(Menu), Space(Space) {}
+                                     const FrequencyMenu &Mn,
+                                     const DesignSpaceOptions &Sp)
+    : Profile(P), Machine(M), Energy(E), Tech(T), Menu(Mn), Space(Sp) {}
 
 std::vector<ExploreCandidate> ExplorationEngine::enumerate() const {
   std::vector<ExploreCandidate> Grid;
@@ -52,7 +52,7 @@ std::vector<ExploreCandidate> ExplorationEngine::enumerate() const {
 
 ExplorationResult
 ExplorationEngine::explore(const ExploreOptions &Opts) const {
-  auto Start = std::chrono::steady_clock::now();
+  obs::Stopwatch SW;
 
   ExplorationResult R;
   R.Candidates = enumerate();
@@ -136,9 +136,6 @@ ExplorationEngine::explore(const ExploreOptions &Opts) const {
     R.Stats.FrontierSize = R.Frontier.size();
   }
 
-  R.Stats.WallMs =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - Start)
-          .count();
+  R.Stats.WallMs = SW.elapsedMs();
   return R;
 }

@@ -7,8 +7,8 @@
 using namespace hcvliw;
 
 DomainPlanner::DomainPlanner(const MachineDescription &M,
-                             const HeteroConfig &C, const FrequencyMenu &Menu)
-    : Machine(&M), Config(C), Menu(Menu) {
+                             const HeteroConfig &C, const FrequencyMenu &Mn)
+    : Machine(&M), Config(C), Menu(Mn) {
   assert(C.numClusters() == M.numClusters() &&
          "configuration does not match the machine");
 }

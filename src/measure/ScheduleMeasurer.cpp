@@ -2,24 +2,24 @@
 
 #include "measure/ScheduleMeasurer.h"
 
+#include "obs/Stopwatch.h"
 #include "partition/ScheduleScratch.h"
 #include "support/HashUtil.h"
 #include "vliwsim/PipelinedSimulator.h"
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 
 using namespace hcvliw;
 
 ScheduleMeasurer::ScheduleMeasurer(const MachineDescription &M,
                                    const MeasureOptions &O,
-                                   ScheduleCache *Cache,
-                                   ScheduleScratchPool *Scratches,
-                                   obs::Tracer *Trace,
-                                   obs::MetricsRegistry *Metrics)
-    : Machine(M), Opts(O), Cache(Cache), Scratches(Scratches), Trace(Trace),
-      Metrics(Metrics) {}
+                                   ScheduleCache *SharedCache,
+                                   ScheduleScratchPool *ScratchPool,
+                                   obs::Tracer *Tr,
+                                   obs::MetricsRegistry *Mx)
+    : Machine(M), Opts(O), Cache(SharedCache), Scratches(ScratchPool),
+      Trace(Tr), Metrics(Mx) {}
 
 namespace {
 
@@ -143,17 +143,12 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
   // driver's own spans and timed into the per-stage wall histogram.
   // Timing only observes — the result never depends on it.
   auto scheduleFresh = [&](const Loop &L) {
-    std::chrono::steady_clock::time_point T0;
-    if (Metrics)
-      T0 = std::chrono::steady_clock::now();
+    obs::Stopwatch SW;
     LoopScheduleResult LR =
         Sched.schedule(L, ED2Objective ? &Energy : nullptr,
                        ED2Objective ? &Scaling : nullptr, Scratch, Trace);
     if (Metrics)
-      Metrics->observeMs("stage.loop_schedule.ms",
-                         std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - T0)
-                             .count());
+      Metrics->observeMs("stage.loop_schedule.ms", SW.elapsedMs());
     return LR;
   };
 

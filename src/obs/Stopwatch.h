@@ -1,0 +1,50 @@
+//===- obs/Stopwatch.h - Wall-clock sampling for observability ---*- C++ -*-===//
+///
+/// \file
+/// The only sanctioned wall-clock source outside bench/. Every layer
+/// that wants a stage duration (histograms, StageWallMs on failure
+/// records, report wall-time columns) samples it through this helper
+/// instead of calling std::chrono::*_clock::now() directly, so the
+/// determinism contract stays mechanical: hcvliw_lint forbids raw
+/// clock reads in result-producing layers (src/** minus src/obs), and
+/// a grep for Stopwatch finds every place time is observed.
+///
+/// Wall times measured here are observability-only values. They must
+/// never feed back into a scheduling decision, a result, or a cache
+/// key — the same rule every obs:: surface obeys (see
+/// tests/obs/TraceSuiteIdentityTest for the bit-identity pin).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_OBS_STOPWATCH_H
+#define HCVLIW_OBS_STOPWATCH_H
+
+#include <chrono>
+
+namespace hcvliw {
+namespace obs {
+
+/// Monotonic stopwatch: starts at construction, restartable. Reads are
+/// two clock samples and a subtraction — cheap enough for per-stage
+/// use, not meant for per-operation hot loops (spans cover those).
+class Stopwatch {
+  std::chrono::steady_clock::time_point T0;
+
+public:
+  Stopwatch() : T0(std::chrono::steady_clock::now()) {}
+
+  /// Re-arms the stopwatch at now.
+  void restart() { T0 = std::chrono::steady_clock::now(); }
+
+  /// Milliseconds elapsed since construction / the last restart().
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - T0)
+        .count();
+  }
+};
+
+} // namespace obs
+} // namespace hcvliw
+
+#endif // HCVLIW_OBS_STOPWATCH_H

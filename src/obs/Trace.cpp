@@ -18,8 +18,8 @@ using namespace hcvliw::obs;
 // TraceBuffer
 //===----------------------------------------------------------------------===//
 
-TraceBuffer::TraceBuffer(size_t CapacityPow2, unsigned Tid)
-    : Ring(CapacityPow2), Mask(CapacityPow2 - 1), Tid(Tid) {}
+TraceBuffer::TraceBuffer(size_t CapacityPow2, unsigned ThreadId)
+    : Ring(CapacityPow2), Mask(CapacityPow2 - 1), Tid(ThreadId) {}
 
 //===----------------------------------------------------------------------===//
 // Tracer

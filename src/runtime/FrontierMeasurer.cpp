@@ -1,6 +1,6 @@
-//===- measure/FrontierMeasurer.cpp - Measured frontier evaluation ----------===//
+//===- runtime/FrontierMeasurer.cpp - Measured frontier evaluation ----------===//
 
-#include "measure/FrontierMeasurer.h"
+#include "runtime/FrontierMeasurer.h"
 
 #include "explore/ExplorationEngine.h"
 #include "profiling/Profiler.h"

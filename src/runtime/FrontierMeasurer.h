@@ -1,4 +1,4 @@
-//===- measure/FrontierMeasurer.h - Measured frontier evaluation -*- C++ -*-===//
+//===- runtime/FrontierMeasurer.h - Measured frontier evaluation -*- C++ -*-===//
 ///
 /// \file
 /// Measured (scheduler-level) evaluation of a design-space search's
@@ -26,8 +26,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef HCVLIW_MEASURE_FRONTIERMEASURER_H
-#define HCVLIW_MEASURE_FRONTIERMEASURER_H
+#ifndef HCVLIW_RUNTIME_FRONTIERMEASURER_H
+#define HCVLIW_RUNTIME_FRONTIERMEASURER_H
 
 #include "measure/ScheduleMeasurer.h"
 #include "runtime/Session.h"
@@ -120,4 +120,4 @@ public:
 
 } // namespace hcvliw
 
-#endif // HCVLIW_MEASURE_FRONTIERMEASURER_H
+#endif // HCVLIW_RUNTIME_FRONTIERMEASURER_H

@@ -2,11 +2,11 @@
 
 #include "runtime/SuiteRunner.h"
 
+#include "obs/Stopwatch.h"
 #include "support/Stats.h"
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <mutex>
 #include <optional>
 
@@ -39,7 +39,7 @@ SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
   auto runOne = [&](size_t I) {
     Slot &S_ = Slots[I];
     obs::Span ProgSp(&S.tracer(), "program:", Programs[I].Name);
-    auto T0 = std::chrono::steady_clock::now();
+    obs::Stopwatch SW;
     S_.Res = S.pipeline().runProgram(Programs[I], &S_.Err);
     // The measured frontier reuses the program's profile; exploration
     // hits the session EvalCache and the argmin point's schedules hit
@@ -47,10 +47,7 @@ SuiteResult SuiteRunner::run(const std::vector<BenchmarkProgram> &Programs,
     if (Opts.MeasureFrontier && S_.Res)
       S_.Frontier = FrontierMeasurer(S).measure(
           Programs[I].Name, Programs[I].Loops, S_.Res->Profile);
-    double Ms = std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - T0)
-                    .count();
-    S.metrics().observeMs("stage.program.ms", Ms);
+    S.metrics().observeMs("stage.program.ms", SW.elapsedMs());
     if (ProgSp.active())
       ProgSp.arg("ok", S_.Res.has_value() ? 1 : 0);
     ProgSp.close();

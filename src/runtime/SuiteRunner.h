@@ -29,7 +29,7 @@
 #ifndef HCVLIW_RUNTIME_SUITERUNNER_H
 #define HCVLIW_RUNTIME_SUITERUNNER_H
 
-#include "measure/FrontierMeasurer.h"
+#include "runtime/FrontierMeasurer.h"
 #include "runtime/Session.h"
 #include "workloads/SpecFPSuite.h"
 

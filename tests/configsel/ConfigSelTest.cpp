@@ -1,6 +1,6 @@
 //===- tests/configsel/ConfigSelTest.cpp - Section 3 selection --------------===//
 
-#include "configsel/ConfigurationSelector.h"
+#include "explore/ConfigurationSelector.h"
 #include "profiling/Profiler.h"
 #include "runtime/WorkerPool.h"
 #include "workloads/SyntheticLoops.h"

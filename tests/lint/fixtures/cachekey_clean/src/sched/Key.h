@@ -1,0 +1,18 @@
+#pragma once
+#include <cstddef>
+
+// A complete cache key: operator== and the companion hash functor both
+// cover every field.
+struct LoopKey {
+  int LoopId = 0;
+  unsigned ConfigBits = 0;
+  bool operator==(const LoopKey &O) const {
+    return LoopId == O.LoopId && ConfigBits == O.ConfigBits;
+  }
+};
+
+struct LoopKeyHash {
+  std::size_t operator()(const LoopKey &K) const {
+    return static_cast<std::size_t>(K.LoopId) * 31u + K.ConfigBits;
+  }
+};

@@ -1,0 +1,19 @@
+#pragma once
+#include <cstddef>
+
+// Seed was added later and nobody updated == (misses Seed) or the hash
+// (misses ConfigBits) — the exact drift the cache-key rule exists for.
+struct StaleKey {
+  int LoopId = 0;
+  unsigned ConfigBits = 0;
+  unsigned Seed = 0;
+  bool operator==(const StaleKey &O) const {
+    return LoopId == O.LoopId && ConfigBits == O.ConfigBits;
+  }
+};
+
+struct StaleKeyHash {
+  std::size_t operator()(const StaleKey &K) const {
+    return static_cast<std::size_t>(K.LoopId) * 131u + K.Seed;
+  }
+};

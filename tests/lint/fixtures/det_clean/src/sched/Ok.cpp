@@ -1,0 +1,24 @@
+// The sanctioned shapes: explicitly seeded engines, value-keyed ordered
+// containers, and unordered iteration that only READS.
+#include <map>
+#include <random>
+#include <unordered_map>
+
+unsigned draw(unsigned Seed) {
+  std::mt19937 Rng(Seed); // explicit seed: deterministic by construction
+  return static_cast<unsigned>(Rng());
+}
+
+int lookupOrZero(const std::unordered_map<int, int> &M, int K) {
+  auto It = M.find(K);
+  return It == M.end() ? 0 : It->second;
+}
+
+bool anyNegative(const std::unordered_map<int, int> &M) {
+  for (const auto &KV : M)
+    if (KV.second < 0)
+      return true;
+  return false;
+}
+
+std::map<int, int> ByStableId; // value key: iteration order is well defined

@@ -1,0 +1,31 @@
+// Every determinism rule family fires on this file.
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+struct Node;
+
+struct Tally {
+  int Total = 0;
+  std::unordered_map<int, int> Counts;
+
+  long nowTicks() {
+    auto T = std::chrono::steady_clock::now(); // det-clock
+    (void)T;
+    return rand(); // det-rand (ambient libc RNG)
+  }
+
+  unsigned seed() {
+    std::random_device RD; // det-rand (ambient entropy)
+    return RD();
+  }
+
+  void fold() {
+    for (const auto &KV : Counts)
+      Total += KV.second; // det-unordered-iter: order-dependent fold
+  }
+};
+
+std::map<const Node *, int> ByAddress; // det-ptr-key: address order

@@ -1,0 +1,5 @@
+#pragma once
+#include "support/Util.h"
+struct Loop {
+  int Id = 0;
+};

@@ -1,0 +1,3 @@
+#include "ir/Loop.h"
+#include "support/Util.h"
+int schedule(const Loop &L) { return add(L.Id, 1); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int add(int A, int B) { return A + B; }

@@ -1,0 +1,4 @@
+#pragma once
+struct Loop {
+  int Id = 0;
+};

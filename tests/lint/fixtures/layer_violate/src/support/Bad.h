@@ -1,0 +1,3 @@
+#pragma once
+#include "ir/Loop.h"
+inline int loopId(const Loop &L) { return L.Id; }

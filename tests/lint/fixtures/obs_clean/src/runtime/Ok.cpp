@@ -1,0 +1,11 @@
+// Library code may WRITE observations freely; it just never reads them
+// back. Spans, counters, and null-tracer guards are all fine.
+namespace obs {
+struct Tracer;
+void counterAdd(Tracer *T, const char *Name, long Delta);
+} // namespace obs
+
+void recordStep(obs::Tracer *Trace) {
+  if (Trace) // guarding on the tracer POINTER is fine: no value read
+    obs::counterAdd(Trace, "steps", 1);
+}

@@ -1,0 +1,11 @@
+// Both halves of the feedback loop the contract forbids.
+namespace obs {
+struct MetricsRegistry;
+bool enabled();
+} // namespace obs
+
+template <class Registry> long readBack(const Registry &Reg) {
+  if (obs::enabled()) // obs-branch: a decision fed by observation state
+    return 0;
+  return Reg.snapshot(); // obs-export: library code reading the read-out
+}

@@ -9,7 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "measure/FrontierMeasurer.h"
+#include "runtime/FrontierMeasurer.h"
 #include "runtime/SuiteRunner.h"
 
 #include <gtest/gtest.h>

@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "measure/FrontierMeasurer.h"
+#include "runtime/FrontierMeasurer.h"
 #include "runtime/SuiteRunner.h"
 #include "workloads/SyntheticLoops.h"
 

@@ -1,0 +1,258 @@
+//===- tools/lint/CacheKey.cpp - Cache-key completeness rule ----------------===//
+///
+/// ScheduleCache/EvalCache rest on "equal keys hash equal scheduling
+/// inputs": every field of a key struct must appear in BOTH its
+/// operator== and its companion hash functor, or a newly added field
+/// silently stops distinguishing entries (== misses it) or stops
+/// spreading them (hash misses it). This rule re-derives the three
+/// field sets per key struct and cross-checks them.
+///
+/// A "key struct" is detected structurally, not by name: any struct
+/// with an in-class operator== that some sibling hash functor (a
+/// struct whose name contains "Hash", with an operator() taking the
+/// key type) consumes. Plain value types with == but no hash partner
+/// (Rational, MemoryImage) are out of scope.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <set>
+
+using namespace hcvliw::lint;
+
+namespace {
+
+struct StructSpan {
+  std::string Name;
+  size_t BodyOpen;  ///< index of '{'
+  size_t BodyClose; ///< index of matching '}'
+  unsigned Line;
+};
+
+/// Every struct/class definition in the token stream (including nested
+/// ones — each is analyzed independently).
+std::vector<StructSpan> findStructs(const std::vector<Token> &Toks) {
+  std::vector<StructSpan> Spans;
+  for (size_t I = 0; I + 2 < Toks.size(); ++I) {
+    if (!(Toks[I].ident("struct") || Toks[I].ident("class")))
+      continue;
+    if (Toks[I + 1].K != Token::Ident)
+      continue; // anonymous / alignas(...) first — keep it simple
+    size_t J = I + 2;
+    // Skip 'final' and a base-clause up to the body.
+    while (J < Toks.size() && !Toks[J].punct("{") && !Toks[J].punct(";"))
+      ++J;
+    if (J >= Toks.size() || Toks[J].punct(";"))
+      continue; // forward declaration
+    size_t Close = matchForward(Toks, J);
+    if (Close >= Toks.size())
+      continue;
+    Spans.push_back({Toks[I + 1].Text, J, Close, Toks[I].Line});
+  }
+  return Spans;
+}
+
+const std::set<std::string> NonFieldLeaders = {
+    "struct", "class",   "using",  "typedef",  "friend",
+    "static", "enum",    "template", "public", "private",
+    "protected", "operator", "explicit", "virtual", "static_assert"};
+
+/// Non-static data member names declared at the struct's top level.
+std::set<std::string> collectFields(const std::vector<Token> &Toks,
+                                    const StructSpan &S) {
+  std::set<std::string> Fields;
+  size_t I = S.BodyOpen + 1;
+  std::vector<size_t> Stmt; // token indices of the current declaration
+  int AngleDepth = 0;
+  bool Skip = false;
+
+  auto flush = [&]() {
+    if (!Skip && !Stmt.empty()) {
+      bool HasParen = false;
+      for (size_t Ix : Stmt)
+        if (Toks[Ix].punct("("))
+          HasParen = true;
+      if (!HasParen) {
+        // Names are identifiers immediately before '=', ',', ';', '[',
+        // '{' at angle depth 0 — handled by remembering the previous
+        // identifier as we re-walk the statement.
+        int Angle = 0;
+        for (size_t K = 0; K < Stmt.size(); ++K) {
+          const Token &T = Toks[Stmt[K]];
+          if (T.punct("<"))
+            ++Angle;
+          else if (T.punct(">"))
+            Angle = Angle > 0 ? Angle - 1 : 0;
+          else if (Angle == 0 && K > 0 &&
+                   (T.punct("=") || T.punct(",") || T.punct("[") ||
+                    T.punct("{")) &&
+                   Toks[Stmt[K - 1]].K == Token::Ident)
+            Fields.insert(Toks[Stmt[K - 1]].Text);
+        }
+        if (!Stmt.empty() && Toks[Stmt.back()].K == Token::Ident)
+          Fields.insert(Toks[Stmt.back()].Text);
+      }
+    }
+    Stmt.clear();
+    Skip = false;
+  };
+
+  while (I < S.BodyClose) {
+    const Token &T = Toks[I];
+    if (T.punct("{")) {
+      // Brace initializer (prev is an identifier) stays part of the
+      // declaration; anything else is a nested body to step over.
+      bool BraceInit = !Stmt.empty() && Toks[Stmt.back()].K == Token::Ident &&
+                       !NonFieldLeaders.count(Toks[Stmt.back()].Text);
+      size_t Close = matchForward(Toks, I);
+      if (BraceInit)
+        Stmt.push_back(I);
+      else
+        Skip = true; // function / nested struct: not a field declaration
+      I = Close + 1;
+      if (!BraceInit)
+        flush();
+      continue;
+    }
+    if (T.punct(";")) {
+      flush();
+      ++I;
+      continue;
+    }
+    if (T.punct(":") && AngleDepth == 0 && Stmt.size() == 1 &&
+        NonFieldLeaders.count(Toks[Stmt[0]].Text)) {
+      Stmt.clear(); // access specifier: the next declaration starts fresh
+      Skip = false;
+      ++I;
+      continue;
+    }
+    if (Stmt.empty() && T.K == Token::Ident && NonFieldLeaders.count(T.Text))
+      Skip = true;
+    if (T.punct("<"))
+      ++AngleDepth;
+    else if (T.punct(">"))
+      AngleDepth = AngleDepth > 0 ? AngleDepth - 1 : 0;
+    Stmt.push_back(I);
+    ++I;
+  }
+  return Fields;
+}
+
+/// Identifiers in [Begin, End) that are also field names.
+std::set<std::string> referencedFields(const std::vector<Token> &Toks,
+                                       size_t Begin, size_t End,
+                                       const std::set<std::string> &Fields) {
+  std::set<std::string> Refs;
+  for (size_t I = Begin; I < End && I < Toks.size(); ++I)
+    if (Toks[I].K == Token::Ident && Fields.count(Toks[I].Text))
+      Refs.insert(Toks[I].Text);
+  return Refs;
+}
+
+/// Body span of the in-class operator== (token index of '{'..'}'), or
+/// {0,0} when absent or bodiless.
+std::pair<size_t, size_t> findEqualsBody(const std::vector<Token> &Toks,
+                                         const StructSpan &S) {
+  for (size_t I = S.BodyOpen; I + 1 < S.BodyClose; ++I) {
+    if (!Toks[I].ident("operator") || !Toks[I + 1].punct("=="))
+      continue;
+    size_t J = I + 2;
+    while (J < S.BodyClose && !Toks[J].punct("{") && !Toks[J].punct(";"))
+      ++J;
+    if (J >= S.BodyClose || Toks[J].punct(";"))
+      return {0, 0};
+    return {J, matchForward(Toks, J)};
+  }
+  return {0, 0};
+}
+
+/// For a hash functor: the '(' of operator()'s parameter list, or 0.
+size_t findCallOperatorParams(const std::vector<Token> &Toks,
+                              const StructSpan &S) {
+  for (size_t I = S.BodyOpen; I + 3 < S.BodyClose; ++I)
+    if (Toks[I].ident("operator") && Toks[I + 1].punct("(") &&
+        Toks[I + 2].punct(")") && Toks[I + 3].punct("("))
+      return I + 3;
+  return 0;
+}
+
+std::string joinSorted(const std::set<std::string> &S) {
+  std::string Out;
+  for (const std::string &X : S) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += X;
+  }
+  return Out;
+}
+
+} // namespace
+
+void hcvliw::lint::checkCacheKeys(const SourceFile &F,
+                                  std::vector<Violation> &Out) {
+  const std::vector<Token> &Toks = F.Toks;
+  std::vector<StructSpan> Spans = findStructs(Toks);
+
+  for (const StructSpan &Key : Spans) {
+    auto EqBody = findEqualsBody(Toks, Key);
+    if (EqBody.second == 0)
+      continue;
+
+    // A companion hash functor in the same file whose operator() takes
+    // this struct.
+    const StructSpan *Hash = nullptr;
+    size_t HashParams = 0;
+    for (const StructSpan &H : Spans) {
+      if (H.Name.find("Hash") == std::string::npos || &H == &Key)
+        continue;
+      size_t P = findCallOperatorParams(Toks, H);
+      if (!P)
+        continue;
+      size_t PClose = matchForward(Toks, P);
+      bool TakesKey = false;
+      for (size_t I = P; I < PClose; ++I)
+        if (Toks[I].ident(Key.Name))
+          TakesKey = true;
+      if (TakesKey) {
+        Hash = &H;
+        HashParams = P;
+        break;
+      }
+    }
+    if (!Hash)
+      continue; // == without a hash partner: not a cache key
+
+    std::set<std::string> Fields = collectFields(Toks, Key);
+    if (Fields.empty())
+      continue;
+    std::set<std::string> EqRefs =
+        referencedFields(Toks, EqBody.first, EqBody.second, Fields);
+    size_t HashBodyOpen = matchForward(Toks, HashParams) + 1;
+    while (HashBodyOpen < Hash->BodyClose && !Toks[HashBodyOpen].punct("{"))
+      ++HashBodyOpen;
+    std::set<std::string> HashRefs = referencedFields(
+        Toks, HashBodyOpen, matchForward(Toks, HashBodyOpen), Fields);
+
+    std::set<std::string> MissEq, MissHash;
+    for (const std::string &Fld : Fields) {
+      if (!EqRefs.count(Fld))
+        MissEq.insert(Fld);
+      if (!HashRefs.count(Fld))
+        MissHash.insert(Fld);
+    }
+    if (!MissEq.empty())
+      Out.push_back({"cache-key", F.RelPath, Key.Line,
+                     "key struct '" + Key.Name +
+                         "' has fields not compared by operator==: {" +
+                         joinSorted(MissEq) +
+                         "} — equal keys would no longer mean equal inputs"});
+    if (!MissHash.empty())
+      Out.push_back({"cache-key", F.RelPath, Hash->Line,
+                     "hash functor '" + Hash->Name +
+                         "' ignores fields of '" + Key.Name + "': {" +
+                         joinSorted(MissHash) +
+                         "} — keys differing only there collide "
+                         "systematically"});
+  }
+}

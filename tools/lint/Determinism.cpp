@@ -1,0 +1,328 @@
+//===- tools/lint/Determinism.cpp - Determinism-hazard rules ----------------===//
+///
+/// Result-producing layers (src/** minus src/obs) must be pure
+/// functions of their declared inputs: the bit-identity contracts
+/// (any-thread-count, warm==cold, traced==untraced) all rest on that.
+/// This file flags the constructs that historically break it:
+///
+///   - wall-clock reads (det-clock): results must not depend on time;
+///     observability samples time via obs::Stopwatch instead.
+///   - ambient randomness (det-rand): all RNG flows through
+///     support/RNG.h with explicit seeds.
+///   - pointer-keyed ordered containers (det-ptr-key): iteration order
+///     is address order, which varies run to run.
+///   - unordered-container iteration that writes non-local state
+///     (det-unordered-iter): the iteration order is unspecified, so
+///     any order-sensitive fold laundered through it is nondeterministic.
+///     Order-*insensitive* folds (counter sums, max) are legitimate and
+///     go in the allowlist with their justification.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace hcvliw::lint;
+
+namespace {
+
+bool isObsLayer(const SourceFile &F) { return F.Dir == "obs"; }
+
+const std::set<std::string> ClockIdents = {
+    "steady_clock", "system_clock", "high_resolution_clock"};
+const std::set<std::string> FreeCallHazards = {"time", "clock", "rand",
+                                               "srand"};
+const std::set<std::string> OrderedContainers = {"map", "set", "multimap",
+                                                 "multiset"};
+const std::set<std::string> UnorderedContainers = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+/// Member calls that mutate their receiver. Heuristic by design: a
+/// bespoke mutator named otherwise needs a human eye anyway.
+const std::set<std::string> MutatingMembers = {
+    "push_back", "pop_back", "emplace", "emplace_back", "insert", "erase",
+    "clear",     "assign",   "resize",  "reserve",      "push",   "pop",
+    "append"};
+const std::set<std::string> NotATypeKeyword = {
+    "return", "else",  "new",   "delete", "case",     "goto",  "break",
+    "continue", "sizeof", "typename", "throw", "do", "in", "co_return"};
+
+/// True when Toks[I] is a call to a free function (not a member, not a
+/// non-std qualified name).
+bool isFreeCall(const std::vector<Token> &Toks, size_t I) {
+  if (I + 1 >= Toks.size() || !Toks[I + 1].punct("("))
+    return false;
+  if (I == 0)
+    return true;
+  const Token &Prev = Toks[I - 1];
+  if (Prev.punct(".") || Prev.punct("->"))
+    return false;
+  if (Prev.punct("::"))
+    return I >= 2 && Toks[I - 2].ident("std");
+  return true;
+}
+
+/// Root identifier of the primary expression ending at \p End
+/// (inclusive): walks left over member chains, subscripts and call
+/// parens; e.g. for `A.B[I].C` returns "A".
+std::string rootOfChain(const std::vector<Token> &Toks, size_t End) {
+  size_t I = End;
+  std::string Root;
+  while (true) {
+    const Token &T = Toks[I];
+    if (T.punct("]") || T.punct(")")) {
+      // Walk back over the bracketed group.
+      std::string Open = T.Text == "]" ? "[" : "(";
+      int Depth = 0;
+      size_t J = I;
+      while (true) {
+        if (Toks[J].punct(T.Text))
+          ++Depth;
+        else if (Toks[J].punct(Open) && --Depth == 0)
+          break;
+        if (J == 0)
+          return Root;
+        --J;
+      }
+      if (J == 0)
+        return Root;
+      I = J - 1;
+      continue;
+    }
+    if (T.K == Token::Ident) {
+      Root = T.Text;
+      if (I >= 2 && (Toks[I - 1].punct(".") || Toks[I - 1].punct("->") ||
+                     Toks[I - 1].punct("::"))) {
+        I -= 2;
+        continue;
+      }
+      return Root;
+    }
+    if (T.punct("*") || T.punct("&")) {
+      if (I == 0)
+        return Root;
+      --I;
+      continue;
+    }
+    return Root;
+  }
+}
+
+/// Names declared with an unordered_{map,set,...} type anywhere in the
+/// file (members, locals, parameters). Misses typedef'd aliases — the
+/// fixtures document the supported shapes.
+std::set<std::string> unorderedVarNames(const std::vector<Token> &Toks) {
+  std::set<std::string> Names;
+  for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+    if (Toks[I].K != Token::Ident || !UnorderedContainers.count(Toks[I].Text))
+      continue;
+    if (!Toks[I + 1].punct("<"))
+      continue;
+    // Skip the template argument list by angle depth.
+    int Depth = 0;
+    size_t J = I + 1;
+    for (; J < Toks.size(); ++J) {
+      if (Toks[J].punct("<"))
+        ++Depth;
+      else if (Toks[J].punct(">") && --Depth == 0)
+        break;
+    }
+    if (J >= Toks.size())
+      continue;
+    ++J;
+    while (J < Toks.size() &&
+           (Toks[J].punct("&") || Toks[J].punct("*") || Toks[J].ident("const")))
+      ++J;
+    if (J < Toks.size() && Toks[J].K == Token::Ident)
+      Names.insert(Toks[J].Text);
+  }
+  return Names;
+}
+
+/// Identifiers declared inside a body span [Begin, End): loop-local
+/// variables by the `Type Name =` / `auto &Name =` shape.
+std::set<std::string> localDecls(const std::vector<Token> &Toks, size_t Begin,
+                                 size_t End) {
+  std::set<std::string> Locals;
+  for (size_t I = Begin + 1; I + 1 < End; ++I) {
+    if (Toks[I].K != Token::Ident)
+      continue;
+    const Token &Prev = Toks[I - 1];
+    const Token &Next = Toks[I + 1];
+    bool PrevTypeLike =
+        (Prev.K == Token::Ident && !NotATypeKeyword.count(Prev.Text)) ||
+        Prev.punct(">") || Prev.punct("&") || Prev.punct("*");
+    bool NextDeclLike = Next.punct("=") || Next.punct(";") || Next.punct("{");
+    if (PrevTypeLike && NextDeclLike &&
+        !(I >= 2 && (Toks[I - 2].punct(".") || Toks[I - 2].punct("->") ||
+                     Toks[I - 2].punct("::"))))
+      Locals.insert(Toks[I].Text);
+  }
+  return Locals;
+}
+
+const std::set<std::string> AssignOps = {"=",  "+=", "-=", "*=", "/=",
+                                         "%=", "&=", "|=", "^="};
+
+void checkUnorderedIteration(const SourceFile &F,
+                             const std::set<std::string> &UnorderedNames,
+                             std::vector<Violation> &Out) {
+  const std::vector<Token> &Toks = F.Toks;
+  for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+    if (!Toks[I].ident("for") || !Toks[I + 1].punct("("))
+      continue;
+    size_t Open = I + 1, Close = matchForward(Toks, Open);
+    if (Close >= Toks.size())
+      continue;
+    // Range-for: a ':' at paren depth 1 ("::" is one token, so a bare
+    // ':' is unambiguous).
+    size_t Colon = Toks.size();
+    {
+      int Depth = 0;
+      for (size_t J = Open; J < Close; ++J) {
+        if (Toks[J].punct("("))
+          ++Depth;
+        else if (Toks[J].punct(")"))
+          --Depth;
+        else if (Toks[J].punct(":") && Depth == 1) {
+          Colon = J;
+          break;
+        }
+      }
+    }
+    if (Colon >= Close)
+      continue;
+    // Does the range expression name an unordered container?
+    std::string Container;
+    for (size_t J = Colon + 1; J < Close; ++J)
+      if (Toks[J].K == Token::Ident && UnorderedNames.count(Toks[J].Text)) {
+        Container = Toks[J].Text;
+        break;
+      }
+    if (Container.empty())
+      continue;
+
+    // Loop variables: `auto &KV` or structured binding `[K, V]`.
+    std::set<std::string> Locals;
+    for (size_t J = Open + 1; J < Colon; ++J)
+      if (Toks[J].K == Token::Ident && !Toks[J].ident("auto") &&
+          !Toks[J].ident("const"))
+        Locals.insert(Toks[J].Text);
+
+    // Body span: ScanBegin is the first *statement* token (past the
+    // '{' when braced; a braceless body starts immediately).
+    size_t ScanBegin, BodyEnd;
+    if (Close + 1 < Toks.size() && Toks[Close + 1].punct("{")) {
+      ScanBegin = Close + 2;
+      BodyEnd = matchForward(Toks, Close + 1);
+    } else {
+      ScanBegin = Close + 1;
+      BodyEnd = ScanBegin;
+      while (BodyEnd < Toks.size() && !Toks[BodyEnd].punct(";"))
+        ++BodyEnd;
+    }
+    if (BodyEnd >= Toks.size())
+      continue;
+    std::set<std::string> BodyLocals =
+        localDecls(Toks, ScanBegin == 0 ? 0 : ScanBegin - 1, BodyEnd);
+    Locals.insert(BodyLocals.begin(), BodyLocals.end());
+
+    std::set<std::string> Reported;
+    auto report = [&](const std::string &Root, unsigned Line) {
+      if (Root.empty() || Locals.count(Root) || !Reported.insert(Root).second)
+        return;
+      Out.push_back(
+          {"det-unordered-iter", F.RelPath, Line,
+           "iteration over unordered container '" + Container +
+               "' writes to non-local '" + Root +
+               "' — unspecified iteration order makes the result "
+               "order-dependent (audited order-insensitive folds belong in "
+               "the allowlist)"});
+    };
+
+    for (size_t J = ScanBegin; J < BodyEnd; ++J) {
+      const Token &T = Toks[J];
+      if (T.K != Token::Punct)
+        continue;
+      if (AssignOps.count(T.Text) && J > ScanBegin)
+        report(rootOfChain(Toks, J - 1), T.Line);
+      else if (T.Text == "++" || T.Text == "--") {
+        const Token &Prev = J > ScanBegin ? Toks[J - 1] : Token{};
+        if (Prev.K == Token::Ident || Prev.punct("]") || Prev.punct(")"))
+          report(rootOfChain(Toks, J - 1), T.Line); // postfix
+        else if (J + 1 < BodyEnd && Toks[J + 1].K == Token::Ident)
+          report(Toks[J + 1].Text, T.Line); // prefix
+      } else if ((T.Text == "." || T.Text == "->") && J + 2 < BodyEnd &&
+                 Toks[J + 1].K == Token::Ident &&
+                 MutatingMembers.count(Toks[J + 1].Text) &&
+                 Toks[J + 2].punct("(") && J > ScanBegin)
+        report(rootOfChain(Toks, J - 1), T.Line);
+    }
+  }
+}
+
+} // namespace
+
+void hcvliw::lint::checkDeterminism(const SourceFile &F,
+                                    std::vector<Violation> &Out) {
+  if (isObsLayer(F))
+    return; // obs is the sanctioned observer; bench/examples are not scanned
+  const std::vector<Token> &Toks = F.Toks;
+
+  for (size_t I = 0; I < Toks.size(); ++I) {
+    const Token &T = Toks[I];
+    if (T.K != Token::Ident)
+      continue;
+
+    if (ClockIdents.count(T.Text)) {
+      Out.push_back({"det-clock", F.RelPath, T.Line,
+                     "std::chrono::" + T.Text +
+                         " referenced in a result-producing layer — sample "
+                         "wall time via obs::Stopwatch (observability-only) "
+                         "instead"});
+      continue;
+    }
+    if (T.Text == "random_device") {
+      Out.push_back({"det-rand", F.RelPath, T.Line,
+                     "std::random_device is ambient entropy — all randomness "
+                     "flows through support/RNG.h with explicit seeds"});
+      continue;
+    }
+    if (FreeCallHazards.count(T.Text) && isFreeCall(Toks, I)) {
+      Out.push_back({T.Text == "time" || T.Text == "clock" ? "det-clock"
+                                                           : "det-rand",
+                     F.RelPath, T.Line,
+                     "call to " + T.Text +
+                         "() in a result-producing layer — results must be "
+                         "pure functions of their declared inputs"});
+      continue;
+    }
+    // std::map<T*, ...> / std::set<const T *> etc.
+    if (OrderedContainers.count(T.Text) && I >= 2 && Toks[I - 1].punct("::") &&
+        Toks[I - 2].ident("std") && I + 1 < Toks.size() &&
+        Toks[I + 1].punct("<")) {
+      int Depth = 0;
+      for (size_t J = I + 1; J < Toks.size(); ++J) {
+        if (Toks[J].punct("<"))
+          ++Depth;
+        else if (Toks[J].punct(">")) {
+          if (--Depth == 0)
+            break;
+        } else if (Toks[J].punct(",") && Depth == 1)
+          break;
+        else if (Toks[J].punct("*") && Depth == 1) {
+          Out.push_back({"det-ptr-key", F.RelPath, T.Line,
+                         "std::" + T.Text +
+                             " keyed on a pointer — iteration order is "
+                             "address order, which varies run to run; key on "
+                             "a stable id instead"});
+          break;
+        }
+      }
+    }
+  }
+
+  checkUnorderedIteration(F, unorderedVarNames(Toks), Out);
+}

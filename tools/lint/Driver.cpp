@@ -1,0 +1,153 @@
+//===- tools/lint/Driver.cpp - File walk, allowlist, rule dispatch ----------===//
+
+#include "lint/Lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+using namespace hcvliw::lint;
+
+// --- allowlist -------------------------------------------------------------
+
+namespace {
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return "";
+  size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+} // namespace
+
+Allowlist Allowlist::parse(const std::string &Path) {
+  Allowlist A;
+  std::ifstream In(Path);
+  if (!In)
+    return A; // absent allowlist = no exceptions, not an error
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::string Stripped = trim(Line);
+    if (Stripped.empty() || Stripped[0] == '#')
+      continue;
+    // rule | file | message-needle | justification
+    std::vector<std::string> Parts;
+    std::istringstream LS(Stripped);
+    std::string Part;
+    while (std::getline(LS, Part, '|'))
+      Parts.push_back(trim(Part));
+    if (Parts.size() != 4 || Parts[3].empty()) {
+      A.Errors.push_back(Path + ":" + std::to_string(LineNo) +
+                         ": malformed allowlist entry (want 'rule | file | "
+                         "needle | justification', justification mandatory)");
+      continue;
+    }
+    A.Entries.push_back({Parts[0], Parts[1], Parts[2], Parts[3], LineNo,
+                         /*Used=*/false});
+  }
+  return A;
+}
+
+Allowlist::Entry *Allowlist::match(const Violation &V) {
+  for (Entry &E : Entries) {
+    if (E.Rule != V.Rule || E.File != V.File)
+      continue;
+    if (E.Needle != "*" && V.Message.find(E.Needle) == std::string::npos)
+      continue;
+    E.Used = true;
+    return &E;
+  }
+  return nullptr;
+}
+
+// --- driver ----------------------------------------------------------------
+
+LintResult hcvliw::lint::runLint(const LintOptions &Opts) {
+  LintResult R;
+
+  std::string LayersPath = Opts.LayersConf.empty()
+                               ? Opts.Root + "/tools/lint/layers.conf"
+                               : Opts.LayersConf;
+  std::string AllowPath = Opts.AllowlistConf.empty()
+                              ? Opts.Root + "/tools/lint/allowlist.conf"
+                              : Opts.AllowlistConf;
+
+  LayerMap Layers = LayerMap::parse(LayersPath);
+  R.ConfigErrors.insert(R.ConfigErrors.end(), Layers.Errors.begin(),
+                        Layers.Errors.end());
+  Allowlist Allow = Allowlist::parse(AllowPath);
+  R.ConfigErrors.insert(R.ConfigErrors.end(), Allow.Errors.begin(),
+                        Allow.Errors.end());
+
+  fs::path SrcRoot = fs::path(Opts.Root) / "src";
+  std::error_code EC;
+  if (!fs::is_directory(SrcRoot, EC)) {
+    R.ConfigErrors.push_back("no src/ directory under root: " + Opts.Root);
+    return R;
+  }
+
+  // Every directory directly under src/ must be assigned to a layer, so
+  // a new subsystem cannot land outside the declared DAG.
+  std::vector<std::string> Files;
+  for (const auto &Ent : fs::recursive_directory_iterator(SrcRoot)) {
+    if (Ent.is_directory()) {
+      if (Ent.path().parent_path() == SrcRoot &&
+          !Layers.DirRank.count(Ent.path().filename().string()))
+        R.ConfigErrors.push_back(
+            "src/" + Ent.path().filename().string() +
+            " is not assigned to any layer in " + LayersPath +
+            " — declare it so its dependencies are checked");
+      continue;
+    }
+    std::string Ext = Ent.path().extension().string();
+    if (Ext == ".h" || Ext == ".hpp" || Ext == ".cpp" || Ext == ".cc")
+      Files.push_back(Ent.path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+
+  std::vector<Violation> Raw;
+  for (const std::string &Path : Files) {
+    std::ifstream In(Path);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::string Src = Buf.str();
+
+    SourceFile F;
+    F.RelPath = fs::relative(Path, Opts.Root).generic_string();
+    fs::path Rel = fs::relative(Path, SrcRoot);
+    F.Dir = Rel.begin() != Rel.end() && Rel.has_parent_path()
+                ? Rel.begin()->string()
+                : "";
+    F.Toks = tokenize(Src);
+    std::istringstream LS(Src);
+    std::string Line;
+    while (std::getline(LS, Line))
+      F.RawLines.push_back(Line);
+
+    checkLayers(F, Layers, Raw);
+    checkDeterminism(F, Raw);
+    checkObsIsolation(F, Raw);
+    checkCacheKeys(F, Raw);
+  }
+
+  for (const Violation &V : Raw) {
+    if (Allowlist::Entry *E = Allow.match(V))
+      R.Suppressed.push_back(V.File + ":" + std::to_string(V.Line) + ": [" +
+                             V.Rule + "] allowed: " + E->Justification);
+    else
+      R.Violations.push_back(V);
+  }
+  for (const Allowlist::Entry &E : Allow.Entries)
+    if (!E.Used)
+      R.StaleAllow.push_back(AllowPath + ":" + std::to_string(E.Line) +
+                             ": allowlist entry matched nothing (rule=" +
+                             E.Rule + ", file=" + E.File +
+                             ") — remove it or fix the pattern");
+  return R;
+}

@@ -1,0 +1,97 @@
+//===- tools/lint/Layers.cpp - Layer DAG declaration + include rule ---------===//
+
+#include "lint/Lint.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace hcvliw::lint;
+
+LayerMap LayerMap::parse(const std::string &Path) {
+  LayerMap M;
+  std::ifstream In(Path);
+  if (!In) {
+    M.Errors.push_back("cannot open layers config: " + Path);
+    return M;
+  }
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    size_t Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line = Line.substr(0, Hash);
+    std::istringstream LS(Line);
+    std::string Kw;
+    if (!(LS >> Kw))
+      continue;
+    if (Kw != "layer") {
+      M.Errors.push_back(Path + ":" + std::to_string(LineNo) +
+                         ": expected 'layer <name> : <dir>...', got '" + Kw +
+                         "'");
+      continue;
+    }
+    std::string Name, Colon;
+    if (!(LS >> Name >> Colon) || Colon != ":") {
+      M.Errors.push_back(Path + ":" + std::to_string(LineNo) +
+                         ": malformed layer line (want 'layer <name> : "
+                         "<dir>...')");
+      continue;
+    }
+    int Rank = static_cast<int>(M.LayerNames.size());
+    M.LayerNames.push_back(Name);
+    std::string Dir;
+    bool Any = false;
+    while (LS >> Dir) {
+      Any = true;
+      if (M.DirRank.count(Dir)) {
+        M.Errors.push_back(Path + ":" + std::to_string(LineNo) + ": dir '" +
+                           Dir + "' assigned to two layers ('" +
+                           M.DirLayer[Dir] + "' and '" + Name + "')");
+        continue;
+      }
+      M.DirRank[Dir] = Rank;
+      M.DirLayer[Dir] = Name;
+    }
+    if (!Any)
+      M.Errors.push_back(Path + ":" + std::to_string(LineNo) + ": layer '" +
+                         Name + "' declares no directories");
+  }
+  return M;
+}
+
+void hcvliw::lint::checkLayers(const SourceFile &F, const LayerMap &Layers,
+                               std::vector<Violation> &Out) {
+  auto It = Layers.DirRank.find(F.Dir);
+  if (It == Layers.DirRank.end())
+    return; // the driver reports undeclared dirs once, not per file
+  int SrcRank = It->second;
+
+  unsigned LineNo = 0;
+  for (const std::string &Line : F.RawLines) {
+    ++LineNo;
+    size_t Pos = Line.find("#include \"");
+    if (Pos == std::string::npos)
+      continue;
+    size_t Start = Pos + 10;
+    size_t End = Line.find('"', Start);
+    if (End == std::string::npos)
+      continue;
+    std::string Inc = Line.substr(Start, End - Start);
+    size_t Slash = Inc.find('/');
+    if (Slash == std::string::npos)
+      continue; // not a layered project header
+    std::string TargetDir = Inc.substr(0, Slash);
+    auto TIt = Layers.DirRank.find(TargetDir);
+    if (TIt == Layers.DirRank.end())
+      continue; // outside the declared tree (e.g. gtest/)
+    if (TIt->second > SrcRank)
+      Out.push_back(
+          {"layer", F.RelPath, LineNo,
+           "'" + F.Dir + "' (layer " + Layers.DirLayer.at(F.Dir) +
+               ") includes \"" + Inc + "\" from higher layer " +
+               Layers.DirLayer.at(TargetDir) +
+               " — the dependency must point down the DAG (see "
+               "tools/lint/layers.conf)"});
+  }
+}

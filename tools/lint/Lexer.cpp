@@ -1,0 +1,147 @@
+//===- tools/lint/Lexer.cpp - Minimal C++ token scanner ---------------------===//
+
+#include "lint/Lexer.h"
+
+#include <cctype>
+
+using namespace hcvliw::lint;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Two-character punctuators the rules care about. `<<` / `>>` are
+/// deliberately absent (see Lexer.h).
+const char *TwoCharPuncts[] = {"::", "==", "!=", "<=", ">=", "->", "++",
+                               "--", "+=", "-=", "*=", "/=", "%=", "&=",
+                               "|=", "^=", "&&", "||"};
+
+} // namespace
+
+std::vector<Token> hcvliw::lint::tokenize(const std::string &Src) {
+  std::vector<Token> Toks;
+  unsigned Line = 1;
+  size_t I = 0, N = Src.size();
+
+  auto push = [&](Token::Kind K, std::string Text) {
+    Toks.push_back({K, std::move(Text), Line});
+  };
+
+  while (I < N) {
+    char C = Src[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Src[I + 1] == '/') {
+      while (I < N && Src[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Src[I + 1] == '*') {
+      I += 2;
+      while (I + 1 < N && !(Src[I] == '*' && Src[I + 1] == '/')) {
+        if (Src[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      I = (I + 1 < N) ? I + 2 : N;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (C == 'R' && I + 1 < N && Src[I + 1] == '"') {
+      size_t D0 = I + 2;
+      size_t Paren = Src.find('(', D0);
+      if (Paren != std::string::npos) {
+        std::string Close = ")" + Src.substr(D0, Paren - D0) + "\"";
+        size_t End = Src.find(Close, Paren + 1);
+        size_t Stop = End == std::string::npos ? N : End + Close.size();
+        for (size_t J = I; J < Stop; ++J)
+          if (Src[J] == '\n')
+            ++Line;
+        push(Token::Str, Src.substr(Paren + 1,
+                                    (End == std::string::npos ? N : End) -
+                                        Paren - 1));
+        I = Stop;
+        continue;
+      }
+    }
+    // String / char literals (escape-aware).
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      size_t J = I + 1;
+      std::string Text;
+      while (J < N && Src[J] != Quote) {
+        if (Src[J] == '\\' && J + 1 < N) {
+          Text += Src[J];
+          ++J;
+        }
+        if (Src[J] == '\n')
+          ++Line;
+        Text += Src[J];
+        ++J;
+      }
+      push(Quote == '"' ? Token::Str : Token::Chr, Text);
+      I = J < N ? J + 1 : N;
+      continue;
+    }
+    if (isIdentStart(C)) {
+      size_t J = I;
+      while (J < N && isIdentChar(Src[J]))
+        ++J;
+      push(Token::Ident, Src.substr(I, J - I));
+      I = J;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t J = I;
+      while (J < N && (isIdentChar(Src[J]) || Src[J] == '.'))
+        ++J;
+      push(Token::Number, Src.substr(I, J - I));
+      I = J;
+      continue;
+    }
+    // Punctuation: try the two-char table, fall back to one char.
+    if (I + 1 < N) {
+      std::string Two = Src.substr(I, 2);
+      bool Found = false;
+      for (const char *P : TwoCharPuncts)
+        if (Two == P) {
+          push(Token::Punct, Two);
+          I += 2;
+          Found = true;
+          break;
+        }
+      if (Found)
+        continue;
+    }
+    push(Token::Punct, std::string(1, C));
+    ++I;
+  }
+  return Toks;
+}
+
+size_t hcvliw::lint::matchForward(const std::vector<Token> &Toks,
+                                  size_t Open) {
+  const std::string &O = Toks[Open].Text;
+  std::string C = O == "(" ? ")" : O == "[" ? "]" : "}";
+  int Depth = 0;
+  for (size_t I = Open; I < Toks.size(); ++I) {
+    if (Toks[I].punct(O))
+      ++Depth;
+    else if (Toks[I].punct(C) && --Depth == 0)
+      return I;
+  }
+  return Toks.size();
+}

@@ -1,0 +1,47 @@
+//===- tools/lint/Lexer.h - Minimal C++ token scanner ------------*- C++ -*-===//
+///
+/// \file
+/// A deliberately small C++ tokenizer for hcvliw_lint: comments and
+/// literals are recognized (so rules never fire inside them), every
+/// remaining lexeme becomes an identifier, number, or punctuator token
+/// with a line number. It does not preprocess: directives tokenize like
+/// ordinary text, which is exactly what the rules want (an `#ifdef`'d
+/// hazard is still a hazard on some configuration).
+///
+/// `>>` and `<<` are intentionally left as two single-character tokens
+/// so template-argument depth can be tracked by counting `<` / `>`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_TOOLS_LINT_LEXER_H
+#define HCVLIW_TOOLS_LINT_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcvliw {
+namespace lint {
+
+struct Token {
+  enum Kind { Ident, Number, Str, Chr, Punct } K = Punct;
+  std::string Text;
+  unsigned Line = 1;
+
+  bool is(Kind Kd, std::string_view T) const { return K == Kd && Text == T; }
+  bool ident(std::string_view T) const { return is(Ident, T); }
+  bool punct(std::string_view T) const { return is(Punct, T); }
+};
+
+/// Tokenizes \p Src. Comments vanish; string/char literals become
+/// single Str/Chr tokens whose text excludes the quotes.
+std::vector<Token> tokenize(const std::string &Src);
+
+/// Index of the token matching the opener at \p Open ("(", "[", "{",
+/// counting nesting), or Toks.size() when unbalanced.
+size_t matchForward(const std::vector<Token> &Toks, size_t Open);
+
+} // namespace lint
+} // namespace hcvliw
+
+#endif // HCVLIW_TOOLS_LINT_LEXER_H

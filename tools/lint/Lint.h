@@ -1,0 +1,124 @@
+//===- tools/lint/Lint.h - Invariant linter for the hcvliw tree --*- C++ -*-===//
+///
+/// \file
+/// hcvliw_lint: a repo-specific static analyzer that makes the
+/// determinism, layering, and obs-isolation contracts of this codebase
+/// machine-checked instead of prose-checked. Four rule families, each
+/// pinned by fixtures under tests/lint/fixtures/:
+///
+///   layer              #include edges across src/<dir> boundaries must
+///                      point at the same or a lower layer of the DAG
+///                      declared in tools/lint/layers.conf.
+///   det-clock          raw std::chrono clock reads / time() / clock()
+///   det-rand           std::random_device / rand() / srand()
+///   det-ptr-key        std::{map,set,multimap,multiset} keyed on a
+///                      pointer type (iteration order = address order)
+///   det-unordered-iter range-for over an unordered_{map,set} whose
+///                      body writes to non-local state (iteration order
+///                      is unspecified, so the result is too)
+///                      — all four only outside src/obs; audited
+///                      exceptions live in tools/lint/allowlist.conf
+///                      with a justification the linter prints.
+///   obs-export         non-obs code calling the observability read-out
+///                      surfaces (Tracer::chromeTraceJson /
+///                      writeChromeTrace, MetricsRegistry::snapshot)
+///   obs-branch         an if/while/switch condition mentioning obs::
+///                      (no span or metric may feed a decision)
+///   cache-key          a key struct whose operator== or companion hash
+///                      functor does not cover every declared field
+///                      (silently-incomplete cache keys break the
+///                      "equal keys hash equal inputs" contract)
+///
+/// The analysis is a token-level scanner plus an include graph — no
+/// compiler, no types. That makes it fast and dependency-free, and the
+/// rules are written to err on the side of flagging; the allowlist is
+/// the escape hatch, and every entry carries its audit justification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_TOOLS_LINT_LINT_H
+#define HCVLIW_TOOLS_LINT_LINT_H
+
+#include "lint/Lexer.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+namespace lint {
+
+struct Violation {
+  std::string Rule;    ///< e.g. "layer", "det-clock", "cache-key"
+  std::string File;    ///< root-relative path
+  unsigned Line = 0;
+  std::string Message;
+};
+
+/// One parsed source file, shared by every rule.
+struct SourceFile {
+  std::string RelPath; ///< e.g. "src/sched/Schedule.cpp"
+  std::string Dir;     ///< first directory under src/, e.g. "sched"
+  std::vector<Token> Toks;
+  std::vector<std::string> RawLines; ///< for the include scanner
+};
+
+/// The declared layer DAG: an ordered list of layers (bottom first),
+/// each owning a set of src/ subdirectories. An include edge is legal
+/// iff its target's layer rank <= the including file's layer rank.
+struct LayerMap {
+  std::vector<std::string> LayerNames;      ///< bottom -> top
+  std::map<std::string, int> DirRank;       ///< src subdir -> rank
+  std::map<std::string, std::string> DirLayer;
+  std::vector<std::string> Errors;          ///< parse/shape problems
+
+  static LayerMap parse(const std::string &Path);
+};
+
+/// Audited exceptions: `rule | file | needle | justification`, where
+/// needle must be a substring of the violation message ("*" matches
+/// any). Suppressions are printed with their justification so every
+/// run restates why the exception is sound.
+struct Allowlist {
+  struct Entry {
+    std::string Rule, File, Needle, Justification;
+    unsigned Line = 0;
+    bool Used = false;
+  };
+  std::vector<Entry> Entries;
+  std::vector<std::string> Errors;
+
+  static Allowlist parse(const std::string &Path);
+  /// The matching entry (marking it used), or nullptr.
+  Entry *match(const Violation &V);
+};
+
+// Rule entry points (one SourceFile at a time; append to Out).
+void checkLayers(const SourceFile &F, const LayerMap &Layers,
+                 std::vector<Violation> &Out);
+void checkDeterminism(const SourceFile &F, std::vector<Violation> &Out);
+void checkObsIsolation(const SourceFile &F, std::vector<Violation> &Out);
+void checkCacheKeys(const SourceFile &F, std::vector<Violation> &Out);
+
+struct LintOptions {
+  std::string Root;          ///< tree root; scans Root/src/**
+  std::string LayersConf;    ///< default Root/tools/lint/layers.conf
+  std::string AllowlistConf; ///< default Root/tools/lint/allowlist.conf
+};
+
+struct LintResult {
+  std::vector<Violation> Violations;      ///< survived the allowlist
+  std::vector<std::string> ConfigErrors;  ///< bad conf / unreadable tree
+  std::vector<std::string> Suppressed;    ///< printed with justification
+  std::vector<std::string> StaleAllow;    ///< entries that matched nothing
+  bool clean() const { return Violations.empty() && ConfigErrors.empty(); }
+};
+
+/// Runs every rule over Root/src/**. Deterministic: files are visited
+/// in sorted path order, so output ordering is stable.
+LintResult runLint(const LintOptions &Opts);
+
+} // namespace lint
+} // namespace hcvliw
+
+#endif // HCVLIW_TOOLS_LINT_LINT_H

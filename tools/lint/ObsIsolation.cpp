@@ -1,0 +1,64 @@
+//===- tools/lint/ObsIsolation.cpp - "Tracing observes only" rule -----------===//
+///
+/// The observability layer's contract (ROADMAP, PR 6): spans and
+/// metrics *observe only* — no span output feeds back into a
+/// scheduling decision, and results are bit-identical traced or
+/// untraced. Two mechanical checks keep that true as the tree grows:
+///
+///   obs-export  non-obs src code must not call the read-out surfaces
+///               (Tracer::chromeTraceJson / writeChromeTrace,
+///               MetricsRegistry::snapshot). Tools and benches export
+///               after the run; library code never looks.
+///   obs-branch  no if/while/switch condition may mention obs:: —
+///               branching on an observability value is exactly the
+///               feedback the contract forbids.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <set>
+
+using namespace hcvliw::lint;
+
+namespace {
+
+const std::set<std::string> ExportSurfaces = {"chromeTraceJson",
+                                              "writeChromeTrace", "snapshot"};
+const std::set<std::string> BranchKeywords = {"if", "while", "switch"};
+
+} // namespace
+
+void hcvliw::lint::checkObsIsolation(const SourceFile &F,
+                                     std::vector<Violation> &Out) {
+  if (F.Dir == "obs")
+    return; // the layer may of course implement its own surfaces
+  const std::vector<Token> &Toks = F.Toks;
+
+  for (size_t I = 0; I + 1 < Toks.size(); ++I) {
+    const Token &T = Toks[I];
+    if (T.K != Token::Ident)
+      continue;
+
+    if (ExportSurfaces.count(T.Text) && Toks[I + 1].punct("(")) {
+      Out.push_back({"obs-export", F.RelPath, T.Line,
+                     "call to observability read-out '" + T.Text +
+                         "' outside src/obs — only tools and benches export; "
+                         "library results never read observation state"});
+      continue;
+    }
+
+    if (BranchKeywords.count(T.Text) && Toks[I + 1].punct("(")) {
+      size_t Close = matchForward(Toks, I + 1);
+      for (size_t J = I + 2; J + 1 < Close; ++J)
+        if (Toks[J].ident("obs") && Toks[J + 1].punct("::")) {
+          Out.push_back(
+              {"obs-branch", F.RelPath, Toks[J].Line,
+               "condition branches on an obs:: value — no span or metric "
+               "output may feed back into a decision (the traced==untraced "
+               "bit-identity contract)"});
+          break;
+        }
+    }
+  }
+}

@@ -1,0 +1,78 @@
+//===- tools/lint/main.cpp - hcvliw_lint CLI --------------------------------===//
+///
+/// Usage: hcvliw_lint --root <tree> [--layers <conf>] [--allowlist <conf>]
+///
+/// Exit 0: tree is clean (suppressions, if any, are printed with their
+///         justification — an audit trail, not noise).
+/// Exit 1: violations.
+/// Exit 2: configuration errors (bad conf file, undeclared src dir,
+///         unusable root). Stale allowlist entries are warnings only.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace hcvliw::lint;
+
+int main(int Argc, char **Argv) {
+  LintOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    auto need = [&](const char *Flag) -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "hcvliw_lint: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (!std::strcmp(Argv[I], "--root"))
+      Opts.Root = need("--root");
+    else if (!std::strcmp(Argv[I], "--layers"))
+      Opts.LayersConf = need("--layers");
+    else if (!std::strcmp(Argv[I], "--allowlist"))
+      Opts.AllowlistConf = need("--allowlist");
+    else if (!std::strcmp(Argv[I], "--help") || !std::strcmp(Argv[I], "-h")) {
+      std::printf(
+          "usage: hcvliw_lint --root <tree> [--layers <conf>] "
+          "[--allowlist <conf>]\n\n"
+          "Checks the invariant contracts of the hcvliw tree: the layer\n"
+          "DAG (tools/lint/layers.conf), determinism hazards, obs\n"
+          "isolation, and cache-key completeness. See README \"Static\n"
+          "analysis\".\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "hcvliw_lint: unknown argument '%s'\n", Argv[I]);
+      return 2;
+    }
+  }
+  if (Opts.Root.empty()) {
+    std::fprintf(stderr, "hcvliw_lint: --root is required\n");
+    return 2;
+  }
+
+  LintResult R = runLint(Opts);
+
+  for (const std::string &E : R.ConfigErrors)
+    std::fprintf(stderr, "hcvliw_lint: config error: %s\n", E.c_str());
+  for (const std::string &S : R.Suppressed)
+    std::printf("note: %s\n", S.c_str());
+  for (const std::string &S : R.StaleAllow)
+    std::fprintf(stderr, "warning: %s\n", S.c_str());
+  for (const Violation &V : R.Violations)
+    std::fprintf(stderr, "%s:%u: [%s] %s\n", V.File.c_str(), V.Line,
+                 V.Rule.c_str(), V.Message.c_str());
+
+  if (!R.ConfigErrors.empty())
+    return 2;
+  if (!R.Violations.empty()) {
+    std::fprintf(stderr,
+                 "hcvliw_lint: %zu violation(s). Audited exceptions go in "
+                 "tools/lint/allowlist.conf with a justification.\n",
+                 R.Violations.size());
+    return 1;
+  }
+  std::printf("hcvliw_lint: clean\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Run clang-tidy (config: .clang-tidy at the repo root) over every
+# library and analyzer TU, diff the findings against the committed
+# baseline, and fail on anything new.
+#
+#   tools/lint/run_clang_tidy.sh [build-dir]
+#
+# The build dir must contain compile_commands.json (the root CMakeLists
+# sets CMAKE_EXPORT_COMPILE_COMMANDS unconditionally). A finding is
+# fingerprinted as "file:check" — line numbers churn too much to pin.
+# Accepted findings live in tools/lint/clang-tidy.baseline; shrink it
+# whenever you can, grow it only with a review.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+BASELINE="$ROOT/tools/lint/clang-tidy.baseline"
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$TIDY' not found on PATH" >&2
+  echo "run_clang_tidy: install clang-tidy or set CLANG_TIDY" >&2
+  exit 2
+fi
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json in $BUILD (configure first)" >&2
+  exit 2
+fi
+
+mapfile -t TUS < <(cd "$ROOT" && find src tools/lint -name '*.cpp' | sort)
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+STATUS=0
+"$TIDY" -p "$BUILD" --quiet "${TUS[@]/#/$ROOT/}" >"$RAW" 2>/dev/null || STATUS=$?
+if [ "$STATUS" -ge 124 ]; then # crash/signal, as opposed to "found issues"
+  echo "run_clang_tidy: clang-tidy exited with status $STATUS" >&2
+  exit 2
+fi
+
+# "path/file.cpp:12:3: warning: ... [check-name]"  ->  "path/file.cpp:check-name"
+NEW="$(grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' "$RAW" \
+  | sed -E "s|^$ROOT/||" \
+  | sed -E 's|^([^:]+):[0-9]+:[0-9]+: [a-z]+: .*\[([a-z0-9.,-]+)\]$|\1:\2|' \
+  | sort -u)"
+KNOWN="$(grep -v -e '^#' -e '^[[:space:]]*$' "$BASELINE" 2>/dev/null | sort -u || true)"
+
+FRESH="$(comm -23 <(printf '%s\n' "$NEW" | sed '/^$/d') \
+                  <(printf '%s\n' "$KNOWN" | sed '/^$/d'))"
+FIXED="$(comm -13 <(printf '%s\n' "$NEW" | sed '/^$/d') \
+                  <(printf '%s\n' "$KNOWN" | sed '/^$/d'))"
+
+if [ -n "$FIXED" ]; then
+  echo "run_clang_tidy: baseline entries no longer firing (remove them):"
+  printf '  %s\n' $FIXED
+fi
+if [ -n "$FRESH" ]; then
+  echo "run_clang_tidy: NEW findings (fix, or baseline with review):"
+  printf '  %s\n' $FRESH
+  echo "--- full clang-tidy output for the new findings ---"
+  while IFS= read -r FP; do
+    FILE="${FP%%:*}" CHECK="${FP##*:}"
+    grep -F "$FILE" "$RAW" | grep -F "[$CHECK]" || true
+  done <<<"$FRESH"
+  exit 1
+fi
+echo "run_clang_tidy: clean ($(printf '%s\n' "$NEW" | sed '/^$/d' | wc -l) baselined)"
