@@ -121,6 +121,10 @@ class BenchReporter {
     /// how future perf PRs attribute wins.
     uint64_t SchedPlacements = 0, SchedEjections = 0;
     uint64_t SchedBudgetUsed = 0, SchedITSteps = 0;
+    /// Partitioner effort behind the misses (multilevel hierarchy).
+    uint64_t PartLevels = 0, PartMatchedPairs = 0;
+    uint64_t PartRefineMoves = 0, PartFMMoves = 0;
+    uint64_t PartCoarsenMemoHits = 0;
   };
 
   std::string Name;
@@ -167,6 +171,11 @@ public:
     C.SchedEjections = S.scheduleCache().ejections();
     C.SchedBudgetUsed = S.scheduleCache().budgetUsed();
     C.SchedITSteps = S.scheduleCache().itSteps();
+    C.PartLevels = S.scheduleCache().partLevels();
+    C.PartMatchedPairs = S.scheduleCache().partMatchedPairs();
+    C.PartRefineMoves = S.scheduleCache().partRefineMoves();
+    C.PartFMMoves = S.scheduleCache().partFMMoves();
+    C.PartCoarsenMemoHits = S.scheduleCache().partCoarsenMemoHits();
     Caches.push_back(std::move(C));
     // The full registry snapshot rides along: stage wall-time
     // histograms, cache gauges, whatever the series recorded.
@@ -223,7 +232,12 @@ public:
                         "\"sched_placements\": %llu, "
                         "\"sched_ejections\": %llu, "
                         "\"sched_budget_used\": %llu, "
-                        "\"sched_it_steps\": %llu}",
+                        "\"sched_it_steps\": %llu, "
+                        "\"part_levels\": %llu, "
+                        "\"part_matched_pairs\": %llu, "
+                        "\"part_refine_moves\": %llu, "
+                        "\"part_fm_moves\": %llu, "
+                        "\"part_coarsen_memo_hits\": %llu}",
                         static_cast<unsigned long long>(C.EvalHits),
                         static_cast<unsigned long long>(C.EvalMisses),
                         static_cast<unsigned long long>(C.SelectionHits),
@@ -233,7 +247,12 @@ public:
                         static_cast<unsigned long long>(C.SchedPlacements),
                         static_cast<unsigned long long>(C.SchedEjections),
                         static_cast<unsigned long long>(C.SchedBudgetUsed),
-                        static_cast<unsigned long long>(C.SchedITSteps));
+                        static_cast<unsigned long long>(C.SchedITSteps),
+                        static_cast<unsigned long long>(C.PartLevels),
+                        static_cast<unsigned long long>(C.PartMatchedPairs),
+                        static_cast<unsigned long long>(C.PartRefineMoves),
+                        static_cast<unsigned long long>(C.PartFMMoves),
+                        static_cast<unsigned long long>(C.PartCoarsenMemoHits));
     }
     J += Caches.empty() ? "}" : "\n  }";
     J += ",\n  \"obs\": {";

@@ -3,44 +3,49 @@
 // google-benchmark measurement of the per-loop scheduling hot path on
 // its two arithmetic routes: the tick-domain fast path (PlanGrid +
 // TickGraph + rank-indexed ready set) against the retained
-// exact-Rational reference, over synthetic loops of 16/48/96/192 ops
-// on the one-fast/three-slow heterogeneous plan. Both paths produce
-// bit-identical schedules (tests/sched/TickDomainTest), so the ratio
-// is pure arithmetic/indexing win.
+// exact-Rational reference, over unrolled-kernel loops of
+// 16/48/96/192 ops on the one-fast/three-slow heterogeneous plan.
+// Both paths produce bit-identical schedules
+// (tests/sched/TickDomainTest), so the ratio is pure
+// arithmetic/indexing win.
 //
-// The speedup_192ops falloff (PR 4 baseline: 13x vs 22.5x at 96 ops),
-// investigated and fixed in PR 5: the 192-op cyclic-partition fixture
-// is bus-saturated (~151 copies on a single bus with II == 151), and
-// most of its placement-loop time went into the MRT slot-probe scan
-// over the nearly-full bus table — path-INDEPENDENT integer work (one
-// int64 modulo division per probed slot, paid identically on the tick
-// and Rational routes) that grows ~quadratically with the copy count
-// and so dilutes the tick/Rational ratio toward the scan-bound limit.
-// ModuloReservationTable::reserveFirstFree now performs that scan with
-// one modulo total (wrap-around index instead of a division per
-// probe), and the forced-placement victim scan no longer materializes
-// an occupant vector; 192-op tick throughput rose ~1.8x and the
-// speedup to ~23x. The residual gap to the 96-op ratio is the
-// remaining path-independent share: ejection-heavy budget iterations
-// (~40% of placements are re-placements here) whose predecessor
-// rescans and table updates are integer work on both routes.
+// Every fixture here is a REAL partition: LoopScheduler's multilevel
+// coarsen/refine partitioner places every size, and each size runs on
+// a machine whose register files scale with the unroll factor
+// (bigLoopRegisters — max(16, Ops/4), the rotating-register-file
+// growth an unrolled kernel would ship with). Through PR 7 the
+// partitioner topped out near ~200 ops and the 192-op fixture fell
+// back to a synthetic cyclic cluster assignment (bus-saturated, ~40%
+// copies), which made speedup_192ops measure the MRT scan rather than
+// the scheduler; the multilevel hierarchy killed that ceiling and the
+// fallback is gone.
 //
 // Besides the google-benchmark kernels, a self-timed pass records the
 // per-schedule throughput ratio in BENCH_sched_hotpath.json
 // ("speedup_<N>ops" metrics measured in the same run) plus, per size,
 // steady-state allocations per schedule on the tick path (scratch
 // arena + prebuilt TickGraph: ~3 allocs, the escaping result vector).
-// An end-to-end "loop_schedules_per_sec" section times the whole
-// Figure 5 driver (LoopScheduler::schedule — partition + IT sweep +
-// schedule + pressure + validation) on a menu-restricted sweep-heavy
-// fixture, warm (per-worker ScheduleScratch arena + warm-started IT
-// sweep) against cold (WarmStart=false, no caller arena). Note the
-// cold side still shares most of PR 5's driver-level wins (worklist
-// ASAP fixpoint, modulo-free MRT slot scan, in-run buffer reuse), so
+//
+// A size-series section then times the WHOLE Figure 5 driver
+// (LoopScheduler::schedule — multilevel partition + IT sweep +
+// schedule + pressure + validation) at 96/192/384/768/1536 ops,
+// emitting "loop_schedules_per_sec_<N>ops". This is the headline of
+// the big-loop work: before the multilevel partitioner these sizes
+// simply failed above ~200 ops (the series would be empty past the
+// second point), and the sublinear ejection-budget curve
+// (HeteroModuloScheduler::budgetFor — linear to 256 ops, sqrt-scaled
+// above) keeps the largest sizes terminating rather than burning a
+// linear budget on ejection storms.
+//
+// An end-to-end "loop_schedules_per_sec" section times the same
+// driver on a menu-restricted sweep-heavy fixture, warm (per-worker
+// ScheduleScratch arena + warm-started IT sweep + coarsening memos)
+// against cold (WarmStart=false, no caller arena). The cold side
+// still shares the driver-level wins (worklist ASAP fixpoint,
+// modulo-free MRT slot scan, in-run buffer reuse), so
 // "warmstart_speedup" isolates only the warm-start memos/prune and
 // understates the PR-over-PR gain: against the pristine PR 4 library
-// this same fixture measured 73 loop-schedules/s vs ~280/s warm here —
-// ~3.8x, from ~6700 allocations per loop-schedule down to ~800.
+// this same fixture measured 73 loop-schedules/s vs ~280/s warm here.
 // Exit code 1 (advisory on shared CI runners) when the 96-op speedup
 // is below 3x or warm-start stops paying at all (speedup below 1.02x);
 // the cross-run regression gate lives in CI, against the committed
@@ -50,8 +55,6 @@
 
 #include "BenchHarness.h"
 
-#include "ir/RecurrenceAnalysis.h"
-#include "mcd/DomainPlanner.h"
 #include "partition/LoopScheduler.h"
 #include "partition/ScheduleScratch.h"
 #include "sched/HeteroModuloScheduler.h"
@@ -70,11 +73,13 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// One prepared scheduling problem: the partitioned graph and machine
-/// plan a LoopScheduler run settled on, so the bench times exactly one
-/// HeteroModuloScheduler::run per iteration.
+/// One prepared scheduling problem: the unrolled-kernel fixture loop,
+/// the register-scaled machine it runs on, and the partitioned graph +
+/// machine plan a real LoopScheduler run settled on, so the tick-path
+/// bench times exactly one HeteroModuloScheduler::run per iteration.
 struct Prepared {
   Loop L;
+  MachineDescription M;
   LoopScheduleResult R; ///< holds PG + Sched.Plan
   bool Ok = false;
 };
@@ -94,59 +99,32 @@ const MachineDescription &machine() {
   return M;
 }
 
+/// The paper machine with register files scaled to the unroll factor
+/// (the same policy the big-loop tests pin).
+MachineDescription sizedMachine(unsigned Ops) {
+  MachineDescription M = MachineDescription::paperDefault();
+  for (auto &Cl : M.Clusters)
+    Cl.Registers = bigLoopRegisters(Ops);
+  return M;
+}
+
 Prepared &prepared(unsigned Ops) {
   static std::map<unsigned, Prepared> Cache;
   auto It = Cache.find(Ops);
   if (It != Cache.end())
     return It->second;
   Prepared &P = Cache[Ops];
-  // Deterministic seed sweep: not every random loop of a given size is
-  // schedulable on the heterogeneous plan; the first schedulable one
-  // becomes the fixture.
+  P.M = sizedMachine(Ops);
+  // Deterministic seed sweep: not every unrolled-kernel instance of a
+  // given size is schedulable on the heterogeneous plan; the first
+  // schedulable one becomes the fixture. Every size goes through the
+  // real multilevel partitioner — the pre-PR 8 cyclic-partition
+  // fallback for sizes past ~200 ops is gone.
   for (unsigned Try = 0; Try < 8 && !P.Ok; ++Try) {
-    RNG Rng(0x5eed + Ops + 7919 * Try);
-    RandomLoopParams Params;
-    Params.MinOps = Ops;
-    Params.MaxOps = Ops;
-    Params.Trip = 64;
-    P.L = makeRandomLoop(Rng, Params, "hotpath");
-    LoopScheduler S(machine(), heteroConfig(machine()));
+    P.L = makeUnrolledKernelLoop("hotpath", Ops, Try);
+    LoopScheduler S(P.M, heteroConfig(P.M));
     P.R = S.schedule(P.L);
     P.Ok = P.R.Success;
-  }
-  if (!P.Ok) {
-    // Sizes beyond the partitioner's reach (192 ops): a cyclic cluster
-    // assignment (bus-heavy: ~40% copy nodes) and the smallest IT the
-    // scheduler itself completes at. The bench times the scheduler, not
-    // the partitioner, so fixture quality is irrelevant -- determinism
-    // and success are what matter. (This is the bus-saturated fixture
-    // behind the speedup_192ops finding in the header.)
-    const MachineDescription &M = machine();
-    HeteroConfig C = heteroConfig(M);
-    DDG G = DDG::build(P.L);
-    Partition Part;
-    Part.ClusterOf.resize(G.size());
-    for (unsigned I = 0; I < G.size(); ++I)
-      Part.ClusterOf[I] = I % M.numClusters();
-    PartitionedGraph PG = PartitionedGraph::build(P.L, G, M.Isa, Part,
-                                                  M.numClusters(),
-                                                  M.BusLatency);
-    DomainPlanner Planner(M, C, FrequencyMenu::continuous());
-    RecurrenceInfo Recs = analyzeRecurrences(G, M.Isa.nodeLatencies(P.L));
-    Rational IT = Planner.computeMIT(Recs.RecMII, P.L.opCountsByFU());
-    for (unsigned Step = 0; Step < 300 && !P.Ok; ++Step) {
-      if (auto Plan = Planner.planForIT(IT)) {
-        SchedulerResult R =
-            HeteroModuloScheduler(M, PG, *Plan, SchedulerOptions()).run();
-        if (R.Success) {
-          P.R.PG = PG;
-          P.R.Sched = std::move(R.Sched);
-          P.Ok = true;
-          break;
-        }
-      }
-      IT = Planner.nextIT(IT);
-    }
   }
   return P;
 }
@@ -156,7 +134,7 @@ SchedulerResult runOnce(const Prepared &P, bool UseTickGrid,
                         SchedulerScratch *Scratch = nullptr) {
   SchedulerOptions O;
   O.UseTickGrid = UseTickGrid;
-  return HeteroModuloScheduler(machine(), P.R.PG, P.R.Sched.Plan, O)
+  return HeteroModuloScheduler(P.M, P.R.PG, P.R.Sched.Plan, O)
       .run(Ticks, Scratch);
 }
 
@@ -237,11 +215,20 @@ const std::vector<Loop> &e2eLoops() {
   return Loops;
 }
 
+/// The big-kernel side of the e2e fixture: re-scheduling the same big
+/// loop under several machine plans is where the cross-run analysis
+/// memo (recurrences + Floyd-Warshall slack matrix) pays, so the
+/// warm/cold comparison must include it or it measures only the
+/// small-loop regime.
+constexpr unsigned E2EBigSizes[] = {256, 768};
+
 /// Whole-driver throughput in loop-schedules/sec: every loop of the
-/// fixture through LoopScheduler::schedule. Warm = caller arena +
-/// warm-started sweep; cold = WarmStart off, no caller arena (the
-/// retained reference configuration — see the header note on how this
-/// relates to the PR 4 baseline).
+/// fixture (12 sweep-heavy small loops + the big unrolled kernels,
+/// each on its register-scaled machine) through
+/// LoopScheduler::schedule. Warm = caller arena + warm-started sweep;
+/// cold = WarmStart off, no caller arena (the retained reference
+/// configuration — see the header note on how this relates to the
+/// PR 4 baseline).
 PathTiming loopSchedulesPerSec(bool Warm, unsigned MinIters,
                                double MinSeconds) {
   const std::vector<Loop> &Loops = e2eLoops();
@@ -249,11 +236,25 @@ PathTiming loopSchedulesPerSec(bool Warm, unsigned MinIters,
   O.Menu = FrequencyMenu::relativeLadder(4);
   O.WarmStart = Warm;
   LoopScheduler S(machine(), heteroConfig(machine()), O);
+  std::vector<std::unique_ptr<MachineDescription>> BigMs;
+  std::vector<std::unique_ptr<LoopScheduler>> BigSs;
+  std::vector<Loop> BigLs;
+  for (unsigned Ops : E2EBigSizes) {
+    BigMs.push_back(std::make_unique<MachineDescription>(sizedMachine(Ops)));
+    BigSs.push_back(std::make_unique<LoopScheduler>(
+        *BigMs.back(), heteroConfig(*BigMs.back()), O));
+    BigLs.push_back(makeUnrolledKernelLoop("e2ebig", Ops));
+  }
   ScheduleScratch Scratch;
   auto runAll = [&] {
     for (const Loop &L : Loops) {
       LoopScheduleResult R =
           S.schedule(L, nullptr, nullptr, Warm ? &Scratch : nullptr);
+      benchmark::DoNotOptimize(R.Success);
+    }
+    for (size_t I = 0; I < BigLs.size(); ++I) {
+      LoopScheduleResult R = BigSs[I]->schedule(BigLs[I], nullptr, nullptr,
+                                                Warm ? &Scratch : nullptr);
       benchmark::DoNotOptimize(R.Success);
     }
   };
@@ -268,10 +269,41 @@ PathTiming loopSchedulesPerSec(bool Warm, unsigned MinIters,
     Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
   } while (Iters < MinIters || Elapsed < MinSeconds);
   PathTiming T;
-  double Schedules = static_cast<double>(Iters) * Loops.size();
+  double Schedules =
+      static_cast<double>(Iters) * (Loops.size() + BigLs.size());
   T.PerSec = Schedules / Elapsed;
   T.AllocsPerRun =
       static_cast<double>(benchAllocCount() - Allocs0) / Schedules;
+  return T;
+}
+
+/// Whole-driver throughput on ONE fixture of a given size, warm
+/// configuration (shared arena + warm-started sweep, continuous menu —
+/// the per-size series isolates how partition+schedule cost scales
+/// with loop size, not menu-sweep depth).
+PathTiming driverPerSec(const Prepared &P, unsigned MinIters,
+                        double MinSeconds) {
+  LoopScheduleOptions O;
+  LoopScheduler S(P.M, heteroConfig(P.M), O);
+  ScheduleScratch Scratch;
+  auto once = [&] {
+    LoopScheduleResult R = S.schedule(P.L, nullptr, nullptr, &Scratch);
+    benchmark::DoNotOptimize(R.Success);
+  };
+  once(); // warm-up
+  unsigned Iters = 0;
+  uint64_t Allocs0 = benchAllocCount();
+  auto Start = Clock::now();
+  double Elapsed = 0;
+  do {
+    once();
+    ++Iters;
+    Elapsed = std::chrono::duration<double>(Clock::now() - Start).count();
+  } while (Iters < MinIters || Elapsed < MinSeconds);
+  PathTiming T;
+  T.PerSec = Iters / Elapsed;
+  T.AllocsPerRun =
+      static_cast<double>(benchAllocCount() - Allocs0) / Iters;
   return T;
 }
 
@@ -327,6 +359,29 @@ int main(int argc, char **argv) {
                 Ops, Rat.PerSec, Tick.PerSec, Speedup, Tick.AllocsPerRun);
   }
 
+  // The big-loop size series: whole Figure 5 driver throughput as loop
+  // size grows. Before the multilevel partitioner, every size past
+  // ~200 ops FAILED to partition — this series pins that the ceiling
+  // stays dead. Iteration counts scale down with size (a 1536-op
+  // schedule is ~100x a 96-op one) so the series stays CI-affordable.
+  bool SeriesOk = true;
+  for (unsigned Ops : {96u, 192u, 384u, 768u, 1536u}) {
+    Prepared &P = prepared(Ops);
+    if (!P.Ok) {
+      std::fprintf(stderr, "warning: %u-op driver fixture failed\n", Ops);
+      SeriesOk = false;
+      continue;
+    }
+    unsigned SizeIters =
+        std::max(2u, MinIters / (Ops >= 768 ? 8 : Ops >= 384 ? 4 : 1));
+    PathTiming T = driverPerSec(P, SizeIters, MinSeconds);
+    Reporter.addMetric(formatString("loop_schedules_per_sec_%uops", Ops),
+                       T.PerSec);
+    std::printf("%4u ops: %.1f loop-schedules/s end-to-end, "
+                "%.0f allocs/loop-schedule, it_steps %u\n",
+                Ops, T.PerSec, T.AllocsPerRun, P.R.ITSteps);
+  }
+
   // End-to-end Figure 5 driver: warm-started arena sweep vs the cold
   // PR 4 behavior, on the menu-restricted fixture.
   PathTiming Cold = loopSchedulesPerSec(false, MinIters, MinSeconds);
@@ -354,6 +409,12 @@ int main(int argc, char **argv) {
                  "warning: warm-start speedup %.2fx — the warm path is "
                  "no longer paying for itself\n",
                  WarmSpeedup);
+    Exit = 1;
+  }
+  if (!SeriesOk) {
+    std::fprintf(stderr,
+                 "warning: a big-loop size-series fixture failed to "
+                 "schedule — the ~200-op ceiling may be back\n");
     Exit = 1;
   }
   return Exit;

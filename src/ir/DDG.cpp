@@ -10,10 +10,38 @@ using namespace hcvliw;
 void DDG::addEdge(unsigned Src, unsigned Dst, unsigned Distance,
                   DepKind Kind) {
   assert(Src < NumNodes && Dst < NumNodes && "edge endpoint out of range");
-  unsigned Ix = static_cast<unsigned>(Edges.size());
   Edges.push_back({Src, Dst, Distance, Kind});
-  OutEdgeIx[Src].push_back(Ix);
-  InEdgeIx[Dst].push_back(Ix);
+}
+
+/// Counting sort of the edge list into the CSR rows. Stable: within one
+/// node's row, edge indices stay in insertion order — exactly the
+/// iteration order of the per-node push_back rows this replaces.
+void DDG::finalizeAdjacency() {
+  const unsigned N = NumNodes;
+  const unsigned E = static_cast<unsigned>(Edges.size());
+  OutStart.assign(N + 1, 0);
+  InStart.assign(N + 1, 0);
+  for (const Edge &Ed : Edges) {
+    ++OutStart[Ed.Src + 1];
+    ++InStart[Ed.Dst + 1];
+  }
+  for (unsigned I = 0; I < N; ++I) {
+    OutStart[I + 1] += OutStart[I];
+    InStart[I + 1] += InStart[I];
+  }
+  OutIx.resize(E);
+  InIx.resize(E);
+  // Fill using the start arrays as cursors, then shift them back.
+  for (unsigned Ix = 0; Ix < E; ++Ix) {
+    OutIx[OutStart[Edges[Ix].Src]++] = Ix;
+    InIx[InStart[Edges[Ix].Dst]++] = Ix;
+  }
+  for (unsigned I = N; I > 0; --I) {
+    OutStart[I] = OutStart[I - 1];
+    InStart[I] = InStart[I - 1];
+  }
+  OutStart[0] = 0;
+  InStart[0] = 0;
 }
 
 std::vector<std::vector<unsigned>> DDG::adjacency() const {
@@ -42,7 +70,7 @@ unsigned hcvliw::edgeLatency(const DDG::Edge &E,
 // shared index scale S the accesses of iterations n (A) and m (B)
 // collide iff S*n + OffA == S*m + OffB, i.e. m - n == (OffA - OffB) / S
 // when divisible; the dependence direction follows the sign.
-static void addAliasEdges(DDG &G, const Loop &L, unsigned IxA, unsigned IxB) {
+void DDG::addAliasEdges(DDG &G, const Loop &L, unsigned IxA, unsigned IxB) {
   const Operation &A = L.Ops[IxA];
   const Operation &B = L.Ops[IxB];
   bool AStore = isStoreOpcode(A.Op);
@@ -90,17 +118,8 @@ DDG DDG::build(const Loop &L) {
 
 void DDG::buildInto(DDG &G, const Loop &L) {
   assert(L.validate().empty() && "building DDG of an invalid loop");
-  // Reset for reuse: keep the adjacency rows' capacity where the node
-  // count allows (consecutive loops of one program are similar sizes).
-  unsigned N = L.size();
   G.Edges.clear();
-  G.OutEdgeIx.resize(N);
-  G.InEdgeIx.resize(N);
-  for (unsigned I = 0; I < N; ++I) {
-    G.OutEdgeIx[I].clear();
-    G.InEdgeIx[I].clear();
-  }
-  G.NumNodes = N;
+  G.NumNodes = L.size();
 
   // Register flow edges.
   for (unsigned I = 0; I < L.size(); ++I)
@@ -119,4 +138,6 @@ void DDG::buildInto(DDG &G, const Loop &L) {
       for (size_t Y = X + 1; Y < Accesses.size(); ++Y)
         addAliasEdges(G, L, Accesses[X], Accesses[Y]);
   }
+
+  G.finalizeAdjacency();
 }

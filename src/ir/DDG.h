@@ -32,6 +32,22 @@ enum class DepKind : uint8_t {
 /// memory-ordering kinds only constrain time.
 inline bool isValueCarrying(DepKind K) { return K == DepKind::Flow; }
 
+/// A borrowed, contiguous run of edge indices (one node's adjacency row
+/// in a CSR graph). Iterates like the std::vector<unsigned> it
+/// replaced; valid as long as the owning graph.
+class EdgeIxSpan {
+  const unsigned *B = nullptr;
+  const unsigned *E = nullptr;
+
+public:
+  EdgeIxSpan() = default;
+  EdgeIxSpan(const unsigned *Begin, const unsigned *End) : B(Begin), E(End) {}
+  const unsigned *begin() const { return B; }
+  const unsigned *end() const { return E; }
+  size_t size() const { return static_cast<size_t>(E - B); }
+  bool empty() const { return B == E; }
+};
+
 class DDG {
 public:
   struct Edge {
@@ -44,13 +60,21 @@ public:
 private:
   unsigned NumNodes = 0;
   std::vector<Edge> Edges;
-  std::vector<std::vector<unsigned>> OutEdgeIx;
-  std::vector<std::vector<unsigned>> InEdgeIx;
+  /// CSR adjacency (built once per buildInto, after all edges exist):
+  /// node N's out-edge indices are OutIx[OutStart[N] .. OutStart[N+1]),
+  /// in edge-insertion order. Flat arrays instead of two heap rows per
+  /// node, so cycling loops of very different sizes through one reused
+  /// DDG never reallocates rows in steady state (a resize-down of a
+  /// vector<vector> destroys the tail rows' capacity; flat arrays only
+  /// ever keep their high-water capacity).
+  std::vector<unsigned> OutStart, OutIx, InStart, InIx;
+
+  void addEdge(unsigned Src, unsigned Dst, unsigned Distance, DepKind Kind);
+  void finalizeAdjacency();
+  static void addAliasEdges(DDG &G, const Loop &L, unsigned IxA, unsigned IxB);
 
 public:
   DDG() = default;
-  explicit DDG(unsigned N)
-      : NumNodes(N), OutEdgeIx(N), InEdgeIx(N) {}
 
   /// Builds the DDG of \p L: register flow edges from operands plus
   /// memory-ordering edges between may-alias accesses. \p L must be
@@ -66,14 +90,12 @@ public:
   unsigned numEdges() const { return static_cast<unsigned>(Edges.size()); }
   const std::vector<Edge> &edges() const { return Edges; }
   const Edge &edge(unsigned Ix) const { return Edges[Ix]; }
-  const std::vector<unsigned> &outEdges(unsigned Node) const {
-    return OutEdgeIx[Node];
+  EdgeIxSpan outEdges(unsigned Node) const {
+    return {OutIx.data() + OutStart[Node], OutIx.data() + OutStart[Node + 1]};
   }
-  const std::vector<unsigned> &inEdges(unsigned Node) const {
-    return InEdgeIx[Node];
+  EdgeIxSpan inEdges(unsigned Node) const {
+    return {InIx.data() + InStart[Node], InIx.data() + InStart[Node + 1]};
   }
-
-  void addEdge(unsigned Src, unsigned Dst, unsigned Distance, DepKind Kind);
 
   /// Plain adjacency lists (successor node ids), for the generic graph
   /// algorithms.

@@ -26,25 +26,33 @@ static std::optional<DomainPlan> planDomain(const FrequencyMenu &Menu,
   return D;
 }
 
-std::optional<MachinePlan>
-DomainPlanner::planForIT(const Rational &ITNs) const {
-  MachinePlan Plan;
+bool DomainPlanner::planForITInto(MachinePlan &Plan,
+                                  const Rational &ITNs) const {
   Plan.ITNs = ITNs;
+  Plan.Clusters.clear();
   Plan.Clusters.reserve(Config.numClusters());
   for (const auto &C : Config.Clusters) {
     auto D = planDomain(Menu, ITNs, C);
     if (!D)
-      return std::nullopt;
+      return false;
     Plan.Clusters.push_back(*D);
   }
   auto B = planDomain(Menu, ITNs, Config.Icn);
   if (!B)
-    return std::nullopt;
+    return false;
   Plan.Bus = *B;
   auto M = planDomain(Menu, ITNs, Config.Cache);
   if (!M)
-    return std::nullopt;
+    return false;
   Plan.Cache = *M;
+  return true;
+}
+
+std::optional<MachinePlan>
+DomainPlanner::planForIT(const Rational &ITNs) const {
+  MachinePlan Plan;
+  if (!planForITInto(Plan, ITNs))
+    return std::nullopt;
   return Plan;
 }
 
@@ -82,12 +90,13 @@ DomainPlanner::computeMIT(int64_t RecMII,
   Rational RecMIT = Rational(RecMII) * Config.fastestClusterPeriod();
 
   // resMIT: grow the IT until every FU kind has enough slots (and every
-  // domain has a synchronizable (II, freq) pair).
+  // domain has a synchronizable (II, freq) pair). One reused probe plan
+  // — this loop takes hundreds of one-slot steps on big loops.
   Rational IT = Rational::max(RecMIT, Config.fastestClusterPeriod());
+  MachinePlan Probe;
   for (unsigned Guard = 0;; ++Guard) {
     assert(Guard < 100000 && "computeMIT failed to converge");
-    auto Plan = planForIT(IT);
-    if (Plan && hasCapacity(*Plan, OpCounts))
+    if (planForITInto(Probe, IT) && hasCapacity(Probe, OpCounts))
       return IT;
     IT = nextIT(IT);
   }

@@ -61,6 +61,12 @@ public:
   /// synchronization failure in any domain.
   std::optional<MachinePlan> planForIT(const Rational &ITNs) const;
 
+  /// In-place form of planForIT: overwrites \p Plan (reusing its
+  /// Clusters capacity) and returns false on a synchronization failure.
+  /// computeMIT probes hundreds of candidate ITs on big loops, one slot
+  /// at a time; this keeps that search allocation-free in steady state.
+  bool planForITInto(MachinePlan &Plan, const Rational &ITNs) const;
+
   /// Smallest IT' > ITNs at which any domain gains a slot (the Figure 5
   /// "increase IT" step).
   Rational nextIT(const Rational &ITNs) const;

@@ -28,6 +28,14 @@ void ScheduleCache::store(uint64_t Key, const LoopScheduleResult &R) {
   S.Ejections.fetch_add(R.Ejections, std::memory_order_relaxed);
   S.BudgetUsed.fetch_add(R.BudgetUsed, std::memory_order_relaxed);
   S.ITSteps.fetch_add(R.ITSteps, std::memory_order_relaxed);
+  S.PartLevels.fetch_add(R.PartStats.Levels, std::memory_order_relaxed);
+  S.PartMatchedPairs.fetch_add(R.PartStats.MatchedPairs,
+                               std::memory_order_relaxed);
+  S.PartRefineMoves.fetch_add(R.PartStats.RefineMoves,
+                              std::memory_order_relaxed);
+  S.PartFMMoves.fetch_add(R.PartStats.FMMoves, std::memory_order_relaxed);
+  S.PartCoarsenMemoHits.fetch_add(R.PartStats.CoarsenMemoHits,
+                                  std::memory_order_relaxed);
   std::lock_guard<std::mutex> Lock(S.Mutex);
   S.Entries.emplace(Key, R); // first-writer-wins: emplace keeps the old value
 }

@@ -67,6 +67,11 @@ class ScheduleCache {
     std::atomic<uint64_t> Ejections{0};
     std::atomic<uint64_t> BudgetUsed{0};
     std::atomic<uint64_t> ITSteps{0};
+    std::atomic<uint64_t> PartLevels{0};
+    std::atomic<uint64_t> PartMatchedPairs{0};
+    std::atomic<uint64_t> PartRefineMoves{0};
+    std::atomic<uint64_t> PartFMMoves{0};
+    std::atomic<uint64_t> PartCoarsenMemoHits{0};
   };
 
   Shard Shards[NumShards];
@@ -133,6 +138,34 @@ public:
   uint64_t itSteps() const {
     return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
       return S.ITSteps;
+    });
+  }
+
+  /// Partitioner effort behind the misses (multilevel hierarchy work of
+  /// fresh runs only), same contract as the scheduler counters above.
+  uint64_t partLevels() const {
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.PartLevels;
+    });
+  }
+  uint64_t partMatchedPairs() const {
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.PartMatchedPairs;
+    });
+  }
+  uint64_t partRefineMoves() const {
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.PartRefineMoves;
+    });
+  }
+  uint64_t partFMMoves() const {
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.PartFMMoves;
+    });
+  }
+  uint64_t partCoarsenMemoHits() const {
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.PartCoarsenMemoHits;
     });
   }
 };

@@ -84,8 +84,12 @@ uint64_t ScheduleMeasurer::loopScheduleKey(const Loop &L,
   H.mix(Opts.Part.PrePlaceRecurrences ? 1u : 2u);
   H.mix(Opts.Part.MaxRefinePasses);
   H.mix(Opts.Part.MaxRefineMacros);
+  H.mix(Opts.Part.CoarsestPerCluster);
+  H.mix(Opts.Part.MaxFMPasses);
   H.mix(Opts.Sched.BudgetFactor);
+  H.mix(Opts.Sched.BudgetRefOps);
   H.mixSigned(Opts.Sched.MaxSlotMultiple);
+  H.mix(Opts.Sched.CompactLifetimes ? 1u : 2u);
   H.mix(Opts.MaxITSteps);
 
   // The energy model and the per-domain scaling factors steer
@@ -147,8 +151,16 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
     LoopScheduleResult LR =
         Sched.schedule(L, ED2Objective ? &Energy : nullptr,
                        ED2Objective ? &Scaling : nullptr, Scratch, Trace);
-    if (Metrics)
+    if (Metrics) {
       Metrics->observeMs("stage.loop_schedule.ms", SW.elapsedMs());
+      // Partitioner effort of this fresh run (cache hits add nothing).
+      Metrics->addCounter("part.levels", LR.PartStats.Levels);
+      Metrics->addCounter("part.matched_pairs", LR.PartStats.MatchedPairs);
+      Metrics->addCounter("part.refine_moves", LR.PartStats.RefineMoves);
+      Metrics->addCounter("part.fm_moves", LR.PartStats.FMMoves);
+      Metrics->addCounter("part.coarsen_memo_hits",
+                          LR.PartStats.CoarsenMemoHits);
+    }
     return LR;
   };
 

@@ -106,22 +106,46 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
 
   DDG::buildInto(S.G, L);
   Machine.Isa.nodeLatenciesInto(S.Lat, L);
-  RecurrenceInfo Recs = analyzeRecurrences(S.G, S.Lat);
-  R.RecMII = Recs.RecMII;
+
+  // Recurrence analysis + coarsening slack matrix: IT-independent pure
+  // functions of (loop, latencies). The warm path memoizes them across
+  // whole schedule() runs — the slack matrix is Floyd-Warshall, the
+  // one O(N^3) step of this driver, and the dominant cost of big loops
+  // — while the cold path recomputes both every call.
+  const RecurrenceInfo *Recs;
+  const MinDistMatrix *Slack;
+  RecurrenceInfo ColdRecs;
+  if (const LoopAnalysisMemo *A =
+          Warm ? S.findAnalysis(L.structuralFingerprint(), S.Lat) : nullptr) {
+    Recs = &A->Recs;
+    Slack = &A->Slack;
+  } else {
+    ColdRecs = analyzeRecurrences(S.G, S.Lat);
+    MinDistMatrix::computeInto(S.Slack, S.G, S.Lat,
+                               std::max<int64_t>(ColdRecs.RecMII, 1));
+    if (Warm) {
+      LoopAnalysisMemo &Slot = S.analysisSlot();
+      Slot.Fp = L.structuralFingerprint();
+      Slot.Lat = S.Lat;
+      Slot.Recs = std::move(ColdRecs);
+      Slot.Slack = S.Slack;
+      Recs = &Slot.Recs;
+      Slack = &Slot.Slack;
+    } else {
+      Recs = &ColdRecs;
+      Slack = &S.Slack;
+    }
+  }
+  R.RecMII = Recs->RecMII;
   R.ResMII = Machine.computeResMII(L);
 
-  R.MITNs = Planner.computeMIT(Recs.RecMII, L.opCountsByFU());
+  R.MITNs = Planner.computeMIT(Recs->RecMII, L.opCountsByFU());
 
   PartitionerOptions PartOpts = Opts.Part;
   if (!Energy)
     PartOpts.ED2Objective = false;
   const unsigned NumAttempts = PartOpts.ED2Objective ? 2 : 1;
   const unsigned NC = Machine.numClusters();
-
-  // The coarsening slack matrix is IT-independent: compute it once here
-  // instead of once per (IT step x partitioner attempt).
-  MinDistMatrix::computeInto(S.Slack, S.G, S.Lat,
-                             std::max<int64_t>(Recs.RecMII, 1));
 
   Rational IT = R.MITNs;
   bool Done = false;
@@ -161,13 +185,14 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
     Ctx.G = &S.G;
     Ctx.M = &Machine;
     Ctx.Plan = &*Plan;
-    Ctx.Recs = &Recs;
+    Ctx.Recs = Recs;
     Ctx.Energy = Energy;
     Ctx.Scaling = Scaling;
     Ctx.TripCount = L.TripCount;
-    Ctx.SlackMatrix = &S.Slack;
+    Ctx.SlackMatrix = Slack;
     Ctx.Scratch = &S.Part;
     Ctx.Trace = Trace;
+    Ctx.Stats = &R.PartStats;
 
     // The ED2-guided partition is tried first; if its schedule cannot be
     // completed at this IT, fall back to the balance-first partition of
@@ -249,6 +274,25 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
 
       RegisterPressureResult Pressure = computeRegisterPressure(
           S.PG, SR.Sched, Opts.Sched.UseTickGrid, Ticks, &S.Pressure);
+      if (!Pressure.fits(Machine) && Opts.Sched.CompactLifetimes) {
+        // Salvage: stage compaction collapses whole-II lifetime
+        // crossings (the dominant pressure term on wide graphs) while
+        // keeping the schedule valid by construction. Applied only on
+        // overflow — schedules that already fit keep the historical
+        // makespan-optimal shape. Pure function of (PG, Plan, Sched),
+        // so warm and cold sweeps rescue identically.
+        obs::Span CSp(Trace, "sched.compact");
+        unsigned Moved = compactScheduleLifetimes(
+            S.PG, *Plan, Ticks, SR.Sched, Opts.Sched.MaxSlotMultiple,
+            &S.Sched);
+        if (Moved)
+          Pressure = computeRegisterPressure(
+              S.PG, SR.Sched, Opts.Sched.UseTickGrid, Ticks, &S.Pressure);
+        if (CSp.active()) {
+          CSp.arg("moved", static_cast<int64_t>(Moved));
+          CSp.arg("fits", Pressure.fits(Machine) ? 1 : 0);
+        }
+      }
       if (!Pressure.fits(Machine)) {
         R.Failure = "register pressure exceeds the register files";
         logFailure(R.FailureLog, Step, IT, R.Failure);

@@ -90,6 +90,13 @@ struct LoopScheduleResult {
   /// the warm-vs-cold equivalence contract.
   unsigned PrunedITSteps = 0;
 
+  /// Partitioner effort over the whole sweep (coarsening levels,
+  /// matched pairs, refinement passes/moves; PartitionStats). Like
+  /// PrunedITSteps these report work *performed*, so the warm path —
+  /// which skips work — legitimately reports smaller values and they
+  /// are excluded from the warm-vs-cold equivalence contract.
+  PartitionStats PartStats;
+
   /// Reference-machine classification stats (Table 2): recurrence- and
   /// resource-constrained MII of the loop.
   int64_t RecMII = 0;

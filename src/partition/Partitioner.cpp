@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 using namespace hcvliw;
@@ -32,18 +33,18 @@ double hcvliw::scorePartition(const PartitionContext &Ctx,
 
   if (Opts.ED2Objective) {
     assert(Ctx.Energy && Ctx.Scaling && "ED2 objective needs energy model");
-    std::vector<double> WIns(PS.WInsPerCluster);
+    std::vector<double> LocalW;
+    std::vector<double> &WIns = Ctx.Scratch ? Ctx.Scratch->WInsTmp : LocalW;
+    WIns.assign(PS.WInsPerCluster.begin(), PS.WInsPerCluster.end());
     for (double &W : WIns)
       W *= N;
+    unsigned Mem = 0;
+    for (const auto &O : Ctx.L->Ops)
+      if (isMemoryOpcode(O.Op))
+        ++Mem;
     double E = Ctx.Energy->heteroEnergy(WIns, PS.Comms * N,
-                                        static_cast<double>([&] {
-                                          unsigned Mem = 0;
-                                          for (const auto &O : Ctx.L->Ops)
-                                            if (isMemoryOpcode(O.Op))
-                                              ++Mem;
-                                          return Mem;
-                                        }()) * N,
-                                        TexecNs, *Ctx.Scaling);
+                                        static_cast<double>(Mem) * N, TexecNs,
+                                        *Ctx.Scaling);
     return computeED2(E, TexecNs);
   }
 
@@ -71,12 +72,10 @@ void expandInto(Partition &P, const CoarseLevel &Lvl,
 }
 
 /// Pre-places critical recurrences; returns initial groups + pins for
-/// coarsening (into the caller's reusable buffers), or false when some
-/// recurrence fits nowhere.
+/// coarsening (into the caller's reusable key buffers), or false when
+/// some recurrence fits nowhere.
 bool prePlaceRecurrences(const PartitionContext &Ctx, bool EnablePinning,
-                         std::vector<std::vector<unsigned>> &Groups,
-                         std::vector<int> &Pins,
-                         std::vector<int64_t> &Free) {
+                         CoarsenMemoKey &Key, std::vector<int64_t> &Free) {
   const MachineDescription &M = *Ctx.M;
   const MachinePlan &Plan = *Ctx.Plan;
   unsigned NC = M.numClusters();
@@ -96,14 +95,14 @@ bool prePlaceRecurrences(const PartitionContext &Ctx, bool EnablePinning,
 
   size_t NG = 0;
   auto appendGroup = [&](const std::vector<unsigned> &Nodes, int Pin) {
-    if (NG < Groups.size())
-      Groups[NG].assign(Nodes.begin(), Nodes.end());
+    if (NG < Key.Groups.size())
+      Key.Groups[NG].assign(Nodes.begin(), Nodes.end());
     else
-      Groups.push_back(Nodes);
-    if (NG < Pins.size())
-      Pins[NG] = Pin;
+      Key.Groups.push_back(Nodes);
+    if (NG < Key.Pins.size())
+      Key.Pins[NG] = Pin;
     else
-      Pins.push_back(Pin);
+      Key.Pins.push_back(Pin);
     ++NG;
   };
 
@@ -141,9 +140,199 @@ bool prePlaceRecurrences(const PartitionContext &Ctx, bool EnablePinning,
       Free[static_cast<unsigned>(Best) * NumFUKinds + K] -= Need[K];
     appendGroup(R.Nodes, Best);
   }
-  Groups.resize(NG);
-  Pins.resize(NG);
+  Key.Groups.resize(NG);
+  Key.Pins.resize(NG);
   return true;
+}
+
+/// Boundary FM-style refinement of one level on the surrogate objective
+///
+///   1e6 * (total per-cluster per-kind capacity overload)
+///   + (DDG edges cut between clusters)
+///   + 1e-3 * (sum of squared per-cluster energy weights)
+///
+/// evaluated incrementally: each pass picks the highest-gain unlocked
+/// boundary macro from a max-heap, applies the move when its recomputed
+/// gain is strictly positive, locks the macro, and refreshes its
+/// neighbors, until no improving move remains. Every applied move
+/// strictly decreases the surrogate, so the passes terminate; the
+/// caller only keeps the result when the *exact* objective did not get
+/// worse. Deterministic: ties break toward the lowest macro id and
+/// lowest cluster id, and the warm path's cut-row stamp cache
+/// (FMCutStamp) reuses values the cold path recomputes identically.
+uint64_t refineLevelFM(const PartitionContext &Ctx,
+                       const PartitionerOptions &Opts, PartitionScratch &S,
+                       const CoarseLevel &Lvl, std::vector<unsigned> &Assign,
+                       PartitionStats *Stats) {
+  const MachineDescription &M = *Ctx.M;
+  const MachinePlan &Plan = *Ctx.Plan;
+  const unsigned NC = M.numClusters();
+  const unsigned LN = Lvl.NumMacros;
+  const bool Memo = S.EnableMemo;
+
+  S.FMCap.resize(static_cast<size_t>(NC) * NumFUKinds);
+  for (unsigned C = 0; C < NC; ++C)
+    for (unsigned K = 0; K < NumFUKinds; ++K)
+      S.FMCap[C * NumFUKinds + K] =
+          Plan.Clusters[C].II *
+          static_cast<int64_t>(
+              M.Clusters[C].fuCount(static_cast<FUKind>(K)));
+  S.FMLoad.assign(static_cast<size_t>(NC) * NumFUKinds, 0);
+  S.FMWeight.assign(NC, 0.0);
+  for (unsigned Mac = 0; Mac < LN; ++Mac) {
+    unsigned C = Assign[Mac];
+    for (unsigned K = 0; K < NumFUKinds; ++K)
+      S.FMLoad[C * NumFUKinds + K] += Lvl.fuCount(Mac, K);
+    S.FMWeight[C] += Lvl.Weight[Mac];
+  }
+  S.FMCutTo.assign(static_cast<size_t>(LN) * NC, 0);
+  S.FMCutStamp.assign(LN, ~uint64_t(0));
+  S.FMNbrVer.assign(LN, 0);
+  S.FMLocked.assign(LN, 0);
+
+  // Overload reduction of moving Mac from Home to C (positive = less).
+  auto capGain = [&](unsigned Mac, unsigned Home, unsigned C) {
+    int64_t D = 0;
+    for (unsigned K = 0; K < NumFUKinds; ++K) {
+      int64_t W = Lvl.fuCount(Mac, K);
+      if (!W)
+        continue;
+      int64_t LH = S.FMLoad[Home * NumFUKinds + K];
+      int64_t CH = S.FMCap[Home * NumFUKinds + K];
+      int64_t LC = S.FMLoad[C * NumFUKinds + K];
+      int64_t CC = S.FMCap[C * NumFUKinds + K];
+      D += std::max<int64_t>(0, LH - CH) - std::max<int64_t>(0, LH - W - CH);
+      D -= std::max<int64_t>(0, LC + W - CC) - std::max<int64_t>(0, LC - CC);
+    }
+    return D;
+  };
+
+  // Cut mass of Mac toward every cluster. The row only changes when a
+  // neighbor moves, so the warm path stamps it with the macro's
+  // neighbor version and skips the rescan on a match (exact: the cold
+  // path recomputes the identical sums).
+  auto cutRow = [&](unsigned Mac) -> const int64_t * {
+    int64_t *Row = &S.FMCutTo[static_cast<size_t>(Mac) * NC];
+    if (!(Memo && S.FMCutStamp[Mac] == S.FMNbrVer[Mac])) {
+      std::fill(Row, Row + NC, int64_t(0));
+      for (unsigned I = Lvl.AdjStart[Mac]; I < Lvl.AdjStart[Mac + 1]; ++I)
+        Row[Assign[Lvl.AdjMacro[I]]] += Lvl.AdjWeight[I];
+      S.FMCutStamp[Mac] = S.FMNbrVer[Mac];
+    }
+    return Row;
+  };
+
+  auto bestMove = [&](unsigned Mac, double &BestGain, unsigned &BestC) {
+    unsigned Home = Assign[Mac];
+    const int64_t *Cut = cutRow(Mac);
+    double WMac = Lvl.Weight[Mac];
+    double WH = S.FMWeight[Home];
+    BestGain = -std::numeric_limits<double>::infinity();
+    BestC = Home;
+    for (unsigned C = 0; C < NC; ++C) {
+      if (C == Home)
+        continue;
+      double WC = S.FMWeight[C];
+      double DW2 = (WH - WMac) * (WH - WMac) + (WC + WMac) * (WC + WMac) -
+                   WH * WH - WC * WC;
+      double G = 1e6 * static_cast<double>(capGain(Mac, Home, C)) +
+                 static_cast<double>(Cut[C] - Cut[Home]) - 1e-3 * DW2;
+      if (G > BestGain) { // strict: ties keep the lowest cluster id
+        BestGain = G;
+        BestC = C;
+      }
+    }
+  };
+
+  auto apply = [&](unsigned Mac, unsigned C) {
+    unsigned Home = Assign[Mac];
+    for (unsigned K = 0; K < NumFUKinds; ++K) {
+      int64_t W = Lvl.fuCount(Mac, K);
+      S.FMLoad[Home * NumFUKinds + K] -= W;
+      S.FMLoad[C * NumFUKinds + K] += W;
+    }
+    S.FMWeight[Home] -= Lvl.Weight[Mac];
+    S.FMWeight[C] += Lvl.Weight[Mac];
+    Assign[Mac] = C;
+    for (unsigned I = Lvl.AdjStart[Mac]; I < Lvl.AdjStart[Mac + 1]; ++I)
+      ++S.FMNbrVer[Lvl.AdjMacro[I]];
+  };
+
+  auto HeapLess = [](const PartitionScratch::FMHeapEntry &A,
+                     const PartitionScratch::FMHeapEntry &B) {
+    if (A.Gain != B.Gain)
+      return A.Gain < B.Gain; // max-heap on gain
+    return A.Mac > B.Mac;     // ties: lowest macro id on top
+  };
+
+  uint64_t Moves = 0;
+  unsigned PassesRun = 0;
+  for (unsigned Pass = 0; Pass < Opts.MaxFMPasses; ++Pass) {
+    std::fill(S.FMLocked.begin(), S.FMLocked.end(), uint8_t(0));
+    uint64_t MovesThisPass = 0;
+    while (true) {
+      // Fill: every unlocked, unpinned macro with a positive best gain.
+      S.FMHeap.clear();
+      for (unsigned Mac = 0; Mac < LN; ++Mac) {
+        if (S.FMLocked[Mac] || Lvl.Pin[Mac] >= 0)
+          continue;
+        double G;
+        unsigned C;
+        bestMove(Mac, G, C);
+        if (G > 0)
+          S.FMHeap.push_back({G, Mac});
+      }
+      if (S.FMHeap.empty())
+        break;
+      std::make_heap(S.FMHeap.begin(), S.FMHeap.end(), HeapLess);
+      // Drain: lazy invalidation — a popped entry whose gain is stale
+      // is re-inserted at its current value instead of applied.
+      while (!S.FMHeap.empty()) {
+        std::pop_heap(S.FMHeap.begin(), S.FMHeap.end(), HeapLess);
+        PartitionScratch::FMHeapEntry E = S.FMHeap.back();
+        S.FMHeap.pop_back();
+        if (S.FMLocked[E.Mac])
+          continue;
+        double G;
+        unsigned C;
+        bestMove(E.Mac, G, C);
+        if (G != E.Gain) {
+          if (G > 0) {
+            S.FMHeap.push_back({G, E.Mac});
+            std::push_heap(S.FMHeap.begin(), S.FMHeap.end(), HeapLess);
+          }
+          continue;
+        }
+        if (G <= 0)
+          continue;
+        apply(E.Mac, C);
+        S.FMLocked[E.Mac] = 1;
+        ++MovesThisPass;
+        for (unsigned I = Lvl.AdjStart[E.Mac]; I < Lvl.AdjStart[E.Mac + 1];
+             ++I) {
+          unsigned Nb = Lvl.AdjMacro[I];
+          if (S.FMLocked[Nb] || Lvl.Pin[Nb] >= 0)
+            continue;
+          double NG;
+          unsigned NbC;
+          bestMove(Nb, NG, NbC);
+          if (NG > 0) {
+            S.FMHeap.push_back({NG, Nb});
+            std::push_heap(S.FMHeap.begin(), S.FMHeap.end(), HeapLess);
+          }
+        }
+      }
+    }
+    ++PassesRun;
+    Moves += MovesThisPass;
+    if (MovesThisPass == 0)
+      break;
+  }
+  if (Stats) {
+    Stats->FMPasses += PassesRun;
+    Stats->FMMoves += Moves;
+  }
+  return Moves;
 }
 
 } // namespace
@@ -160,10 +349,18 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
 
   PartitionScratch Local;
   PartitionScratch &S = Ctx.Scratch ? *Ctx.Scratch : Local;
+  if (Ctx.Stats)
+    ++Ctx.Stats->Runs;
 
-  if (!prePlaceRecurrences(Ctx, Opts.PrePlaceRecurrences, S.Groups, S.Pins,
-                           S.Free))
+  if (!prePlaceRecurrences(Ctx, Opts.PrePlaceRecurrences, S.Key, S.Free))
     return std::nullopt;
+  // Coarsest target: CoarsestPerCluster macros per cluster, but never
+  // more than half the node count — small loops must still coarsen, or
+  // the initial best-fit scatters connected nodes that a few greedy
+  // passes cannot regroup.
+  S.Key.TargetMacros =
+      std::max(NC, std::min(NC * std::max(1u, Opts.CoarsestPerCluster),
+                            NumNodes / 2));
 
   // Slack matrix for the coarsening order, on reference latencies at the
   // recurrence-safe II; IT-independent, so drivers that retry IT steps
@@ -178,22 +375,29 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
   }
 
   // Coarsening: on the warm-start path, reuse the previous attempt's
-  // level stack when the (groups, pins) inputs are identical — the
-  // other build inputs (loop, DDG, machine, slack) are fixed for the
-  // whole Figure 5 run, so the key match makes the reuse exact. The
-  // cold reference path (EnableMemo false) rebuilds every attempt.
-  bool ReuseML = S.EnableMemo && S.MLValid && S.MemoGroups == S.Groups &&
-                 S.MemoPins == S.Pins;
+  // level stack when the CoarsenMemoKey matches exactly (hash first,
+  // then the full comparison) — the other build inputs (loop, DDG,
+  // machine, slack) are fixed for the whole Figure 5 run, so the key
+  // match makes the reuse exact. The cold reference path (EnableMemo
+  // false) rebuilds every attempt.
+  size_t KeyHash = CoarsenMemoKeyHash{}(S.Key);
+  bool ReuseML = S.EnableMemo && S.MLValid && KeyHash == S.MemoHashVal &&
+                 S.Key == S.MemoKey;
   if (!ReuseML) {
-    obs::Span CoarsenSp(Ctx.Trace, "part.coarsen");
-    S.ML.build(*Ctx.L, *Ctx.G, M, S.Groups, S.Pins, *Slack, NC);
-    if (CoarsenSp.active())
-      CoarsenSp.arg("levels", static_cast<int64_t>(S.ML.numLevels()));
+    S.ML.build(*Ctx.L, *Ctx.G, M, S.Key.Groups, S.Key.Pins, *Slack,
+               S.Key.TargetMacros, Ctx.Trace);
+    if (Ctx.Stats) {
+      ++Ctx.Stats->CoarsenBuilds;
+      Ctx.Stats->Levels += S.ML.buildStats().Levels;
+      Ctx.Stats->MatchedPairs += S.ML.buildStats().MatchedPairs;
+    }
     if (S.EnableMemo) {
-      S.MemoGroups = S.Groups;
-      S.MemoPins = S.Pins;
+      std::swap(S.MemoKey, S.Key); // keep both buffers' capacity alive
+      S.MemoHashVal = KeyHash;
       S.MLValid = true;
     }
+  } else if (Ctx.Stats) {
+    ++Ctx.Stats->CoarsenMemoHits;
   }
   const MultilevelGraph &ML = S.ML;
 
@@ -202,7 +406,7 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
   // capacity (capacity-aware best fit keeps the starting point feasible
   // whenever the coarse macros allow it).
   const CoarseLevel &Coarsest = ML.coarsest();
-  unsigned NumMac = static_cast<unsigned>(Coarsest.Macros.size());
+  unsigned NumMac = Coarsest.NumMacros;
   std::vector<unsigned> &ClusterOfMacro = S.ClusterOfMacro;
   ClusterOfMacro.assign(NumMac, 0);
   std::vector<int64_t> &Free = S.Free;
@@ -216,7 +420,7 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
   auto place = [&](unsigned Mac, unsigned C) {
     ClusterOfMacro[Mac] = C;
     for (unsigned K = 0; K < NumFUKinds; ++K)
-      Free[C * NumFUKinds + K] -= Coarsest.Macros[Mac].FUCounts[K];
+      Free[C * NumFUKinds + K] -= Coarsest.fuCount(Mac, K);
   };
 
   std::vector<unsigned> &ByWeight = S.ByWeight;
@@ -224,12 +428,13 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
   for (unsigned I = 0; I < NumMac; ++I)
     ByWeight[I] = I;
   std::sort(ByWeight.begin(), ByWeight.end(), [&](unsigned A, unsigned B) {
-    return Coarsest.Macros[A].Weight > Coarsest.Macros[B].Weight;
+    if (Coarsest.Weight[A] != Coarsest.Weight[B])
+      return Coarsest.Weight[A] > Coarsest.Weight[B];
+    return A < B;
   });
   for (unsigned Mac : ByWeight) {
-    const MacroNode &MN = Coarsest.Macros[Mac];
-    if (MN.Pin >= 0) {
-      place(Mac, static_cast<unsigned>(MN.Pin));
+    if (Coarsest.Pin[Mac] >= 0) {
+      place(Mac, static_cast<unsigned>(Coarsest.Pin[Mac]));
       continue;
     }
     int BestFit = -1;
@@ -241,7 +446,7 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
       int64_t Slk = 0, Overflow = 0;
       for (unsigned K = 0; K < NumFUKinds; ++K) {
         int64_t Rem = Free[C * NumFUKinds + K] -
-                      static_cast<int64_t>(MN.FUCounts[K]);
+                      static_cast<int64_t>(Coarsest.fuCount(Mac, K));
         if (Rem < 0) {
           Fits = false;
           Overflow -= Rem;
@@ -262,25 +467,49 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
                             : static_cast<unsigned>(BestOverflow));
   }
 
-  // Refinement, coarsest to finest.
-  obs::Span RefineSp(Ctx.Trace, "part.refine");
+  // Refinement, coarsest to finest. Small levels get the exact greedy
+  // (pseudo-schedule-scored) moves; big levels get boundary FM passes
+  // whose result is kept only when the exact score did not get worse —
+  // so CurrentScore is non-increasing across the whole uncoarsening.
   Partition &Current = S.Current;
   Partition &Cand = S.Cand;
   expandInto(Current, Coarsest, ClusterOfMacro, NumNodes);
   double CurrentScore = scorePartition(Ctx, Opts, Current);
+  if (Ctx.Stats)
+    Ctx.Stats->InitialScore = CurrentScore;
 
   for (int LvlIx = static_cast<int>(ML.numLevels()) - 1; LvlIx >= 0;
        --LvlIx) {
     const CoarseLevel &Lvl = ML.level(static_cast<unsigned>(LvlIx));
-    unsigned LN = static_cast<unsigned>(Lvl.Macros.size());
-    if (LN > Opts.MaxRefineMacros)
-      continue;
+    unsigned LN = Lvl.NumMacros;
+    char LvlBuf[16];
+    std::snprintf(LvlBuf, sizeof LvlBuf, "%u", LvlIx);
+    obs::Span RefineSp(Ctx.Trace, "part.refine:", LvlBuf);
+
     // Project the current node-level partition onto this level's macros
     // (members of one macro share a cluster by construction).
     std::vector<unsigned> &Assign = S.Assign;
     Assign.resize(LN);
     for (unsigned Mac = 0; Mac < LN; ++Mac)
-      Assign[Mac] = Current.ClusterOf[Lvl.Macros[Mac].Members.front()];
+      Assign[Mac] = Current.ClusterOf[Lvl.Rep[Mac]];
+
+    if (LN > Opts.MaxRefineMacros) {
+      // Boundary FM on the surrogate objective; guarded acceptance.
+      uint64_t FMMoves = refineLevelFM(Ctx, Opts, S, Lvl, Assign, Ctx.Stats);
+      if (RefineSp.active()) {
+        RefineSp.arg("macros", LN);
+        RefineSp.arg("fm_moves", static_cast<int64_t>(FMMoves));
+      }
+      if (FMMoves == 0)
+        continue;
+      expandInto(Cand, Lvl, Assign, NumNodes);
+      double Sc = scorePartition(Ctx, Opts, Cand);
+      if (Sc < CurrentScore) {
+        CurrentScore = Sc;
+        std::swap(Current, Cand);
+      }
+      continue;
+    }
 
     // Warm-path skip (exact): a candidate move (Mac -> C) re-scores
     // identically unless some move was accepted since its last
@@ -294,8 +523,10 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
 
     for (unsigned Pass = 0; Pass < Opts.MaxRefinePasses; ++Pass) {
       bool Improved = false;
+      if (Ctx.Stats)
+        ++Ctx.Stats->RefinePasses;
       for (unsigned Mac = 0; Mac < LN; ++Mac) {
-        if (Lvl.Macros[Mac].Pin >= 0)
+        if (Lvl.Pin[Mac] >= 0)
           continue;
         unsigned Home = Assign[Mac];
         for (unsigned C = 0; C < NC; ++C) {
@@ -313,6 +544,8 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
             Home = C;
             Improved = true;
             ++Accepts;
+            if (Ctx.Stats)
+              ++Ctx.Stats->RefineMoves;
           } else {
             Assign[Mac] = Home;
           }
@@ -322,8 +555,14 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
       if (!Improved)
         break;
     }
+    if (RefineSp.active()) {
+      RefineSp.arg("macros", LN);
+      RefineSp.arg("accepts", static_cast<int64_t>(Accepts));
+    }
   }
 
+  if (Ctx.Stats)
+    Ctx.Stats->FinalScore = CurrentScore;
   if (CurrentScore >= InfeasiblePartitionScore)
     return std::nullopt; // nothing feasible found at this IT
   return Current;

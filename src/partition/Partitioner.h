@@ -8,13 +8,19 @@
 ///     recMII exceeds the II of some cluster are placed, most critical
 ///     first, in the **slowest** cluster that can still schedule them,
 ///     keeping energy low while protecting the IT.
-///  2. *Coarsening*: multilevel contraction along low-slack edges;
-///     recurrences are never split during coarsening.
+///  2. *Coarsening*: multilevel heavy-edge matching along low-slack
+///     edges, balance-bounded so no macro outgrows a cluster share
+///     (MultilevelGraph.h); recurrences are never split.
 ///  3. *Initial partition* of the coarsest macros, honoring pins.
-///  4. *Refinement* (4.1.2): per level, greedy macro moves scored either
-///     by estimated ED2 (pseudo-schedule timing x Section 3.1 energy)
-///     for heterogeneous machines, or by the [2][3] baseline objective
-///     (feasibility, communications, balance) for homogeneous ones.
+///  4. *Refinement* (4.1.2), uncoarsening from the coarsest level to
+///     the finest. Levels with at most MaxRefineMacros macros use
+///     greedy macro moves scored by the exact pseudo-schedule objective
+///     (estimated ED2 for heterogeneous machines, the [2][3] baseline
+///     for homogeneous ones). Finer levels use boundary FM-style passes
+///     on a cheap surrogate (capacity overload, cut, weight balance)
+///     whose result is only kept when the exact objective did not get
+///     worse — so the tracked objective is monotone across the whole
+///     uncoarsening, at every granularity.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,44 +36,124 @@
 #include "sched/Partition.h"
 #include "sched/PseudoScheduler.h"
 
+#include <cstdint>
 #include <optional>
 
 namespace hcvliw {
+
+/// Warm-start coarsening memo key: the only MultilevelGraph::build
+/// inputs that vary within one Figure 5 run (loop, DDG, machine and
+/// slack matrix are fixed per run; groups and pins follow the plan's
+/// IIs, and the target follows the options). An exact key match makes
+/// reusing the memoized level stack provably exact.
+struct CoarsenMemoKey {
+  std::vector<std::vector<unsigned>> Groups;
+  std::vector<int> Pins;
+  unsigned TargetMacros = 0;
+
+  bool operator==(const CoarsenMemoKey &O) const {
+    return TargetMacros == O.TargetMacros && Pins == O.Pins &&
+           Groups == O.Groups;
+  }
+};
+
+/// FNV-1a over every field of CoarsenMemoKey; the memo compares the
+/// hash before paying the exact vector comparison.
+struct CoarsenMemoKeyHash {
+  size_t operator()(const CoarsenMemoKey &K) const {
+    uint64_t H = 1469598103934665603ull;
+    auto mix = [&H](uint64_t V) {
+      H ^= V;
+      H *= 1099511628211ull;
+    };
+    mix(K.TargetMacros);
+    mix(K.Pins.size());
+    for (int P : K.Pins)
+      mix(static_cast<uint64_t>(static_cast<int64_t>(P)));
+    mix(K.Groups.size());
+    for (const auto &Gp : K.Groups) {
+      mix(Gp.size());
+      for (unsigned N : Gp)
+        mix(N);
+    }
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Partitioner effort counters, accumulated across the attempts of a
+/// Figure 5 run (observability: they report work *performed*, so — like
+/// LoopScheduleResult::PrunedITSteps — the warm and cold paths report
+/// different values and they are excluded from the warm==cold
+/// equivalence contract; the partition itself never depends on them).
+struct PartitionStats {
+  uint64_t Runs = 0;            ///< partitionLoop invocations
+  uint64_t CoarsenBuilds = 0;   ///< multilevel stacks built
+  uint64_t CoarsenMemoHits = 0; ///< stacks reused from the memo
+  uint64_t Levels = 0;          ///< recorded levels across all builds
+  uint64_t MatchedPairs = 0;    ///< pair contractions across all builds
+  uint64_t RefinePasses = 0;    ///< exact greedy passes run
+  uint64_t RefineMoves = 0;     ///< exact greedy moves accepted
+  uint64_t FMPasses = 0;        ///< boundary FM passes run
+  uint64_t FMMoves = 0;         ///< boundary FM moves applied
+  /// Exact score of the initial (coarsest) assignment and of the final
+  /// refined partition of the most recent run — the refinement
+  /// invariant FinalScore <= InitialScore is pinned by MultilevelTest.
+  double InitialScore = 0;
+  double FinalScore = 0;
+};
 
 /// Reusable buffers + warm-start memo for partitionLoop. One partition
 /// run builds groups, a multilevel coarsening, an initial assignment
 /// and hundreds of refinement candidates; the Figure 5 driver runs it
 /// up to twice per IT step. A scratch removes the allocation churn, and
 /// — on the warm-start path only (EnableMemo) — carries the coarsening
-/// across attempts and IT steps: MultilevelGraph::build depends only on
-/// (loop, DDG, machine, groups, pins, slack), all of which are fixed
-/// within one Figure 5 run except the (groups, pins) pair, so an exact
-/// key match lets the next attempt reuse the level stack verbatim.
+/// across attempts and IT steps via an exact CoarsenMemoKey match.
 struct PartitionScratch {
   /// Warm-start switch, set by the driver; the cold reference path
   /// leaves it false and recomputes the coarsening every attempt.
   bool EnableMemo = false;
 
   // Per-attempt buffers (no information carried between attempts).
-  std::vector<std::vector<unsigned>> Groups;
-  std::vector<int> Pins;
+  CoarsenMemoKey Key;        ///< this attempt's (groups, pins, target)
   std::vector<int64_t> Free; ///< flat [cluster][kind] slot capacity
+  std::vector<double> WInsTmp; ///< scorePartition's scaled-activity buffer
   std::vector<unsigned> ClusterOfMacro;
   std::vector<unsigned> ByWeight;
   std::vector<unsigned> Assign;
   Partition Current;
   Partition Cand;
   PseudoScratch PS;
-  /// Refinement eval stamps (flat [macro][cluster]): the accepted-move
-  /// count at the last evaluation of that move, for the exact
-  /// unchanged-candidate skip (warm path only).
+  /// Exact-refinement eval stamps (flat [macro][cluster]): the
+  /// accepted-move count at the last evaluation of that move, for the
+  /// exact unchanged-candidate skip (warm path only).
   std::vector<uint64_t> EvalStamp;
 
+  // Boundary FM refinement working set (levels above MaxRefineMacros;
+  // all sized per level and reused, so steady state is allocation-free
+  // — the "gain buckets in the arena" half of the big-loop work).
+  std::vector<int64_t> FMLoad;     ///< flat [cluster][kind] op counts
+  std::vector<int64_t> FMCap;      ///< flat [cluster][kind] capacity
+  std::vector<double> FMWeight;    ///< [cluster] energy mass
+  std::vector<uint8_t> FMLocked;   ///< [macro] moved this pass
+  struct FMHeapEntry {
+    double Gain;
+    unsigned Mac;
+  };
+  std::vector<FMHeapEntry> FMHeap; ///< binary max-heap storage
+  /// Boundary-refinement eval stamps (warm path only; exact): cached
+  /// per-macro cut mass toward every cluster, valid while no neighbor
+  /// of the macro has moved (FMCutStamp[mac] == FMNbrVer[mac]). The
+  /// cold path rescans the adjacency every evaluation and computes the
+  /// identical values.
+  std::vector<int64_t> FMCutTo;    ///< flat [macro][cluster]
+  std::vector<uint64_t> FMCutStamp; ///< [macro]
+  std::vector<uint64_t> FMNbrVer;   ///< [macro]
+
   // Coarsening memo, valid for one Figure 5 run (the driver clears
-  // MLValid per loop); keyed exactly on the (groups, pins) inputs.
+  // MLValid per loop); keyed exactly on CoarsenMemoKey, hash-first.
   MultilevelGraph ML;
-  std::vector<std::vector<unsigned>> MemoGroups;
-  std::vector<int> MemoPins;
+  CoarsenMemoKey MemoKey;
+  size_t MemoHashVal = 0;
   bool MLValid = false;
 };
 
@@ -77,12 +163,21 @@ struct PartitionerOptions {
   bool ED2Objective = true;
   /// Pre-place critical recurrences (ablation knob of DESIGN.md #2).
   bool PrePlaceRecurrences = true;
-  /// Greedy refinement passes per level.
+  /// Greedy exact-refinement passes per level.
   unsigned MaxRefinePasses = 2;
-  /// Skip refinement at levels with more macros than this (every move
-  /// costs a pseudo-schedule; very fine levels of large loops buy
-  /// little and cost quadratically).
+  /// Levels with more macros than this skip the exact greedy
+  /// refinement (every move costs a pseudo-schedule) and run boundary
+  /// FM passes on the surrogate objective instead.
   unsigned MaxRefineMacros = 48;
+  /// Coarsening target, in macros per cluster. One macro per cluster
+  /// keeps each coarsest macro a connected low-slack blob, which the
+  /// ED2-quality pins of PipelineTest show beats a finer coarsest
+  /// level: the weight-sorted initial best-fit ignores connectivity,
+  /// and with many macros it scatters connected work across clusters
+  /// into a local optimum the refinement cannot escape.
+  unsigned CoarsestPerCluster = 1;
+  /// Boundary FM passes per level (levels above MaxRefineMacros).
+  unsigned MaxFMPasses = 4;
 };
 
 /// Everything a partitioning run needs to see.
@@ -105,9 +200,13 @@ struct PartitionContext {
   /// Optional reusable buffers + warm-start coarsening memo; results
   /// are bit-identical with or without one.
   PartitionScratch *Scratch = nullptr;
-  /// Optional span tracer ("part.coarsen" / "part.refine" phases);
-  /// observation only — the assignment never depends on it.
+  /// Optional span tracer ("part.coarsen:<level>" / "part.refine:
+  /// <level>" phases); observation only — the assignment never depends
+  /// on it.
   obs::Tracer *Trace = nullptr;
+  /// Optional effort counters, accumulated (+=) per run; observation
+  /// only (see PartitionStats).
+  PartitionStats *Stats = nullptr;
 };
 
 /// Runs the partitioner; std::nullopt when no feasible assignment exists

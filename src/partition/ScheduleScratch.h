@@ -34,6 +34,7 @@
 
 #include "ir/DDG.h"
 #include "ir/MinDist.h"
+#include "ir/RecurrenceAnalysis.h"
 #include "partition/Partitioner.h"
 #include "sched/HeteroModuloScheduler.h"
 #include "sched/RegisterPressure.h"
@@ -45,6 +46,23 @@
 #include <unordered_map>
 
 namespace hcvliw {
+
+/// One memoized IT-independent loop analysis: the recurrence summary
+/// and the coarsening slack matrix, both pure functions of the loop's
+/// structure and its node latencies (the matrix is Floyd-Warshall
+/// longest paths at II = max(recMII, 1) — O(N^3), and the single
+/// dominant cost of scheduling a 1000-op loop). Keyed by the loop's
+/// structural fingerprint plus the exact latency vector (latencies
+/// vary by ISA table, fingerprints by loop), so an entry is reusable
+/// across machine plans, menus, and whole schedule() runs — the suite
+/// pattern of re-scheduling one loop under many configurations pays
+/// the cubic analysis once per loop, not once per run.
+struct LoopAnalysisMemo {
+  uint64_t Fp = 0;
+  std::vector<unsigned> Lat;
+  RecurrenceInfo Recs;
+  MinDistMatrix Slack;
+};
 
 /// All reusable storage of one per-loop scheduling run (one thread's
 /// arena). See the file header for the ownership contract.
@@ -68,6 +86,35 @@ struct ScheduleScratch {
   // rebuild. Valid for one Figure 5 run only.
   Partition PGAssignment;
   bool PGValid = false;
+
+  /// Cross-run analysis memos (see LoopAnalysisMemo). Bounded and
+  /// overwritten round-robin — eviction affects speed only, never
+  /// results, since every entry is bit-identical to recomputation.
+  /// Deliberately NOT cleared by beginLoopRun: the key is globally
+  /// unique (fingerprint + latencies), unlike the per-sweep memos.
+  static constexpr unsigned MaxAnalysisMemos = 16;
+  std::vector<LoopAnalysisMemo> Analysis;
+  unsigned AnalysisNext = 0;
+
+  const LoopAnalysisMemo *findAnalysis(uint64_t Fp,
+                                       const std::vector<unsigned> &L) const {
+    for (const LoopAnalysisMemo &A : Analysis)
+      if (A.Fp == Fp && A.Lat == L)
+        return &A;
+    return nullptr;
+  }
+
+  /// The slot the next memo should be stored into (round-robin once
+  /// full; the overwritten entry's buffers are reused in place).
+  LoopAnalysisMemo &analysisSlot() {
+    if (Analysis.size() < MaxAnalysisMemos) {
+      Analysis.emplace_back();
+      return Analysis.back();
+    }
+    LoopAnalysisMemo &A = Analysis[AnalysisNext];
+    AnalysisNext = (AnalysisNext + 1) % MaxAnalysisMemos;
+    return A;
+  }
 
   /// Invalidates the cross-attempt memos; the driver calls this at the
   /// start of every schedule() run (the memo keys are only unique

@@ -122,6 +122,13 @@ public:
   }
 };
 
+/// Sweep cap for the stage-compaction fixpoint of both arithmetic
+/// forms. Each sweep only moves slots later (bounded by
+/// MaxSlotMultiple * II), so the fixpoint exists; chains of
+/// cross-iteration edges resolve one link per sweep, and real loops
+/// settle in 2-3.
+constexpr unsigned CompactMaxPasses = 8;
+
 /// Occupant of (Domain, Kind, Slot) with the largest rank (the
 /// lowest-priority victim of a forced placement), without materializing
 /// the occupant list. Identical choice to scanning occupants() in unit
@@ -264,8 +271,7 @@ SchedulerResult HeteroModuloScheduler::runTicks(const TickGraph &T,
     ++Result.Ejections;
   };
 
-  int64_t Budget =
-      static_cast<int64_t>(Opts.BudgetFactor) * static_cast<int64_t>(N) + 64;
+  int64_t Budget = Opts.budgetFor(N);
   unsigned NumPlaced = 0;
 
   while (NumPlaced < N) {
@@ -430,8 +436,7 @@ SchedulerResult HeteroModuloScheduler::runRational(SchedulerScratch &SS) {
     ++Result.Ejections;
   };
 
-  int64_t Budget =
-      static_cast<int64_t>(Opts.BudgetFactor) * static_cast<int64_t>(N) + 64;
+  int64_t Budget = Opts.budgetFor(N);
   unsigned NumPlaced = 0;
 
   while (NumPlaced < N) {
@@ -516,4 +521,144 @@ SchedulerResult HeteroModuloScheduler::runRational(SchedulerScratch &SS) {
     Result.Sched.Nodes[I].Unit = Unit[I];
   }
   return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Stage compaction (register-lifetime salvage)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shared shape of the two arithmetic forms below: in decreasing start
+/// order — so each consumer settles before its producers slide up
+/// against it — move every node with a non-self out-edge later by the
+/// largest whole-II stage multiple its out-edge bounds admit. The
+/// modulo reservation is untouched (same slot mod II, same unit) and
+/// in-edge bounds only get slacker, so the schedule stays valid by
+/// construction. Cross-iteration consumers can start *below* their
+/// producer and only open room once moved themselves, so the sweep
+/// repeats to a fixpoint (slots grow monotonically toward the
+/// MaxSlotMultiple bound). \p StartOf(node) and \p BoundLeq(edge,
+/// srcNode, srcSlot, dst) abstract the tick/Rational arithmetic;
+/// both forms compare the same exact quantities, so they move the
+/// same nodes by the same stage counts.
+template <typename Entry, typename StartKeyFn, typename FeasibleFn,
+          typename IIFn>
+unsigned compactSweeps(const PartitionedGraph &PG, int64_t MaxSlotMultiple,
+                       std::vector<Entry> &COrder, std::vector<int64_t> &Slots,
+                       StartKeyFn StartKey, FeasibleFn EdgesHold, IIFn IIOf) {
+  unsigned N = PG.size();
+  unsigned Moved = 0;
+  for (unsigned Pass = 0; Pass < CompactMaxPasses; ++Pass) {
+    COrder.resize(N);
+    for (unsigned I = 0; I < N; ++I)
+      COrder[I] = {I, {}, StartKey(I)};
+    std::sort(COrder.begin(), COrder.end(), [](const Entry &A, const Entry &B) {
+      if (!(A.Asap == B.Asap))
+        return B.Asap < A.Asap;
+      return A.Node < B.Node;
+    });
+    bool AnyMove = false;
+    for (const auto &Ent : COrder) {
+      unsigned U = Ent.Node;
+      bool HasOut = false;
+      for (unsigned EIx : PG.outEdges(U))
+        if (PG.edge(EIx).Dst != U) {
+          HasOut = true;
+          break;
+        }
+      if (!HasOut)
+        continue; // sinks and self-cycle-only nodes stay put
+      int64_t II = IIOf(U);
+      int64_t KCap = (MaxSlotMultiple * II - Slots[U]) / II;
+      if (KCap <= 0)
+        continue;
+      // Largest feasible stage count; binary search is exact because
+      // every out-edge bound is monotone in the source start.
+      int64_t Lo = 0, Hi = KCap;
+      while (Lo < Hi) {
+        int64_t Mid = Lo + (Hi - Lo + 1) / 2;
+        if (EdgesHold(U, Slots[U] + Mid * II))
+          Lo = Mid;
+        else
+          Hi = Mid - 1;
+      }
+      if (Lo > 0) {
+        Slots[U] += Lo * II;
+        AnyMove = true;
+        ++Moved;
+      }
+    }
+    if (!AnyMove)
+      break;
+  }
+  return Moved;
+}
+
+} // namespace
+
+unsigned hcvliw::compactScheduleLifetimes(const PartitionedGraph &PG,
+                                          const MachinePlan &Plan,
+                                          const TickGraph *Ticks, Schedule &S,
+                                          int64_t MaxSlotMultiple,
+                                          SchedulerScratch *Scratch) {
+  SchedulerScratch Local;
+  SchedulerScratch &SS = Scratch ? *Scratch : Local;
+  unsigned N = PG.size();
+  std::vector<int64_t> &Slots = SS.Slot;
+  Slots.resize(N);
+  for (unsigned I = 0; I < N; ++I)
+    Slots[I] = S.Nodes[I].Slot;
+
+  unsigned Moved = 0;
+  std::optional<TickGraph> Own;
+  const TickGraph *T = nullptr;
+  if (Ticks) {
+    if (Ticks->valid())
+      T = Ticks;
+  } else {
+    Own = TickGraph::build(PG, Plan);
+    if (Own)
+      T = &*Own;
+  }
+
+  if (T) {
+    auto StartKey = [&](unsigned Node) { return T->startTicks(Node, Slots[Node]); };
+    auto EdgesHold = [&](unsigned U, int64_t CandSlot) {
+      int64_t Src = T->startTicks(U, CandSlot);
+      for (unsigned EIx : PG.outEdges(U)) {
+        const PGEdge &E = PG.edge(EIx);
+        if (E.Dst == U)
+          continue;
+        if (T->startTicks(E.Dst, Slots[E.Dst]) < T->edgeStartBound(EIx, Src))
+          return false;
+      }
+      return true;
+    };
+    auto IIOf = [&](unsigned Node) { return T->iiOf(Node); };
+    Moved = compactSweeps<SchedulerScratch::TickEntry>(
+        PG, MaxSlotMultiple, SS.TickOrder, Slots, StartKey, EdgesHold, IIOf);
+  } else {
+    auto StartKey = [&](unsigned Node) {
+      return Rational(Slots[Node]) * periodOf(PG, Plan, Node);
+    };
+    auto EdgesHold = [&](unsigned U, int64_t CandSlot) {
+      Rational Src = Rational(CandSlot) * periodOf(PG, Plan, U);
+      for (unsigned EIx : PG.outEdges(U)) {
+        const PGEdge &E = PG.edge(EIx);
+        if (E.Dst == U)
+          continue;
+        if (StartKey(E.Dst) < edgeStartBound(PG, Plan, E, Src))
+          return false;
+      }
+      return true;
+    };
+    auto IIOf = [&](unsigned Node) { return iiOf(PG, Plan, Node); };
+    Moved = compactSweeps<SchedulerScratch::RatEntry>(
+        PG, MaxSlotMultiple, SS.RatOrder, Slots, StartKey, EdgesHold, IIOf);
+  }
+
+  for (unsigned I = 0; I < N; ++I)
+    S.Nodes[I].Slot = Slots[I];
+  return Moved;
 }

@@ -32,11 +32,50 @@
 namespace hcvliw {
 
 struct SchedulerOptions {
-  /// Placement attempts allowed, as a multiple of the node count.
+  /// Placement attempts allowed, as a multiple of the node count (for
+  /// loops up to BudgetRefOps nodes; see budgetFor).
   unsigned BudgetFactor = 12;
+  /// Node count past which the ejection budget stops growing linearly.
+  /// Up to this size the budget is BudgetFactor * N + 64 (unchanged
+  /// from the historical policy); above it the per-node allowance
+  /// decays as sqrt(BudgetRefOps / N), so the total grows like
+  /// sqrt(N) — sublinear, which keeps 1000+-op sweeps from spending
+  /// minutes in ejection storms at hopeless IIs. Growing the IT makes
+  /// scheduling strictly easier, so a budget miss only defers success
+  /// to a later (cheaper) IT step, never to failure of the sweep.
+  unsigned BudgetRefOps = 256;
   /// Fail when any slot exceeds this multiple of its domain's II
   /// (runaway ejection chains).
   int64_t MaxSlotMultiple = 64;
+  /// Let the sweep driver (LoopScheduler) salvage a placement whose
+  /// register pressure overflows by running compactScheduleLifetimes
+  /// before giving up on the IT step. Earliest-feasible placement
+  /// leaves early-produced values live for many IIs on wide graphs, and
+  /// each full II a lifetime spans costs one register in *every* modulo
+  /// slot — compaction removes exactly those crossings. It trades
+  /// per-iteration makespan for pressure, so it only runs as a rescue
+  /// (schedules that already fit are left untouched and bit-identical
+  /// to the historical output). Changes the emitted schedule when it
+  /// fires, hence part of the ScheduleCache key (unlike UseTickGrid).
+  bool CompactLifetimes = true;
+
+  /// The placement-loop budget for an \p NumOps-node partitioned graph
+  /// (copy nodes included). Integer sqrt keeps it exact and
+  /// platform-independent.
+  int64_t budgetFor(size_t NumOps) const {
+    int64_t N = static_cast<int64_t>(NumOps);
+    int64_t Ref = static_cast<int64_t>(BudgetRefOps);
+    int64_t F = static_cast<int64_t>(BudgetFactor);
+    if (Ref <= 0 || N <= Ref)
+      return F * N + 64;
+    int64_t X = Ref * N, R = 0;
+    for (int64_t Bit = int64_t(1) << 31; Bit > 0; Bit >>= 1) {
+      int64_t T = R + Bit;
+      if (T * T <= X)
+        R = T;
+    }
+    return F * R + 64; // floor(sqrt(Ref * N)); continuous at N == Ref
+  }
   /// Run the placement loop on the plan's integer tick grid (PlanGrid)
   /// when it has one; results are bit-identical to the Rational
   /// reference path, which remains reachable by clearing this (and is
@@ -103,10 +142,30 @@ struct SchedulerScratch {
   ModuloReservationTable MRT;
 };
 
+/// Stage compaction: slide every node with a consumer later by whole
+/// multiples of its domain II, up against its consumers' dependence
+/// bounds, iterated to a fixpoint. Whole-II moves keep the modulo
+/// reservation (same slot mod II, same unit) and only relax in-edge
+/// bounds, so a valid \p S stays valid by construction while long
+/// lifetimes stop crossing full IIs — typically a large register-
+/// pressure reduction on wide graphs, at the cost of deeper stages
+/// (longer per-iteration makespan). Pure function of (PG, Plan, S),
+/// independent of thread count and of how S was produced, so warm-start
+/// replays and cold runs compact identically. \p Ticks follows the
+/// run() contract: pass the prebuilt grid to take the tick path, pass
+/// nullptr to build one internally, and an invalid grid falls back to
+/// the bit-identical Rational arithmetic. Returns the number of nodes
+/// moved.
+unsigned compactScheduleLifetimes(const PartitionedGraph &PG,
+                                  const MachinePlan &Plan,
+                                  const TickGraph *Ticks, Schedule &S,
+                                  int64_t MaxSlotMultiple,
+                                  SchedulerScratch *Scratch = nullptr);
+
 class HeteroModuloScheduler {
   const MachineDescription &Machine;
   const PartitionedGraph &PG;
-  MachinePlan Plan;
+  const MachinePlan &Plan; ///< borrowed; must outlive run()
   SchedulerOptions Opts;
 
   SchedulerResult runRational(SchedulerScratch &S);

@@ -6,33 +6,43 @@
 
 using namespace hcvliw;
 
-void PartitionedGraph::addNode(const PGNode &N) {
-  Nodes.push_back(N);
-  if (OutEdgeIx.size() < Nodes.size()) {
-    OutEdgeIx.emplace_back();
-    InEdgeIx.emplace_back();
-  } else {
-    // Reused adjacency row (buildInto keeps rows around for capacity).
-    OutEdgeIx[Nodes.size() - 1].clear();
-    InEdgeIx[Nodes.size() - 1].clear();
-  }
-}
-
-void PartitionedGraph::addEdge(const PGEdge &E) {
-  assert(E.Src < Nodes.size() && E.Dst < Nodes.size() &&
-         "edge endpoint out of range");
-  unsigned Ix = static_cast<unsigned>(Edges.size());
-  Edges.push_back(E);
-  OutEdgeIx[E.Src].push_back(Ix);
-  InEdgeIx[E.Dst].push_back(Ix);
-}
-
 unsigned PartitionedGraph::numCopies() const {
   unsigned N = 0;
   for (const auto &Node : Nodes)
     if (Node.OrigOp < 0)
       ++N;
   return N;
+}
+
+/// Counting sort of the edge list into the CSR rows. Stable: within
+/// one node's row, edge indices stay in insertion order — exactly the
+/// iteration order of the per-node push_back rows this replaces.
+void PartitionedGraph::finalizeAdjacency() {
+  const unsigned N = size();
+  const unsigned E = static_cast<unsigned>(Edges.size());
+  OutStart.assign(N + 1, 0);
+  InStart.assign(N + 1, 0);
+  for (const PGEdge &Ed : Edges) {
+    ++OutStart[Ed.Src + 1];
+    ++InStart[Ed.Dst + 1];
+  }
+  for (unsigned I = 0; I < N; ++I) {
+    OutStart[I + 1] += OutStart[I];
+    InStart[I + 1] += InStart[I];
+  }
+  OutIx.resize(E);
+  InIx.resize(E);
+  // Fill using the start arrays as cursors, then shift them back.
+  for (unsigned Ix = 0; Ix < E; ++Ix) {
+    OutIx[OutStart[Edges[Ix].Src]++] = Ix;
+    InIx[InStart[Edges[Ix].Dst]++] = Ix;
+  }
+  for (unsigned I = N; I > 0; --I) {
+    OutStart[I] = OutStart[I - 1];
+    InStart[I] = InStart[I - 1];
+  }
+  OutStart[0] = 0;
+  InStart[0] = 0;
 }
 
 PartitionedGraph PartitionedGraph::build(const Loop &L, const DDG &G,
@@ -55,9 +65,6 @@ void PartitionedGraph::buildInto(PartitionedGraph &PG, const Loop &L,
   PG.NumClustersVal = NumClusters;
   PG.Nodes.clear();
   PG.Edges.clear();
-  // Adjacency rows are kept at the largest node count ever built into
-  // this object (rows keep their capacity across builds; addNode clears
-  // a row when it reuses one).
 
   for (unsigned I = 0; I < G.size(); ++I) {
     assert(P.cluster(I) < NumClusters && "cluster id out of range");
@@ -67,7 +74,7 @@ void PartitionedGraph::buildInto(PartitionedGraph &PG, const Loop &L,
     N.LatencyCycles = Isa.latency(N.Op);
     N.Kind = fuKindOf(N.Op);
     N.OrigOp = static_cast<int>(I);
-    PG.addNode(N);
+    PG.Nodes.push_back(N);
   }
 
   std::vector<unsigned> LocalLat;
@@ -98,9 +105,10 @@ void PartitionedGraph::buildInto(PartitionedGraph &PG, const Loop &L,
     C.OrigOp = -1;
     C.CopiedValue = static_cast<int>(Value);
     unsigned Ix = PG.size();
-    PG.addNode(C);
-    PG.addEdge({Value, Ix, /*Distance=*/0, /*LatencyCycles=*/NodeLat[Value],
-                /*CarriesValue=*/true});
+    PG.Nodes.push_back(C);
+    PG.Edges.push_back({Value, Ix, /*Distance=*/0,
+                        /*LatencyCycles=*/NodeLat[Value],
+                        /*CarriesValue=*/true});
     Slot = static_cast<int>(Ix);
     return Ix;
   };
@@ -109,11 +117,13 @@ void PartitionedGraph::buildInto(PartitionedGraph &PG, const Loop &L,
     bool Carries = isValueCarrying(E.Kind);
     unsigned Lat = edgeLatency(E, NodeLat);
     if (!Carries || P.cluster(E.Src) == P.cluster(E.Dst)) {
-      PG.addEdge({E.Src, E.Dst, E.Distance, Lat, Carries});
+      PG.Edges.push_back({E.Src, E.Dst, E.Distance, Lat, Carries});
       continue;
     }
     unsigned C = copyFor(E.Src, P.cluster(E.Dst));
-    PG.addEdge({C, E.Dst, E.Distance, /*LatencyCycles=*/BusLatency,
-                /*CarriesValue=*/true});
+    PG.Edges.push_back({C, E.Dst, E.Distance, /*LatencyCycles=*/BusLatency,
+                        /*CarriesValue=*/true});
   }
+
+  PG.finalizeAdjacency();
 }

@@ -58,8 +58,15 @@ class PartitionedGraph {
   unsigned NumClustersVal = 0;
   std::vector<PGNode> Nodes;
   std::vector<PGEdge> Edges;
-  std::vector<std::vector<unsigned>> OutEdgeIx;
-  std::vector<std::vector<unsigned>> InEdgeIx;
+  /// CSR adjacency (built once per buildInto, after all edges exist):
+  /// node N's out-edge indices are OutIx[OutStart[N] .. OutStart[N+1]),
+  /// in insertion order — identical iteration order to the per-node
+  /// rows this replaces, but four flat arrays instead of two
+  /// heap-allocated rows per node, so a graph that escapes into a
+  /// LoopScheduleResult costs O(1) allocations to rebuild, not O(N).
+  std::vector<unsigned> OutStart, OutIx, InStart, InIx;
+
+  void finalizeAdjacency();
 
 public:
   /// Builds the graph for \p L under assignment \p P. \p BusLatency is
@@ -89,15 +96,12 @@ public:
   const PGNode &node(unsigned N) const { return Nodes[N]; }
   const std::vector<PGEdge> &edges() const { return Edges; }
   const PGEdge &edge(unsigned E) const { return Edges[E]; }
-  const std::vector<unsigned> &outEdges(unsigned N) const {
-    return OutEdgeIx[N];
+  EdgeIxSpan outEdges(unsigned N) const {
+    return {OutIx.data() + OutStart[N], OutIx.data() + OutStart[N + 1]};
   }
-  const std::vector<unsigned> &inEdges(unsigned N) const {
-    return InEdgeIx[N];
+  EdgeIxSpan inEdges(unsigned N) const {
+    return {InIx.data() + InStart[N], InIx.data() + InStart[N + 1]};
   }
-
-  void addNode(const PGNode &N);
-  void addEdge(const PGEdge &E);
 };
 
 } // namespace hcvliw

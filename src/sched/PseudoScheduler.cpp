@@ -119,20 +119,29 @@ void hcvliw::estimatePseudoScheduleInto(PseudoSchedule &PS, const Loop &L,
   }
 
   // Register proxy: each value's lifetime is roughly its producer
-  // latency plus half an II of consumer spread; cross-cluster values add
-  // a landing register in the destination cluster.
+  // latency plus a few cycles of consumer spread; cross-cluster values
+  // add a landing register in the destination cluster. The spread term
+  // is half an II capped at SpreadCapCycles: the modulo scheduler
+  // places consumers right above their producers, so real lifetimes do
+  // not grow with the II — an uncapped II/2 term would make any
+  // cluster holding more than 2x its register count infeasible at
+  // *every* II (the big-loop ceiling), which the exact post-scheduling
+  // pressure check contradicts.
+  constexpr int64_t SpreadCapCycles = 4;
   for (unsigned I = 0; I < G.size(); ++I) {
     if (!L.Ops[I].definesValue())
       continue;
     unsigned C = P.cluster(I);
     PS.LifetimeProxy[C] +=
-        M.Isa.latency(L.Ops[I].Op) + Plan.Clusters[C].II / 2;
+        M.Isa.latency(L.Ops[I].Op) +
+        std::min<int64_t>(Plan.Clusters[C].II / 2, SpreadCapCycles);
   }
   for (unsigned N = G.size(); N < PG.size(); ++N) {
     for (unsigned EIx : PG.outEdges(N)) {
       unsigned Dst = PG.node(PG.edge(EIx).Dst).Domain;
       if (Dst != PG.busDomain()) {
-        PS.LifetimeProxy[Dst] += Plan.Clusters[Dst].II / 2 + 1;
+        PS.LifetimeProxy[Dst] +=
+            std::min<int64_t>(Plan.Clusters[Dst].II / 2, SpreadCapCycles) + 1;
         break;
       }
     }

@@ -5,7 +5,8 @@
 #include "sched/TickGraph.h"
 #include "support/StrUtil.h"
 
-#include <map>
+#include <algorithm>
+#include <tuple>
 
 using namespace hcvliw;
 
@@ -62,24 +63,38 @@ std::string hcvliw::validateSchedule(const MachineDescription &M,
   }
 
   // Modulo resource conflicts: (domain, kind, unit, slot mod II) unique.
-  std::map<std::tuple<unsigned, unsigned, unsigned, int64_t>, unsigned> Cells;
+  // Sort-and-scan over one flat vector instead of a node-per-entry map:
+  // the validator runs on every successful schedule, so it must not
+  // dominate the driver's allocation budget.
+  struct Cell {
+    unsigned Domain, Kind, Unit;
+    int64_t Mod;
+    unsigned Node;
+  };
+  std::vector<Cell> Cells;
+  Cells.reserve(PG.size());
   for (unsigned N = 0; N < PG.size(); ++N) {
     const PGNode &Node = PG.node(N);
     int64_t II = S.iiOf(PG, N);
-    int64_t Mod = S.Nodes[N].Slot % II;
-    auto Key = std::make_tuple(Node.Domain,
-                               static_cast<unsigned>(Node.Kind),
-                               S.Nodes[N].Unit, Mod);
-    auto [It, Inserted] = Cells.emplace(Key, N);
-    if (!Inserted)
-      return formatString("nodes %u and %u share a reservation cell",
-                          It->second, N);
+    Cells.push_back({Node.Domain, static_cast<unsigned>(Node.Kind),
+                     S.Nodes[N].Unit, S.Nodes[N].Slot % II, N});
     // The unit index must exist.
     unsigned Units = Node.Domain == PG.busDomain()
                          ? M.Buses
                          : M.Clusters[Node.Domain].fuCount(Node.Kind);
     if (S.Nodes[N].Unit >= Units)
       return formatString("node %u on nonexistent unit", N);
+  }
+  std::sort(Cells.begin(), Cells.end(), [](const Cell &A, const Cell &B) {
+    return std::tie(A.Domain, A.Kind, A.Unit, A.Mod, A.Node) <
+           std::tie(B.Domain, B.Kind, B.Unit, B.Mod, B.Node);
+  });
+  for (size_t I = 1; I < Cells.size(); ++I) {
+    const Cell &A = Cells[I - 1], &B = Cells[I];
+    if (A.Domain == B.Domain && A.Kind == B.Kind && A.Unit == B.Unit &&
+        A.Mod == B.Mod)
+      return formatString("nodes %u and %u share a reservation cell", A.Node,
+                          B.Node);
   }
 
   if (Opts.CheckRegisterPressure) {

@@ -4,6 +4,7 @@
 #include "ir/LoopBuilder.h"
 #include "support/StrUtil.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace hcvliw;
@@ -154,8 +155,12 @@ Loop hcvliw::makeRandomLoop(RNG &Rng, const RandomLoopParams &P,
   auto randomUse = [&](bool AllowCarried) -> Operand {
     if (Defs.empty() || Rng.nextBool(0.15))
       return K;
+    size_t Lo = 0;
+    if (P.OperandWindow && Defs.size() > P.OperandWindow)
+      Lo = Defs.size() - P.OperandWindow;
     unsigned Ix = Defs[static_cast<size_t>(
-        Rng.nextInt(0, static_cast<int64_t>(Defs.size()) - 1))];
+        Rng.nextInt(static_cast<int64_t>(Lo),
+                    static_cast<int64_t>(Defs.size()) - 1))];
     unsigned Dist = 0;
     if (AllowCarried && Rng.nextBool(0.2))
       Dist = static_cast<unsigned>(Rng.nextInt(1, P.MaxDist));
@@ -214,4 +219,23 @@ Loop hcvliw::makeRandomLoop(RNG &Rng, const RandomLoopParams &P,
     B.store(Out, Defs.empty() ? K : Operand::def(Defs.back()), 7,
             /*Scale=*/8);
   return B.take();
+}
+
+Loop hcvliw::makeUnrolledKernelLoop(const std::string &Name, unsigned Ops,
+                                    unsigned Try) {
+  // Seed formula shared with the historical probe runs; 7919 decorrelates
+  // the tries without touching the size term.
+  RNG Rng(0x5eed + Ops + 7919u * Try);
+  RandomLoopParams P;
+  P.MinOps = Ops;
+  P.MaxOps = Ops;
+  P.Trip = 64;
+  P.RecurrenceProb = 0.1;
+  P.MaxDist = 1;
+  P.OperandWindow = 24;
+  return makeRandomLoop(Rng, P, Name);
+}
+
+unsigned hcvliw::bigLoopRegisters(unsigned Ops) {
+  return std::max(16u, Ops / 4);
 }

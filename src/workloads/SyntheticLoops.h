@@ -66,12 +66,40 @@ struct RandomLoopParams {
   double RecurrenceProb = 0.5;
   unsigned MaxRecDepth = 4;
   unsigned MaxDist = 3;
+  /// When nonzero, operands are drawn from the last OperandWindow
+  /// defined values instead of uniformly over every earlier value.
+  /// Unrolled/fused kernel bodies — the shape of real big loops — keep
+  /// consumers near their producers; an unwindowed draw over hundreds
+  /// of earlier ops manufactures values whose earliest and latest
+  /// consumers are separated by most of the loop body, i.e. register
+  /// lifetimes no schedule can make short. 0 = unlimited (historical
+  /// behavior, same RNG draw sequence).
+  unsigned OperandWindow = 0;
   uint64_t Trip = 32;
 };
 
 /// Seed-reproducible random loop; always valid (Loop::validate passes).
 Loop makeRandomLoop(RNG &Rng, const RandomLoopParams &P,
                     const std::string &Name);
+
+/// The shared big-loop fixture of the size-series bench and the
+/// partition tests: an unrolled/fused-kernel-shaped body of exactly
+/// \p Ops operations — windowed operand locality (consumers stay near
+/// their producers, as in a real unrolled body), sparse distance-1
+/// recurrences, memory-light op mix. \p Try varies the seed so a size
+/// can be sampled more than once; the result is a pure function of
+/// (Ops, Try).
+Loop makeUnrolledKernelLoop(const std::string &Name, unsigned Ops,
+                            unsigned Try = 0);
+
+/// Per-cluster register count for a machine running \p Ops-operation
+/// unrolled bodies: max(16, Ops / 4). The paper machine's 16 registers
+/// per cluster legitimately hold only its ~100-op SPECfp loop
+/// population — an unroller that multiplies the body also multiplies
+/// the live values per iteration, and real large-body targets scale
+/// the (rotating) register file with the unroll factor. Growing
+/// nothing else keeps FU pressure and the II physics unchanged.
+unsigned bigLoopRegisters(unsigned Ops);
 
 } // namespace hcvliw
 

@@ -10,8 +10,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ir/LoopBuilder.h"
 #include "runtime/FrontierMeasurer.h"
 #include "runtime/SuiteRunner.h"
+#include "support/StrUtil.h"
 #include "workloads/SyntheticLoops.h"
 
 #include <gtest/gtest.h>
@@ -40,14 +42,35 @@ void expectBitIdentical(const ConfigRunResult &A, const ConfigRunResult &B) {
   }
 }
 
-/// A single-loop program that profiles fine but cannot be scheduled in
-/// the measurement stage when the IT budget is zero (the 24-lane
-/// stream loop needs IT growth to fit its register pressure on the
-/// selected heterogeneous design).
+/// A single-loop program that profiles fine under the default IT
+/// budget but cannot be scheduled when the budget is zero: twelve
+/// "diamonds", each a value pinned early (its store lands right after
+/// it and stores never move) and re-read at the end of a 4-deep FDiv
+/// chain. Both demands shrink with IT growth but are immovable at the
+/// minimal IT: the pinned lifetimes span a fixed ~72 cycles regardless
+/// of placement (stage-compaction salvage cannot shorten them), and 48
+/// FDivs saturate the scarce divide bandwidth. Unlike a wide stream
+/// loop — whose step-0 overflow compaction now rescues — this stays
+/// unschedulable at IT+0.
 BenchmarkProgram pressureProgram() {
+  LoopBuilder B("pressure_acc", 64, 1.0);
+  unsigned Out = B.array("OUT");
+  Operand K = B.liveIn("k", 1.0078125);
+  unsigned Slot = 0;
+  for (unsigned D = 0; D < 12; ++D) {
+    unsigned X = B.op(Opcode::FAdd, formatString("x.%u", D), K, K);
+    B.store(Out, Operand::def(X), Slot++, /*Scale=*/4);
+    unsigned Prev = X;
+    for (unsigned I = 0; I < 4; ++I)
+      Prev = B.op(Opcode::FDiv, formatString("d.%u.%u", D, I),
+                  Operand::def(Prev), K);
+    unsigned End = B.op(Opcode::FAdd, formatString("e.%u", D),
+                        Operand::def(Prev), Operand::def(X));
+    B.store(Out, Operand::def(End), Slot++, /*Scale=*/4);
+  }
   BenchmarkProgram P;
   P.Name = "900.pressure";
-  P.Loops.push_back(makeStreamLoop("pressure_stream", 24, 64, 1.0));
+  P.Loops.push_back(B.take());
   return P;
 }
 

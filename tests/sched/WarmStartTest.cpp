@@ -209,6 +209,42 @@ TEST(WarmStart, LowerBoundPruneFires) {
          "this sweep; pick a fixture where it fires";
 }
 
+// Big loops take paths the random sweep above never reaches: the
+// multilevel hierarchy records several coarse levels, refinement runs
+// the boundary-FM pass (node counts far above MaxRefineMacros), and
+// the warm IT sweep hits the per-level coarsening memo and the FM
+// cut-row stamp cache. Pin warm==cold through all of it, on the same
+// unrolled-kernel fixtures and register-scaled machines the big-loop
+// e2e tests and the size-series bench use.
+TEST(WarmStart, BigLoopFMPathBitIdentical) {
+  for (unsigned Ops : {320u, 512u}) {
+    Loop L = makeUnrolledKernelLoop("warmbig", Ops);
+    ASSERT_EQ(L.validate(), "");
+    MachineDescription M = MachineDescription::paperDefault();
+    for (auto &Cl : M.Clusters)
+      Cl.Registers = bigLoopRegisters(Ops);
+
+    // One shared arena across both plans, like a suite measurement:
+    // the second plan's warm run sees the first plan's memos.
+    ScheduleScratch Shared;
+    for (unsigned Kind = 0; Kind < 2; ++Kind) {
+      HeteroConfig C = configFor(M, Kind);
+      LoopScheduleOptions WarmOpts;
+      WarmOpts.WarmStart = true;
+      LoopScheduleOptions ColdOpts = WarmOpts;
+      ColdOpts.WarmStart = false;
+
+      std::string Tag =
+          "ops " + std::to_string(Ops) + " kind " + std::to_string(Kind);
+      LoopScheduleResult W =
+          LoopScheduler(M, C, WarmOpts).schedule(L, nullptr, nullptr, &Shared);
+      LoopScheduleResult Cold = LoopScheduler(M, C, ColdOpts).schedule(L);
+      ASSERT_TRUE(Cold.Success) << Tag << ": " << Cold.Failure;
+      expectSameResult(W, Cold, Tag);
+    }
+  }
+}
+
 // failureSummary says which stage failed at which IT.
 TEST(WarmStart, FailureSummaryNamesStageAndIT) {
   // A recMII=9 recurrence on a one-frequency absolute menu whose only
