@@ -125,6 +125,12 @@ class BenchReporter {
     uint64_t PartLevels = 0, PartMatchedPairs = 0;
     uint64_t PartRefineMoves = 0, PartFMMoves = 0;
     uint64_t PartCoarsenMemoHits = 0;
+    /// Robustness ledger (PR 9): silent tick-grid → Rational replays,
+    /// loops finished on a degradation rung, and injected faults.
+    /// Baselines assert the last two are zero in clean CI runs.
+    uint64_t FallbackRational = 0;
+    uint64_t DegradedCount = 0;
+    uint64_t FaultInjected = 0;
   };
 
   std::string Name;
@@ -176,10 +182,23 @@ public:
     C.PartRefineMoves = S.scheduleCache().partRefineMoves();
     C.PartFMMoves = S.scheduleCache().partFMMoves();
     C.PartCoarsenMemoHits = S.scheduleCache().partCoarsenMemoHits();
+    // The robustness ledger lives in the metrics registry (the
+    // measurement layer records it per config run); one snapshot
+    // serves both these keys and the "obs" object below.
+    obs::MetricsSnapshot Snap = S.metricsSnapshot();
+    auto Counter = [&Snap](const char *Name) -> uint64_t {
+      auto It = Snap.Counters.find(Name);
+      return It == Snap.Counters.end() ? 0 : It->second;
+    };
+    C.FallbackRational = Counter("sched.fallback_rational");
+    C.DegradedCount = Counter("degrade.cold_replay") +
+                      Counter("degrade.flat_partition") +
+                      Counter("degrade.analytic_estimate");
+    C.FaultInjected = S.faultInjector().totalInjected();
     Caches.push_back(std::move(C));
     // The full registry snapshot rides along: stage wall-time
     // histograms, cache gauges, whatever the series recorded.
-    ObsSnapshots.emplace_back(Label, S.metricsSnapshot().json());
+    ObsSnapshots.emplace_back(Label, Snap.json());
   }
 
   /// Writes BENCH_<name>.json; returns false (and warns) on IO errors.
@@ -237,7 +256,10 @@ public:
                         "\"part_matched_pairs\": %llu, "
                         "\"part_refine_moves\": %llu, "
                         "\"part_fm_moves\": %llu, "
-                        "\"part_coarsen_memo_hits\": %llu}",
+                        "\"part_coarsen_memo_hits\": %llu, "
+                        "\"sched_fallback_rational\": %llu, "
+                        "\"degraded_count\": %llu, "
+                        "\"fault_injected\": %llu}",
                         static_cast<unsigned long long>(C.EvalHits),
                         static_cast<unsigned long long>(C.EvalMisses),
                         static_cast<unsigned long long>(C.SelectionHits),
@@ -252,7 +274,10 @@ public:
                         static_cast<unsigned long long>(C.PartMatchedPairs),
                         static_cast<unsigned long long>(C.PartRefineMoves),
                         static_cast<unsigned long long>(C.PartFMMoves),
-                        static_cast<unsigned long long>(C.PartCoarsenMemoHits));
+                        static_cast<unsigned long long>(C.PartCoarsenMemoHits),
+                        static_cast<unsigned long long>(C.FallbackRational),
+                        static_cast<unsigned long long>(C.DegradedCount),
+                        static_cast<unsigned long long>(C.FaultInjected));
     }
     J += Caches.empty() ? "}" : "\n  }";
     J += ",\n  \"obs\": {";

@@ -8,11 +8,19 @@
 // the paper's Figure 6 row — prints at the end together with the
 // session's shared-cache statistics.
 //
+// Robustness (PR 9): --journal checkpoints each completed program to a
+// durable journal; --resume splices a killed run's journal back in and
+// re-executes only what is missing (bit-identical merged result);
+// --fault-plan arms the session's deterministic fault injector;
+// --degrade / --effort-deadline enable the graceful-degradation ladder.
+//
 // Usage:
 //   suite_tool [--threads N] [--lanes K] [--buses B] [--menu K]
 //              [--repeat N] [--measure-frontier]
 //              [--frontier-csv PATH] [--frontier-json PATH]
 //              [--trace PATH] [--metrics PATH]
+//              [--journal PATH] [--resume PATH] [--fault-plan PATH]
+//              [--degrade] [--effort-deadline N]
 //     --threads  worker-pool parallelism (default: hardware)
 //     --lanes    nested-parallelism budget: max programs in flight
 //                (default: all; spare threads speed up exploration)
@@ -72,6 +80,19 @@ void printUsage() {
       "                       run (Chrome trace-event JSON); tracing never\n"
       "                       changes results\n"
       "  --metrics PATH       write the session metrics snapshot as JSON\n"
+      "  --journal PATH       checkpoint each completed program to PATH\n"
+      "                       (incompatible with --measure-frontier)\n"
+      "  --resume PATH        resume from a journal written by a previous\n"
+      "                       (killed) run of the same options; merged\n"
+      "                       result is bit-identical to an uninterrupted\n"
+      "                       run\n"
+      "  --fault-plan PATH    arm the deterministic fault injector with\n"
+      "                       the plan in PATH (see src/fault/Fault.h)\n"
+      "  --degrade            degrade unschedulable loops to the analytic\n"
+      "                       estimate instead of failing the measurement\n"
+      "  --effort-deadline N  per-loop scheduler effort deadline in\n"
+      "                       BudgetUsed units (0 = off; deterministic,\n"
+      "                       never wall clock)\n"
       "  --help               this text\n");
 }
 
@@ -80,10 +101,12 @@ void printUsage() {
 int main(int argc, char **argv) {
   unsigned Threads = 0, Buses = 1, MenuK = 0, Repeat = 1;
   size_t Lanes = 0;
-  bool MeasureFrontier = false;
+  bool MeasureFrontier = false, Degrade = false;
+  uint64_t EffortDeadline = 0;
   std::string FrontierCsv = "frontier_measured.csv";
   std::string FrontierJson = "frontier_measured.json";
   std::string TracePath, MetricsPath;
+  std::string JournalPath, ResumePath, FaultPlanPath;
   for (int I = 1; I < argc; ++I) {
     auto need = [&](const char *Flag) {
       if (I + 1 >= argc) {
@@ -120,24 +143,73 @@ int main(int argc, char **argv) {
       FrontierCsv = need("--frontier-csv");
     else if (!std::strcmp(argv[I], "--frontier-json"))
       FrontierJson = need("--frontier-json");
+    else if (!std::strcmp(argv[I], "--journal"))
+      JournalPath = need("--journal");
+    else if (!std::strcmp(argv[I], "--resume"))
+      ResumePath = need("--resume");
+    else if (!std::strcmp(argv[I], "--fault-plan"))
+      FaultPlanPath = need("--fault-plan");
+    else if (!std::strcmp(argv[I], "--degrade"))
+      Degrade = true;
+    else if (!std::strcmp(argv[I], "--effort-deadline"))
+      EffortDeadline = std::strtoull(need("--effort-deadline"), nullptr, 10);
     else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[I]);
       return 1;
     }
   }
 
+  if (MeasureFrontier && (!JournalPath.empty() || !ResumePath.empty())) {
+    std::fprintf(stderr, "error: --journal/--resume are incompatible with "
+                         "--measure-frontier (frontiers are not journaled)\n");
+    return 1;
+  }
+
   PipelineOptions Opts;
   Opts.Buses = Buses;
   if (MenuK > 0)
     Opts.MenuSize = MenuK;
+  Opts.DegradeToEstimate = Degrade;
+  Opts.LoopEffortDeadline = EffortDeadline;
   Session S(Opts, Threads);
   SuiteRunner Runner(S);
   if (!TracePath.empty())
     S.tracer().enable();
 
+  if (!FaultPlanPath.empty()) {
+    std::string PErr;
+    auto Plan = fault::FaultPlan::parseFile(FaultPlanPath, &PErr);
+    if (!Plan) {
+      std::fprintf(stderr, "error: bad fault plan '%s': %s\n",
+                   FaultPlanPath.c_str(), PErr.c_str());
+      return 1;
+    }
+    S.faultInjector().arm(*Plan);
+    std::fprintf(stderr, "fault injector armed (%zu rules, seed %llu)\n",
+                 Plan->Rules.size(),
+                 static_cast<unsigned long long>(Plan->Seed));
+  }
+
+  // The resume journal's fingerprint is re-validated by SuiteRunner
+  // against this session's options and programs.
+  std::optional<SuiteJournal> Resumed;
+  if (!ResumePath.empty()) {
+    std::string JErr;
+    Resumed = SuiteJournal::load(ResumePath, /*ExpectFingerprint=*/0, &JErr);
+    if (!Resumed) {
+      std::fprintf(stderr, "error: %s\n", JErr.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "resuming: %zu journaled programs\n",
+                 Resumed->numRecords());
+  }
+
   SuiteOptions SO;
   SO.ProgramLanes = Lanes;
   SO.MeasureFrontier = MeasureFrontier;
+  SO.JournalPath = JournalPath;
+  if (Resumed)
+    SO.ResumeFrom = &*Resumed;
   SO.OnProgramDone = [](const SuiteProgress &P) {
     if (P.Ok)
       std::fprintf(stderr, "[%zu/%zu] %-13s ED2 ratio %.3f\n", P.Completed,
@@ -150,8 +222,15 @@ int main(int argc, char **argv) {
   };
 
   SuiteResult R;
-  for (unsigned Rep = 0; Rep < std::max(1u, Repeat); ++Rep)
-    R = Runner.runSpecFP(SO);
+  try {
+    for (unsigned Rep = 0; Rep < std::max(1u, Repeat); ++Rep)
+      R = Runner.runSpecFP(SO);
+  } catch (const std::exception &E) {
+    // Journal configuration errors (unwritable path, fingerprint
+    // mismatch); per-program failures never throw out of run().
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 1;
+  }
 
   TablePrinter T("normalized ED2 (heterogeneous / optimum homogeneous)");
   std::vector<std::string> Header = {"program"}, Row = {"ED2 ratio"};
@@ -169,6 +248,34 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s failed at %s after %.1f ms: %s\n",
                  F.Program.c_str(), pipelineStageName(F.Stage),
                  F.StageWallMs, F.Reason.c_str());
+
+  // Robustness summary: what the degradation ladder absorbed and what
+  // the injector (if armed) fired. All zero on a healthy run.
+  {
+    unsigned long long Degraded = 0, Cold = 0, Flat = 0, Rat = 0;
+    for (const ProgramRunResult &D : R.Details) {
+      Degraded += D.HetMeasured.DegradedLoops + D.HomMeasured.DegradedLoops;
+      Cold += D.HetMeasured.ColdReplays + D.HomMeasured.ColdReplays;
+      Flat += D.HetMeasured.FlatPartitions + D.HomMeasured.FlatPartitions;
+      Rat += D.HetMeasured.FallbackRational + D.HomMeasured.FallbackRational;
+    }
+    if (Degraded || Cold || Flat || Rat)
+      std::printf("degradation: %llu loops on the analytic rung, %llu cold "
+                  "replays, %llu flat partitions, %llu rational fallbacks\n",
+                  Degraded, Cold, Flat, Rat);
+    const fault::FaultInjector &FI = S.faultInjector();
+    if (FI.totalInjected()) {
+      std::printf("faults injected: %llu (%llu throws, %llu bad_allocs, "
+                  "%llu degrades)\n",
+                  static_cast<unsigned long long>(FI.totalInjected()),
+                  static_cast<unsigned long long>(FI.injectedThrows()),
+                  static_cast<unsigned long long>(FI.injectedBadAllocs()),
+                  static_cast<unsigned long long>(FI.injectedDegrades()));
+      for (const auto &[Site, Count] : FI.injectedBySite())
+        std::printf("  %-16s %llu\n", Site.c_str(),
+                    static_cast<unsigned long long>(Count));
+    }
+  }
 
   int Rc = R.Failures.empty() ? 0 : 1;
   if (MeasureFrontier) {

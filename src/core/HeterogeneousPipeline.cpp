@@ -52,6 +52,8 @@ HeterogeneousPipeline::measureOptionsFor(const PipelineOptions &O) {
   MO.Part = O.Part;
   MO.MaxITSteps = O.MaxITSteps;
   MO.SimCheckIterations = O.SimCheckIterations;
+  MO.EffortDeadline = O.LoopEffortDeadline;
+  MO.AnalyticFallback = O.DegradeToEstimate;
   return MO;
 }
 
@@ -65,6 +67,10 @@ ConfigRunResult HeterogeneousPipeline::measureConfig(
   // so standalone and session pipelines still agree exactly).
   MeasureOptions MO = measureOptionsFor(Opts);
   MO.Menu = menu(); // session mode reuses the session's menu object
+  // The session's fault injector (disarmed = every site is a no-op
+  // branch); not part of any cache key — an *armed* measurement
+  // bypasses the schedule cache instead (see MeasureOptions::Fault).
+  MO.Fault = Sess ? &Sess->faultInjector() : nullptr;
   ScheduleMeasurer Measurer(machine(), MO,
                             Sess ? &Sess->scheduleCache() : nullptr,
                             Sess ? &Sess->scheduleScratchPool() : nullptr,
@@ -138,12 +144,32 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
     return Ms;
   };
 
+  // Containment: each stage converts a throw — an injected fault, a
+  // bad_alloc, a defect in stage code — into the same structured
+  // PipelineError a failing stage returns. One program's crash must
+  // cost that program, never the suite or the process.
+  auto stageException = [&](PipelineStage Stage, const char *Hist) {
+    std::string What = "unknown exception";
+    try {
+      throw;
+    } catch (const std::exception &E) {
+      What = E.what();
+    } catch (...) {
+    }
+    setError(Err, Stage, "exception: " + What);
+    if (Err)
+      Err->StageWallMs = finishStage(Hist);
+  };
+
   Profiler Prof(machine(), Opts.ProgramBudgetNs);
   std::string ProfErr;
   std::optional<ProgramProfile> Profile;
-  {
+  try {
     obs::Span Sp(Trace, "stage.profile:", Program.Name);
     Profile = Prof.profileProgram(Program.Name, Program.Loops, &ProfErr);
+  } catch (...) {
+    stageException(PipelineStage::Profiling, "stage.profile.ms");
+    return std::nullopt;
   }
   if (!Profile) {
     setError(Err, PipelineStage::Profiling, std::move(ProfErr));
@@ -165,7 +191,7 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
   // profile, same selection inputs) skips its searches entirely. The
   // memo is exact — equal keys hash equal inputs, and the searches are
   // pure functions of those inputs.
-  {
+  try {
     obs::Span Sp(Trace, "stage.select:", Program.Name);
     if (Cache) {
       uint64_t FP = R.Profile.fingerprint();
@@ -191,6 +217,9 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
       R.HetDesign = Sel.selectHeterogeneous();
       R.HomDesign = Sel.selectOptimumHomogeneous();
     }
+  } catch (...) {
+    stageException(PipelineStage::Selection, "stage.select.ms");
+    return std::nullopt;
   }
   if (!R.HetDesign.Valid || !R.HomDesign.Valid) {
     setError(Err, PipelineStage::Selection,
@@ -205,7 +234,7 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
   }
   finishStage("stage.select.ms");
 
-  {
+  try {
     obs::Span Sp(Trace, "stage.measure:", Program.Name);
     R.HetMeasured =
         measureConfig(R.Profile, Program.Loops, R.HetDesign.Config,
@@ -213,6 +242,9 @@ HeterogeneousPipeline::runProgram(const BenchmarkProgram &Program,
     R.HomMeasured =
         measureConfig(R.Profile, Program.Loops, R.HomDesign.Config,
                       R.HomDesign.Scaling, Energy, /*ED2Objective=*/false);
+  } catch (...) {
+    stageException(PipelineStage::Measurement, "stage.measure.ms");
+    return std::nullopt;
   }
   if (!R.HetMeasured.Ok || !R.HomMeasured.Ok) {
     const ConfigRunResult &Bad =

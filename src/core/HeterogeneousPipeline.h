@@ -54,6 +54,17 @@ struct PipelineOptions {
   /// simulator for min(trip, this) iterations and compared bit-for-bit
   /// against sequential execution.
   uint64_t SimCheckIterations = 0;
+  /// Per-loop effort deadline for the measurement stage, in scheduler
+  /// BudgetUsed units (0 = off). Effort — never wall clock — so the
+  /// same loops hit the deadline on every machine and thread count;
+  /// see LoopScheduleOptions::EffortDeadline.
+  uint64_t LoopEffortDeadline = 0;
+  /// Degrade a loop whose Figure 5 sweep fails (including by effort
+  /// deadline) to the analytic reference-profile estimate instead of
+  /// failing the measurement — the last graceful-degradation rung
+  /// (MeasureOptions::AnalyticFallback). Degraded loops are flagged on
+  /// LoopRunStat::Degraded and counted in ConfigRunResult.
+  bool DegradeToEstimate = false;
 };
 
 // LoopRunStat / ConfigRunResult — the measured-schedule result types —
@@ -128,6 +139,12 @@ public:
   /// selection or measurement fails (a workload bug). On failure,
   /// \p Err (when non-null) records the stage and reason. Safe to call
   /// concurrently from multiple threads.
+  ///
+  /// Exception containment: a stage that throws (an injected fault, a
+  /// bad_alloc, a defect in stage code) is converted into the same
+  /// structured failure as a stage that returns one — PipelineError
+  /// with the stage, an "exception: <what>" reason, and the stage's
+  /// wall time. runProgram itself never throws.
   std::optional<ProgramRunResult>
   runProgram(const BenchmarkProgram &Program,
              PipelineError *Err = nullptr) const;

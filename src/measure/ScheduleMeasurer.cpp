@@ -2,6 +2,7 @@
 
 #include "measure/ScheduleMeasurer.h"
 
+#include "fault/Fault.h"
 #include "obs/Stopwatch.h"
 #include "partition/ScheduleScratch.h"
 #include "support/HashUtil.h"
@@ -91,6 +92,9 @@ uint64_t ScheduleMeasurer::loopScheduleKey(const Loop &L,
   H.mixSigned(Opts.Sched.MaxSlotMultiple);
   H.mix(Opts.Sched.CompactLifetimes ? 1u : 2u);
   H.mix(Opts.MaxITSteps);
+  // The effort deadline changes sweep outcomes when it fires, so it is
+  // part of the key (unlike WarmStart/UseTickGrid, which never do).
+  H.mix(Opts.EffortDeadline);
 
   // The energy model and the per-domain scaling factors steer
   // partition refinement only under the ED2 objective; the baseline
@@ -114,6 +118,17 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
   obs::Span CfgSp(Trace, ED2Objective ? "measure.config:het"
                                       : "measure.config:hom");
 
+  // Fault site: start of one config measurement (context = program,
+  // which each suite worker processes serially, so the occurrence
+  // count is thread-count invariant).
+  HCVLIW_FAULT_POINT(Opts.Fault, "measure.config", Profile.Name);
+  const bool FaultsArmed = Opts.Fault && Opts.Fault->armed();
+  // While armed, bypass the shared schedule cache: which worker
+  // populates a cross-program entry is a timing race, and a hit would
+  // skip the scheduling run whose site counters must advance. Healthy
+  // runs (the only ones the determinism pin covers) keep the cache.
+  ScheduleCache *UseCache = FaultsArmed ? nullptr : Cache;
+
   LoopScheduleOptions LSO;
   // Homogeneous baselines run at one fixed frequency; only the
   // heterogeneous machine negotiates per-loop (II, freq) pairs from the
@@ -125,6 +140,9 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
   LSO.Part.ED2Objective = ED2Objective && Opts.Part.ED2Objective;
   LSO.Sched = Opts.Sched;
   LSO.MaxITSteps = Opts.MaxITSteps;
+  LSO.EffortDeadline = Opts.EffortDeadline;
+  LSO.Fault = Opts.Fault;
+  LSO.FaultContext = Profile.Name;
   LoopScheduler Sched(Machine, Config, LSO);
 
   // The per-worker arena: the session pool hands this thread its own,
@@ -146,11 +164,33 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
   // Fresh (uncached) schedule runs: traced through the Figure 5
   // driver's own spans and timed into the per-stage wall histogram.
   // Timing only observes — the result never depends on it.
+  //
+  // Graceful degradation, rung 1 (cold replay): a throw out of the
+  // warm-start sweep — injected at "sched.warm", or a real defect in
+  // the warm memos — is answered by replaying the loop on the cold
+  // WarmStart=false path, which recomputes everything from scratch and
+  // shares none of the warm code. The retry does not re-fire an
+  // Nth-occurrence fault (the occurrence already counted), and a throw
+  // out of the cold path itself propagates: there is no rung below.
   auto scheduleFresh = [&](const Loop &L) {
     obs::Stopwatch SW;
-    LoopScheduleResult LR =
-        Sched.schedule(L, ED2Objective ? &Energy : nullptr,
-                       ED2Objective ? &Scaling : nullptr, Scratch, Trace);
+    LoopScheduleResult LR;
+    try {
+      LR = Sched.schedule(L, ED2Objective ? &Energy : nullptr,
+                          ED2Objective ? &Scaling : nullptr, Scratch, Trace);
+    } catch (...) {
+      if (!LSO.WarmStart)
+        throw;
+      ++R.ColdReplays;
+      if (Metrics)
+        Metrics->addCounter("degrade.cold_replay");
+      LoopScheduleOptions ColdLSO = LSO;
+      ColdLSO.WarmStart = false;
+      LoopScheduler ColdSched(Machine, Config, ColdLSO);
+      LR = ColdSched.schedule(L, ED2Objective ? &Energy : nullptr,
+                              ED2Objective ? &Scaling : nullptr, Scratch,
+                              Trace);
+    }
     if (Metrics) {
       Metrics->observeMs("stage.loop_schedule.ms", SW.elapsedMs());
       // Partitioner effort of this fresh run (cache hits add nothing).
@@ -164,22 +204,58 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
     return LR;
   };
 
+  // Graceful degradation, rung 3 (analytic estimate): account a loop
+  // from its reference-profile numbers instead of a measured schedule
+  // — reference execution time, per-iteration activity spread evenly
+  // across the clusters (no assignment exists to say better). A pure
+  // function of the profile, so degraded measurements stay
+  // deterministic; the loop is flagged rather than silently blended.
+  auto analyticLoop = [&](const Loop &L, const LoopProfile &LP) {
+    double LoopT = LP.Invocations * LP.TexecRefNs.toDouble();
+    TexecNs += LoopT;
+    double Iters = LP.Invocations * static_cast<double>(L.TripCount);
+    double PerCluster =
+        LP.PerIter.WeightedIns * Iters / Machine.numClusters();
+    for (double &W : WIns)
+      W += PerCluster;
+    Comms += LP.PerIter.Comms * Iters;
+    Mem += LP.PerIter.MemAccesses * Iters;
+    LoopRunStat Stat;
+    Stat.Name = L.Name;
+    Stat.ITNs = LP.ItLengthRefNs.toDouble();
+    Stat.TexecNs = LoopT;
+    Stat.Comms = static_cast<unsigned>(LP.PerIter.Comms);
+    Stat.Degraded = true;
+    R.Loops.push_back(std::move(Stat));
+    ++R.DegradedLoops;
+  };
+
   for (size_t I = 0; I < Loops.size(); ++I) {
     const Loop &L = Loops[I];
     const LoopProfile &LP = Profile.Loops[I];
 
+    // Forced degrade: skip the (expensive) sweep entirely — that is
+    // the rung's whole point when used as a real load-shedding lever.
+    std::string LoopCtx;
+    if (FaultsArmed)
+      LoopCtx = Profile.Name + "/" + L.Name;
+    if (HCVLIW_FAULT_DEGRADE(Opts.Fault, "measure.loop", LoopCtx)) {
+      analyticLoop(L, LP);
+      continue;
+    }
+
     LoopScheduleResult LR;
     bool Fresh = true;
-    if (Cache) {
+    if (UseCache) {
       uint64_t Key =
           loopScheduleKey(L, Config, Scaling, Energy, ED2Objective);
       bool WasHit = false;
-      if (auto Cached = Cache->find(Key, &WasHit)) {
+      if (auto Cached = UseCache->find(Key, &WasHit)) {
         LR = std::move(*Cached);
         Fresh = false;
       } else {
         LR = scheduleFresh(L);
-        Cache->store(Key, LR);
+        UseCache->store(Key, LR);
       }
       ++(WasHit ? R.ScheduleHits : R.ScheduleMisses);
     } else {
@@ -189,7 +265,13 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
     R.SchedEjections += LR.Ejections;
     R.SchedBudgetUsed += LR.BudgetUsed;
     R.SchedITSteps += LR.ITSteps;
+    R.FallbackRational += LR.FallbackRational;
+    R.FlatPartitions += static_cast<unsigned>(LR.PartStats.FlatFallbacks);
     if (!LR.Success) {
+      if (Opts.AnalyticFallback) {
+        analyticLoop(L, LP);
+        continue;
+      }
       ++R.Failures;
       R.FailureDetails.push_back({L.Name, LR.failureSummary()});
       continue;
@@ -224,12 +306,19 @@ ConfigRunResult ScheduleMeasurer::measure(const ProgramProfile &Profile,
 
   if (Metrics) {
     Metrics->addCounter("measure.configs");
-    if (Cache) {
+    if (UseCache) {
       Metrics->addCounter("cache.schedule.hits", R.ScheduleHits);
       Metrics->addCounter("cache.schedule.misses", R.ScheduleMisses);
     }
     if (R.Failures)
       Metrics->addCounter("measure.loop_failures", R.Failures);
+    // The silent-degradation ledger: all zero on a healthy run.
+    if (R.FallbackRational)
+      Metrics->addCounter("sched.fallback_rational", R.FallbackRational);
+    if (R.DegradedLoops)
+      Metrics->addCounter("degrade.analytic_estimate", R.DegradedLoops);
+    if (R.FlatPartitions)
+      Metrics->addCounter("degrade.flat_partition", R.FlatPartitions);
   }
   if (CfgSp.active()) {
     CfgSp.arg("loops", static_cast<int64_t>(Loops.size()));

@@ -39,12 +39,21 @@
 
 namespace hcvliw {
 
+namespace fault {
+class FaultInjector;
+}
+
 /// Measured behaviour of one loop under one configuration.
 struct LoopRunStat {
   std::string Name;
   double ITNs = 0;
   double TexecNs = 0; ///< all invocations
   unsigned Comms = 0; ///< per iteration
+  /// True when this loop took the analytic-estimate rung (reference-
+  /// profile numbers instead of a measured schedule) — either because
+  /// scheduling failed with MeasureOptions::AnalyticFallback set, or
+  /// because an armed injector degraded "measure.loop".
+  bool Degraded = false;
 };
 
 /// One unschedulable loop, with the Figure 5 sweep's aggregated per-IT
@@ -77,6 +86,19 @@ struct ConfigRunResult {
   uint64_t SchedEjections = 0;
   uint64_t SchedBudgetUsed = 0;
   uint64_t SchedITSteps = 0;
+  /// Graceful-degradation ledger (all zero on a healthy run; every
+  /// rung fires only on an exception, an injected degrade, or an
+  /// exhausted effort deadline, so the healthy path stays
+  /// bit-identical to the historical output). Deterministic, and
+  /// carried by cached schedule results where applicable, so the
+  /// counts match with and without the schedule cache.
+  unsigned DegradedLoops = 0;   ///< loops on the analytic-estimate rung
+  unsigned ColdReplays = 0;     ///< warm sweeps replayed cold after a throw
+  unsigned FlatPartitions = 0;  ///< partition runs on the flat rung
+  /// Scheduler runs that silently fell back from the tick grid to the
+  /// Rational path (summed LoopScheduleResult::FallbackRational; the
+  /// sched.fallback_rational metric).
+  unsigned FallbackRational = 0;
 };
 
 /// The measurement-stage knobs a ScheduleMeasurer runs under; derived
@@ -95,6 +117,24 @@ struct MeasureOptions {
   /// bit-for-bit against sequential execution (cache hits were checked
   /// when first computed — same key, same schedule).
   uint64_t SimCheckIterations = 0;
+  /// Per-loop effort deadline in scheduler BudgetUsed units (0 = off);
+  /// see LoopScheduleOptions::EffortDeadline. Deterministic — never
+  /// wall clock — and part of loopScheduleKey.
+  uint64_t EffortDeadline = 0;
+  /// Degrade a loop whose Figure 5 sweep fails (including by effort
+  /// deadline) to the analytic reference-profile estimate instead of
+  /// counting a measurement failure. Off by default: the healthy
+  /// pipeline keeps its historical failure reporting.
+  bool AnalyticFallback = false;
+  /// Optional fault injector (armed test/chaos runs only; null in
+  /// production). Sites here: "measure.config" (point, context =
+  /// program name) and "measure.loop" (degrade, context =
+  /// "<program>/<loop>"). While the injector is *armed*, measure()
+  /// bypasses the ScheduleCache: cross-program cache sharing is
+  /// timing-dependent, and a hit would skip the very scheduling run
+  /// whose fault-site occurrence counters must advance — bypassing
+  /// keeps every injected failure replayable at any thread count.
+  fault::FaultInjector *Fault = nullptr;
 };
 
 class ScheduleScratchPool;

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "partition/LoopScheduler.h"
+#include "fault/Fault.h"
 #include "mcd/DomainPlanner.h"
 #include "partition/ScheduleScratch.h"
 #include "support/StrUtil.h"
@@ -104,6 +105,19 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
   const bool Warm = Opts.WarmStart;
   S.Part.EnableMemo = Warm;
 
+  // Per-loop fault context ("<program>/<loop>" — a serial execution
+  // stream, so occurrence counts are thread-count invariant). Composed
+  // only while the injector is armed; idle runs pay one branch.
+  std::string FaultCtx;
+  if (Opts.Fault && Opts.Fault->armed())
+    FaultCtx = Opts.FaultContext + "/" + L.Name;
+  // Warm-path-only site: a throw here leaves the cold (WarmStart=false)
+  // path untouched, so the measurement layer's cold-replay rung can
+  // retry this loop and succeed — and the retry does not re-fire,
+  // because the occurrence already counted.
+  if (Warm)
+    HCVLIW_FAULT_POINT(Opts.Fault, "sched.warm", FaultCtx);
+
   DDG::buildInto(S.G, L);
   Machine.Isa.nodeLatenciesInto(S.Lat, L);
 
@@ -154,6 +168,14 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
     if (StepSp.active())
       StepSp.arg("step", Step);
     R.ITSteps = Step;
+    // Deterministic per-loop deadline: effort (BudgetUsed is part of
+    // the warm==cold equivalence contract), never wall clock, so every
+    // thread count gives up at the identical point.
+    if (Opts.EffortDeadline && R.BudgetUsed >= Opts.EffortDeadline) {
+      R.Failure = "effort deadline exhausted";
+      logFailure(R.FailureLog, Step, IT, R.Failure);
+      break;
+    }
     auto Plan = Planner.planForIT(IT);
     if (!Plan) {
       R.Failure = "synchronization: no (II, freq) pair for some domain";
@@ -193,6 +215,8 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
     Ctx.Scratch = &S.Part;
     Ctx.Trace = Trace;
     Ctx.Stats = &R.PartStats;
+    Ctx.Fault = Opts.Fault;
+    Ctx.FaultCtx = FaultCtx;
 
     // The ED2-guided partition is tried first; if its schedule cannot be
     // completed at this IT, fall back to the balance-first partition of
@@ -227,6 +251,7 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
         R.Placements += FirstSR.Placements;
         R.Ejections += FirstSR.Ejections;
         R.BudgetUsed += FirstSR.BudgetUsed;
+        R.FallbackRational += FirstSR.FallbackRational ? 1 : 0;
         R.Failure = FirstFailure;
         logFailure(R.FailureLog, Step, IT, R.Failure);
         continue;
@@ -255,11 +280,13 @@ LoopScheduler::schedule(const Loop &L, const EnergyModel *Energy,
       const TickGraph *Ticks =
           Opts.Sched.UseTickGrid ? &S.Ticks : nullptr;
 
+      HCVLIW_FAULT_POINT(Opts.Fault, "sched.place", FaultCtx);
       HeteroModuloScheduler Scheduler(Machine, S.PG, *Plan, Opts.Sched);
       SchedulerResult SR = Scheduler.run(Ticks, &S.Sched, Trace);
       R.Placements += SR.Placements;
       R.Ejections += SR.Ejections;
       R.BudgetUsed += SR.BudgetUsed;
+      R.FallbackRational += SR.FallbackRational ? 1 : 0;
       if (!SR.Success) {
         R.Failure = SR.FailureReason;
         logFailure(R.FailureLog, Step, IT, R.Failure);

@@ -36,6 +36,10 @@
 
 namespace hcvliw {
 
+namespace fault {
+class FaultInjector;
+}
+
 struct ScheduleScratch;
 
 struct LoopScheduleOptions {
@@ -48,6 +52,24 @@ struct LoopScheduleOptions {
   /// file header). Bit-identical to the cold path, so — like
   /// SchedulerOptions::UseTickGrid — not part of any cache key.
   bool WarmStart = true;
+  /// Hard ceiling on scheduler effort for one schedule() run, in
+  /// BudgetUsed units (placement-loop iterations); 0 = unlimited. When
+  /// the accumulated budget crosses the ceiling the sweep stops with
+  /// an "effort deadline exhausted" failure — a *deterministic* per-loop
+  /// deadline (effort, never wall clock), so every thread count and
+  /// every machine gives up at the same point. Changes results when it
+  /// fires, hence part of the schedule-cache key (loopScheduleKey).
+  uint64_t EffortDeadline = 0;
+  /// Optional fault injector (armed test/chaos runs only; null in
+  /// production). Fault sites: "sched.warm" fires on the warm path
+  /// only, "sched.place" before every scheduler run. Injection changes
+  /// results by design; callers must not mix armed runs with shared
+  /// caches (ScheduleMeasurer bypasses the ScheduleCache while armed).
+  fault::FaultInjector *Fault = nullptr;
+  /// Context string for fault sites: the program name; per-loop sites
+  /// use FaultContext + "/" + Loop::Name, which is a serial execution
+  /// stream, so occurrence counts are thread-count invariant.
+  std::string FaultContext;
 };
 
 /// One failed (IT step, attempt) of the Figure 5 sweep; consecutive
@@ -78,6 +100,15 @@ struct LoopScheduleResult {
   uint64_t Placements = 0;
   uint64_t Ejections = 0;
   uint64_t BudgetUsed = 0;
+
+  /// Scheduler runs (over the whole sweep) that silently fell back from
+  /// the requested tick grid to the Rational path (SchedulerResult::
+  /// FallbackRational). Unlike the effort counters this is part of the
+  /// warm==cold equivalence contract — the duplicate-assignment replay
+  /// re-counts it from the recorded first attempt — and cached results
+  /// carry it, so the sched.fallback_rational metric is identical with
+  /// or without the schedule cache.
+  unsigned FallbackRational = 0;
 
   /// Every failed (IT step, attempt) of the sweep, in order — the
   /// per-IT failure aggregation SuiteFailure records surface. Identical

@@ -1,6 +1,7 @@
 //===- partition/Partitioner.cpp - Multilevel DDG partitioning --------------===//
 
 #include "partition/Partitioner.h"
+#include "fault/Fault.h"
 #include "partition/MultilevelGraph.h"
 
 #include <algorithm>
@@ -8,6 +9,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <new>
 
 using namespace hcvliw;
 
@@ -335,25 +337,141 @@ uint64_t refineLevelFM(const PartitionContext &Ctx,
   return Moves;
 }
 
-} // namespace
+/// The graceful-degradation rung behind the multilevel path: a flat,
+/// coarsening-free partition built directly from the pre-placement
+/// groups (recurrences stay whole) plus singleton nodes, assigned by
+/// the same pins-first / weight-descending capacity best-fit as the
+/// coarsest-level initial assignment, with no refinement. Runs when an
+/// armed injector degrades "part.coarsen" or when the multilevel path
+/// itself runs out of memory. Allocation-light and a pure function of
+/// (loop, plan, options), so degraded runs stay deterministic; the
+/// usual feasibility gate still applies, so an infeasible flat
+/// partition reports std::nullopt and the IT sweep grows the IT
+/// normally.
+std::optional<Partition> flatPartition(const PartitionContext &Ctx,
+                                       const PartitionerOptions &Opts) {
+  const MachineDescription &M = *Ctx.M;
+  const MachinePlan &Plan = *Ctx.Plan;
+  unsigned NC = M.numClusters();
+  unsigned NumNodes = Ctx.G->size();
+  if (Ctx.Stats)
+    ++Ctx.Stats->FlatFallbacks;
 
-std::optional<Partition>
-hcvliw::partitionLoop(const PartitionContext &Ctx,
-                      const PartitionerOptions &Opts) {
+  // Recompute the pre-placement into local buffers (pure function):
+  // the scratch copy may be mid-mutation when the multilevel path
+  // threw, and this rung must not depend on partial state.
+  CoarsenMemoKey Key;
+  std::vector<int64_t> Free;
+  if (!prePlaceRecurrences(Ctx, Opts.PrePlaceRecurrences, Key, Free))
+    return std::nullopt;
+
+  // Units: one per pre-placement group (recurrences are never split),
+  // plus a singleton unit per node outside every group.
+  struct Unit {
+    std::vector<unsigned> Nodes;
+    int Pin = -1;
+  };
+  std::vector<uint8_t> Grouped(NumNodes, 0);
+  std::vector<Unit> Units(Key.Groups.size());
+  for (size_t G = 0; G < Key.Groups.size(); ++G) {
+    Units[G].Nodes = Key.Groups[G];
+    Units[G].Pin = Key.Pins[G];
+    for (unsigned N : Key.Groups[G])
+      Grouped[N] = 1;
+  }
+  for (unsigned N = 0; N < NumNodes; ++N)
+    if (!Grouped[N]) {
+      Units.emplace_back();
+      Units.back().Nodes.push_back(N);
+    }
+
+  // Per-unit FU demand (flat [unit][kind]).
+  std::vector<int64_t> Need(Units.size() * NumFUKinds, 0);
+  for (size_t U = 0; U < Units.size(); ++U)
+    for (unsigned N : Units[U].Nodes)
+      ++Need[U * NumFUKinds +
+             static_cast<unsigned>(fuKindOf(Ctx.L->Ops[N].Op))];
+
+  // Fresh capacity, then the coarse initial-assignment policy: pins at
+  // their cluster, everything else largest-first onto the cluster with
+  // the most remaining slack (least overflow when nothing fits).
+  Free.assign(static_cast<size_t>(NC) * NumFUKinds, 0);
+  for (unsigned C = 0; C < NC; ++C)
+    for (unsigned K = 0; K < NumFUKinds; ++K)
+      Free[C * NumFUKinds + K] =
+          Plan.Clusters[C].II *
+          static_cast<int64_t>(
+              M.Clusters[C].fuCount(static_cast<FUKind>(K)));
+
+  Partition P;
+  P.ClusterOf.assign(NumNodes, 0);
+  auto place = [&](size_t U, unsigned C) {
+    for (unsigned N : Units[U].Nodes)
+      P.ClusterOf[N] = C;
+    for (unsigned K = 0; K < NumFUKinds; ++K)
+      Free[C * NumFUKinds + K] -= Need[U * NumFUKinds + K];
+  };
+
+  std::vector<unsigned> Order(Units.size());
+  for (unsigned I = 0; I < Units.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+    if (Units[A].Nodes.size() != Units[B].Nodes.size())
+      return Units[A].Nodes.size() > Units[B].Nodes.size();
+    return A < B;
+  });
+  for (unsigned U : Order) {
+    if (Units[U].Pin >= 0) {
+      place(U, static_cast<unsigned>(Units[U].Pin));
+      continue;
+    }
+    int BestFit = -1;
+    int64_t BestFitSlack = 0;
+    int BestOverflow = -1;
+    int64_t LeastOverflow = 0;
+    for (unsigned C = 0; C < NC; ++C) {
+      bool Fits = true;
+      int64_t Slk = 0, Overflow = 0;
+      for (unsigned K = 0; K < NumFUKinds; ++K) {
+        int64_t Rem = Free[C * NumFUKinds + K] - Need[U * NumFUKinds + K];
+        if (Rem < 0) {
+          Fits = false;
+          Overflow -= Rem;
+        } else {
+          Slk += Rem;
+        }
+      }
+      if (Fits && (BestFit < 0 || Slk > BestFitSlack)) {
+        BestFit = static_cast<int>(C);
+        BestFitSlack = Slk;
+      }
+      if (!Fits && (BestOverflow < 0 || Overflow < LeastOverflow)) {
+        BestOverflow = static_cast<int>(C);
+        LeastOverflow = Overflow;
+      }
+    }
+    place(U, BestFit >= 0 ? static_cast<unsigned>(BestFit)
+                          : static_cast<unsigned>(BestOverflow));
+  }
+
+  double Score = scorePartition(Ctx, Opts, P);
+  if (Ctx.Stats) {
+    Ctx.Stats->InitialScore = Score;
+    Ctx.Stats->FinalScore = Score;
+  }
+  if (Score >= InfeasiblePartitionScore)
+    return std::nullopt; // still infeasible: grow the IT normally
+  return P;
+}
+
+/// The normal multilevel path (file header steps 2-4); \p S holds the
+/// pre-placement result in S.Key / S.Free.
+std::optional<Partition> multilevelPartition(const PartitionContext &Ctx,
+                                             const PartitionerOptions &Opts,
+                                             PartitionScratch &S) {
   const MachineDescription &M = *Ctx.M;
   unsigned NC = M.numClusters();
   unsigned NumNodes = Ctx.G->size();
-
-  if (NC == 1)
-    return Partition::allInCluster(NumNodes, 0);
-
-  PartitionScratch Local;
-  PartitionScratch &S = Ctx.Scratch ? *Ctx.Scratch : Local;
-  if (Ctx.Stats)
-    ++Ctx.Stats->Runs;
-
-  if (!prePlaceRecurrences(Ctx, Opts.PrePlaceRecurrences, S.Key, S.Free))
-    return std::nullopt;
   // Coarsest target: CoarsestPerCluster macros per cluster, but never
   // more than half the node count — small loops must still coarsen, or
   // the initial best-fit scatters connected nodes that a few greedy
@@ -566,4 +684,39 @@ hcvliw::partitionLoop(const PartitionContext &Ctx,
   if (CurrentScore >= InfeasiblePartitionScore)
     return std::nullopt; // nothing feasible found at this IT
   return Current;
+}
+
+} // namespace
+
+std::optional<Partition>
+hcvliw::partitionLoop(const PartitionContext &Ctx,
+                      const PartitionerOptions &Opts) {
+  unsigned NC = Ctx.M->numClusters();
+  unsigned NumNodes = Ctx.G->size();
+
+  if (NC == 1)
+    return Partition::allInCluster(NumNodes, 0);
+
+  PartitionScratch Local;
+  PartitionScratch &S = Ctx.Scratch ? *Ctx.Scratch : Local;
+  if (Ctx.Stats)
+    ++Ctx.Stats->Runs;
+
+  if (!prePlaceRecurrences(Ctx, Opts.PrePlaceRecurrences, S.Key, S.Free))
+    return std::nullopt;
+
+  // Graceful degradation (the "flat partition" rung): forced by an
+  // armed injector, or taken for real when coarsening cannot allocate.
+  // Partition quality drops; determinism and the feasibility gate do
+  // not.
+  if (HCVLIW_FAULT_DEGRADE(Ctx.Fault, "part.coarsen", Ctx.FaultCtx))
+    return flatPartition(Ctx, Opts);
+  try {
+    return multilevelPartition(Ctx, Opts, S);
+  } catch (const std::bad_alloc &) {
+    // The scratch may hold a partially built level stack; drop the
+    // memo so no later attempt reuses it.
+    S.MLValid = false;
+    return flatPartition(Ctx, Opts);
+  }
 }

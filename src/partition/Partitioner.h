@@ -38,8 +38,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 namespace hcvliw {
+
+namespace fault {
+class FaultInjector;
+}
 
 /// Warm-start coarsening memo key: the only MultilevelGraph::build
 /// inputs that vary within one Figure 5 run (loop, DDG, machine and
@@ -95,6 +100,13 @@ struct PartitionStats {
   uint64_t RefineMoves = 0;     ///< exact greedy moves accepted
   uint64_t FMPasses = 0;        ///< boundary FM passes run
   uint64_t FMMoves = 0;         ///< boundary FM moves applied
+  /// Runs that took the pre-fused flat-partition rung instead of the
+  /// multilevel path (forced by an injected part.coarsen degrade or by
+  /// an allocation failure inside coarsening). Unlike the effort
+  /// counters above this is part of the result contract: the rung
+  /// changes the partition, so the count is deterministic and cached
+  /// results replay it exactly.
+  uint64_t FlatFallbacks = 0;
   /// Exact score of the initial (coarsest) assignment and of the final
   /// refined partition of the most recent run — the refinement
   /// invariant FinalScore <= InitialScore is pinned by MultilevelTest.
@@ -207,6 +219,11 @@ struct PartitionContext {
   /// Optional effort counters, accumulated (+=) per run; observation
   /// only (see PartitionStats).
   PartitionStats *Stats = nullptr;
+  /// Optional fault injector (armed test/chaos runs only; null in
+  /// production). The "part.coarsen" degrade site forces the
+  /// flat-partition rung; context is FaultCtx ("<program>/<loop>").
+  fault::FaultInjector *Fault = nullptr;
+  std::string_view FaultCtx;
 };
 
 /// Runs the partitioner; std::nullopt when no feasible assignment exists

@@ -35,5 +35,14 @@ obs::MetricsSnapshot Session::metricsSnapshot() const {
   Snap.Gauges["obs.trace_events"] = static_cast<double>(Tracer_.totalEvents());
   Snap.Gauges["obs.trace_dropped"] =
       static_cast<double>(Tracer_.droppedEvents());
+  // Fault-injection ledger (all zero unless a plan was armed; compiled
+  // to constant zeros under -DHCVLIW_NO_FAULT).
+  Snap.Gauges["fault.injected"] = static_cast<double>(Fault_.totalInjected());
+  Snap.Gauges["fault.injected_throws"] =
+      static_cast<double>(Fault_.injectedThrows());
+  Snap.Gauges["fault.injected_bad_allocs"] =
+      static_cast<double>(Fault_.injectedBadAllocs());
+  Snap.Gauges["fault.injected_degrades"] =
+      static_cast<double>(Fault_.injectedDegrades());
   return Snap;
 }

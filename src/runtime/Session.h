@@ -35,6 +35,7 @@
 
 #include "core/HeterogeneousPipeline.h"
 #include "explore/EvalCache.h"
+#include "fault/Fault.h"
 #include "measure/ScheduleCache.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -53,6 +54,7 @@ class Session {
   ScheduleScratchPool Scratches_;
   obs::Tracer Tracer_;
   obs::MetricsRegistry Metrics_;
+  fault::FaultInjector Fault_;
   HeterogeneousPipeline Pipe_;
 
 public:
@@ -92,6 +94,16 @@ public:
   /// never depend on it.
   obs::MetricsRegistry &metrics() { return Metrics_; }
   const obs::MetricsRegistry &metrics() const { return Metrics_; }
+
+  /// The session fault injector (deterministic chaos testing; see
+  /// fault/Fault.h). Disarmed by default, in which case every fault
+  /// site in the session's pipelines is a single predictable branch
+  /// and results are bit-identical to a build without the fault layer
+  /// (-DHCVLIW_NO_FAULT compiles the sites out entirely). Arm it with
+  /// a FaultPlan to replay exact failures; while armed, measurements
+  /// bypass the shared ScheduleCache (MeasureOptions::Fault).
+  fault::FaultInjector &faultInjector() { return Fault_; }
+  const fault::FaultInjector &faultInjector() const { return Fault_; }
 
   /// A snapshot of the registry with the session's cache statistics
   /// and scratch-pool state mirrored in as gauges (cache.eval.*,

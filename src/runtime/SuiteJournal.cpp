@@ -1,0 +1,658 @@
+//===- runtime/SuiteJournal.cpp - Suite checkpoint / resume -----------------===//
+//
+// Serialization strategy: every record body is ONE line of
+// space-separated tokens, written positionally by the put* helpers and
+// read back by the mirrored get* helpers (the "v1" in the header is
+// the contract version for the positional layout). Tokens never
+// contain spaces: strings are escaped (backslash, space, newline, the
+// empty string), doubles are hex-floats (%a) and Rationals are
+// "num den" token pairs, so every value round-trips bit-exactly.
+// Records are framed by begin/end lines carrying the program name; the
+// loader drops a trailing record whose frame or body is incomplete
+// (the run died mid-append) along with anything after it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SuiteJournal.h"
+
+#include "support/HashUtil.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace hcvliw;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Token escaping
+//===----------------------------------------------------------------------===//
+
+/// Escapes \p S into a single space-free token: '\' -> "\\", ' ' ->
+/// "\s", '\n' -> "\n", '\t' -> "\t", "" -> "\e".
+std::string escToken(const std::string &S) {
+  if (S.empty())
+    return "\\e";
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case ' ':
+      Out += "\\s";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+/// Inverse of escToken; false on a malformed escape.
+bool unescToken(const std::string &T, std::string &Out) {
+  Out.clear();
+  if (T == "\\e")
+    return true;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I] != '\\') {
+      Out += T[I];
+      continue;
+    }
+    if (I + 1 >= T.size())
+      return false;
+    switch (T[++I]) {
+    case '\\':
+      Out += '\\';
+      break;
+    case 's':
+      Out += ' ';
+      break;
+    case 'n':
+      Out += '\n';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Positional token sink / source
+//===----------------------------------------------------------------------===//
+
+class Sink {
+  std::string Buf;
+
+public:
+  void raw(const std::string &T) {
+    if (!Buf.empty())
+      Buf += ' ';
+    Buf += T;
+  }
+  void str(const std::string &S) { raw(escToken(S)); }
+  void u64(uint64_t V) {
+    char B[32];
+    std::snprintf(B, sizeof B, "%" PRIu64, V);
+    raw(B);
+  }
+  void i64(int64_t V) {
+    char B[32];
+    std::snprintf(B, sizeof B, "%" PRId64, V);
+    raw(B);
+  }
+  void b(bool V) { raw(V ? "1" : "0"); }
+  void d(double V) {
+    // Hex-float: exact round trip, locale-independent.
+    char B[48];
+    std::snprintf(B, sizeof B, "%a", V);
+    raw(B);
+  }
+  void rat(const Rational &R) {
+    i64(R.num());
+    i64(R.den());
+  }
+  const std::string &line() const { return Buf; }
+};
+
+class Source {
+  std::istringstream In;
+  bool Bad_ = false;
+
+  std::string next() {
+    std::string T;
+    if (!(In >> T))
+      Bad_ = true;
+    return T;
+  }
+
+public:
+  explicit Source(const std::string &Line) : In(Line) {}
+  bool bad() const { return Bad_; }
+  /// True when every token was consumed and none failed to parse.
+  bool done() {
+    std::string T;
+    return !Bad_ && !(In >> T);
+  }
+
+  std::string str() {
+    std::string Out;
+    if (!unescToken(next(), Out))
+      Bad_ = true;
+    return Out;
+  }
+  uint64_t u64() {
+    std::string T = next();
+    if (Bad_)
+      return 0;
+    char *End = nullptr;
+    uint64_t V = std::strtoull(T.c_str(), &End, 10);
+    if (End != T.c_str() + T.size())
+      Bad_ = true;
+    return V;
+  }
+  int64_t i64() {
+    std::string T = next();
+    if (Bad_)
+      return 0;
+    char *End = nullptr;
+    int64_t V = std::strtoll(T.c_str(), &End, 10);
+    if (End != T.c_str() + T.size())
+      Bad_ = true;
+    return V;
+  }
+  bool b() { return u64() != 0; }
+  double d() {
+    std::string T = next();
+    if (Bad_)
+      return 0;
+    char *End = nullptr;
+    double V = std::strtod(T.c_str(), &End);
+    if (End != T.c_str() + T.size())
+      Bad_ = true;
+    return V;
+  }
+  Rational rat() {
+    int64_t N = i64();
+    int64_t D = i64();
+    return Bad_ ? Rational() : Rational(N, D);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Mirrored put/get per result component
+//===----------------------------------------------------------------------===//
+
+void putActivity(Sink &S, const ActivityCounts &A) {
+  S.d(A.WeightedIns);
+  S.d(A.Comms);
+  S.d(A.MemAccesses);
+}
+ActivityCounts getActivity(Source &S) {
+  ActivityCounts A;
+  A.WeightedIns = S.d();
+  A.Comms = S.d();
+  A.MemAccesses = S.d();
+  return A;
+}
+
+void putLoopProfile(Sink &S, const LoopProfile &L) {
+  S.str(L.Name);
+  S.u64(L.TripCount);
+  S.d(L.Weight);
+  S.d(L.Invocations);
+  S.i64(L.RecMII);
+  S.i64(L.ResMII);
+  S.i64(L.IIHom);
+  S.rat(L.ItLengthRefNs);
+  S.rat(L.TexecRefNs);
+  putActivity(S, L.PerIter);
+  S.i64(L.SumLifetimesRef);
+  S.u64(L.OpCounts.size());
+  for (unsigned C : L.OpCounts)
+    S.u64(C);
+  S.u64(L.NumOps);
+  S.u64(L.StructuralFP);
+  S.u64(L.Components.size());
+  for (const ComponentProfile &C : L.Components) {
+    S.i64(C.RecMII);
+    S.u64(C.FUCounts.size());
+    for (unsigned F : C.FUCounts)
+      S.u64(F);
+  }
+}
+LoopProfile getLoopProfile(Source &S) {
+  LoopProfile L;
+  L.Name = S.str();
+  L.TripCount = S.u64();
+  L.Weight = S.d();
+  L.Invocations = S.d();
+  L.RecMII = S.i64();
+  L.ResMII = S.i64();
+  L.IIHom = S.i64();
+  L.ItLengthRefNs = S.rat();
+  L.TexecRefNs = S.rat();
+  L.PerIter = getActivity(S);
+  L.SumLifetimesRef = S.i64();
+  L.OpCounts.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
+  for (unsigned &C : L.OpCounts)
+    C = static_cast<unsigned>(S.u64());
+  L.NumOps = static_cast<unsigned>(S.u64());
+  L.StructuralFP = S.u64();
+  L.Components.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
+  for (ComponentProfile &C : L.Components) {
+    C.RecMII = S.i64();
+    C.FUCounts.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
+    for (unsigned &F : C.FUCounts)
+      F = static_cast<unsigned>(S.u64());
+  }
+  return L;
+}
+
+void putProfile(Sink &S, const ProgramProfile &P) {
+  S.str(P.Name);
+  S.d(P.TexecRefNs);
+  putActivity(S, P.Totals);
+  S.u64(P.Loops.size());
+  for (const LoopProfile &L : P.Loops)
+    putLoopProfile(S, L);
+}
+ProgramProfile getProfile(Source &S) {
+  ProgramProfile P;
+  P.Name = S.str();
+  P.TexecRefNs = S.d();
+  P.Totals = getActivity(S);
+  P.Loops.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
+  for (LoopProfile &L : P.Loops)
+    L = getLoopProfile(S);
+  return P;
+}
+
+void putOpPoint(Sink &S, const DomainOperatingPoint &P) {
+  S.rat(P.PeriodNs);
+  S.d(P.Vdd);
+  S.d(P.Vth);
+}
+DomainOperatingPoint getOpPoint(Source &S) {
+  DomainOperatingPoint P;
+  P.PeriodNs = S.rat();
+  P.Vdd = S.d();
+  P.Vth = S.d();
+  return P;
+}
+
+void putDesign(Sink &S, const SelectedDesign &D) {
+  S.b(D.Valid);
+  S.d(D.EstTexecNs);
+  S.d(D.EstEnergy);
+  S.d(D.EstED2);
+  S.u64(D.Config.Clusters.size());
+  for (const DomainOperatingPoint &P : D.Config.Clusters)
+    putOpPoint(S, P);
+  putOpPoint(S, D.Config.Icn);
+  putOpPoint(S, D.Config.Cache);
+  S.u64(D.Scaling.Clusters.size());
+  for (const DomainScaling &Sc : D.Scaling.Clusters) {
+    S.d(Sc.Delta);
+    S.d(Sc.Sigma);
+  }
+  S.d(D.Scaling.Icn.Delta);
+  S.d(D.Scaling.Icn.Sigma);
+  S.d(D.Scaling.Cache.Delta);
+  S.d(D.Scaling.Cache.Sigma);
+}
+SelectedDesign getDesign(Source &S) {
+  SelectedDesign D;
+  D.Valid = S.b();
+  D.EstTexecNs = S.d();
+  D.EstEnergy = S.d();
+  D.EstED2 = S.d();
+  D.Config.Clusters.resize(S.bad() ? 0
+                                   : std::min<uint64_t>(S.u64(), 1u << 20));
+  for (DomainOperatingPoint &P : D.Config.Clusters)
+    P = getOpPoint(S);
+  D.Config.Icn = getOpPoint(S);
+  D.Config.Cache = getOpPoint(S);
+  D.Scaling.Clusters.resize(S.bad() ? 0
+                                    : std::min<uint64_t>(S.u64(), 1u << 20));
+  for (DomainScaling &Sc : D.Scaling.Clusters) {
+    Sc.Delta = S.d();
+    Sc.Sigma = S.d();
+  }
+  D.Scaling.Icn.Delta = S.d();
+  D.Scaling.Icn.Sigma = S.d();
+  D.Scaling.Cache.Delta = S.d();
+  D.Scaling.Cache.Sigma = S.d();
+  return D;
+}
+
+void putConfigRun(Sink &S, const ConfigRunResult &R) {
+  S.b(R.Ok);
+  S.d(R.TexecNs);
+  S.d(R.Energy);
+  S.d(R.ED2);
+  S.u64(R.Failures);
+  S.u64(R.FailureDetails.size());
+  for (const LoopScheduleFailure &F : R.FailureDetails) {
+    S.str(F.Loop);
+    S.str(F.Detail);
+  }
+  S.u64(R.Loops.size());
+  for (const LoopRunStat &L : R.Loops) {
+    S.str(L.Name);
+    S.d(L.ITNs);
+    S.d(L.TexecNs);
+    S.u64(L.Comms);
+    S.b(L.Degraded);
+  }
+  S.u64(R.ScheduleHits);
+  S.u64(R.ScheduleMisses);
+  S.u64(R.SchedPlacements);
+  S.u64(R.SchedEjections);
+  S.u64(R.SchedBudgetUsed);
+  S.u64(R.SchedITSteps);
+  S.u64(R.DegradedLoops);
+  S.u64(R.ColdReplays);
+  S.u64(R.FlatPartitions);
+  S.u64(R.FallbackRational);
+}
+ConfigRunResult getConfigRun(Source &S) {
+  ConfigRunResult R;
+  R.Ok = S.b();
+  R.TexecNs = S.d();
+  R.Energy = S.d();
+  R.ED2 = S.d();
+  R.Failures = static_cast<unsigned>(S.u64());
+  R.FailureDetails.resize(S.bad() ? 0
+                                  : std::min<uint64_t>(S.u64(), 1u << 20));
+  for (LoopScheduleFailure &F : R.FailureDetails) {
+    F.Loop = S.str();
+    F.Detail = S.str();
+  }
+  R.Loops.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
+  for (LoopRunStat &L : R.Loops) {
+    L.Name = S.str();
+    L.ITNs = S.d();
+    L.TexecNs = S.d();
+    L.Comms = static_cast<unsigned>(S.u64());
+    L.Degraded = S.b();
+  }
+  R.ScheduleHits = S.u64();
+  R.ScheduleMisses = S.u64();
+  R.SchedPlacements = S.u64();
+  R.SchedEjections = S.u64();
+  R.SchedBudgetUsed = S.u64();
+  R.SchedITSteps = S.u64();
+  R.DegradedLoops = static_cast<unsigned>(S.u64());
+  R.ColdReplays = static_cast<unsigned>(S.u64());
+  R.FlatPartitions = static_cast<unsigned>(S.u64());
+  R.FallbackRational = static_cast<unsigned>(S.u64());
+  return R;
+}
+
+void putResult(Sink &S, const ProgramRunResult &R) {
+  S.str(R.Name);
+  S.d(R.ED2Ratio);
+  putProfile(S, R.Profile);
+  putDesign(S, R.HetDesign);
+  putDesign(S, R.HomDesign);
+  putConfigRun(S, R.HetMeasured);
+  putConfigRun(S, R.HomMeasured);
+}
+ProgramRunResult getResult(Source &S) {
+  ProgramRunResult R;
+  R.Name = S.str();
+  R.ED2Ratio = S.d();
+  R.Profile = getProfile(S);
+  R.HetDesign = getDesign(S);
+  R.HomDesign = getDesign(S);
+  R.HetMeasured = getConfigRun(S);
+  R.HomMeasured = getConfigRun(S);
+  return R;
+}
+
+void putFailure(Sink &S, PipelineStage Stage, const std::string &Reason,
+                double StageWallMs) {
+  S.u64(static_cast<uint64_t>(Stage));
+  S.str(Reason);
+  S.d(StageWallMs);
+}
+JournaledFailure getFailure(Source &S) {
+  JournaledFailure F;
+  uint64_t Stage = S.u64();
+  if (Stage > static_cast<uint64_t>(PipelineStage::Measurement))
+    Stage = 0;
+  F.Stage = static_cast<PipelineStage>(Stage);
+  F.Reason = S.str();
+  F.StageWallMs = S.d();
+  return F;
+}
+
+constexpr const char *JournalMagic = "hcvliw-suite-journal v1";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SuiteJournal (loader)
+//===----------------------------------------------------------------------===//
+
+std::optional<SuiteJournal> SuiteJournal::load(const std::string &Path,
+                                               uint64_t ExpectFingerprint,
+                                               std::string *Err) {
+  auto fail = [&](const std::string &Why) -> std::optional<SuiteJournal> {
+    if (Err)
+      *Err = Why;
+    return std::nullopt;
+  };
+  std::ifstream In(Path);
+  if (!In)
+    return fail("cannot open journal: " + Path);
+
+  std::string Line;
+  if (!std::getline(In, Line) || Line != JournalMagic)
+    return fail("not a hcvliw suite journal (bad header): " + Path);
+  if (!std::getline(In, Line) || Line.rfind("fingerprint ", 0) != 0)
+    return fail("journal missing fingerprint line: " + Path);
+  SuiteJournal J;
+  {
+    std::string Hex = Line.substr(std::strlen("fingerprint "));
+    char *End = nullptr;
+    J.Fingerprint = std::strtoull(Hex.c_str(), &End, 16);
+    if (Hex.empty() || End != Hex.c_str() + Hex.size())
+      return fail("journal fingerprint is not hex: " + Path);
+  }
+  if (ExpectFingerprint && J.Fingerprint != ExpectFingerprint)
+    return fail("journal was written under different options or programs "
+                "(fingerprint mismatch); refusing to resume from it");
+
+  // Framed records. Any malformed or unterminated record is treated as
+  // the torn tail of a killed run: it and everything after it are
+  // dropped, everything before it loads.
+  while (std::getline(In, Line)) {
+    Source Frame(Line);
+    std::string Kw = Frame.str();
+    if (Kw != "begin")
+      break;
+    std::string Kind = Frame.str();
+    std::string Name = Frame.str();
+    if (Frame.bad() || !Frame.done() || (Kind != "ok" && Kind != "fail"))
+      break;
+
+    std::string Body;
+    if (!std::getline(In, Body))
+      break;
+    std::string EndLine;
+    if (!std::getline(In, EndLine))
+      break;
+    Source EndFrame(EndLine);
+    if (EndFrame.str() != "end" || EndFrame.str() != Kind ||
+        EndFrame.str() != Name || EndFrame.bad() || !EndFrame.done())
+      break;
+
+    Source S(Body);
+    if (Kind == "ok") {
+      ProgramRunResult R = getResult(S);
+      if (S.bad() || !S.done() || R.Name != Name)
+        break;
+      J.Results[Name] = std::move(R);
+    } else {
+      JournaledFailure F = getFailure(S);
+      if (S.bad() || !S.done())
+        break;
+      J.Failures[Name] = std::move(F);
+    }
+  }
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// SuiteJournalWriter
+//===----------------------------------------------------------------------===//
+
+bool SuiteJournalWriter::open(const std::string &Path, uint64_t Fingerprint,
+                              std::string *Err) {
+  close();
+  // Append mode: a resumed run extends the journal it loaded. When the
+  // file already has content the header must match (same format, same
+  // fingerprint) — validated by re-loading it.
+  bool WriteHeader = true;
+  {
+    std::ifstream Probe(Path);
+    if (Probe && Probe.peek() != std::ifstream::traits_type::eof()) {
+      std::string LoadErr;
+      auto Existing = SuiteJournal::load(Path, Fingerprint, &LoadErr);
+      if (!Existing) {
+        if (Err)
+          *Err = "cannot append to journal: " + LoadErr;
+        return false;
+      }
+      WriteHeader = false;
+    }
+  }
+  Out = std::fopen(Path.c_str(), "ab");
+  if (!Out) {
+    if (Err)
+      *Err = "cannot open journal for append: " + Path;
+    return false;
+  }
+  if (WriteHeader) {
+    std::fprintf(Out, "%s\nfingerprint %016llx\n", JournalMagic,
+                 static_cast<unsigned long long>(Fingerprint));
+    std::fflush(Out);
+  }
+  return true;
+}
+
+void SuiteJournalWriter::append(const ProgramRunResult &R) {
+  if (!Out)
+    return;
+  Sink S;
+  putResult(S, R);
+  std::string Rec;
+  std::string Name = escToken(R.Name);
+  Rec.reserve(S.line().size() + 2 * Name.size() + 32);
+  Rec += "begin ok " + Name + "\n";
+  Rec += S.line();
+  Rec += "\nend ok " + Name + "\n";
+  // One write + flush per record: a kill between appends loses
+  // nothing; a kill mid-append loses exactly the (droppable) tail.
+  std::fwrite(Rec.data(), 1, Rec.size(), Out);
+  std::fflush(Out);
+}
+
+void SuiteJournalWriter::appendFailure(const std::string &Program,
+                                       PipelineStage Stage,
+                                       const std::string &Reason,
+                                       double StageWallMs) {
+  if (!Out)
+    return;
+  Sink S;
+  putFailure(S, Stage, Reason, StageWallMs);
+  std::string Rec;
+  std::string Name = escToken(Program);
+  Rec += "begin fail " + Name + "\n";
+  Rec += S.line();
+  Rec += "\nend fail " + Name + "\n";
+  std::fwrite(Rec.data(), 1, Rec.size(), Out);
+  std::fflush(Out);
+}
+
+void SuiteJournalWriter::close() {
+  if (Out) {
+    std::fclose(Out);
+    Out = nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprint
+//===----------------------------------------------------------------------===//
+
+uint64_t
+hcvliw::suiteJournalFingerprint(const PipelineOptions &Opts,
+                                const std::vector<BenchmarkProgram> &Programs) {
+  FnvHasher H;
+  H.mix(1); // format/contract version
+
+  // The program list: names plus the structural identity of every loop.
+  H.mix(Programs.size());
+  for (const BenchmarkProgram &P : Programs) {
+    H.mix(P.Name.size());
+    for (char C : P.Name)
+      H.mix(static_cast<unsigned char>(C));
+    H.mix(P.Loops.size());
+    for (const Loop &L : P.Loops) {
+      H.mix(L.structuralFingerprint());
+      H.mix(L.TripCount);
+    }
+  }
+
+  // Every pipeline option the per-program computation reads.
+  H.mix(Opts.Buses);
+  H.mix(Opts.NumClusters);
+  H.mix(Opts.MenuSize ? 1u + *Opts.MenuSize : 0u);
+  H.mixDouble(Opts.Breakdown.CacheShare);
+  H.mixDouble(Opts.Breakdown.IcnShare);
+  H.mixDouble(Opts.Breakdown.ClusterLeakageFrac);
+  H.mixDouble(Opts.Breakdown.CacheLeakageFrac);
+  H.mixDouble(Opts.Breakdown.IcnLeakageFrac);
+  H.mixDouble(Opts.Tech.Alpha);
+  H.mixDouble(Opts.Tech.SubthresholdSlopeV);
+  H.mixDouble(Opts.Tech.OverdriveMargin);
+  const DesignSpaceOptions &Sp = Opts.Space;
+  H.mixVector(Sp.FastFactors);
+  H.mixVector(Sp.SlowRatios);
+  H.mix(Sp.NumFastClusters);
+  H.mixVector(Sp.ClusterVddGrid);
+  H.mixVector(Sp.IcnVddGrid);
+  H.mixVector(Sp.CacheVddGrid);
+  H.mixVector(Sp.HomogFactors);
+  H.mixVector(Sp.HomogVddGrid);
+  H.mix(Opts.Part.ED2Objective ? 1u : 2u);
+  H.mix(Opts.Part.PrePlaceRecurrences ? 1u : 2u);
+  H.mix(Opts.Part.MaxRefinePasses);
+  H.mix(Opts.Part.MaxRefineMacros);
+  H.mix(Opts.Part.CoarsestPerCluster);
+  H.mix(Opts.Part.MaxFMPasses);
+  H.mixDouble(Opts.ProgramBudgetNs);
+  H.mix(Opts.MaxITSteps);
+  H.mix(Opts.SimCheckIterations);
+  H.mix(Opts.LoopEffortDeadline);
+  H.mix(Opts.DegradeToEstimate ? 1u : 2u);
+  return H.digest();
+}

@@ -1,0 +1,105 @@
+//===- runtime/SuiteJournal.h - Suite checkpoint / resume --------*- C++ -*-===//
+///
+/// \file
+/// Durable per-program checkpointing for SuiteRunner: as each program
+/// of a suite completes (successfully or not), its full result record
+/// is appended to a versioned journal file and flushed, so a killed run
+/// loses at most the programs still in flight. A later run loads the
+/// journal and passes it back through SuiteOptions::ResumeFrom;
+/// journaled programs are spliced into the SuiteResult without being
+/// re-executed, and — because every per-program computation is a pure
+/// function of (program, session options) — the merged result is
+/// bit-identical to an uninterrupted run in every deterministic field
+/// (the one exception is SuiteFailure::StageWallMs, which was never
+/// part of the determinism contract: resumed failures carry the wall
+/// time of the run that recorded them).
+///
+/// Format: a line-oriented text file. Header:
+///
+///   hcvliw-suite-journal v1
+///   fingerprint <hex>
+///
+/// then framed records ("begin ok <name>" ... "end ok <name>", or
+/// "begin fail <name>" ... "end fail <name>"). Doubles are serialized
+/// as hex-floats (%a) and Rationals as num/den, so every value
+/// round-trips exactly. A record whose end frame is missing (the run
+/// died mid-append) is detected and dropped; everything before it
+/// loads. The fingerprint hashes the program list (names + structural
+/// loop fingerprints) and every pipeline option the per-program
+/// computation reads; load() refuses a journal whose fingerprint does
+/// not match the resuming session, so a resume can never splice results
+/// computed under different options.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_RUNTIME_SUITEJOURNAL_H
+#define HCVLIW_RUNTIME_SUITEJOURNAL_H
+
+#include "core/HeterogeneousPipeline.h"
+#include "workloads/SpecFPSuite.h"
+
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+
+struct SuiteFailure;
+
+/// Everything the resuming run needs about one journaled failure.
+struct JournaledFailure {
+  PipelineStage Stage = PipelineStage::Profiling;
+  std::string Reason;
+  double StageWallMs = 0;
+};
+
+/// A loaded journal: completed results and failures keyed by program.
+struct SuiteJournal {
+  uint64_t Fingerprint = 0;
+  std::map<std::string, ProgramRunResult> Results;
+  std::map<std::string, JournaledFailure> Failures;
+
+  size_t numRecords() const { return Results.size() + Failures.size(); }
+
+  /// Loads \p Path, dropping a torn trailing record. std::nullopt (with
+  /// \p Err filled when non-null) when the file is missing, the header
+  /// is malformed, or \p ExpectFingerprint is nonzero and differs.
+  static std::optional<SuiteJournal> load(const std::string &Path,
+                                          uint64_t ExpectFingerprint = 0,
+                                          std::string *Err = nullptr);
+};
+
+/// Appending writer. open() writes (or re-validates) the header; every
+/// append*() writes one framed record and flushes, so a kill between
+/// appends loses nothing and a kill mid-append loses one droppable
+/// record.
+class SuiteJournalWriter {
+  std::FILE *Out = nullptr;
+
+public:
+  SuiteJournalWriter() = default;
+  ~SuiteJournalWriter() { close(); }
+  SuiteJournalWriter(const SuiteJournalWriter &) = delete;
+  SuiteJournalWriter &operator=(const SuiteJournalWriter &) = delete;
+
+  /// Opens \p Path for appending, writing the v1 header when the file
+  /// is new or empty. False (with \p Err) on IO failure.
+  bool open(const std::string &Path, uint64_t Fingerprint,
+            std::string *Err = nullptr);
+  bool isOpen() const { return Out != nullptr; }
+  void append(const ProgramRunResult &R);
+  void appendFailure(const std::string &Program, PipelineStage Stage,
+                     const std::string &Reason, double StageWallMs);
+  void close();
+};
+
+/// The options/program-list identity journals are bound to (see file
+/// header). Pure function of its inputs.
+uint64_t suiteJournalFingerprint(const PipelineOptions &Opts,
+                                 const std::vector<BenchmarkProgram> &Programs);
+
+} // namespace hcvliw
+
+#endif // HCVLIW_RUNTIME_SUITEJOURNAL_H

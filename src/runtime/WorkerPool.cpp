@@ -59,7 +59,11 @@ void WorkerPool::drain(Job &J, std::unique_lock<std::mutex> &Lock) {
     if (J.Next.load(std::memory_order_relaxed) >= J.N)
       eraseJob(Jobs, &J);
     Lock.unlock();
-    (*J.Fn)(Slot);
+    try {
+      (*J.Fn)(Slot);
+    } catch (...) {
+      J.Errs[Slot] = std::current_exception();
+    }
     Lock.lock();
     finishSlot(J);
   }
@@ -80,7 +84,11 @@ void WorkerPool::workerLoop() {
     if (J->Next.load(std::memory_order_relaxed) >= J->N)
       eraseJob(Jobs, J);
     Lock.unlock();
-    (*J->Fn)(Slot);
+    try {
+      (*J->Fn)(Slot);
+    } catch (...) {
+      J->Errs[Slot] = std::current_exception();
+    }
     Lock.lock();
     finishSlot(*J);
   }
@@ -91,14 +99,27 @@ void WorkerPool::parallelFor(size_t N,
   if (N == 0)
     return;
   if (NumThreads <= 1 || N == 1) {
-    for (size_t I = 0; I < N; ++I)
-      Fn(I);
+    // Same containment policy as the threaded path: every slot runs,
+    // then the lowest-numbered captured exception is rethrown.
+    std::exception_ptr First;
+    for (size_t I = 0; I < N; ++I) {
+      try {
+        Fn(I);
+      } catch (...) {
+        if (!First)
+          First = std::current_exception();
+      }
+    }
+    if (First)
+      std::rethrow_exception(First);
     return;
   }
 
+  std::vector<std::exception_ptr> Errs(N);
   Job J;
   J.Fn = &Fn;
   J.N = N;
+  J.Errs = Errs.data();
   std::unique_lock<std::mutex> Lock(Mutex);
   Jobs.push_back(&J);
   WorkAvailable.notify_all();
@@ -109,6 +130,12 @@ void WorkerPool::parallelFor(size_t N,
   JobFinished.wait(Lock, [&J] {
     return J.Done.load(std::memory_order_relaxed) == J.N;
   });
+  Lock.unlock();
+  // Deterministic rethrow: the lowest throwing slot, for any thread
+  // count and any interleaving.
+  for (std::exception_ptr &E : Errs)
+    if (E)
+      std::rethrow_exception(E);
 }
 
 void WorkerPool::parallelFor(size_t N, const RNG &Root,

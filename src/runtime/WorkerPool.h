@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -48,6 +49,11 @@ class WorkerPool {
   struct Job {
     const std::function<void(size_t)> *Fn = nullptr;
     size_t N = 0;
+    /// Per-slot captured exceptions (submitter-owned array of N, one
+    /// element per slot). A slot writes only its own element while it
+    /// exclusively owns it, and the submitter reads only after
+    /// observing Done == N under the mutex, so no lock is needed.
+    std::exception_ptr *Errs = nullptr;
     std::atomic<size_t> Next{0}; ///< next unclaimed slot
     std::atomic<size_t> Done{0}; ///< completed slots
   };
@@ -80,7 +86,18 @@ public:
 
   /// Runs Fn(Slot) for every Slot in [0, N); returns when all have
   /// completed. Callable from any thread, including pool workers
-  /// (nested jobs). Fn must not throw.
+  /// (nested jobs).
+  ///
+  /// Fn may throw. A throwing slot never takes down a worker thread or
+  /// the process: the exception is captured in the slot's own cell,
+  /// every other slot still runs to completion, and after all N slots
+  /// have finished the *lowest-numbered* captured exception is rethrown
+  /// on the submitting thread (the rest are dropped). The serial path
+  /// (NumThreads <= 1 or N == 1) follows the identical
+  /// run-everything-then-rethrow-lowest policy, so exception behavior —
+  /// like results — is independent of the thread count. Callers that
+  /// need every failure, not just the first, catch per slot and record
+  /// into their slot-indexed output (SuiteRunner does).
   void parallelFor(size_t N, const std::function<void(size_t)> &Fn);
 
   /// As above, with a deterministic per-slot RNG stream forked off

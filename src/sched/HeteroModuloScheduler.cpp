@@ -171,8 +171,12 @@ SchedulerResult HeteroModuloScheduler::run(const TickGraph *Ticks,
       Dispatched = true;
     }
   }
-  if (!Dispatched)
+  if (!Dispatched) {
     R = runRational(SS);
+    // Requested grid had no valid lowering: record the silent
+    // tick->Rational degradation so callers can count it.
+    R.FallbackRational = Opts.UseTickGrid;
+  }
   if (Sp.active()) {
     Sp.arg("placements", static_cast<int64_t>(R.Placements));
     Sp.arg("ejections", static_cast<int64_t>(R.Ejections));

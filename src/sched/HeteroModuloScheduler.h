@@ -93,6 +93,13 @@ struct SchedulerResult {
   uint64_t Placements = 0; ///< successful node placements
   uint64_t Ejections = 0;  ///< evictions + dependence ejections
   uint64_t BudgetUsed = 0; ///< placement-loop iterations consumed
+  /// True when UseTickGrid was requested but the plan has no valid
+  /// integer grid, so the run fell back to the bit-identical Rational
+  /// path (PR 4's one silent degradation, now counted: the sweep
+  /// driver sums it into LoopScheduleResult::FallbackRational and the
+  /// measurement layer surfaces it as the sched.fallback_rational
+  /// metric). Deterministic — a pure function of (PG, Plan, Opts).
+  bool FallbackRational = false;
 };
 
 /// Earliest start times (ns) of every node ignoring resources, or

@@ -196,6 +196,37 @@ TEST(LintCacheKey, DriftedEqualsAndHashBothFlagged) {
   EXPECT_TRUE(anyMessageContains(R, "cache-key", "{ConfigBits}")) << dump(R);
 }
 
+// --- fault sites ----------------------------------------------------------
+
+TEST(LintFaultSite, CleanFixtureIsClean) {
+  LintResult R = runOn("faultsite_clean");
+  EXPECT_TRUE(R.clean()) << dump(R);
+}
+
+TEST(LintFaultSite, EveryShapeFiresOnTheViolatingFixture) {
+  LintResult R = runOn("faultsite_violate");
+  EXPECT_TRUE(R.ConfigErrors.empty()) << dump(R);
+  EXPECT_EQ(countRule(R, "fault-site"), 5u) << dump(R);
+  // unregistered literal, kind mismatch, duplicate location,
+  // non-literal site, stale registry entry.
+  EXPECT_TRUE(anyMessageContains(R, "fault-site", "not registered"))
+      << dump(R);
+  EXPECT_TRUE(anyMessageContains(R, "fault-site", "registered as 'point'"))
+      << dump(R);
+  EXPECT_TRUE(
+      anyMessageContains(R, "fault-site", "exactly one code location"))
+      << dump(R);
+  EXPECT_TRUE(anyMessageContains(R, "fault-site", "string literal"))
+      << dump(R);
+  EXPECT_TRUE(anyMessageContains(R, "fault-site", "never used")) << dump(R);
+  // The stale-registry violation anchors on the registry file itself.
+  EXPECT_TRUE(std::any_of(R.Violations.begin(), R.Violations.end(),
+                          [](const Violation &V) {
+                            return V.File == "src/fault/FaultSites.def";
+                          }))
+      << dump(R);
+}
+
 // --- the real tree --------------------------------------------------------
 
 // The same gate ctest runs as lint_tree: the library sources themselves

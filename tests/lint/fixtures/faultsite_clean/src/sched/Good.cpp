@@ -1,0 +1,9 @@
+// Clean shape: every site literal registered with the matching kind,
+// each used at exactly one location, no registered site unused.
+struct FaultInjector;
+
+void schedule(FaultInjector *Inj, const char *Ctx) {
+  HCVLIW_FAULT_POINT(Inj, "good.point", Ctx);
+  if (HCVLIW_FAULT_DEGRADE(Inj, "good.degrade", Ctx))
+    return;
+}

@@ -1,0 +1,12 @@
+// Violating shapes, one per line: an unregistered literal, a kind
+// mismatch (point site used as degrade), a duplicated literal, a
+// non-literal site; plus "stale.site" registered above but never used.
+struct FaultInjector;
+
+void bad(FaultInjector *Inj, const char *Ctx, const char *SiteVar) {
+  HCVLIW_FAULT_POINT(Inj, "unregistered.site", Ctx);
+  if (HCVLIW_FAULT_DEGRADE(Inj, "a.point", Ctx))
+    return;
+  HCVLIW_FAULT_POINT(Inj, "a.point", Ctx);
+  HCVLIW_FAULT_POINT(Inj, SiteVar, Ctx);
+}

@@ -112,6 +112,7 @@ LintResult hcvliw::lint::runLint(const LintOptions &Opts) {
   std::sort(Files.begin(), Files.end());
 
   std::vector<Violation> Raw;
+  FaultSiteIndex FaultSites;
   for (const std::string &Path : Files) {
     std::ifstream In(Path);
     std::stringstream Buf;
@@ -134,7 +135,12 @@ LintResult hcvliw::lint::runLint(const LintOptions &Opts) {
     checkDeterminism(F, Raw);
     checkObsIsolation(F, Raw);
     checkCacheKeys(F, Raw);
+    collectFaultSites(F, FaultSites);
   }
+  // Site-name uniqueness is a whole-tree property: check once, after
+  // the walk (files were visited in sorted order, so "first use" and
+  // therefore the output are stable).
+  checkFaultSites(FaultSites, Opts.Root, Raw);
 
   for (const Violation &V : Raw) {
     if (Allowlist::Entry *E = Allow.match(V))

@@ -28,6 +28,13 @@
 ///                      functor does not cover every declared field
 ///                      (silently-incomplete cache keys break the
 ///                      "equal keys hash equal inputs" contract)
+///   fault-site         every HCVLIW_FAULT_POINT / HCVLIW_FAULT_DEGRADE
+///                      site must be a string literal, must be
+///                      registered with the matching kind in
+///                      src/fault/FaultSites.def, and must name exactly
+///                      one code location; registered-but-unused sites
+///                      are flagged too (a fault plan must never target
+///                      a site that cannot fire)
 ///
 /// The analysis is a token-level scanner plus an include graph — no
 /// compiler, no types. That makes it fast and dependency-free, and the
@@ -99,6 +106,22 @@ void checkLayers(const SourceFile &F, const LayerMap &Layers,
 void checkDeterminism(const SourceFile &F, std::vector<Violation> &Out);
 void checkObsIsolation(const SourceFile &F, std::vector<Violation> &Out);
 void checkCacheKeys(const SourceFile &F, std::vector<Violation> &Out);
+
+/// The fault-site rule is the one cross-file family: uses are collected
+/// per file during the walk, then checked in one pass against the
+/// registry (uniqueness is a whole-tree property).
+struct FaultSiteIndex {
+  struct Use {
+    std::string Site; ///< the string-literal site name ("" = non-literal)
+    std::string Kind; ///< "point" or "degrade" (which macro)
+    std::string File;
+    unsigned Line = 0;
+  };
+  std::vector<Use> Uses;
+};
+void collectFaultSites(const SourceFile &F, FaultSiteIndex &Idx);
+void checkFaultSites(const FaultSiteIndex &Idx, const std::string &Root,
+                     std::vector<Violation> &Out);
 
 struct LintOptions {
   std::string Root;          ///< tree root; scans Root/src/**
