@@ -131,6 +131,12 @@ class BenchReporter {
     uint64_t FallbackRational = 0;
     uint64_t DegradedCount = 0;
     uint64_t FaultInjected = 0;
+    /// Persistent-tier ledger (PR 10): hits served by snapshot-imported
+    /// entries, entries imported, and frames quarantined during load.
+    /// Clean CI runs assert cache_load_corrupt is zero.
+    uint64_t CachePersistHits = 0;
+    uint64_t CachePersistLoaded = 0;
+    uint64_t CacheLoadCorrupt = 0;
   };
 
   std::string Name;
@@ -195,6 +201,9 @@ public:
                       Counter("degrade.flat_partition") +
                       Counter("degrade.analytic_estimate");
     C.FaultInjected = S.faultInjector().totalInjected();
+    C.CachePersistHits = S.cachePersistHits();
+    C.CachePersistLoaded = S.cachePersistLoadStats().loaded();
+    C.CacheLoadCorrupt = S.cachePersistLoadStats().CorruptFrames;
     Caches.push_back(std::move(C));
     // The full registry snapshot rides along: stage wall-time
     // histograms, cache gauges, whatever the series recorded.
@@ -259,7 +268,10 @@ public:
                         "\"part_coarsen_memo_hits\": %llu, "
                         "\"sched_fallback_rational\": %llu, "
                         "\"degraded_count\": %llu, "
-                        "\"fault_injected\": %llu}",
+                        "\"fault_injected\": %llu, "
+                        "\"cache_persist_hits\": %llu, "
+                        "\"cache_persist_loaded\": %llu, "
+                        "\"cache_load_corrupt\": %llu}",
                         static_cast<unsigned long long>(C.EvalHits),
                         static_cast<unsigned long long>(C.EvalMisses),
                         static_cast<unsigned long long>(C.SelectionHits),
@@ -277,7 +289,10 @@ public:
                         static_cast<unsigned long long>(C.PartCoarsenMemoHits),
                         static_cast<unsigned long long>(C.FallbackRational),
                         static_cast<unsigned long long>(C.DegradedCount),
-                        static_cast<unsigned long long>(C.FaultInjected));
+                        static_cast<unsigned long long>(C.FaultInjected),
+                        static_cast<unsigned long long>(C.CachePersistHits),
+                        static_cast<unsigned long long>(C.CachePersistLoaded),
+                        static_cast<unsigned long long>(C.CacheLoadCorrupt));
     }
     J += Caches.empty() ? "}" : "\n  }";
     J += ",\n  \"obs\": {";

@@ -1,0 +1,315 @@
+//===- dist/ShardOrchestrator.cpp - Crash-tolerant sharded suites -----------===//
+
+#include "dist/ShardOrchestrator.h"
+
+#include "obs/Stopwatch.h"
+#include "runtime/CachePersist.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace hcvliw;
+using namespace hcvliw::dist;
+
+ShardExecutor::~ShardExecutor() = default;
+
+uint64_t hcvliw::dist::shardBackoffMs(uint64_t BaseMs, unsigned Attempt) {
+  if (Attempt < 2)
+    return 0;
+  unsigned Shift = Attempt - 2;
+  if (Shift > 20) // cap well before overflow; 30 s clamp below anyway
+    Shift = 20;
+  uint64_t Ms = BaseMs << Shift;
+  return std::min<uint64_t>(Ms, 30000);
+}
+
+std::string hcvliw::dist::shardJournalPath(const std::string &WorkDir,
+                                           unsigned Index) {
+  return WorkDir + "/shard" + std::to_string(Index) + ".journal";
+}
+std::string hcvliw::dist::shardCachePath(const std::string &WorkDir,
+                                         unsigned Index) {
+  return WorkDir + "/shard" + std::to_string(Index) + ".cache";
+}
+std::string hcvliw::dist::shardLogPath(const std::string &WorkDir,
+                                       unsigned Index) {
+  return WorkDir + "/shard" + std::to_string(Index) + ".log";
+}
+std::string hcvliw::dist::mergedCachePath(const std::string &WorkDir) {
+  return WorkDir + "/merged.cache";
+}
+
+ShardExecutor::Outcome
+SubprocessShardExecutor::runShard(const ShardSpec &Spec, double DeadlineMs) {
+  Outcome O;
+  std::vector<std::string> Args = Cmd(Spec);
+  if (Args.empty()) {
+    O.Detail = "empty shard command";
+    return O;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    O.Detail = "fork failed";
+    return O;
+  }
+  if (Pid == 0) {
+    // Child: capture both streams into the shard log, then exec. Only
+    // async-signal-safe calls from here on.
+    if (!Spec.LogPath.empty()) {
+      int Fd = ::open(Spec.LogPath.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                      0644);
+      if (Fd >= 0) {
+        ::dup2(Fd, 1);
+        ::dup2(Fd, 2);
+        ::close(Fd);
+      }
+    }
+    std::vector<char *> Argv;
+    Argv.reserve(Args.size() + 1);
+    for (std::string &A : Args)
+      Argv.push_back(A.data());
+    Argv.push_back(nullptr);
+    ::execvp(Argv[0], Argv.data());
+    ::_exit(127);
+  }
+  O.Spawned = true;
+  obs::Stopwatch SW; // orchestration control only; never in a result
+  int Status = 0;
+  for (;;) {
+    pid_t R = ::waitpid(Pid, &Status, WNOHANG);
+    if (R == Pid)
+      break;
+    if (R < 0) {
+      O.Detail = "waitpid failed";
+      return O;
+    }
+    if (DeadlineMs > 0 && SW.elapsedMs() > DeadlineMs) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, &Status, 0);
+      O.TimedOut = true;
+      O.Detail = "deadline exceeded; shard killed";
+      return O;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (WIFEXITED(Status) && WEXITSTATUS(Status) == 0) {
+    O.Exited0 = true;
+  } else if (WIFSIGNALED(Status)) {
+    O.Detail = "shard killed by signal " + std::to_string(WTERMSIG(Status));
+  } else {
+    O.Detail =
+        "shard exited with status " +
+        std::to_string(WIFEXITED(Status) ? WEXITSTATUS(Status) : -1);
+  }
+  return O;
+}
+
+namespace {
+
+/// Does \p JournalPath hold every program shard (\p Index, \p Count)
+/// owns? Returns the number missing (0 = complete); fills \p Why on a
+/// journal that is absent or refuses to load.
+size_t shardMissing(const std::string &JournalPath, uint64_t Fingerprint,
+                    unsigned Index, unsigned Count,
+                    const std::vector<BenchmarkProgram> &Programs,
+                    std::string *Why) {
+  std::string Err;
+  auto J = SuiteJournal::load(JournalPath, Fingerprint, &Err);
+  if (!J) {
+    if (Why)
+      *Why = Err;
+    size_t Owned = 0;
+    for (const BenchmarkProgram &P : Programs)
+      Owned += suiteShardOf(P.Name, Count) == Index ? 1 : 0;
+    return Owned;
+  }
+  size_t Missing = 0;
+  for (const BenchmarkProgram &P : Programs) {
+    if (suiteShardOf(P.Name, Count) != Index)
+      continue;
+    if (!J->Results.count(P.Name) && !J->Failures.count(P.Name))
+      ++Missing;
+  }
+  if (Missing && Why)
+    *Why = std::to_string(Missing) + " owned program(s) not journaled";
+  return Missing;
+}
+
+} // namespace
+
+OrchestratorResult
+ShardOrchestrator::run(const std::vector<BenchmarkProgram> &Programs,
+                       const OrchestratorOptions &Opts) {
+  OrchestratorResult R;
+  const unsigned N = std::max(1u, Opts.Shards);
+  const unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
+  R.Shards.resize(N);
+
+  obs::Span Sp(&S.tracer(), "dist.run");
+  if (Sp.active()) {
+    Sp.arg("shards", static_cast<int64_t>(N));
+    Sp.arg("programs", static_cast<int64_t>(Programs.size()));
+  }
+
+  const uint64_t Fingerprint =
+      suiteJournalFingerprint(S.pipelineOptions(), Programs);
+
+  std::mutex EventMutex;
+  auto event = [&](const std::string &Msg) {
+    if (!Opts.OnEvent)
+      return;
+    std::lock_guard<std::mutex> Lock(EventMutex);
+    Opts.OnEvent(Msg);
+  };
+
+  // One attempt loop per shard, each on its own thread: attempts block
+  // on child processes, so the session pool (sized for CPU work) is
+  // the wrong vehicle. Reports are slot-indexed; nothing here feeds a
+  // result except through the journals.
+  auto driveShard = [&](unsigned Index) {
+    ShardReport &Rep = R.Shards[Index];
+    std::string Ctx = "shard" + std::to_string(Index);
+    for (unsigned Attempt = 1; Attempt <= MaxAttempts; ++Attempt) {
+      Rep.Attempts = Attempt;
+      uint64_t Wait = shardBackoffMs(Opts.BackoffBaseMs, Attempt);
+      if (Wait) {
+        S.metrics().addCounter("dist.retries", 1);
+        event(Ctx + ": retry attempt " + std::to_string(Attempt) +
+              " after " + std::to_string(Wait) + " ms backoff");
+        std::this_thread::sleep_for(std::chrono::milliseconds(Wait));
+      }
+      ShardSpec Spec;
+      Spec.Index = Index;
+      Spec.Count = N;
+      Spec.Attempt = Attempt;
+      Spec.JournalPath = shardJournalPath(Opts.WorkDir, Index);
+      if (Opts.MergeCaches)
+        Spec.CachePath = shardCachePath(Opts.WorkDir, Index);
+      Spec.LogPath = shardLogPath(Opts.WorkDir, Index);
+
+      ShardExecutor::Outcome O;
+      try {
+        HCVLIW_FAULT_POINT(&S.faultInjector(), "dist.spawn", Ctx);
+        S.metrics().addCounter("dist.spawns", 1);
+        event(Ctx + ": attempt " + std::to_string(Attempt) + " spawning");
+        O = Exec.runShard(Spec, Opts.ShardDeadlineMs);
+      } catch (const std::exception &E) {
+        O.Detail = std::string("spawn failed: ") + E.what();
+      }
+      if (O.TimedOut) {
+        Rep.TimedOut = true;
+        S.metrics().addCounter("dist.timeouts", 1);
+      }
+      // Trust the journal, not the exit status: a shard that exited 0
+      // but left a hole retries; one that crashed after finishing its
+      // partition does not need to.
+      std::string Why;
+      size_t Missing = shardMissing(Spec.JournalPath, Fingerprint, Index, N,
+                                    Programs, &Why);
+      if (Missing == 0) {
+        Rep.Ok = true;
+        Rep.Detail = O.Detail;
+        event(Ctx + ": complete after " + std::to_string(Attempt) +
+              " attempt(s)");
+        return;
+      }
+      Rep.Detail = O.Detail.empty() ? Why : O.Detail + "; " + Why;
+      event(Ctx + ": incomplete (" + Rep.Detail + ")");
+    }
+    event(Ctx + ": giving up after " + std::to_string(MaxAttempts) +
+          " attempt(s)");
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back(driveShard, I);
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (unsigned I = 0; I < N; ++I) {
+    if (!R.Shards[I].Ok) {
+      R.Error = "shard " + std::to_string(I) + " failed after " +
+                std::to_string(R.Shards[I].Attempts) + " attempt(s): " +
+                R.Shards[I].Detail;
+      return R;
+    }
+  }
+
+  // --- reassembly ----------------------------------------------------------
+  // Union the shard journals, then take SuiteRunner's resume path with
+  // every slot prefilled: the merged result flows through the exact
+  // reduction an uninterrupted run uses, so it is bit-identical to
+  // single-process for any shard count.
+  try {
+    HCVLIW_FAULT_POINT(&S.faultInjector(), "dist.merge", "");
+    SuiteJournal Union;
+    Union.Fingerprint = Fingerprint;
+    for (unsigned I = 0; I < N; ++I) {
+      std::string Err;
+      auto J = SuiteJournal::load(shardJournalPath(Opts.WorkDir, I),
+                                  Fingerprint, &Err);
+      if (!J) {
+        R.Error = "shard " + std::to_string(I) + " journal: " + Err;
+        return R;
+      }
+      for (auto &KV : J->Results)
+        Union.Results.emplace(KV.first, std::move(KV.second));
+      for (auto &KV : J->Failures)
+        Union.Failures.emplace(KV.first, std::move(KV.second));
+    }
+    // Coverage before reassembly: a hole means a scheduling bug, and
+    // resuming past it would silently recompute the program locally —
+    // masking exactly the defect this layer exists to surface.
+    for (const BenchmarkProgram &P : Programs) {
+      if (!Union.Results.count(P.Name) && !Union.Failures.count(P.Name)) {
+        R.Error = "merge coverage hole: program " + P.Name +
+                  " appears in no shard journal";
+        return R;
+      }
+    }
+    S.metrics().addCounter("dist.merged_records", Union.numRecords());
+    event("merge: " + std::to_string(Union.numRecords()) +
+          " journal records across " + std::to_string(N) + " shards");
+    SuiteOptions MO;
+    MO.ResumeFrom = &Union;
+    R.Result = SuiteRunner(S).run(Programs, MO);
+  } catch (const std::exception &E) {
+    R.Error = std::string("merge failed: ") + E.what();
+    return R;
+  }
+
+  // --- side-car cache merge ------------------------------------------------
+  if (Opts.MergeCaches) {
+    std::vector<std::string> Snaps;
+    for (unsigned I = 0; I < N; ++I) {
+      std::string P = shardCachePath(Opts.WorkDir, I);
+      struct stat St;
+      if (::stat(P.c_str(), &St) == 0)
+        Snaps.push_back(P);
+    }
+    if (!Snaps.empty()) {
+      std::string Out = mergedCachePath(Opts.WorkDir), Err;
+      if (mergeCacheSnapshots(Snaps, Out, &R.CacheCorruptFrames, &Err)) {
+        R.MergedCachePath = Out;
+        event("cache merge: " + std::to_string(Snaps.size()) +
+              " side-car snapshot(s) -> " + Out);
+      } else {
+        // Cache warmth is an optimization, never correctness: report
+        // and continue with the (already merged) suite result.
+        event("cache merge failed: " + Err);
+      }
+    }
+  }
+
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,166 @@
+//===- dist/ShardOrchestrator.h - Crash-tolerant sharded suites --*- C++ -*-===//
+///
+/// \file
+/// Drives one suite as N independent shards — each a SuiteRunner over
+/// the programs suiteShardOf() assigns to it, checkpointing to its own
+/// journal — then reassembles one SuiteResult that is bit-identical to
+/// the single-process run for any shard count. Crash tolerance comes
+/// from composing two existing contracts:
+///
+///   - every shard journals per-program (runtime/SuiteJournal), so a
+///     killed, crashed or hung shard attempt loses at most its
+///     in-flight programs, and
+///   - a re-spawned attempt resumes from that same journal, so retries
+///     re-execute only what the dead attempt had not finished.
+///
+/// The orchestrator spawns shards through a ShardExecutor (the
+/// subprocess executor below in production; tests substitute an
+/// in-process one to script crashes), enforces a per-shard deadline
+/// (hung shards are killed and retried like crashed ones), and retries
+/// each shard up to a bounded attempt count with deterministic
+/// backoff (BackoffBaseMs << (attempt-1) — no randomness, and no wall
+/// clock reading ever reaches a result).
+///
+/// Reassembly is resume-based, not re-reduction: the shard journals —
+/// which all share the FULL program list's fingerprint — are unioned
+/// and fed through SuiteRunner's ResumeFrom path, so the merged
+/// SuiteResult takes the exact code path (and byte layout) of an
+/// uninterrupted run. "Bit-identical" means every deterministic field;
+/// the usual carve-outs apply exactly as runtime/SuiteJournal.h
+/// documents them — SuiteFailure::StageWallMs is wall time from the
+/// run that recorded it, and the scheduler-effort / cache-
+/// effectiveness counters (ScheduleHits, ScheduleMisses, ...) reflect
+/// the session that computed each record, since cross-program cache
+/// warmth depends on which programs shared that session. A coverage hole (a program no shard journaled)
+/// is an error before that run starts; silently recomputing it locally
+/// would mask the scheduling bug that dropped it.
+///
+/// Shards may also write side-car persistent cache snapshots
+/// (runtime/CachePersist); the orchestrator merges them record-level
+/// last-wins into one warm-start snapshot for the next run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_DIST_SHARDORCHESTRATOR_H
+#define HCVLIW_DIST_SHARDORCHESTRATOR_H
+
+#include "runtime/SuiteRunner.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hcvliw {
+namespace dist {
+
+/// Everything one shard attempt needs to know.
+struct ShardSpec {
+  unsigned Index = 0;
+  unsigned Count = 1;
+  unsigned Attempt = 1;    ///< 1-based attempt number
+  std::string JournalPath; ///< shard journal (persists across attempts)
+  std::string CachePath;   ///< side-car cache snapshot ("" = none)
+  std::string LogPath;     ///< child stdout/stderr capture ("" = none)
+};
+
+/// How one shard attempt is executed. The orchestrator only observes
+/// the Outcome plus the shard's journal; HOW the shard runs (another
+/// process, an in-process test double, a remote box) is this
+/// interface's business.
+class ShardExecutor {
+public:
+  struct Outcome {
+    bool Spawned = false;  ///< the attempt started at all
+    bool Exited0 = false;  ///< clean exit (completeness still verified
+                           ///< against the journal, not trusted)
+    bool TimedOut = false; ///< killed at the deadline
+    std::string Detail;    ///< diagnostic for logs / reports
+  };
+  virtual ~ShardExecutor();
+  /// Runs one shard attempt to completion, crash, or \p DeadlineMs
+  /// (0 = no deadline). Must not throw for attempt-level failures —
+  /// those are Outcomes; throwing is reserved for executor misuse.
+  virtual Outcome runShard(const ShardSpec &Spec, double DeadlineMs) = 0;
+};
+
+/// fork/exec executor: runs the command \p CommandFor builds (argv[0]
+/// is resolved via PATH), redirects the child's stdout+stderr to
+/// Spec.LogPath, polls nonblockingly, and SIGKILLs at the deadline.
+class SubprocessShardExecutor : public ShardExecutor {
+  std::function<std::vector<std::string>(const ShardSpec &)> Cmd;
+
+public:
+  explicit SubprocessShardExecutor(
+      std::function<std::vector<std::string>(const ShardSpec &)> CommandFor)
+      : Cmd(std::move(CommandFor)) {}
+  Outcome runShard(const ShardSpec &Spec, double DeadlineMs) override;
+};
+
+struct OrchestratorOptions {
+  unsigned Shards = 2;
+  /// Attempts per shard before giving up (>= 1).
+  unsigned MaxAttempts = 3;
+  /// Kill-and-retry deadline per attempt, ms (0 = none).
+  double ShardDeadlineMs = 0;
+  /// Backoff before retry K is BackoffBaseMs << (K-2) ms — exact,
+  /// deterministic, no jitter (shards are local processes; thundering
+  /// herds are not a concern, replayability is).
+  uint64_t BackoffBaseMs = 25;
+  /// Directory for shard journals, side-car caches and logs.
+  std::string WorkDir = ".";
+  /// Also have shards write side-car cache snapshots and merge them
+  /// into mergedCachePath(WorkDir) after the run.
+  bool MergeCaches = false;
+  /// Orchestration chatter (spawn/retry/kill/merge events), serialized.
+  /// Never part of any result.
+  std::function<void(const std::string &)> OnEvent;
+};
+
+/// What happened to one shard across its attempts.
+struct ShardReport {
+  unsigned Attempts = 0;
+  bool Ok = false;       ///< journal complete for the shard's partition
+  bool TimedOut = false; ///< any attempt hit the deadline
+  std::string Detail;    ///< last attempt's diagnostic
+};
+
+struct OrchestratorResult {
+  bool Ok = false;    ///< all shards complete and the merge succeeded
+  std::string Error;  ///< filled when !Ok
+  SuiteResult Result; ///< valid when Ok; bit-identical to single-process
+  std::vector<ShardReport> Shards;
+  std::string MergedCachePath;     ///< "" unless MergeCaches succeeded
+  uint64_t CacheCorruptFrames = 0; ///< quarantined during cache merge
+};
+
+/// Backoff before attempt \p Attempt (2-based; attempt 1 never waits):
+/// BaseMs << (Attempt - 2), capped at 30 s.
+uint64_t shardBackoffMs(uint64_t BaseMs, unsigned Attempt);
+
+/// Canonical side-car paths under an orchestrator work directory.
+std::string shardJournalPath(const std::string &WorkDir, unsigned Index);
+std::string shardCachePath(const std::string &WorkDir, unsigned Index);
+std::string shardLogPath(const std::string &WorkDir, unsigned Index);
+std::string mergedCachePath(const std::string &WorkDir);
+
+class ShardOrchestrator {
+  Session &S;
+  ShardExecutor &Exec;
+
+public:
+  ShardOrchestrator(Session &Sess, ShardExecutor &E) : S(Sess), Exec(E) {}
+
+  /// Runs \p Programs as Opts.Shards shards and reassembles the merged
+  /// SuiteResult (see file header). Attempt-level failures retry;
+  /// exhausted retries, journal skew and coverage holes surface as
+  /// Ok = false with the reports filled — never an exception, so the
+  /// caller always sees which shard died and why.
+  OrchestratorResult run(const std::vector<BenchmarkProgram> &Programs,
+                         const OrchestratorOptions &Opts);
+};
+
+} // namespace dist
+} // namespace hcvliw
+
+#endif // HCVLIW_DIST_SHARDORCHESTRATOR_H

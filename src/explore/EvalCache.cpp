@@ -2,7 +2,9 @@
 
 #include "explore/EvalCache.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 using namespace hcvliw;
 
@@ -102,6 +104,8 @@ LoopTimingEstimate EvalCache::loopTiming(const LoopProfile &LP,
     auto It = Shard.Entries.find(K);
     if (It != Shard.Entries.end()) {
       Shard.Hits.fetch_add(1, std::memory_order_relaxed);
+      if (It->second.Persisted)
+        Shard.PersistHits.fetch_add(1, std::memory_order_relaxed);
       Computed = It->second;
       Found = true;
     }
@@ -153,11 +157,81 @@ std::optional<SelectedDesign> EvalCache::findSelection(uint64_t SelKey) {
     return std::nullopt;
   }
   Shard.Hits.fetch_add(1, std::memory_order_relaxed);
-  return It->second;
+  if (It->second.Persisted)
+    Shard.PersistHits.fetch_add(1, std::memory_order_relaxed);
+  return It->second.D;
 }
 
 void EvalCache::storeSelection(uint64_t SelKey, const SelectedDesign &D) {
   SelectionShard &Shard = SelectionShards[shardOf(SelKey)];
   std::lock_guard<std::mutex> Lock(Shard.Mutex);
-  Shard.Selections.emplace(SelKey, D);
+  Shard.Selections.emplace(SelKey, SelectionEntry{D, /*Persisted=*/false});
+}
+
+void EvalCache::exportTimings(
+    const std::function<void(const TimingRecord &)> &Fn) const {
+  auto lessKey = [](const Key &A, const Key &B) {
+    if (A.LoopFP != B.LoopFP)
+      return A.LoopFP < B.LoopFP;
+    if (A.NumFast != B.NumFast)
+      return A.NumFast < B.NumFast;
+    if (A.RatioNum != B.RatioNum)
+      return A.RatioNum < B.RatioNum;
+    if (A.RatioDen != B.RatioDen)
+      return A.RatioDen < B.RatioDen;
+    if (A.FastNum != B.FastNum)
+      return A.FastNum < B.FastNum;
+    return A.FastDen < B.FastDen;
+  };
+  for (const TimingShard &S : TimingShards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    std::vector<Key> Keys;
+    Keys.reserve(S.Entries.size());
+    for (const auto &KV : S.Entries)
+      Keys.push_back(KV.first);
+    std::sort(Keys.begin(), Keys.end(), lessKey);
+    for (const Key &K : Keys) {
+      const CachedTiming &T = S.Entries.find(K)->second;
+      TimingRecord R{K.LoopFP,  K.NumFast, K.RatioNum,
+                     K.RatioDen, K.FastNum, K.FastDen,
+                     T.Feasible, T.ITNorm,  T.ClusterShare};
+      Fn(R);
+    }
+  }
+}
+
+bool EvalCache::importTiming(const TimingRecord &R) {
+  Key K;
+  K.LoopFP = R.LoopFP;
+  K.NumFast = R.NumFast;
+  K.RatioNum = R.RatioNum;
+  K.RatioDen = R.RatioDen;
+  K.FastNum = R.FastNum;
+  K.FastDen = R.FastDen;
+  CachedTiming T{R.Feasible, R.ITNorm, R.ClusterShare, /*Persisted=*/true};
+  TimingShard &Shard = TimingShards[shardOf(KeyHash()(K))];
+  std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  return Shard.Entries.emplace(K, std::move(T)).second;
+}
+
+void EvalCache::exportSelections(
+    const std::function<void(uint64_t, const SelectedDesign &)> &Fn) const {
+  for (const SelectionShard &S : SelectionShards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    std::vector<uint64_t> Keys;
+    Keys.reserve(S.Selections.size());
+    for (const auto &KV : S.Selections)
+      Keys.push_back(KV.first);
+    std::sort(Keys.begin(), Keys.end());
+    for (uint64_t K : Keys)
+      Fn(K, S.Selections.find(K)->second.D);
+  }
+}
+
+bool EvalCache::importSelection(uint64_t SelKey, const SelectedDesign &D) {
+  SelectionShard &Shard = SelectionShards[shardOf(SelKey)];
+  std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  return Shard.Selections
+      .emplace(SelKey, SelectionEntry{D, /*Persisted=*/true})
+      .second;
 }

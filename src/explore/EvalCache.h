@@ -45,6 +45,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -87,6 +88,9 @@ class EvalCache {
     bool Feasible = false;
     Rational ITNorm; ///< IT at the key's normalized fast period
     std::vector<double> ClusterShare;
+    /// Imported from a persistent snapshot (runtime/CachePersist):
+    /// hits it serves count toward persistHits().
+    bool Persisted = false;
   };
 
   const MachineDescription &Machine;
@@ -105,12 +109,19 @@ class EvalCache {
     std::unordered_map<Key, CachedTiming, KeyHash> Entries;
     std::atomic<uint64_t> Hits{0};
     std::atomic<uint64_t> Misses{0};
+    std::atomic<uint64_t> PersistHits{0};
+  };
+  /// Selection memo entry; Persisted as in CachedTiming.
+  struct SelectionEntry {
+    SelectedDesign D;
+    bool Persisted = false;
   };
   struct alignas(64) SelectionShard {
     mutable std::mutex Mutex;
-    std::unordered_map<uint64_t, SelectedDesign> Selections;
+    std::unordered_map<uint64_t, SelectionEntry> Selections;
     std::atomic<uint64_t> Hits{0};
     std::atomic<uint64_t> Misses{0};
+    std::atomic<uint64_t> PersistHits{0};
   };
 
   mutable TimingShard TimingShards[NumShards];
@@ -172,6 +183,40 @@ public:
   /// first-writer-wins.
   std::optional<SelectedDesign> findSelection(uint64_t SelKey);
   void storeSelection(uint64_t SelKey, const SelectedDesign &D);
+
+  /// One timing entry in persistable form — the private Key fields plus
+  /// the scale-free cached value (runtime/CachePersist round-trips
+  /// these bit-exactly).
+  struct TimingRecord {
+    uint64_t LoopFP = 0;
+    uint32_t NumFast = 0;
+    int64_t RatioNum = 1, RatioDen = 1;
+    int64_t FastNum = 1, FastDen = 1;
+    bool Feasible = false;
+    Rational ITNorm;
+    std::vector<double> ClusterShare;
+  };
+
+  /// Invokes \p Fn for every timing entry in deterministic order
+  /// (shards in index order, keys sorted within a shard). Caller must
+  /// be quiescent with respect to loopTiming().
+  void exportTimings(const std::function<void(const TimingRecord &)> &Fn)
+      const;
+  /// Inserts a timing entry loaded from a persistent snapshot
+  /// (first-writer-wins, flagged persisted). False when already present.
+  bool importTiming(const TimingRecord &R);
+
+  /// Selection-memo analogues of exportTimings / importTiming.
+  void exportSelections(
+      const std::function<void(uint64_t, const SelectedDesign &)> &Fn) const;
+  bool importSelection(uint64_t SelKey, const SelectedDesign &D);
+
+  /// Hits served by imported (persisted) timing + selection entries —
+  /// the warm tier's contribution (subset of hits() + selectionHits()).
+  uint64_t persistHits() const {
+    return sumShards(TimingShards, &TimingShard::PersistHits) +
+           sumShards(SelectionShards, &SelectionShard::PersistHits);
+  }
 
   uint64_t hits() const {
     return sumShards(TimingShards, &TimingShard::Hits);

@@ -45,6 +45,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -56,13 +57,22 @@ class ScheduleCache {
   /// thread counts, small enough that summing counters stays trivial.
   static constexpr unsigned NumShards = 16;
 
+  /// One entry plus where it came from: entries imported from a
+  /// persistent snapshot (runtime/CachePersist) are flagged so hits
+  /// they serve can be attributed to the warm tier (persistHits).
+  struct Entry {
+    LoopScheduleResult R;
+    bool Persisted = false;
+  };
+
   /// One stripe: its own lock, map and statistics. Cache-line aligned
   /// so neighbouring shards' counters do not false-share.
   struct alignas(64) Shard {
     mutable std::mutex Mutex;
-    std::unordered_map<uint64_t, LoopScheduleResult> Entries;
+    std::unordered_map<uint64_t, Entry> Entries;
     mutable std::atomic<uint64_t> Hits{0};
     mutable std::atomic<uint64_t> Misses{0};
+    mutable std::atomic<uint64_t> PersistHits{0};
     std::atomic<uint64_t> Placements{0};
     std::atomic<uint64_t> Ejections{0};
     std::atomic<uint64_t> BudgetUsed{0};
@@ -104,6 +114,29 @@ public:
   /// Stores \p R under \p Key (first-writer-wins) and accumulates its
   /// scheduler effort counters into the session-wide totals below.
   void store(uint64_t Key, const LoopScheduleResult &R);
+
+  /// Inserts an entry loaded from a persistent snapshot
+  /// (first-writer-wins, flagged persisted). Unlike store(), no effort
+  /// counters accumulate — the work was done by the run that saved the
+  /// snapshot, not this one. Returns false when the key was already
+  /// present.
+  bool importEntry(uint64_t Key, const LoopScheduleResult &R);
+
+  /// Invokes \p Fn for every entry, in deterministic order (shards in
+  /// index order, keys sorted within a shard). Caller must be quiescent
+  /// with respect to store(); the shard lock is held across its own
+  /// entries' callbacks.
+  void exportEntries(
+      const std::function<void(uint64_t, const LoopScheduleResult &)> &Fn)
+      const;
+
+  /// Hits served by entries importEntry() installed — the warm tier's
+  /// contribution (subset of hits()).
+  uint64_t persistHits() const {
+    return sum([](const Shard &S) -> const std::atomic<uint64_t> & {
+      return S.PersistHits;
+    });
+  }
 
   uint64_t hits() const {
     return sum([](const Shard &S) -> const std::atomic<uint64_t> & {

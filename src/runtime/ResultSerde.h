@@ -1,0 +1,71 @@
+//===- runtime/ResultSerde.h - Result-component serializers ------*- C++ -*-===//
+///
+/// \file
+/// Mirrored put*/get* serializers for the result components the durable
+/// formats persist, over the support/RecordIO token codec. Shared by
+/// runtime/SuiteJournal (per-program suite records) and
+/// runtime/CachePersist (schedule / eval cache snapshots); each put has
+/// a positionally mirrored get, so a value round-trips bit-exactly.
+/// A get on malformed input latches Source::bad() and returns a
+/// default-shaped value — callers must check bad()/done() before
+/// trusting the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_RUNTIME_RESULTSERDE_H
+#define HCVLIW_RUNTIME_RESULTSERDE_H
+
+#include "core/HeterogeneousPipeline.h"
+#include "partition/LoopScheduler.h"
+#include "runtime/SuiteJournal.h"
+#include "support/RecordIO.h"
+
+namespace hcvliw {
+namespace serde {
+
+using recio::Sink;
+using recio::Source;
+
+// --- profiling / selection components (suite journal records) ----------
+void putActivity(Sink &S, const ActivityCounts &A);
+ActivityCounts getActivity(Source &S);
+
+void putLoopProfile(Sink &S, const LoopProfile &L);
+LoopProfile getLoopProfile(Source &S);
+
+void putProfile(Sink &S, const ProgramProfile &P);
+ProgramProfile getProfile(Source &S);
+
+void putOpPoint(Sink &S, const DomainOperatingPoint &P);
+DomainOperatingPoint getOpPoint(Source &S);
+
+void putDesign(Sink &S, const SelectedDesign &D);
+SelectedDesign getDesign(Source &S);
+
+void putConfigRun(Sink &S, const ConfigRunResult &R);
+ConfigRunResult getConfigRun(Source &S);
+
+void putResult(Sink &S, const ProgramRunResult &R);
+ProgramRunResult getResult(Source &S);
+
+void putFailure(Sink &S, PipelineStage Stage, const std::string &Reason,
+                double StageWallMs);
+JournaledFailure getFailure(Source &S);
+
+// --- scheduling artifacts (persistent schedule-cache records) -----------
+void putMachinePlan(Sink &S, const MachinePlan &P);
+MachinePlan getMachinePlan(Source &S);
+
+void putSchedule(Sink &S, const Schedule &Sch);
+Schedule getSchedule(Source &S);
+
+void putPartitionedGraph(Sink &S, const PartitionedGraph &PG);
+PartitionedGraph getPartitionedGraph(Source &S);
+
+void putLoopScheduleResult(Sink &S, const LoopScheduleResult &R);
+LoopScheduleResult getLoopScheduleResult(Source &S);
+
+} // namespace serde
+} // namespace hcvliw
+
+#endif // HCVLIW_RUNTIME_RESULTSERDE_H

@@ -10,6 +10,32 @@ Session::Session(const PipelineOptions &O, unsigned Threads)
       Menu_(HeterogeneousPipeline::menuFor(O)), Pool_(Threads),
       Cache_(Machine_, Menu_), Pipe_(*this) {}
 
+bool Session::loadCacheFrom(const std::string &Path, std::string *Err) {
+  CacheLoadStats Stats;
+  if (!loadCacheSnapshot(Path, SchedCache_, Cache_, cacheBinding(), &Fault_,
+                         &Stats, Err))
+    return false;
+  PersistLoad_.SchedLoaded += Stats.SchedLoaded;
+  PersistLoad_.EvalLoaded += Stats.EvalLoaded;
+  PersistLoad_.SelLoaded += Stats.SelLoaded;
+  PersistLoad_.CorruptFrames += Stats.CorruptFrames;
+  Metrics_.addCounter("cache.persist.loaded", Stats.loaded());
+  Metrics_.addCounter("cache.load_corrupt", Stats.CorruptFrames);
+  return true;
+}
+
+bool Session::saveCacheTo(const std::string &Path, std::string *Err) {
+  CacheSaveStats Stats;
+  if (!writeCacheSnapshot(Path, SchedCache_, Cache_, cacheBinding(), &Stats,
+                          Err))
+    return false;
+  PersistSave_.SchedSaved += Stats.SchedSaved;
+  PersistSave_.EvalSaved += Stats.EvalSaved;
+  PersistSave_.SelSaved += Stats.SelSaved;
+  Metrics_.addCounter("cache.persist.saved", Stats.saved());
+  return true;
+}
+
 obs::MetricsSnapshot Session::metricsSnapshot() const {
   obs::MetricsSnapshot Snap = Metrics_.snapshot();
   // Mirror the shared substrate's own statistics into the snapshot as
@@ -29,6 +55,17 @@ obs::MetricsSnapshot Session::metricsSnapshot() const {
       static_cast<double>(SchedCache_.misses());
   Snap.Gauges["cache.schedule.entries"] =
       static_cast<double>(SchedCache_.size());
+  // Persistent-tier ledger (all zero unless loadCacheFrom/saveCacheTo
+  // ran): what the warm tier contributed and whether any frame had to
+  // be quarantined (clean runs assert cache.persist.corrupt == 0).
+  Snap.Gauges["cache.persist.hits"] =
+      static_cast<double>(cachePersistHits());
+  Snap.Gauges["cache.persist.loaded"] =
+      static_cast<double>(PersistLoad_.loaded());
+  Snap.Gauges["cache.persist.corrupt"] =
+      static_cast<double>(PersistLoad_.CorruptFrames);
+  Snap.Gauges["cache.persist.saved"] =
+      static_cast<double>(PersistSave_.saved());
   Snap.Gauges["pool.threads"] = static_cast<double>(Pool_.threads());
   Snap.Gauges["pool.scratch_arenas"] =
       static_cast<double>(Scratches_.threadsSeen());

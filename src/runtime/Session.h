@@ -37,6 +37,7 @@
 #include "explore/EvalCache.h"
 #include "fault/Fault.h"
 #include "measure/ScheduleCache.h"
+#include "runtime/CachePersist.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "partition/ScheduleScratch.h"
@@ -55,6 +56,8 @@ class Session {
   obs::Tracer Tracer_;
   obs::MetricsRegistry Metrics_;
   fault::FaultInjector Fault_;
+  CacheLoadStats PersistLoad_;
+  CacheSaveStats PersistSave_;
   HeterogeneousPipeline Pipe_;
 
 public:
@@ -104,6 +107,39 @@ public:
   /// bypass the shared ScheduleCache (MeasureOptions::Fault).
   fault::FaultInjector &faultInjector() { return Fault_; }
   const fault::FaultInjector &faultInjector() const { return Fault_; }
+
+  /// The snapshot binding this session's caches persist under (see
+  /// runtime/CachePersist.h).
+  uint64_t cacheBinding() const {
+    return cacheBindingFingerprint(Machine_, Menu_);
+  }
+
+  /// Warms the session caches from the persistent snapshot at \p Path.
+  /// Refuses version/binding skew (false, \p Err); corrupt frames are
+  /// quarantined and counted, never fatal. Accumulates
+  /// cachePersistStats() and the cache.persist.loaded /
+  /// cache.load_corrupt metrics. The "cache.load" fault site is this
+  /// session's injector.
+  bool loadCacheFrom(const std::string &Path, std::string *Err = nullptr);
+
+  /// Writes the session caches' persistent snapshot to \p Path
+  /// (torn-write-safe, deterministic record order). Accumulates
+  /// cachePersistStats() and the cache.persist.saved metric.
+  bool saveCacheTo(const std::string &Path, std::string *Err = nullptr);
+
+  /// What loadCacheFrom imported / quarantined so far.
+  const CacheLoadStats &cachePersistLoadStats() const {
+    return PersistLoad_;
+  }
+  /// What saveCacheTo wrote so far.
+  const CacheSaveStats &cachePersistSaveStats() const {
+    return PersistSave_;
+  }
+  /// Hits served by persisted (snapshot-imported) entries across both
+  /// caches — the warm tier's contribution to this run.
+  uint64_t cachePersistHits() const {
+    return SchedCache_.persistHits() + Cache_.persistHits();
+  }
 
   /// A snapshot of the registry with the session's cache statistics
   /// and scratch-pool state mirrored in as gauges (cache.eval.*,

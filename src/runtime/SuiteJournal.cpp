@@ -1,447 +1,32 @@
 //===- runtime/SuiteJournal.cpp - Suite checkpoint / resume -----------------===//
 //
 // Serialization strategy: every record body is ONE line of
-// space-separated tokens, written positionally by the put* helpers and
-// read back by the mirrored get* helpers (the "v1" in the header is
-// the contract version for the positional layout). Tokens never
-// contain spaces: strings are escaped (backslash, space, newline, the
-// empty string), doubles are hex-floats (%a) and Rationals are
-// "num den" token pairs, so every value round-trips bit-exactly.
-// Records are framed by begin/end lines carrying the program name; the
-// loader drops a trailing record whose frame or body is incomplete
-// (the run died mid-append) along with anything after it.
+// space-separated tokens, written positionally by the shared
+// runtime/ResultSerde put* helpers and read back by the mirrored get*
+// helpers over the support/RecordIO codec (the "v1" in the header is
+// the contract version for the positional layout). Records are framed
+// by begin/end lines carrying the program name; the loader drops a
+// trailing record whose frame or body is incomplete (the run died
+// mid-append) along with anything after it.
 //
 //===----------------------------------------------------------------------===//
 
 #include "runtime/SuiteJournal.h"
 
+#include "runtime/ResultSerde.h"
 #include "support/HashUtil.h"
+#include "support/RecordIO.h"
 
-#include <algorithm>
-#include <cinttypes>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <sstream>
+
+#include <unistd.h>
 
 using namespace hcvliw;
+using recio::Sink;
+using recio::Source;
 
 namespace {
-
-//===----------------------------------------------------------------------===//
-// Token escaping
-//===----------------------------------------------------------------------===//
-
-/// Escapes \p S into a single space-free token: '\' -> "\\", ' ' ->
-/// "\s", '\n' -> "\n", '\t' -> "\t", "" -> "\e".
-std::string escToken(const std::string &S) {
-  if (S.empty())
-    return "\\e";
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    switch (C) {
-    case '\\':
-      Out += "\\\\";
-      break;
-    case ' ':
-      Out += "\\s";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      Out += C;
-    }
-  }
-  return Out;
-}
-
-/// Inverse of escToken; false on a malformed escape.
-bool unescToken(const std::string &T, std::string &Out) {
-  Out.clear();
-  if (T == "\\e")
-    return true;
-  for (size_t I = 0; I < T.size(); ++I) {
-    if (T[I] != '\\') {
-      Out += T[I];
-      continue;
-    }
-    if (I + 1 >= T.size())
-      return false;
-    switch (T[++I]) {
-    case '\\':
-      Out += '\\';
-      break;
-    case 's':
-      Out += ' ';
-      break;
-    case 'n':
-      Out += '\n';
-      break;
-    case 't':
-      Out += '\t';
-      break;
-    default:
-      return false;
-    }
-  }
-  return true;
-}
-
-//===----------------------------------------------------------------------===//
-// Positional token sink / source
-//===----------------------------------------------------------------------===//
-
-class Sink {
-  std::string Buf;
-
-public:
-  void raw(const std::string &T) {
-    if (!Buf.empty())
-      Buf += ' ';
-    Buf += T;
-  }
-  void str(const std::string &S) { raw(escToken(S)); }
-  void u64(uint64_t V) {
-    char B[32];
-    std::snprintf(B, sizeof B, "%" PRIu64, V);
-    raw(B);
-  }
-  void i64(int64_t V) {
-    char B[32];
-    std::snprintf(B, sizeof B, "%" PRId64, V);
-    raw(B);
-  }
-  void b(bool V) { raw(V ? "1" : "0"); }
-  void d(double V) {
-    // Hex-float: exact round trip, locale-independent.
-    char B[48];
-    std::snprintf(B, sizeof B, "%a", V);
-    raw(B);
-  }
-  void rat(const Rational &R) {
-    i64(R.num());
-    i64(R.den());
-  }
-  const std::string &line() const { return Buf; }
-};
-
-class Source {
-  std::istringstream In;
-  bool Bad_ = false;
-
-  std::string next() {
-    std::string T;
-    if (!(In >> T))
-      Bad_ = true;
-    return T;
-  }
-
-public:
-  explicit Source(const std::string &Line) : In(Line) {}
-  bool bad() const { return Bad_; }
-  /// True when every token was consumed and none failed to parse.
-  bool done() {
-    std::string T;
-    return !Bad_ && !(In >> T);
-  }
-
-  std::string str() {
-    std::string Out;
-    if (!unescToken(next(), Out))
-      Bad_ = true;
-    return Out;
-  }
-  uint64_t u64() {
-    std::string T = next();
-    if (Bad_)
-      return 0;
-    char *End = nullptr;
-    uint64_t V = std::strtoull(T.c_str(), &End, 10);
-    if (End != T.c_str() + T.size())
-      Bad_ = true;
-    return V;
-  }
-  int64_t i64() {
-    std::string T = next();
-    if (Bad_)
-      return 0;
-    char *End = nullptr;
-    int64_t V = std::strtoll(T.c_str(), &End, 10);
-    if (End != T.c_str() + T.size())
-      Bad_ = true;
-    return V;
-  }
-  bool b() { return u64() != 0; }
-  double d() {
-    std::string T = next();
-    if (Bad_)
-      return 0;
-    char *End = nullptr;
-    double V = std::strtod(T.c_str(), &End);
-    if (End != T.c_str() + T.size())
-      Bad_ = true;
-    return V;
-  }
-  Rational rat() {
-    int64_t N = i64();
-    int64_t D = i64();
-    return Bad_ ? Rational() : Rational(N, D);
-  }
-};
-
-//===----------------------------------------------------------------------===//
-// Mirrored put/get per result component
-//===----------------------------------------------------------------------===//
-
-void putActivity(Sink &S, const ActivityCounts &A) {
-  S.d(A.WeightedIns);
-  S.d(A.Comms);
-  S.d(A.MemAccesses);
-}
-ActivityCounts getActivity(Source &S) {
-  ActivityCounts A;
-  A.WeightedIns = S.d();
-  A.Comms = S.d();
-  A.MemAccesses = S.d();
-  return A;
-}
-
-void putLoopProfile(Sink &S, const LoopProfile &L) {
-  S.str(L.Name);
-  S.u64(L.TripCount);
-  S.d(L.Weight);
-  S.d(L.Invocations);
-  S.i64(L.RecMII);
-  S.i64(L.ResMII);
-  S.i64(L.IIHom);
-  S.rat(L.ItLengthRefNs);
-  S.rat(L.TexecRefNs);
-  putActivity(S, L.PerIter);
-  S.i64(L.SumLifetimesRef);
-  S.u64(L.OpCounts.size());
-  for (unsigned C : L.OpCounts)
-    S.u64(C);
-  S.u64(L.NumOps);
-  S.u64(L.StructuralFP);
-  S.u64(L.Components.size());
-  for (const ComponentProfile &C : L.Components) {
-    S.i64(C.RecMII);
-    S.u64(C.FUCounts.size());
-    for (unsigned F : C.FUCounts)
-      S.u64(F);
-  }
-}
-LoopProfile getLoopProfile(Source &S) {
-  LoopProfile L;
-  L.Name = S.str();
-  L.TripCount = S.u64();
-  L.Weight = S.d();
-  L.Invocations = S.d();
-  L.RecMII = S.i64();
-  L.ResMII = S.i64();
-  L.IIHom = S.i64();
-  L.ItLengthRefNs = S.rat();
-  L.TexecRefNs = S.rat();
-  L.PerIter = getActivity(S);
-  L.SumLifetimesRef = S.i64();
-  L.OpCounts.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
-  for (unsigned &C : L.OpCounts)
-    C = static_cast<unsigned>(S.u64());
-  L.NumOps = static_cast<unsigned>(S.u64());
-  L.StructuralFP = S.u64();
-  L.Components.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
-  for (ComponentProfile &C : L.Components) {
-    C.RecMII = S.i64();
-    C.FUCounts.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
-    for (unsigned &F : C.FUCounts)
-      F = static_cast<unsigned>(S.u64());
-  }
-  return L;
-}
-
-void putProfile(Sink &S, const ProgramProfile &P) {
-  S.str(P.Name);
-  S.d(P.TexecRefNs);
-  putActivity(S, P.Totals);
-  S.u64(P.Loops.size());
-  for (const LoopProfile &L : P.Loops)
-    putLoopProfile(S, L);
-}
-ProgramProfile getProfile(Source &S) {
-  ProgramProfile P;
-  P.Name = S.str();
-  P.TexecRefNs = S.d();
-  P.Totals = getActivity(S);
-  P.Loops.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
-  for (LoopProfile &L : P.Loops)
-    L = getLoopProfile(S);
-  return P;
-}
-
-void putOpPoint(Sink &S, const DomainOperatingPoint &P) {
-  S.rat(P.PeriodNs);
-  S.d(P.Vdd);
-  S.d(P.Vth);
-}
-DomainOperatingPoint getOpPoint(Source &S) {
-  DomainOperatingPoint P;
-  P.PeriodNs = S.rat();
-  P.Vdd = S.d();
-  P.Vth = S.d();
-  return P;
-}
-
-void putDesign(Sink &S, const SelectedDesign &D) {
-  S.b(D.Valid);
-  S.d(D.EstTexecNs);
-  S.d(D.EstEnergy);
-  S.d(D.EstED2);
-  S.u64(D.Config.Clusters.size());
-  for (const DomainOperatingPoint &P : D.Config.Clusters)
-    putOpPoint(S, P);
-  putOpPoint(S, D.Config.Icn);
-  putOpPoint(S, D.Config.Cache);
-  S.u64(D.Scaling.Clusters.size());
-  for (const DomainScaling &Sc : D.Scaling.Clusters) {
-    S.d(Sc.Delta);
-    S.d(Sc.Sigma);
-  }
-  S.d(D.Scaling.Icn.Delta);
-  S.d(D.Scaling.Icn.Sigma);
-  S.d(D.Scaling.Cache.Delta);
-  S.d(D.Scaling.Cache.Sigma);
-}
-SelectedDesign getDesign(Source &S) {
-  SelectedDesign D;
-  D.Valid = S.b();
-  D.EstTexecNs = S.d();
-  D.EstEnergy = S.d();
-  D.EstED2 = S.d();
-  D.Config.Clusters.resize(S.bad() ? 0
-                                   : std::min<uint64_t>(S.u64(), 1u << 20));
-  for (DomainOperatingPoint &P : D.Config.Clusters)
-    P = getOpPoint(S);
-  D.Config.Icn = getOpPoint(S);
-  D.Config.Cache = getOpPoint(S);
-  D.Scaling.Clusters.resize(S.bad() ? 0
-                                    : std::min<uint64_t>(S.u64(), 1u << 20));
-  for (DomainScaling &Sc : D.Scaling.Clusters) {
-    Sc.Delta = S.d();
-    Sc.Sigma = S.d();
-  }
-  D.Scaling.Icn.Delta = S.d();
-  D.Scaling.Icn.Sigma = S.d();
-  D.Scaling.Cache.Delta = S.d();
-  D.Scaling.Cache.Sigma = S.d();
-  return D;
-}
-
-void putConfigRun(Sink &S, const ConfigRunResult &R) {
-  S.b(R.Ok);
-  S.d(R.TexecNs);
-  S.d(R.Energy);
-  S.d(R.ED2);
-  S.u64(R.Failures);
-  S.u64(R.FailureDetails.size());
-  for (const LoopScheduleFailure &F : R.FailureDetails) {
-    S.str(F.Loop);
-    S.str(F.Detail);
-  }
-  S.u64(R.Loops.size());
-  for (const LoopRunStat &L : R.Loops) {
-    S.str(L.Name);
-    S.d(L.ITNs);
-    S.d(L.TexecNs);
-    S.u64(L.Comms);
-    S.b(L.Degraded);
-  }
-  S.u64(R.ScheduleHits);
-  S.u64(R.ScheduleMisses);
-  S.u64(R.SchedPlacements);
-  S.u64(R.SchedEjections);
-  S.u64(R.SchedBudgetUsed);
-  S.u64(R.SchedITSteps);
-  S.u64(R.DegradedLoops);
-  S.u64(R.ColdReplays);
-  S.u64(R.FlatPartitions);
-  S.u64(R.FallbackRational);
-}
-ConfigRunResult getConfigRun(Source &S) {
-  ConfigRunResult R;
-  R.Ok = S.b();
-  R.TexecNs = S.d();
-  R.Energy = S.d();
-  R.ED2 = S.d();
-  R.Failures = static_cast<unsigned>(S.u64());
-  R.FailureDetails.resize(S.bad() ? 0
-                                  : std::min<uint64_t>(S.u64(), 1u << 20));
-  for (LoopScheduleFailure &F : R.FailureDetails) {
-    F.Loop = S.str();
-    F.Detail = S.str();
-  }
-  R.Loops.resize(S.bad() ? 0 : std::min<uint64_t>(S.u64(), 1u << 20));
-  for (LoopRunStat &L : R.Loops) {
-    L.Name = S.str();
-    L.ITNs = S.d();
-    L.TexecNs = S.d();
-    L.Comms = static_cast<unsigned>(S.u64());
-    L.Degraded = S.b();
-  }
-  R.ScheduleHits = S.u64();
-  R.ScheduleMisses = S.u64();
-  R.SchedPlacements = S.u64();
-  R.SchedEjections = S.u64();
-  R.SchedBudgetUsed = S.u64();
-  R.SchedITSteps = S.u64();
-  R.DegradedLoops = static_cast<unsigned>(S.u64());
-  R.ColdReplays = static_cast<unsigned>(S.u64());
-  R.FlatPartitions = static_cast<unsigned>(S.u64());
-  R.FallbackRational = static_cast<unsigned>(S.u64());
-  return R;
-}
-
-void putResult(Sink &S, const ProgramRunResult &R) {
-  S.str(R.Name);
-  S.d(R.ED2Ratio);
-  putProfile(S, R.Profile);
-  putDesign(S, R.HetDesign);
-  putDesign(S, R.HomDesign);
-  putConfigRun(S, R.HetMeasured);
-  putConfigRun(S, R.HomMeasured);
-}
-ProgramRunResult getResult(Source &S) {
-  ProgramRunResult R;
-  R.Name = S.str();
-  R.ED2Ratio = S.d();
-  R.Profile = getProfile(S);
-  R.HetDesign = getDesign(S);
-  R.HomDesign = getDesign(S);
-  R.HetMeasured = getConfigRun(S);
-  R.HomMeasured = getConfigRun(S);
-  return R;
-}
-
-void putFailure(Sink &S, PipelineStage Stage, const std::string &Reason,
-                double StageWallMs) {
-  S.u64(static_cast<uint64_t>(Stage));
-  S.str(Reason);
-  S.d(StageWallMs);
-}
-JournaledFailure getFailure(Source &S) {
-  JournaledFailure F;
-  uint64_t Stage = S.u64();
-  if (Stage > static_cast<uint64_t>(PipelineStage::Measurement))
-    Stage = 0;
-  F.Stage = static_cast<PipelineStage>(Stage);
-  F.Reason = S.str();
-  F.StageWallMs = S.d();
-  return F;
-}
 
 constexpr const char *JournalMagic = "hcvliw-suite-journal v1";
 
@@ -482,7 +67,10 @@ std::optional<SuiteJournal> SuiteJournal::load(const std::string &Path,
 
   // Framed records. Any malformed or unterminated record is treated as
   // the torn tail of a killed run: it and everything after it are
-  // dropped, everything before it loads.
+  // dropped, everything before it loads. CleanBytes tracks how far the
+  // intact prefix reaches, so an appending reopen can cut the tear off
+  // instead of writing records the next load would never see.
+  J.CleanBytes = static_cast<uint64_t>(In.tellg());
   while (std::getline(In, Line)) {
     Source Frame(Line);
     std::string Kw = Frame.str();
@@ -506,16 +94,17 @@ std::optional<SuiteJournal> SuiteJournal::load(const std::string &Path,
 
     Source S(Body);
     if (Kind == "ok") {
-      ProgramRunResult R = getResult(S);
+      ProgramRunResult R = serde::getResult(S);
       if (S.bad() || !S.done() || R.Name != Name)
         break;
       J.Results[Name] = std::move(R);
     } else {
-      JournaledFailure F = getFailure(S);
+      JournaledFailure F = serde::getFailure(S);
       if (S.bad() || !S.done())
         break;
       J.Failures[Name] = std::move(F);
     }
+    J.CleanBytes = static_cast<uint64_t>(In.tellg());
   }
   return J;
 }
@@ -542,6 +131,14 @@ bool SuiteJournalWriter::open(const std::string &Path, uint64_t Fingerprint,
         return false;
       }
       WriteHeader = false;
+      // Cut off a torn tail before appending: records written after
+      // the tear would otherwise be dropped by every future load.
+      if (::truncate(Path.c_str(), static_cast<off_t>(Existing->CleanBytes))
+          != 0) {
+        if (Err)
+          *Err = "cannot truncate torn journal tail: " + Path;
+        return false;
+      }
     }
   }
   Out = std::fopen(Path.c_str(), "ab");
@@ -562,9 +159,9 @@ void SuiteJournalWriter::append(const ProgramRunResult &R) {
   if (!Out)
     return;
   Sink S;
-  putResult(S, R);
+  serde::putResult(S, R);
   std::string Rec;
-  std::string Name = escToken(R.Name);
+  std::string Name = recio::escToken(R.Name);
   Rec.reserve(S.line().size() + 2 * Name.size() + 32);
   Rec += "begin ok " + Name + "\n";
   Rec += S.line();
@@ -582,9 +179,9 @@ void SuiteJournalWriter::appendFailure(const std::string &Program,
   if (!Out)
     return;
   Sink S;
-  putFailure(S, Stage, Reason, StageWallMs);
+  serde::putFailure(S, Stage, Reason, StageWallMs);
   std::string Rec;
-  std::string Name = escToken(Program);
+  std::string Name = recio::escToken(Program);
   Rec += "begin fail " + Name + "\n";
   Rec += S.line();
   Rec += "\nend fail " + Name + "\n";

@@ -60,6 +60,11 @@ struct SuiteJournal {
   uint64_t Fingerprint = 0;
   std::map<std::string, ProgramRunResult> Results;
   std::map<std::string, JournaledFailure> Failures;
+  /// Byte length of the intact prefix load() parsed (header + complete
+  /// records). Shorter than the file when a torn tail was dropped;
+  /// SuiteJournalWriter::open truncates to it before appending, so
+  /// records appended by a retry are never hidden behind the tear.
+  uint64_t CleanBytes = 0;
 
   size_t numRecords() const { return Results.size() + Failures.size(); }
 

@@ -45,6 +45,22 @@ void PartitionedGraph::finalizeAdjacency() {
   InStart[0] = 0;
 }
 
+PartitionedGraph PartitionedGraph::fromRaw(unsigned NumClusters,
+                                           std::vector<PGNode> RawNodes,
+                                           std::vector<PGEdge> RawEdges) {
+  PartitionedGraph PG;
+  PG.NumClustersVal = NumClusters;
+  PG.Nodes = std::move(RawNodes);
+  PG.Edges = std::move(RawEdges);
+#ifndef NDEBUG
+  for (const PGEdge &E : PG.Edges)
+    assert(E.Src < PG.Nodes.size() && E.Dst < PG.Nodes.size() &&
+           "raw edge endpoint out of range");
+#endif
+  PG.finalizeAdjacency();
+  return PG;
+}
+
 PartitionedGraph PartitionedGraph::build(const Loop &L, const DDG &G,
                                          const IsaTable &Isa,
                                          const Partition &P,

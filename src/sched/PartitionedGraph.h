@@ -88,6 +88,15 @@ public:
                         std::vector<int> *CopyScratch = nullptr,
                         const std::vector<unsigned> *NodeLatencies = nullptr);
 
+  /// Rebuilds a graph from raw node/edge lists — the persistent
+  /// schedule-cache loader's path (runtime/ResultSerde): the CSR
+  /// adjacency is rederived from \p Edges exactly as buildInto derives
+  /// it, so a deserialized graph is indistinguishable from the one
+  /// that was serialized. Every edge endpoint must be < Nodes.size().
+  static PartitionedGraph fromRaw(unsigned NumClusters,
+                                  std::vector<PGNode> Nodes,
+                                  std::vector<PGEdge> Edges);
+
   unsigned numClusters() const { return NumClustersVal; }
   unsigned busDomain() const { return NumClustersVal; }
   unsigned size() const { return static_cast<unsigned>(Nodes.size()); }

@@ -1,0 +1,148 @@
+//===- support/RecordIO.cpp - Token-framed record serialization -------------===//
+
+#include "support/RecordIO.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace hcvliw;
+using namespace hcvliw::recio;
+
+std::string recio::escToken(const std::string &S) {
+  if (S.empty())
+    return "\\e";
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case ' ':
+      Out += "\\s";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+bool recio::unescToken(const std::string &T, std::string &Out) {
+  Out.clear();
+  if (T == "\\e")
+    return true;
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (T[I] != '\\') {
+      Out += T[I];
+      continue;
+    }
+    if (I + 1 >= T.size())
+      return false;
+    switch (T[++I]) {
+    case '\\':
+      Out += '\\';
+      break;
+    case 's':
+      Out += ' ';
+      break;
+    case 'n':
+      Out += '\n';
+      break;
+    case 't':
+      Out += '\t';
+      break;
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+uint32_t recio::crc32(const void *Data, size_t Size) {
+  // Table-driven reflected CRC-32 (poly 0xEDB88320). The table is a
+  // pure function of the polynomial; building it lazily once is safe
+  // (magic statics) and deterministic.
+  struct Table {
+    uint32_t T[256];
+    Table() {
+      for (uint32_t I = 0; I < 256; ++I) {
+        uint32_t C = I;
+        for (int K = 0; K < 8; ++K)
+          C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+        T[I] = C;
+      }
+    }
+  };
+  static const Table Tab;
+  uint32_t C = 0xFFFFFFFFu;
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Size; ++I)
+    C = Tab.T[(C ^ P[I]) & 0xFFu] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+void Sink::u64(uint64_t V) {
+  char B[32];
+  std::snprintf(B, sizeof B, "%" PRIu64, V);
+  raw(B);
+}
+
+void Sink::i64(int64_t V) {
+  char B[32];
+  std::snprintf(B, sizeof B, "%" PRId64, V);
+  raw(B);
+}
+
+void Sink::d(double V) {
+  char B[48];
+  std::snprintf(B, sizeof B, "%a", V);
+  raw(B);
+}
+
+std::string Source::str() {
+  std::string Out;
+  if (!unescToken(next(), Out))
+    Bad_ = true;
+  return Out;
+}
+
+uint64_t Source::u64() {
+  std::string T = next();
+  if (Bad_)
+    return 0;
+  char *End = nullptr;
+  uint64_t V = std::strtoull(T.c_str(), &End, 10);
+  if (End != T.c_str() + T.size())
+    Bad_ = true;
+  return V;
+}
+
+int64_t Source::i64() {
+  std::string T = next();
+  if (Bad_)
+    return 0;
+  char *End = nullptr;
+  int64_t V = std::strtoll(T.c_str(), &End, 10);
+  if (End != T.c_str() + T.size())
+    Bad_ = true;
+  return V;
+}
+
+double Source::d() {
+  std::string T = next();
+  if (Bad_)
+    return 0;
+  char *End = nullptr;
+  double V = std::strtod(T.c_str(), &End);
+  if (End != T.c_str() + T.size())
+    Bad_ = true;
+  return V;
+}

@@ -1,0 +1,123 @@
+//===- tests/dist/DistTestUtil.h - Shared dist-test helpers ------*- C++ -*-===//
+//
+// Helpers the tests/dist/ binaries share: the small SPECfp fixture
+// suite (plus an always-failing program, so failure records flow
+// through every shard/merge path under test), temp-path plumbing, and
+// a full bitwise serialization of a SuiteResult's deterministic fields
+// — comparing two results by suiteResultKey() pins EVERY serde-visible
+// field, not a hand-picked subset.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HCVLIW_TESTS_DIST_DISTTESTUTIL_H
+#define HCVLIW_TESTS_DIST_DISTTESTUTIL_H
+
+#include "runtime/ResultSerde.h"
+#include "runtime/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+namespace disttest {
+
+/// Three real programs; with \p WithBroken a fourth empty one whose
+/// run fails, so failure records ride through journals and merges.
+inline std::vector<hcvliw::BenchmarkProgram> smallSuite(bool WithBroken) {
+  std::vector<hcvliw::BenchmarkProgram> Programs;
+  for (const char *Name : {"168.wupwise", "171.swim", "172.mgrid"})
+    Programs.push_back(hcvliw::buildSpecFPProgram(Name));
+  if (WithBroken) {
+    hcvliw::BenchmarkProgram Broken;
+    Broken.Name = "999.broken";
+    Programs.push_back(Broken);
+  }
+  return Programs;
+}
+
+inline std::string tempPath(const std::string &Name) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::remove(Path.c_str());
+  return Path;
+}
+
+/// A fresh, EMPTY work directory under TempDir. Stale shard journals
+/// from a previous test run would otherwise be resumed — turning real
+/// shard runs into no-ops and invalidating attempt/retry assertions.
+inline std::string tempDir(const std::string &Name) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::error_code EC;
+  std::filesystem::remove_all(Path, EC);
+  ::mkdir(Path.c_str(), 0755);
+  return Path;
+}
+
+inline std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+inline void spit(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out << Bytes;
+}
+
+/// Zeroes \p C's scheduler-effort / cache-effectiveness counters.
+/// They reflect the session that computed the record (a structurally
+/// repeated loop hits the cache only if an earlier program of the SAME
+/// session warmed it), so they legitimately differ between a
+/// single-process run, a shard's run, and a snapshot-warmed run. The
+/// repo's determinism contract has always carved them out (see
+/// tests/fault/JournalResumeTest expectBitIdentical and the
+/// SessionSuiteTest pins); per-loop semantic outcomes (Loops[].ITNs,
+/// TexecNs, Degraded) stay compared.
+inline void clearEffortCounters(hcvliw::ConfigRunResult &C) {
+  C.ScheduleHits = C.ScheduleMisses = 0;
+  C.SchedPlacements = C.SchedEjections = 0;
+  C.SchedBudgetUsed = C.SchedITSteps = 0;
+  C.DegradedLoops = C.ColdReplays = 0;
+  C.FlatPartitions = C.FallbackRational = 0;
+}
+
+/// Serializes every deterministic field of \p R (via the same serde
+/// layer the journal uses, so doubles are hex-floats and Rationals
+/// num/den — bit-exact). SuiteFailure::StageWallMs is wall time and
+/// excluded by contract, as are the effort counters (see
+/// clearEffortCounters).
+inline std::string suiteResultKey(const hcvliw::SuiteResult &R) {
+  std::string Key;
+  for (size_t I = 0; I < R.Names.size(); ++I) {
+    hcvliw::recio::Sink S;
+    hcvliw::ProgramRunResult D = R.Details[I];
+    clearEffortCounters(D.HetMeasured);
+    clearEffortCounters(D.HomMeasured);
+    hcvliw::serde::putResult(S, D);
+    Key += "ok " + R.Names[I] + " " + S.line() + "\n";
+  }
+  for (const hcvliw::SuiteFailure &F : R.Failures) {
+    hcvliw::recio::Sink S;
+    hcvliw::serde::putFailure(S, F.Stage, F.Reason, /*StageWallMs=*/0.0);
+    Key += "fail " + F.Program + " " + S.line() + "\n";
+  }
+  return Key;
+}
+
+inline void expectBitIdentical(const hcvliw::SuiteResult &A,
+                               const hcvliw::SuiteResult &B) {
+  ASSERT_EQ(A.Names, B.Names);
+  ASSERT_EQ(A.Failures.size(), B.Failures.size());
+  EXPECT_EQ(suiteResultKey(A), suiteResultKey(B));
+}
+
+} // namespace disttest
+
+#endif // HCVLIW_TESTS_DIST_DISTTESTUTIL_H

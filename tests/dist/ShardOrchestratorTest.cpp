@@ -1,0 +1,292 @@
+//===- tests/dist/ShardOrchestratorTest.cpp - Crash-tolerant shards ---------===//
+//
+// The orchestrator contracts, scripted through an in-process
+// ShardExecutor double (no fork, fully deterministic): a shard that
+// crashes mid-append — leaving a torn journal tail — retries and the
+// reassembled SuiteResult is bit-identical to single-process; a hung
+// shard is killed at the deadline and retried the same way; exhausted
+// attempts surface as Ok = false with the per-shard report filled,
+// never an exception; backoff is an exact deterministic schedule; the
+// dist.spawn / dist.merge fault sites drive those failure paths from a
+// FaultPlan; and side-car cache snapshots merge into one warm-start
+// snapshot.
+//
+//===----------------------------------------------------------------------===//
+
+#include "DistTestUtil.h"
+
+#include "dist/ShardOrchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+
+using namespace hcvliw;
+using namespace disttest;
+
+namespace {
+
+/// Runs shard attempts in-process: a real SuiteRunner over the shard's
+/// partition, journaling to Spec.JournalPath and resuming from it when
+/// it already exists (exactly the child-process behavior), with two
+/// script hooks — SkipRun simulates a hang killed at the deadline
+/// (nothing executes), TearAfter simulates a crash mid-append (the run
+/// completes, then the journal's tail is torn off mid-record).
+class InProcessShardExecutor : public dist::ShardExecutor {
+public:
+  PipelineOptions Opts;
+  std::vector<BenchmarkProgram> Programs;
+  std::function<bool(const dist::ShardSpec &)> SkipRun;
+  std::function<bool(const dist::ShardSpec &)> TearAfter;
+  std::atomic<unsigned> Runs{0};
+
+  Outcome runShard(const dist::ShardSpec &Spec, double) override {
+    Outcome O;
+    O.Spawned = true;
+    if (SkipRun && SkipRun(Spec)) {
+      O.TimedOut = true;
+      O.Detail = "simulated hang; killed at deadline";
+      return O;
+    }
+    ++Runs;
+    try {
+      Session S(Opts, 1);
+      SuiteOptions SO;
+      SO.ShardIndex = Spec.Index;
+      SO.ShardCount = Spec.Count;
+      SO.JournalPath = Spec.JournalPath;
+      uint64_t Fp = suiteJournalFingerprint(Opts, Programs);
+      std::optional<SuiteJournal> Existing =
+          SuiteJournal::load(Spec.JournalPath, Fp);
+      if (Existing)
+        SO.ResumeFrom = &*Existing;
+      SuiteRunner(S).run(Programs, SO);
+      if (!Spec.CachePath.empty())
+        S.saveCacheTo(Spec.CachePath);
+    } catch (const std::exception &E) {
+      O.Detail = E.what();
+      return O;
+    }
+    if (TearAfter && TearAfter(Spec)) {
+      // Crash-mid-append shape: keep the first record, cut into the
+      // second. The retry must resume past record one, and the torn
+      // bytes must not hide what it appends (CleanBytes truncation).
+      std::string Bytes = slurp(Spec.JournalPath);
+      size_t First = Bytes.find("begin ");
+      size_t Second = Bytes.find("begin ", First + 1);
+      EXPECT_NE(Second, std::string::npos) << "crash shard owns < 2";
+      if (Second != std::string::npos)
+        spit(Spec.JournalPath, Bytes.substr(0, Second + 20));
+      O.Detail = "simulated crash mid-append";
+      return O; // Spawned, not Exited0
+    }
+    O.Exited0 = true;
+    return O;
+  }
+};
+
+/// The shard (under \p N) that owns the most programs — the one worth
+/// crashing, since it has a record to keep and a record to lose.
+unsigned busiestShard(const std::vector<BenchmarkProgram> &Programs,
+                      unsigned N) {
+  std::vector<size_t> Count(N, 0);
+  for (const BenchmarkProgram &P : Programs)
+    ++Count[suiteShardOf(P.Name, N)];
+  unsigned Best = 0;
+  for (unsigned I = 1; I < N; ++I)
+    if (Count[I] > Count[Best])
+      Best = I;
+  return Best;
+}
+
+SuiteResult singleProcessBaseline(
+    const std::vector<BenchmarkProgram> &Programs) {
+  Session S{PipelineOptions(), 2};
+  return SuiteRunner(S).run(Programs);
+}
+
+// --- backoff ---------------------------------------------------------------
+
+TEST(ShardBackoff, ExactDeterministicSchedule) {
+  EXPECT_EQ(dist::shardBackoffMs(25, 1), 0u); // first attempt never waits
+  EXPECT_EQ(dist::shardBackoffMs(25, 2), 25u);
+  EXPECT_EQ(dist::shardBackoffMs(25, 3), 50u);
+  EXPECT_EQ(dist::shardBackoffMs(25, 4), 100u);
+  EXPECT_EQ(dist::shardBackoffMs(25, 40), 30000u); // clamped
+  EXPECT_EQ(dist::shardBackoffMs(0, 5), 0u);
+}
+
+// --- crash / retry / bit-identity ------------------------------------------
+
+TEST(ShardOrchestrator, CrashedShardRetriesToBitIdenticalResult) {
+  std::vector<BenchmarkProgram> Programs = smallSuite(/*WithBroken=*/true);
+  SuiteResult Single = singleProcessBaseline(Programs);
+  unsigned Crash = busiestShard(Programs, 2);
+
+  InProcessShardExecutor Exec;
+  Exec.Programs = Programs;
+  Exec.TearAfter = [&](const dist::ShardSpec &Spec) {
+    return Spec.Index == Crash && Spec.Attempt == 1;
+  };
+
+  Session S{PipelineOptions(), 2};
+  dist::ShardOrchestrator Orch(S, Exec);
+  dist::OrchestratorOptions OO;
+  OO.Shards = 2;
+  OO.WorkDir = tempDir("orch_crash");
+  OO.BackoffBaseMs = 1;
+  dist::OrchestratorResult R = Orch.run(Programs, OO);
+
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Shards[Crash].Attempts, 2u);
+  EXPECT_EQ(R.Shards[1 - Crash].Attempts, 1u);
+  EXPECT_TRUE(R.Shards[Crash].Ok);
+  expectBitIdentical(Single, R.Result);
+}
+
+TEST(ShardOrchestrator, HungShardIsKilledAndRetried) {
+  std::vector<BenchmarkProgram> Programs = smallSuite(/*WithBroken=*/false);
+  SuiteResult Single = singleProcessBaseline(Programs);
+  // Hang a shard that owns work — an ownerless shard is complete the
+  // moment its (empty) partition is checked, retried or not.
+  unsigned Hang = busiestShard(Programs, 2);
+
+  InProcessShardExecutor Exec;
+  Exec.Programs = Programs;
+  Exec.SkipRun = [&](const dist::ShardSpec &Spec) {
+    return Spec.Index == Hang && Spec.Attempt == 1;
+  };
+
+  Session S{PipelineOptions(), 2};
+  dist::ShardOrchestrator Orch(S, Exec);
+  dist::OrchestratorOptions OO;
+  OO.Shards = 2;
+  OO.WorkDir = tempDir("orch_hang");
+  OO.BackoffBaseMs = 1;
+  OO.ShardDeadlineMs = 60000;
+  dist::OrchestratorResult R = Orch.run(Programs, OO);
+
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Shards[Hang].TimedOut);
+  EXPECT_EQ(R.Shards[Hang].Attempts, 2u);
+  expectBitIdentical(Single, R.Result);
+}
+
+TEST(ShardOrchestrator, ExhaustedAttemptsSurfaceError) {
+  std::vector<BenchmarkProgram> Programs = smallSuite(/*WithBroken=*/false);
+  unsigned Hang = busiestShard(Programs, 2);
+
+  InProcessShardExecutor Exec;
+  Exec.Programs = Programs;
+  Exec.SkipRun = [&](const dist::ShardSpec &Spec) {
+    return Spec.Index == Hang;
+  };
+
+  Session S{PipelineOptions(), 2};
+  dist::ShardOrchestrator Orch(S, Exec);
+  dist::OrchestratorOptions OO;
+  OO.Shards = 2;
+  OO.MaxAttempts = 2;
+  OO.WorkDir = tempDir("orch_giveup");
+  OO.BackoffBaseMs = 1;
+  dist::OrchestratorResult R = Orch.run(Programs, OO);
+
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("shard " + std::to_string(Hang)),
+            std::string::npos)
+      << R.Error;
+  EXPECT_EQ(R.Shards[Hang].Attempts, 2u);
+  EXPECT_FALSE(R.Shards[Hang].Ok);
+}
+
+// --- fault-site driven failure paths ---------------------------------------
+
+TEST(ShardOrchestrator, SpawnFaultRetriesDeterministically) {
+  std::vector<BenchmarkProgram> Programs = smallSuite(/*WithBroken=*/false);
+  SuiteResult Single = singleProcessBaseline(Programs);
+
+  unsigned Victim = busiestShard(Programs, 2);
+  InProcessShardExecutor Exec;
+  Exec.Programs = Programs;
+
+  Session S{PipelineOptions(), 2};
+  auto Plan = fault::FaultPlan::parse("on dist.spawn ctx shard" +
+                                      std::to_string(Victim) +
+                                      " occurrence 1 throw");
+  ASSERT_TRUE(Plan.has_value());
+  S.faultInjector().arm(*Plan);
+
+  dist::ShardOrchestrator Orch(S, Exec);
+  dist::OrchestratorOptions OO;
+  OO.Shards = 2;
+  OO.WorkDir = tempDir("orch_spawnfault");
+  OO.BackoffBaseMs = 1;
+  dist::OrchestratorResult R = Orch.run(Programs, OO);
+
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Injected spawn failure, then retry.
+  EXPECT_EQ(R.Shards[Victim].Attempts, 2u);
+  EXPECT_EQ(R.Shards[1 - Victim].Attempts, 1u);
+  expectBitIdentical(Single, R.Result);
+}
+
+TEST(ShardOrchestrator, MergeFaultSurfacesError) {
+  std::vector<BenchmarkProgram> Programs = smallSuite(/*WithBroken=*/false);
+
+  InProcessShardExecutor Exec;
+  Exec.Programs = Programs;
+
+  Session S{PipelineOptions(), 2};
+  auto Plan = fault::FaultPlan::parse("on dist.merge occurrence 1 throw");
+  ASSERT_TRUE(Plan.has_value());
+  S.faultInjector().arm(*Plan);
+
+  dist::ShardOrchestrator Orch(S, Exec);
+  dist::OrchestratorOptions OO;
+  OO.Shards = 2;
+  OO.WorkDir = tempDir("orch_mergefault");
+  OO.BackoffBaseMs = 1;
+  dist::OrchestratorResult R = Orch.run(Programs, OO);
+
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("merge failed"), std::string::npos) << R.Error;
+  // Both shards had finished; the failure is merge-local.
+  EXPECT_TRUE(R.Shards[0].Ok);
+  EXPECT_TRUE(R.Shards[1].Ok);
+}
+
+// --- side-car cache merge ---------------------------------------------------
+
+TEST(ShardOrchestrator, SideCarCachesMergeToOneWarmSnapshot) {
+  std::vector<BenchmarkProgram> Programs = smallSuite(/*WithBroken=*/false);
+  SuiteResult Single = singleProcessBaseline(Programs);
+
+  InProcessShardExecutor Exec;
+  Exec.Programs = Programs;
+
+  Session S{PipelineOptions(), 2};
+  dist::ShardOrchestrator Orch(S, Exec);
+  dist::OrchestratorOptions OO;
+  OO.Shards = 2;
+  OO.WorkDir = tempDir("orch_cachemerge");
+  OO.MergeCaches = true;
+  dist::OrchestratorResult R = Orch.run(Programs, OO);
+
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_FALSE(R.MergedCachePath.empty());
+  EXPECT_EQ(R.CacheCorruptFrames, 0u);
+
+  // The merged snapshot warms a fresh session: same results, and the
+  // persistent tier actually serves hits.
+  Session Warm{PipelineOptions(), 2};
+  std::string Err;
+  ASSERT_TRUE(Warm.loadCacheFrom(R.MergedCachePath, &Err)) << Err;
+  EXPECT_GT(Warm.cachePersistLoadStats().loaded(), 0u);
+  EXPECT_EQ(Warm.cachePersistLoadStats().CorruptFrames, 0u);
+  SuiteResult WarmRun = SuiteRunner(Warm).run(Programs);
+  expectBitIdentical(Single, WarmRun);
+  EXPECT_GT(Warm.cachePersistHits(), 0u);
+}
+
+} // namespace

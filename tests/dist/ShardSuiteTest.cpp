@@ -1,0 +1,161 @@
+//===- tests/dist/ShardSuiteTest.cpp - Deterministic suite sharding ---------===//
+//
+// The SuiteRunner sharding contracts: suiteShardOf is a pure, stable
+// partition of program names for any shard count; a shard run executes
+// (and journals) exactly the programs it owns; and the headline
+// contract — the union of N shard journals, reassembled through the
+// resume path, is bit-identical to the single-process SuiteResult for
+// N in {1, 2, 3}, failure records included.
+//
+//===----------------------------------------------------------------------===//
+
+#include "DistTestUtil.h"
+
+#include "runtime/SuiteJournal.h"
+#include "runtime/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace hcvliw;
+using namespace disttest;
+
+namespace {
+
+// --- partition function ----------------------------------------------------
+
+TEST(SuiteShardOf, StableInRangePartition) {
+  std::vector<std::string> Names;
+  for (const BenchmarkProgram &P : buildSpecFPSuite())
+    Names.push_back(P.Name);
+  ASSERT_GE(Names.size(), 3u);
+
+  for (unsigned N = 1; N <= 5; ++N) {
+    std::set<unsigned> Used;
+    for (const std::string &Name : Names) {
+      unsigned Shard = suiteShardOf(Name, N);
+      EXPECT_LT(Shard, N) << Name;
+      EXPECT_EQ(Shard, suiteShardOf(Name, N)) << Name; // pure
+      Used.insert(Shard);
+    }
+    if (N == 1)
+      EXPECT_EQ(Used, std::set<unsigned>{0u});
+    else
+      // The ten-program suite spreads over more than one shard —
+      // deterministic, so this pins the hash is not degenerate.
+      EXPECT_GT(Used.size(), 1u) << "N=" << N;
+  }
+
+  // Ownership depends only on (name, count): renaming one program
+  // never moves another.
+  EXPECT_EQ(suiteShardOf("171.swim", 3), suiteShardOf("171.swim", 3));
+  EXPECT_NE(suiteShardOf("171.swim", 1), 1u);
+}
+
+TEST(SuiteShard, InvalidShardIndexThrows) {
+  std::vector<BenchmarkProgram> One;
+  One.push_back(buildSpecFPProgram("171.swim"));
+  Session S{PipelineOptions(), 1};
+  SuiteOptions SO;
+  SO.ShardIndex = 2;
+  SO.ShardCount = 2;
+  EXPECT_THROW(SuiteRunner(S).run(One, SO), std::runtime_error);
+}
+
+// --- one shard runs (and journals) exactly its partition -------------------
+
+TEST(SuiteShard, ShardRunsOnlyOwnedPrograms) {
+  std::vector<BenchmarkProgram> Programs = smallSuite(/*WithBroken=*/true);
+  const unsigned N = 2;
+
+  for (unsigned Index = 0; Index < N; ++Index) {
+    std::set<std::string> Owned;
+    for (const BenchmarkProgram &P : Programs)
+      if (suiteShardOf(P.Name, N) == Index)
+        Owned.insert(P.Name);
+
+    std::string Path =
+        tempPath("shardsuite_owned_" + std::to_string(Index) + ".journal");
+    Session S{PipelineOptions(), 1};
+    SuiteOptions SO;
+    SO.ShardIndex = Index;
+    SO.ShardCount = N;
+    SO.JournalPath = Path;
+    size_t Streamed = 0;
+    SO.OnProgramDone = [&](const SuiteProgress &P) {
+      ++Streamed;
+      EXPECT_EQ(P.Total, Owned.size()); // progress counts owned only
+      EXPECT_EQ(Owned.count(P.Program), 1u) << P.Program;
+    };
+    SuiteResult R = SuiteRunner(S).run(Programs, SO);
+    EXPECT_EQ(Streamed, Owned.size());
+    EXPECT_EQ(R.numPrograms(), Owned.size());
+
+    // The shard journal carries the FULL list's fingerprint and
+    // exactly the owned programs' records.
+    uint64_t Fp = suiteJournalFingerprint(PipelineOptions(), Programs);
+    std::string Err;
+    auto J = SuiteJournal::load(Path, Fp, &Err);
+    ASSERT_TRUE(J.has_value()) << Err;
+    EXPECT_EQ(J->numRecords(), Owned.size());
+    for (const std::string &Name : Owned)
+      EXPECT_TRUE(J->Results.count(Name) || J->Failures.count(Name)) << Name;
+    std::remove(Path.c_str());
+  }
+}
+
+// --- merged shards == single process ---------------------------------------
+
+TEST(SuiteShard, MergedShardsBitIdenticalToSingleProcess) {
+  std::vector<BenchmarkProgram> Programs = smallSuite(/*WithBroken=*/true);
+
+  SuiteResult Single;
+  {
+    Session S{PipelineOptions(), 2};
+    Single = SuiteRunner(S).run(Programs);
+  }
+  ASSERT_EQ(Single.Names.size(), 3u);
+  ASSERT_EQ(Single.Failures.size(), 1u); // the broken program
+
+  for (unsigned N : {1u, 2u, 3u}) {
+    // Run every shard in its own session, journaling, then union the
+    // journals and reassemble through the resume path — exactly what
+    // the orchestrator does, minus processes.
+    SuiteJournal Union;
+    uint64_t Fp = suiteJournalFingerprint(PipelineOptions(), Programs);
+    Union.Fingerprint = Fp;
+    std::vector<std::string> Paths;
+    for (unsigned Index = 0; Index < N; ++Index) {
+      std::string Path = tempPath("shardsuite_merge_" + std::to_string(N) +
+                                  "_" + std::to_string(Index) + ".journal");
+      Paths.push_back(Path);
+      Session S{PipelineOptions(), 2};
+      SuiteOptions SO;
+      SO.ShardIndex = Index;
+      SO.ShardCount = N;
+      SO.JournalPath = Path;
+      SuiteRunner(S).run(Programs, SO);
+
+      std::string Err;
+      auto J = SuiteJournal::load(Path, Fp, &Err);
+      ASSERT_TRUE(J.has_value()) << Err;
+      for (auto &KV : J->Results)
+        Union.Results.emplace(KV.first, std::move(KV.second));
+      for (auto &KV : J->Failures)
+        Union.Failures.emplace(KV.first, std::move(KV.second));
+    }
+    ASSERT_EQ(Union.numRecords(), Programs.size()) << "N=" << N;
+
+    Session S{PipelineOptions(), 2};
+    SuiteOptions SO;
+    SO.ResumeFrom = &Union;
+    SuiteResult Merged = SuiteRunner(S).run(Programs, SO);
+    expectBitIdentical(Single, Merged);
+
+    for (const std::string &Path : Paths)
+      std::remove(Path.c_str());
+  }
+}
+
+} // namespace

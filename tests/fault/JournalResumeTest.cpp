@@ -226,6 +226,42 @@ TEST(SuiteJournal, TornTrailingRecordIsDropped) {
   std::remove(Path.c_str());
 }
 
+TEST(SuiteJournal, ReopenTruncatesTornTailBeforeAppending) {
+  // A retry that appends after a torn tail must not hide its records
+  // behind the tear: open() truncates to the intact prefix first, so
+  // everything it appends is visible to every future load. (Before the
+  // CleanBytes fix, appends landed after the torn bytes and were
+  // silently dropped by the next load — fatal for shard crash-retry.)
+  Session S{PipelineOptions(), 1};
+  auto R1 = S.pipeline().runProgram(buildSpecFPProgram("168.wupwise"));
+  auto R2 = S.pipeline().runProgram(buildSpecFPProgram("171.swim"));
+  ASSERT_TRUE(R1.has_value() && R2.has_value());
+
+  std::string Path = tempPath("journal_reopen.txt");
+  {
+    SuiteJournalWriter W;
+    ASSERT_TRUE(W.open(Path, 7));
+    W.append(*R1);
+  }
+  // Simulate a kill mid-append of a second record: intact first record
+  // plus a torn fragment.
+  spit(Path, slurp(Path) + "begin ok 171.swim\ntorn-frag");
+
+  {
+    SuiteJournalWriter W;
+    std::string Err;
+    ASSERT_TRUE(W.open(Path, 7, &Err)) << Err; // truncates the tear
+    W.append(*R2);
+  }
+  std::string Err;
+  auto J = SuiteJournal::load(Path, 7, &Err);
+  ASSERT_TRUE(J.has_value()) << Err;
+  EXPECT_EQ(J->numRecords(), 2u); // both records visible
+  EXPECT_EQ(J->Results.count("168.wupwise"), 1u);
+  EXPECT_EQ(J->Results.count("171.swim"), 1u);
+  std::remove(Path.c_str());
+}
+
 TEST(SuiteJournal, MismatchedFingerprintRefusesToLoad) {
   std::string Path = tempPath("journal_fp.txt");
   {
@@ -324,21 +360,43 @@ TEST(SuiteResume, ResumeUnderDifferentOptionsThrows) {
   std::remove(Path.c_str());
 }
 
-TEST(SuiteResume, JournalingIsIgnoredUnderMeasureFrontier) {
+TEST(SuiteResume, JournalingUnderMeasureFrontierFailsFast) {
   // The frontier sweep is not journalable (results are not per-program
-  // pure in the journal's schema); Journal/Resume are documented as
-  // ignored, not an abort.
+  // pure in the journal's schema). Combining it with checkpointing used
+  // to be silently ignored — a user who asked for crash tolerance got
+  // none. The contract is now fail-fast: Journal, Resume and sharding
+  // all throw under MeasureFrontier.
   std::vector<BenchmarkProgram> One;
   One.push_back(buildSpecFPProgram("171.swim"));
   std::string Path = tempPath("journal_frontier.txt");
   Session S{PipelineOptions(), 1};
+  {
+    SuiteOptions SO;
+    SO.MeasureFrontier = true;
+    SO.JournalPath = Path;
+    EXPECT_THROW(SuiteRunner(S).run(One, SO), std::runtime_error);
+  }
+  std::ifstream Probe(Path);
+  EXPECT_FALSE(Probe.good()); // refused before any journal IO
+  {
+    SuiteJournal J;
+    SuiteOptions SO;
+    SO.MeasureFrontier = true;
+    SO.ResumeFrom = &J;
+    EXPECT_THROW(SuiteRunner(S).run(One, SO), std::runtime_error);
+  }
+  {
+    SuiteOptions SO;
+    SO.MeasureFrontier = true;
+    SO.ShardIndex = 0;
+    SO.ShardCount = 2;
+    EXPECT_THROW(SuiteRunner(S).run(One, SO), std::runtime_error);
+  }
+  // Plain frontier runs are unaffected.
   SuiteOptions SO;
   SO.MeasureFrontier = true;
-  SO.JournalPath = Path;
   SuiteResult R = SuiteRunner(S).run(One, SO);
   EXPECT_EQ(R.Names.size(), 1u);
-  std::ifstream Probe(Path);
-  EXPECT_FALSE(Probe.good()); // no journal file was created
   std::remove(Path.c_str());
 }
 
